@@ -1,0 +1,127 @@
+//! Criterion microbenchmarks over the substrates the system models are built
+//! from: hashing, authenticated-index updates, storage-engine writes, OCC
+//! validation and the end-to-end per-transaction pipelines of the two
+//! blockchains vs the two databases (a miniature Figure 4).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dichotomy_core::common::{hash, ClientId, Key, Operation, Transaction, TxnId, Value};
+use dichotomy_core::driver::{run_workload, DriverConfig};
+use dichotomy_core::merkle::{MerkleBucketTree, MerklePatriciaTrie};
+use dichotomy_core::storage::{BPlusTree, KvEngine, LsmTree, MvccStore};
+use dichotomy_core::systems::{Etcd, EtcdConfig, Quorum, QuorumConfig};
+use dichotomy_core::txn::OccExecutor;
+use dichotomy_core::workload::{YcsbConfig, YcsbMix, YcsbWorkload};
+
+fn bench_hashing(c: &mut Criterion) {
+    let data = vec![0xabu8; 1024];
+    c.bench_function("sha256_1kb", |b| b.iter(|| hash::sha256(&data)));
+}
+
+fn bench_authenticated_indexes(c: &mut Criterion) {
+    c.bench_function("mpt_insert_1kb", |b| {
+        b.iter_batched(
+            || {
+                let mut mpt = MerklePatriciaTrie::new();
+                for i in 0..500u64 {
+                    mpt.insert(&Key::from_str(&format!("user{i:08}")), &Value::filler(100));
+                }
+                mpt
+            },
+            |mut mpt| mpt.insert(&Key::from_str("user00000042"), &Value::filler(1024)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("mbt_put_1kb", |b| {
+        b.iter_batched(
+            MerkleBucketTree::fabric_default,
+            |mut mbt| mbt.put(&Key::from_str("user42"), &Value::filler(1024)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_storage_engines(c: &mut Criterion) {
+    c.bench_function("lsm_put_1kb", |b| {
+        b.iter_batched(
+            LsmTree::new,
+            |mut t| t.put(Key::from_str("k1"), Value::filler(1024)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("btree_put_1kb", |b| {
+        b.iter_batched(
+            BPlusTree::new,
+            |mut t| t.put(Key::from_str("k1"), Value::filler(1024)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_occ_validation(c: &mut Criterion) {
+    c.bench_function("occ_simulate_validate_commit", |b| {
+        b.iter_batched(
+            || {
+                let mut store = MvccStore::new();
+                let v = store.begin_commit();
+                for i in 0..200u64 {
+                    store.commit_write(Key::from_str(&format!("k{i}")), v, Some(Value::filler(64)));
+                }
+                (store, OccExecutor::new())
+            },
+            |(mut store, mut occ)| {
+                let txn = Transaction::new(
+                    TxnId::new(ClientId(1), 1),
+                    vec![Operation::read_modify_write(Key::from_str("k7"), Value::filler(64))],
+                );
+                let sim = occ.simulate(&txn, &store);
+                occ.validate_and_commit(&sim, &mut store).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_200_txns");
+    group.sample_size(10);
+    group.bench_function("quorum_update", |b| {
+        b.iter(|| {
+            let mut system = Quorum::new(QuorumConfig {
+                max_block_txns: 50,
+                block_interval_us: 50_000,
+                ..QuorumConfig::default()
+            });
+            let mut workload = YcsbWorkload::new(YcsbConfig {
+                record_count: 500,
+                record_size: 200,
+                mix: YcsbMix::UpdateOnly,
+                ..YcsbConfig::default()
+            });
+            run_workload(&mut system, &mut workload, &DriverConfig::saturating(200))
+        })
+    });
+    group.bench_function("etcd_update", |b| {
+        b.iter(|| {
+            let mut system = Etcd::new(EtcdConfig::default());
+            let mut workload = YcsbWorkload::new(YcsbConfig {
+                record_count: 500,
+                record_size: 200,
+                mix: YcsbMix::UpdateOnly,
+                ..YcsbConfig::default()
+            });
+            run_workload(&mut system, &mut workload, &DriverConfig::saturating(200))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_authenticated_indexes,
+    bench_storage_engines,
+    bench_occ_validation,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p dichotomy-bench --release --bin repro -- all
+//! cargo run -p dichotomy-bench --release --bin repro -- fig09
+//! cargo run -p dichotomy-bench --release --bin repro -- --quick fig04 fig14
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let targets: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
+        dichotomy_bench::EXPERIMENTS.to_vec()
+    } else {
+        requested
+    };
+    for id in targets {
+        match dichotomy_bench::run_experiment(id, quick) {
+            Some(report) => println!("{report}"),
+            None => eprintln!("unknown experiment '{id}'; known: {:?}", dichotomy_bench::EXPERIMENTS),
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Workspace-wide error vocabulary.
+
+use std::fmt;
+
+/// Errors surfaced by the common substrates. Higher-level crates either wrap
+/// these or define their own domain-specific enums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommonError {
+    /// A key was not found where it was required to exist.
+    KeyNotFound(String),
+    /// A cryptographic check (signature, digest, proof) failed.
+    IntegrityViolation(String),
+    /// An argument was outside the accepted range.
+    InvalidArgument(String),
+    /// The operation conflicts with the component's current state.
+    InvalidState(String),
+    /// A serialization / encoding problem.
+    Codec(String),
+}
+
+impl fmt::Display for CommonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommonError::KeyNotFound(k) => write!(f, "key not found: {k}"),
+            CommonError::IntegrityViolation(m) => write!(f, "integrity violation: {m}"),
+            CommonError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            CommonError::InvalidState(m) => write!(f, "invalid state: {m}"),
+            CommonError::Codec(m) => write!(f, "codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommonError {}
+
+/// Result alias using [`CommonError`].
+pub type Result<T> = std::result::Result<T, CommonError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        assert_eq!(
+            CommonError::KeyNotFound("user1".into()).to_string(),
+            "key not found: user1"
+        );
+        assert!(CommonError::IntegrityViolation("bad proof".into())
+            .to_string()
+            .contains("bad proof"));
+        assert!(CommonError::InvalidArgument("x".into()).to_string().contains("invalid argument"));
+        assert!(CommonError::InvalidState("y".into()).to_string().contains("invalid state"));
+        assert!(CommonError::Codec("z".into()).to_string().contains("codec"));
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        let e: Box<dyn std::error::Error> = Box::new(CommonError::Codec("trunc".into()));
+        assert!(e.to_string().contains("trunc"));
+    }
+}

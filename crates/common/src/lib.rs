@@ -1,0 +1,36 @@
+//! Common foundation types for the *Blockchains vs. Distributed Databases:
+//! Dichotomy and Fusion* reproduction.
+//!
+//! This crate holds everything the substrate crates (storage, consensus,
+//! merkle, ledger, ...) and the system models (Quorum, Fabric, TiDB, etcd,
+//! ...) share:
+//!
+//! * [`Hash`] and a from-scratch [`sha256`](hash::sha256) implementation used
+//!   for ledger chaining and authenticated data structures,
+//! * deterministic, model-level digital [`signatures`](crypto) whose
+//!   verification cost is charged by the simulator,
+//! * the transactional vocabulary ([`Key`], [`Value`], [`Operation`],
+//!   [`Transaction`], [`TxnReceipt`], [`AbortReason`]),
+//! * the [`Block`] format shared by all ledger-based systems,
+//! * error types and byte-level [`size`] accounting helpers.
+//!
+//! Everything here is pure data and pure computation: no clocks, no I/O, no
+//! threads. Time and cost live in `dichotomy-simnet`.
+
+pub mod block;
+pub mod crypto;
+pub mod error;
+pub mod hash;
+pub mod rng;
+pub mod size;
+pub mod txn;
+pub mod types;
+
+pub use block::{Block, BlockHeader};
+pub use crypto::{KeyPair, PublicKey, Signature};
+pub use error::{CommonError, Result};
+pub use hash::{sha256, Hash, Hasher};
+pub use txn::{
+    AbortReason, IsolationLevel, Operation, OperationKind, Transaction, TxnReceipt, TxnStatus,
+};
+pub use types::{ClientId, Key, NodeId, ShardId, Timestamp, TxnId, Value, Version};

@@ -1,0 +1,80 @@
+//! Deterministic randomness helpers.
+//!
+//! Every stochastic choice in the workspace — workload key selection, PoW
+//! "mining", network jitter — flows from a seeded [`rand::rngs::StdRng`] so
+//! that an experiment re-run with the same seed reproduces the same numbers
+//! bit for bit (DESIGN.md, "Determinism").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The workspace-wide default seed used by examples and benches unless the
+/// caller supplies one.
+pub const DEFAULT_SEED: u64 = 0x51D7_2021;
+
+/// Construct a seeded RNG.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive a child seed from a parent seed and a label, so that independent
+/// components (each client, each node) get decorrelated but reproducible
+/// streams.
+pub fn derive_seed(parent: u64, label: &str) -> u64 {
+    let h = crate::hash::Hash::of_parts(&[&parent.to_be_bytes(), label.as_bytes()]);
+    h.prefix_u64()
+}
+
+/// Sample an exponentially distributed delay with the given mean, clamped to
+/// at least 1 µs. Used for network jitter and client think times.
+pub fn exp_delay_us<R: Rng>(rng: &mut R, mean_us: f64) -> u64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let d = -mean_us * u.ln();
+    d.max(1.0).min(1e12) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        let va: Vec<u64> = (0..10).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        let va: u64 = a.gen();
+        let vb: u64 = b.gen();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_label_sensitive() {
+        assert_eq!(derive_seed(7, "client-1"), derive_seed(7, "client-1"));
+        assert_ne!(derive_seed(7, "client-1"), derive_seed(7, "client-2"));
+        assert_ne!(derive_seed(7, "client-1"), derive_seed(8, "client-1"));
+    }
+
+    #[test]
+    fn exp_delay_has_roughly_correct_mean() {
+        let mut rng = seeded(3);
+        let n = 20_000;
+        let mean = 500.0;
+        let total: u64 = (0..n).map(|_| exp_delay_us(&mut rng, mean)).sum();
+        let observed = total as f64 / n as f64;
+        assert!((observed - mean).abs() < mean * 0.1, "observed {observed}");
+    }
+
+    #[test]
+    fn exp_delay_is_at_least_one_microsecond() {
+        let mut rng = seeded(4);
+        assert!((0..1000).all(|_| exp_delay_us(&mut rng, 0.001) >= 1));
+    }
+}

@@ -1,0 +1,435 @@
+//! The transactional vocabulary shared by every system model.
+//!
+//! A [`Transaction`] is a signed set of read/write [`Operation`]s issued by a
+//! client. The same structure is used by the blockchains (where it stands for
+//! a smart-contract invocation whose read/write set the contract logic
+//! produces) and by the databases (where it is the sequence of statements of
+//! a stored procedure). The execution *semantics* — serial, optimistic,
+//! pessimistic, Percolator-style — live in `dichotomy-txn`; this module only
+//! defines the data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::crypto::{KeyPair, Signature};
+use crate::hash::{Hash, Hasher};
+use crate::types::{ClientId, Key, Timestamp, TxnId, Value, Version};
+
+/// What a single operation does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperationKind {
+    /// Read the current value of the key.
+    Read,
+    /// Overwrite the value of the key.
+    Write,
+    /// Read the key, then write a new value derived from it
+    /// (the "modify" pattern used by the paper's skew experiments,
+    /// Section 5.3.1: "first read, then update and write back").
+    ReadModifyWrite,
+}
+
+/// One key-level operation inside a transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Operation {
+    /// Operation kind.
+    pub kind: OperationKind,
+    /// Target key.
+    pub key: Key,
+    /// Payload for writes; `None` for pure reads.
+    pub value: Option<Value>,
+}
+
+impl Operation {
+    /// A read of `key`.
+    pub fn read(key: Key) -> Self {
+        Operation {
+            kind: OperationKind::Read,
+            key,
+            value: None,
+        }
+    }
+
+    /// A blind write of `value` to `key`.
+    pub fn write(key: Key, value: Value) -> Self {
+        Operation {
+            kind: OperationKind::Write,
+            key,
+            value: Some(value),
+        }
+    }
+
+    /// A read-modify-write of `key`, writing `value` back.
+    pub fn read_modify_write(key: Key, value: Value) -> Self {
+        Operation {
+            kind: OperationKind::ReadModifyWrite,
+            key,
+            value: Some(value),
+        }
+    }
+
+    /// Whether the operation reads the key (reads and read-modify-writes).
+    pub fn reads(&self) -> bool {
+        matches!(self.kind, OperationKind::Read | OperationKind::ReadModifyWrite)
+    }
+
+    /// Whether the operation writes the key (writes and read-modify-writes).
+    pub fn writes(&self) -> bool {
+        matches!(self.kind, OperationKind::Write | OperationKind::ReadModifyWrite)
+    }
+
+    /// Size of the operation payload in bytes (key + value), used for
+    /// transaction-size accounting and bandwidth modelling.
+    pub fn payload_bytes(&self) -> usize {
+        self.key.len() + self.value.as_ref().map_or(0, Value::len)
+    }
+}
+
+/// Isolation level requested by the client; the paper's database experiments
+/// run TiDB at snapshot isolation and the blockchains at serializable
+/// (ledger-order) isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IsolationLevel {
+    /// Reads see a consistent snapshot; write-write conflicts abort.
+    Snapshot,
+    /// Full serializability.
+    Serializable,
+}
+
+/// A client-signed transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Globally unique id (client, sequence).
+    pub id: TxnId,
+    /// Operations in program order.
+    pub ops: Vec<Operation>,
+    /// Isolation level requested.
+    pub isolation: IsolationLevel,
+    /// Client wall-clock submit time (simulated microseconds); carried in the
+    /// envelope the way real systems carry timestamps, and used by the
+    /// harness to compute end-to-end latency.
+    pub submit_time: Timestamp,
+    /// Client signature over the transaction content.
+    pub signature: Option<Signature>,
+}
+
+impl Transaction {
+    /// Build an unsigned transaction.
+    pub fn new(id: TxnId, ops: Vec<Operation>) -> Self {
+        Transaction {
+            id,
+            ops,
+            isolation: IsolationLevel::Serializable,
+            submit_time: 0,
+            signature: None,
+        }
+    }
+
+    /// Build and sign a transaction with the client's key.
+    pub fn signed(id: TxnId, ops: Vec<Operation>, submit_time: Timestamp, keypair: &KeyPair) -> Self {
+        let mut txn = Transaction {
+            id,
+            ops,
+            isolation: IsolationLevel::Serializable,
+            submit_time,
+            signature: None,
+        };
+        let digest = txn.digest();
+        txn.signature = Some(keypair.sign(digest.as_bytes()));
+        txn
+    }
+
+    /// Content digest over id, isolation and operations (excludes the
+    /// signature itself).
+    pub fn digest(&self) -> Hash {
+        let mut h = Hasher::new();
+        h.update(&self.id.client.0.to_be_bytes());
+        h.update(&self.id.seq.to_be_bytes());
+        h.update(&[match self.isolation {
+            IsolationLevel::Snapshot => 0u8,
+            IsolationLevel::Serializable => 1u8,
+        }]);
+        for op in &self.ops {
+            h.update(&[match op.kind {
+                OperationKind::Read => 0u8,
+                OperationKind::Write => 1u8,
+                OperationKind::ReadModifyWrite => 2u8,
+            }]);
+            h.update(&(op.key.len() as u64).to_be_bytes());
+            h.update(op.key.as_bytes());
+            if let Some(v) = &op.value {
+                h.update(&(v.len() as u64).to_be_bytes());
+                h.update(v.as_bytes());
+            } else {
+                h.update(&u64::MAX.to_be_bytes());
+            }
+        }
+        h.finalize()
+    }
+
+    /// Verify the client signature, rederiving the client's key from the
+    /// transaction's client id (stands in for a certificate lookup).
+    pub fn verify_signature(&self) -> bool {
+        match &self.signature {
+            None => false,
+            Some(sig) => {
+                let kp = KeyPair::for_client(self.id.client.0);
+                sig.verify(self.digest().as_bytes(), &kp)
+            }
+        }
+    }
+
+    /// Keys read by this transaction (deduplicated, in first-occurrence order).
+    pub fn read_set(&self) -> Vec<&Key> {
+        let mut seen = std::collections::HashSet::new();
+        self.ops
+            .iter()
+            .filter(|op| op.reads())
+            .filter(|op| seen.insert(&op.key))
+            .map(|op| &op.key)
+            .collect()
+    }
+
+    /// Keys written by this transaction (deduplicated, in first-occurrence order).
+    pub fn write_set(&self) -> Vec<&Key> {
+        let mut seen = std::collections::HashSet::new();
+        self.ops
+            .iter()
+            .filter(|op| op.writes())
+            .filter(|op| seen.insert(&op.key))
+            .map(|op| &op.key)
+            .collect()
+    }
+
+    /// Whether the transaction performs no writes.
+    pub fn is_read_only(&self) -> bool {
+        self.ops.iter().all(|op| !op.writes())
+    }
+
+    /// Total payload size (keys + values) in bytes, the quantity the paper
+    /// holds at 1000 bytes in the operation-count experiment (Section 5.3.2).
+    pub fn payload_bytes(&self) -> usize {
+        self.ops.iter().map(Operation::payload_bytes).sum()
+    }
+
+    /// Approximate size of the transaction envelope on the wire: payload plus
+    /// a fixed header (id, timestamps, isolation) and the signature.
+    pub fn wire_bytes(&self) -> usize {
+        const HEADER: usize = 48;
+        const SIGNATURE: usize = 96;
+        HEADER + self.payload_bytes() + if self.signature.is_some() { SIGNATURE } else { 0 }
+    }
+
+    /// Number of operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Issuing client.
+    pub fn client(&self) -> ClientId {
+        self.id.client
+    }
+}
+
+/// Why a transaction aborted. The categories mirror the paper's abort-rate
+/// analysis (Figures 9b and 10b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// Fabric-style MVCC validation failure: a key read during simulation was
+    /// overwritten before commit ("read-write conflict").
+    ReadWriteConflict,
+    /// Fabric proposal-phase failure: endorsing peers returned different
+    /// simulation results ("inconsistent read").
+    InconsistentRead,
+    /// TiDB/Percolator-style write-write conflict on the primary lock.
+    WriteWriteConflict,
+    /// Pessimistic locking could not acquire a lock (deadlock avoidance /
+    /// wound-wait victim).
+    LockConflict,
+    /// 2PC coordinator or a participant voted to abort.
+    CrossShardAbort,
+    /// The request was rejected because the system is overloaded (admission
+    /// control / queue overflow).
+    Overload,
+    /// Smallbank application-level constraint violation (e.g. insufficient
+    /// balance); counted separately because it is not a concurrency artifact.
+    ApplicationConstraint,
+}
+
+/// Final status of a transaction as observed by the issuing client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnStatus {
+    /// Committed and durable.
+    Committed,
+    /// Aborted for the given reason.
+    Aborted(AbortReason),
+}
+
+impl TxnStatus {
+    /// Whether this status is `Committed`.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnStatus::Committed)
+    }
+}
+
+/// The receipt returned to the client when a transaction finishes, carrying
+/// everything the benchmark harness needs to compute throughput, latency and
+/// abort-rate breakdowns, plus the per-phase latency decomposition used by
+/// Figures 8 and 11.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TxnReceipt {
+    /// The transaction this receipt is for.
+    pub txn_id: TxnId,
+    /// Commit or abort outcome.
+    pub status: TxnStatus,
+    /// When the client submitted the transaction (simulated µs).
+    pub submit_time: Timestamp,
+    /// When the outcome became visible to the client (simulated µs).
+    pub finish_time: Timestamp,
+    /// Values read, for read(-modify-write) operations, in operation order.
+    pub reads: Vec<(Key, Option<Value>)>,
+    /// Version assigned to the writes, when committed.
+    pub commit_version: Option<Version>,
+    /// Named per-phase latencies, e.g. ("execute", 480_000), ("order", ...),
+    /// ("validate", ...) for Fabric or ("proposal"/"consensus"/"commit") for
+    /// Quorum. Phases are system-specific; the harness aggregates them by name.
+    pub phase_latencies: Vec<(&'static str, u64)>,
+}
+
+impl TxnReceipt {
+    /// End-to-end latency in microseconds.
+    pub fn latency_us(&self) -> u64 {
+        self.finish_time.saturating_sub(self.submit_time)
+    }
+
+    /// Convenience constructor for a committed receipt.
+    pub fn committed(txn_id: TxnId, submit_time: Timestamp, finish_time: Timestamp) -> Self {
+        TxnReceipt {
+            txn_id,
+            status: TxnStatus::Committed,
+            submit_time,
+            finish_time,
+            reads: Vec::new(),
+            commit_version: None,
+            phase_latencies: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor for an aborted receipt.
+    pub fn aborted(
+        txn_id: TxnId,
+        reason: AbortReason,
+        submit_time: Timestamp,
+        finish_time: Timestamp,
+    ) -> Self {
+        TxnReceipt {
+            txn_id,
+            status: TxnStatus::Aborted(reason),
+            submit_time,
+            finish_time,
+            reads: Vec::new(),
+            commit_version: None,
+            phase_latencies: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ClientId;
+
+    fn txn_id() -> TxnId {
+        TxnId::new(ClientId(1), 1)
+    }
+
+    #[test]
+    fn read_and_write_sets_deduplicate() {
+        let k1 = Key::from_str("a");
+        let k2 = Key::from_str("b");
+        let t = Transaction::new(
+            txn_id(),
+            vec![
+                Operation::read(k1.clone()),
+                Operation::read_modify_write(k1.clone(), Value::filler(4)),
+                Operation::write(k2.clone(), Value::filler(4)),
+            ],
+        );
+        assert_eq!(t.read_set(), vec![&k1]);
+        assert_eq!(t.write_set(), vec![&k1, &k2]);
+        assert!(!t.is_read_only());
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let t = Transaction::new(txn_id(), vec![Operation::read(Key::from_str("a"))]);
+        assert!(t.is_read_only());
+    }
+
+    #[test]
+    fn payload_bytes_sums_keys_and_values() {
+        let t = Transaction::new(
+            txn_id(),
+            vec![
+                Operation::write(Key::from_str("ab"), Value::filler(10)),
+                Operation::read(Key::from_str("cde")),
+            ],
+        );
+        assert_eq!(t.payload_bytes(), 2 + 10 + 3);
+        assert!(t.wire_bytes() > t.payload_bytes());
+    }
+
+    #[test]
+    fn signature_roundtrip_and_tamper_detection() {
+        let kp = KeyPair::for_client(1);
+        let mut t = Transaction::signed(
+            txn_id(),
+            vec![Operation::write(Key::from_str("k"), Value::filler(8))],
+            123,
+            &kp,
+        );
+        assert!(t.verify_signature());
+        // Tamper with the payload: verification must fail.
+        t.ops[0].value = Some(Value::filler(9));
+        assert!(!t.verify_signature());
+    }
+
+    #[test]
+    fn unsigned_transaction_does_not_verify() {
+        let t = Transaction::new(txn_id(), vec![]);
+        assert!(!t.verify_signature());
+    }
+
+    #[test]
+    fn signature_bound_to_client_identity() {
+        // Signed with the wrong client's key: digest check fails.
+        let other = KeyPair::for_client(999);
+        let t = Transaction::signed(txn_id(), vec![], 0, &other);
+        assert!(!t.verify_signature());
+    }
+
+    #[test]
+    fn digest_changes_with_ops() {
+        let t1 = Transaction::new(txn_id(), vec![Operation::read(Key::from_str("a"))]);
+        let t2 = Transaction::new(txn_id(), vec![Operation::read(Key::from_str("b"))]);
+        assert_ne!(t1.digest(), t2.digest());
+    }
+
+    #[test]
+    fn digest_distinguishes_read_from_empty_value_write() {
+        let t1 = Transaction::new(txn_id(), vec![Operation::read(Key::from_str("a"))]);
+        let t2 = Transaction::new(
+            txn_id(),
+            vec![Operation::write(Key::from_str("a"), Value::new(Vec::new()))],
+        );
+        assert_ne!(t1.digest(), t2.digest());
+    }
+
+    #[test]
+    fn receipt_latency_and_status() {
+        let r = TxnReceipt::committed(txn_id(), 100, 350);
+        assert_eq!(r.latency_us(), 250);
+        assert!(r.status.is_committed());
+        let a = TxnReceipt::aborted(txn_id(), AbortReason::ReadWriteConflict, 100, 200);
+        assert!(!a.status.is_committed());
+        assert_eq!(a.latency_us(), 100);
+    }
+}

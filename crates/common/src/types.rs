@@ -1,0 +1,227 @@
+//! Core scalar identifiers and the key/value vocabulary shared by every
+//! substrate and system model in the workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A logical node (replica/peer/orderer/server) in a simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// Convenience constructor used throughout tests and benches.
+    pub const fn new(id: u64) -> Self {
+        NodeId(id)
+    }
+
+    /// Raw numeric id.
+    pub const fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// A client issuing transactions against one of the systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client-{}", self.0)
+    }
+}
+
+/// A shard (data partition) identifier used by the sharding substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ShardId(pub u32);
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard-{}", self.0)
+    }
+}
+
+/// Globally unique transaction identifier (client id, client sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId {
+    /// Which client issued the transaction.
+    pub client: ClientId,
+    /// Per-client monotonically increasing sequence number.
+    pub seq: u64,
+}
+
+impl TxnId {
+    /// Build a transaction id from a client and its sequence counter.
+    pub const fn new(client: ClientId, seq: u64) -> Self {
+        TxnId { client, seq }
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn-{}.{}", self.client.0, self.seq)
+    }
+}
+
+/// Simulated time, in microseconds since the start of the run.
+///
+/// Microsecond granularity is enough to capture every constant the paper
+/// reports (the smallest is the 15–16 µs SQL-compile / storage-get latencies
+/// of Figure 8b) while keeping arithmetic in `u64`.
+pub type Timestamp = u64;
+
+/// A version number attached to a record by MVCC-style storage. In Fabric
+/// this is the (block, txn) height of the last write; in TiDB it is the
+/// commit timestamp; we use a single monotonically increasing counter.
+pub type Version = u64;
+
+/// Record key. Keys are opaque byte strings; YCSB-style workloads use
+/// `user<zero-padded-number>` keys, Smallbank uses `acct:<n>:<field>`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key(pub Vec<u8>);
+
+impl Key {
+    /// Construct a key from anything byte-like.
+    pub fn new(bytes: impl Into<Vec<u8>>) -> Self {
+        Key(bytes.into())
+    }
+
+    /// Construct a key from a UTF-8 string slice.
+    pub fn from_str(s: &str) -> Self {
+        Key(s.as_bytes().to_vec())
+    }
+
+    /// View the key as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the key in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_bytes_as_ascii(&self.0, f)
+    }
+}
+
+/// Record value: an opaque byte payload whose size is one of the paper's
+/// experiment knobs (Table 3: 10–5000 bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Value(pub Vec<u8>);
+
+impl Value {
+    /// Construct a value from anything byte-like.
+    pub fn new(bytes: impl Into<Vec<u8>>) -> Self {
+        Value(bytes.into())
+    }
+
+    /// A value consisting of `len` filler bytes, used by the workload
+    /// generators when only the size matters.
+    pub fn filler(len: usize) -> Self {
+        Value(vec![b'x'; len])
+    }
+
+    /// View the value as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the value in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_bytes_as_ascii(&self.0, f)
+    }
+}
+
+/// Shared `Display` body for byte-string wrappers: print as ASCII when
+/// possible, otherwise as a hex prefix.
+fn fmt_bytes_as_ascii(bytes: &[u8], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if let Ok(s) = std::str::from_utf8(bytes) {
+        if s.len() <= 48 {
+            return write!(f, "{s}");
+        }
+        return write!(f, "{}…({}B)", &s[..45], bytes.len());
+    }
+    for b in bytes.iter().take(16) {
+        write!(f, "{b:02x}")?;
+    }
+    if bytes.len() > 16 {
+        write!(f, "…({}B)", bytes.len())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_accessors() {
+        let n = NodeId::new(7);
+        assert_eq!(n.as_u64(), 7);
+        assert_eq!(n.to_string(), "node-7");
+    }
+
+    #[test]
+    fn txn_id_ordering_is_client_then_seq() {
+        let a = TxnId::new(ClientId(1), 5);
+        let b = TxnId::new(ClientId(1), 6);
+        let c = TxnId::new(ClientId(2), 0);
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(a.to_string(), "txn-1.5");
+    }
+
+    #[test]
+    fn key_constructors_agree() {
+        assert_eq!(Key::from_str("user42"), Key::new(b"user42".to_vec()));
+        assert_eq!(Key::from_str("user42").len(), 6);
+        assert!(!Key::from_str("user42").is_empty());
+        assert!(Key::new(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn value_filler_has_requested_size() {
+        let v = Value::filler(1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.as_bytes().iter().all(|&b| b == b'x'));
+    }
+
+    #[test]
+    fn display_truncates_long_ascii() {
+        let v = Value::filler(100);
+        let s = v.to_string();
+        assert!(s.contains("…(100B)"));
+    }
+
+    #[test]
+    fn display_hexes_non_utf8() {
+        let v = Value::new(vec![0xff, 0x00, 0x12]);
+        assert_eq!(v.to_string(), "ff0012");
+    }
+}

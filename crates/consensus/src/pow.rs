@@ -1,0 +1,252 @@
+//! Simulated proof-of-work mining with longest-chain fork choice.
+//!
+//! The paper excludes permissionless blockchains from its quantitative study
+//! but needs PoW twice: as the consensus of the BlockchainDB hybrid
+//! (Table 2 / Figure 15) and as a shard-formation primitive (Elastico,
+//! Section 3.4.1). What matters is the *behavioural envelope*: block
+//! intervals are exponentially distributed around a target, a miner's win
+//! probability is proportional to its hash power, throughput is capped by
+//! `block_size / interval`, and simultaneous blocks fork and get resolved by
+//! the longest chain. Actual hash grinding is pointless to reproduce, so
+//! mining times are sampled rather than computed.
+
+use rand::rngs::StdRng;
+
+use dichotomy_common::{rng, NodeId, Timestamp};
+
+/// Configuration of the mining network.
+#[derive(Debug, Clone)]
+pub struct PowConfig {
+    /// Target mean block interval in µs (Bitcoin: 600 s; the paper's
+    /// BlockchainDB setting uses Ethereum-like ~15 s).
+    pub target_interval_us: u64,
+    /// Block propagation delay across the network in µs.
+    pub propagation_delay_us: u64,
+    /// Relative hash power per miner (need not sum to 1).
+    pub hash_power: Vec<f64>,
+}
+
+impl Default for PowConfig {
+    fn default() -> Self {
+        PowConfig {
+            target_interval_us: 15_000_000,
+            propagation_delay_us: 200_000,
+            hash_power: vec![1.0; 4],
+        }
+    }
+}
+
+/// One mined block in the simulation's history.
+#[derive(Debug, Clone)]
+pub struct MinedBlock {
+    /// Height in the winning chain (forked-off blocks keep their height).
+    pub height: u64,
+    /// Which miner found it.
+    pub miner: NodeId,
+    /// When it was found.
+    pub found_at: Timestamp,
+    /// Whether it ended up in the canonical chain.
+    pub canonical: bool,
+}
+
+/// Result of a mining simulation.
+#[derive(Debug, Clone)]
+pub struct PowRun {
+    /// All blocks found, canonical and orphaned.
+    pub blocks: Vec<MinedBlock>,
+    /// Length of the canonical chain.
+    pub canonical_height: u64,
+    /// Number of orphaned (forked-off) blocks.
+    pub orphans: u64,
+    /// Total simulated time.
+    pub duration_us: Timestamp,
+}
+
+impl PowRun {
+    /// Observed mean interval between canonical blocks.
+    pub fn mean_interval_us(&self) -> f64 {
+        if self.canonical_height == 0 {
+            return 0.0;
+        }
+        self.duration_us as f64 / self.canonical_height as f64
+    }
+
+    /// Fraction of mined blocks that were orphaned.
+    pub fn orphan_rate(&self) -> f64 {
+        if self.blocks.is_empty() {
+            0.0
+        } else {
+            self.orphans as f64 / self.blocks.len() as f64
+        }
+    }
+
+    /// Blocks won by each miner, for fairness checks.
+    pub fn wins_by_miner(&self, miners: usize) -> Vec<u64> {
+        let mut wins = vec![0u64; miners];
+        for b in self.blocks.iter().filter(|b| b.canonical) {
+            wins[b.miner.0 as usize] += 1;
+        }
+        wins
+    }
+}
+
+/// The PoW simulator.
+pub struct PowSimulator {
+    config: PowConfig,
+    rng: StdRng,
+}
+
+impl PowSimulator {
+    /// Build a simulator with a seed.
+    pub fn new(config: PowConfig, seed: u64) -> Self {
+        PowSimulator {
+            config,
+            rng: rng::seeded(rng::derive_seed(seed, "pow")),
+        }
+    }
+
+    /// Simulate mining for `duration_us` of simulated time.
+    ///
+    /// Each round, every miner draws an exponential time-to-solution whose
+    /// rate is proportional to its hash power; the minimum wins the round. A
+    /// competing miner that finds a solution within the propagation delay of
+    /// the winner creates a fork, which the longest-chain rule resolves by
+    /// discarding the slower block (ties broken by arrival).
+    pub fn run(&mut self, duration_us: Timestamp) -> PowRun {
+        let total_power: f64 = self.config.hash_power.iter().sum();
+        let mut now: Timestamp = 0;
+        let mut height: u64 = 0;
+        let mut blocks = Vec::new();
+        let mut orphans = 0u64;
+        while now < duration_us {
+            // Time-to-solution per miner.
+            let mut solutions: Vec<(Timestamp, NodeId)> = self
+                .config
+                .hash_power
+                .iter()
+                .enumerate()
+                .map(|(i, &power)| {
+                    let mean = self.config.target_interval_us as f64 * total_power / power.max(1e-9);
+                    let t = rng::exp_delay_us(&mut self.rng, mean);
+                    (now + t, NodeId(i as u64))
+                })
+                .collect();
+            solutions.sort();
+            let (win_time, winner) = solutions[0];
+            height += 1;
+            blocks.push(MinedBlock {
+                height,
+                miner: winner,
+                found_at: win_time,
+                canonical: true,
+            });
+            // Any other solution inside the propagation window is an orphan.
+            for &(t, miner) in &solutions[1..] {
+                if t <= win_time + self.config.propagation_delay_us {
+                    orphans += 1;
+                    blocks.push(MinedBlock {
+                        height,
+                        miner,
+                        found_at: t,
+                        canonical: false,
+                    });
+                }
+            }
+            now = win_time + self.config.propagation_delay_us;
+        }
+        PowRun {
+            blocks,
+            canonical_height: height,
+            orphans,
+            duration_us: now,
+        }
+    }
+
+    /// Expected transaction throughput given a block capacity, in
+    /// transactions per second — the quantity Figure 15 places at the bottom
+    /// of its throughput scale.
+    pub fn expected_throughput_tps(&self, txns_per_block: usize) -> f64 {
+        txns_per_block as f64 / (self.config.target_interval_us as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_interval_approximates_target() {
+        let mut sim = PowSimulator::new(
+            PowConfig {
+                target_interval_us: 1_000_000,
+                propagation_delay_us: 10_000,
+                hash_power: vec![1.0; 4],
+            },
+            1,
+        );
+        let run = sim.run(2_000_000_000);
+        let mean = run.mean_interval_us();
+        assert!(
+            (mean - 1_000_000.0).abs() < 150_000.0,
+            "mean interval {mean}"
+        );
+    }
+
+    #[test]
+    fn hash_power_determines_win_share() {
+        let mut sim = PowSimulator::new(
+            PowConfig {
+                target_interval_us: 500_000,
+                propagation_delay_us: 1_000,
+                hash_power: vec![3.0, 1.0],
+            },
+            2,
+        );
+        let run = sim.run(1_000_000_000);
+        let wins = run.wins_by_miner(2);
+        let share = wins[0] as f64 / (wins[0] + wins[1]) as f64;
+        assert!((share - 0.75).abs() < 0.08, "share {share}");
+    }
+
+    #[test]
+    fn longer_propagation_creates_more_orphans() {
+        let runs = |prop: u64| {
+            let mut sim = PowSimulator::new(
+                PowConfig {
+                    target_interval_us: 200_000,
+                    propagation_delay_us: prop,
+                    hash_power: vec![1.0; 8],
+                },
+                3,
+            );
+            sim.run(400_000_000).orphan_rate()
+        };
+        let fast = runs(100);
+        let slow = runs(50_000);
+        assert!(slow > fast, "slow {slow} fast {fast}");
+    }
+
+    #[test]
+    fn throughput_is_block_capacity_over_interval() {
+        let sim = PowSimulator::new(
+            PowConfig {
+                target_interval_us: 15_000_000,
+                ..PowConfig::default()
+            },
+            4,
+        );
+        // ~150 txns per block every 15 s ≈ 10 tps (the Bitcoin-era figure the
+        // paper's introduction quotes).
+        let tps = sim.expected_throughput_tps(150);
+        assert!((tps - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = |seed| {
+            let mut sim = PowSimulator::new(PowConfig::default(), seed);
+            sim.run(500_000_000).canonical_height
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,320 @@
+//! Replication profiles: the bridge between the message-level protocol
+//! implementations and the transaction pipelines in `dichotomy-systems`.
+//!
+//! A system model needs three numbers per replicated batch: how long until
+//! the batch commits (latency), how long the leader/primary is busy and
+//! therefore unavailable for the next batch (occupancy — this is what caps
+//! throughput), and how many messages/bytes the protocol put on the wire
+//! (which makes BFT protocols degrade at scale). [`ReplicationProfile`]
+//! computes these from the protocol's message pattern and the network
+//! configuration, and the consensus crate's tests check the latency numbers
+//! against the message-level Raft/PBFT cluster simulations so the shortcut
+//! stays honest.
+
+use dichotomy_simnet::{CostModel, NetworkConfig};
+
+/// Crash vs Byzantine fault tolerance (the failure-model row of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureModel {
+    /// Crash fault tolerant: f+1 (sync) or 2f+1 (async) replicas.
+    Crash,
+    /// Byzantine fault tolerant: 3f+1 replicas, O(N²) messages.
+    Byzantine,
+}
+
+/// Which ordering/replication machinery a system uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Raft / Paxos style majority consensus (CFT).
+    Raft,
+    /// PBFT-family three-phase consensus (BFT).
+    Pbft,
+    /// IBFT — PBFT tuned for blockchains (BFT, no checkpoints).
+    Ibft,
+    /// Tendermint — BFT consensus with rotating proposers, used by
+    /// FalconDB/BigchainDB.
+    Tendermint,
+    /// Kafka-like shared log (CFT, ordering decoupled from replication).
+    SharedLog,
+    /// Proof of work (Byzantine-tolerant, probabilistic).
+    ProofOfWork,
+    /// Primary-backup without consensus (H-Store, Cassandra, DynamoDB).
+    PrimaryBackup,
+}
+
+impl ProtocolKind {
+    /// The failure model a protocol addresses.
+    pub fn failure_model(&self) -> FailureModel {
+        match self {
+            ProtocolKind::Raft | ProtocolKind::SharedLog | ProtocolKind::PrimaryBackup => {
+                FailureModel::Crash
+            }
+            ProtocolKind::Pbft
+            | ProtocolKind::Ibft
+            | ProtocolKind::Tendermint
+            | ProtocolKind::ProofOfWork => FailureModel::Byzantine,
+        }
+    }
+
+    /// Replicas required to tolerate `f` failures (asynchronous network,
+    /// Section 3.1.3).
+    pub fn replicas_for(&self, f: usize) -> usize {
+        match self.failure_model() {
+            FailureModel::Crash => 2 * f + 1,
+            FailureModel::Byzantine => 3 * f + 1,
+        }
+    }
+
+    /// Failures tolerated by a cluster of `n` replicas.
+    pub fn tolerated_failures(&self, n: usize) -> usize {
+        match self.failure_model() {
+            FailureModel::Crash => n.saturating_sub(1) / 2,
+            FailureModel::Byzantine => n.saturating_sub(1) / 3,
+        }
+    }
+
+    /// Human-readable protocol name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Raft => "Raft",
+            ProtocolKind::Pbft => "PBFT",
+            ProtocolKind::Ibft => "IBFT",
+            ProtocolKind::Tendermint => "Tendermint",
+            ProtocolKind::SharedLog => "shared log (Kafka)",
+            ProtocolKind::ProofOfWork => "PoW",
+            ProtocolKind::PrimaryBackup => "primary-backup",
+        }
+    }
+}
+
+/// The per-batch costs of running one protocol instance over a given cluster.
+#[derive(Debug, Clone)]
+pub struct ReplicationProfile {
+    /// Protocol in use.
+    pub kind: ProtocolKind,
+    /// Cluster size participating in ordering.
+    pub n: usize,
+    /// Network the replicas share.
+    pub network: NetworkConfig,
+    /// CPU cost model.
+    pub costs: CostModel,
+    /// Mean PoW block interval (only used by [`ProtocolKind::ProofOfWork`]).
+    pub pow_interval_us: u64,
+}
+
+impl ReplicationProfile {
+    /// Build a profile.
+    pub fn new(kind: ProtocolKind, n: usize, network: NetworkConfig, costs: CostModel) -> Self {
+        ReplicationProfile {
+            kind,
+            n: n.max(1),
+            network,
+            costs,
+            pow_interval_us: 15_000_000,
+        }
+    }
+
+    fn hop_us(&self, bytes: usize) -> u64 {
+        self.network.base_latency_us
+            + (bytes as f64 / self.network.bandwidth_bytes_per_us) as u64
+            + self.network.jitter_us / 2
+    }
+
+    /// Time from handing a batch of `payload_bytes` to the leader/primary
+    /// until it is durably committed/ordered cluster-wide.
+    pub fn commit_latency_us(&self, payload_bytes: usize) -> u64 {
+        let peers = self.n.saturating_sub(1);
+        match self.kind {
+            ProtocolKind::Raft => {
+                // AppendEntries with payload + ack, plus leader log append.
+                self.costs.log_append_us(1) + self.hop_us(payload_bytes) + self.hop_us(64)
+            }
+            ProtocolKind::Pbft | ProtocolKind::Ibft | ProtocolKind::Tendermint => {
+                // Pre-prepare with payload, then two all-to-all small phases;
+                // each phase also pays the quorum's signature verifications.
+                let quorum = 2 * self.kind.tolerated_failures(self.n) + 1;
+                self.hop_us(payload_bytes)
+                    + 2 * self.hop_us(96)
+                    + 2 * self.costs.verify_signatures_us(quorum)
+            }
+            ProtocolKind::SharedLog => {
+                // Producer -> broker, broker replication round, ack.
+                self.hop_us(payload_bytes) + 2 * self.hop_us(64) + self.hop_us(64)
+            }
+            ProtocolKind::ProofOfWork => self.pow_interval_us + self.hop_us(payload_bytes),
+            ProtocolKind::PrimaryBackup => {
+                // Primary forwards to backups and waits for the slowest ack.
+                self.hop_us(payload_bytes) + self.hop_us(64)
+            }
+        }
+        .max(1)
+        .saturating_add(if peers == 0 { 0 } else { 0 })
+    }
+
+    /// How long the leader/primary (the serial bottleneck of the protocol) is
+    /// occupied per batch: this bounds the rate at which batches can be
+    /// started, i.e. peak ordering throughput ≈ 1e6 / occupancy.
+    pub fn leader_occupancy_us(&self, payload_bytes: usize) -> u64 {
+        let peers = self.n.saturating_sub(1) as f64;
+        let serialization = payload_bytes as f64 / self.network.bandwidth_bytes_per_us;
+        match self.kind {
+            ProtocolKind::Raft => {
+                // The leader serializes one copy per follower on its uplink
+                // and appends to its log.
+                (peers * serialization) as u64 + self.costs.log_append_us(1)
+            }
+            ProtocolKind::Pbft | ProtocolKind::Ibft | ProtocolKind::Tendermint => {
+                // Same dissemination cost, plus processing 2 quorums of
+                // signed votes.
+                let quorum = 2 * self.kind.tolerated_failures(self.n) + 1;
+                (peers * serialization) as u64
+                    + self.costs.verify_signatures_us(2 * quorum)
+                    + self.costs.log_append_us(1)
+            }
+            ProtocolKind::SharedLog => {
+                // The broker pool ingests the batch once; producers are not
+                // the bottleneck.
+                serialization as u64 + self.costs.log_append_us(1)
+            }
+            ProtocolKind::ProofOfWork => {
+                // Producing a block occupies the winning miner for the
+                // propagation time only; the interval dominates latency, not
+                // occupancy.
+                serialization as u64 * peers as u64
+            }
+            ProtocolKind::PrimaryBackup => (peers * serialization) as u64,
+        }
+        .max(1)
+    }
+
+    /// Number of protocol messages exchanged per committed batch.
+    pub fn messages_per_commit(&self) -> u64 {
+        let n = self.n as u64;
+        let peers = n.saturating_sub(1);
+        match self.kind {
+            ProtocolKind::Raft | ProtocolKind::PrimaryBackup => 2 * peers,
+            ProtocolKind::Pbft | ProtocolKind::Ibft | ProtocolKind::Tendermint => {
+                // pre-prepare (n-1) + prepare (n(n-1)) + commit (n(n-1)).
+                peers + 2 * n * peers
+            }
+            ProtocolKind::SharedLog => 4,
+            ProtocolKind::ProofOfWork => peers,
+        }
+    }
+
+    /// Relative standard deviation of commit latency; the paper observes that
+    /// IBFT's variance grows with `f` because larger quorums make the
+    /// view-change (interruption) probability higher (Section 5.2.3).
+    pub fn latency_variability(&self) -> f64 {
+        match self.kind {
+            ProtocolKind::Raft | ProtocolKind::SharedLog | ProtocolKind::PrimaryBackup => 0.05,
+            ProtocolKind::Pbft | ProtocolKind::Ibft | ProtocolKind::Tendermint => {
+                0.05 + 0.02 * self.kind.tolerated_failures(self.n) as f64
+            }
+            ProtocolKind::ProofOfWork => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbft::{PbftCluster, PbftConfig};
+    use crate::raft::{RaftCluster, RaftConfig};
+
+    fn profile(kind: ProtocolKind, n: usize) -> ReplicationProfile {
+        ReplicationProfile::new(kind, n, NetworkConfig::lan_1gbps(), CostModel::calibrated())
+    }
+
+    #[test]
+    fn replica_requirements_match_section_3_1_3() {
+        assert_eq!(ProtocolKind::Raft.replicas_for(1), 3);
+        assert_eq!(ProtocolKind::Raft.replicas_for(2), 5);
+        assert_eq!(ProtocolKind::Pbft.replicas_for(1), 4);
+        assert_eq!(ProtocolKind::Pbft.replicas_for(2), 7);
+        assert_eq!(ProtocolKind::Ibft.tolerated_failures(7), 2);
+        assert_eq!(ProtocolKind::Raft.tolerated_failures(7), 3);
+    }
+
+    #[test]
+    fn bft_messages_grow_quadratically_cft_linearly() {
+        let raft4 = profile(ProtocolKind::Raft, 4).messages_per_commit();
+        let raft16 = profile(ProtocolKind::Raft, 16).messages_per_commit();
+        let pbft4 = profile(ProtocolKind::Pbft, 4).messages_per_commit();
+        let pbft16 = profile(ProtocolKind::Pbft, 16).messages_per_commit();
+        assert_eq!(raft16, raft4 * 5); // 30 vs 6: linear in n-1
+        assert!(pbft16 > pbft4 * 10); // quadratic
+        assert!(pbft4 > raft4);
+    }
+
+    #[test]
+    fn bft_latency_exceeds_cft_latency() {
+        let raft = profile(ProtocolKind::Raft, 7).commit_latency_us(10_000);
+        let ibft = profile(ProtocolKind::Ibft, 7).commit_latency_us(10_000);
+        assert!(ibft > raft);
+    }
+
+    #[test]
+    fn shared_log_occupancy_is_independent_of_consumer_count() {
+        let small = profile(ProtocolKind::SharedLog, 3).leader_occupancy_us(50_000);
+        let large = profile(ProtocolKind::SharedLog, 19).leader_occupancy_us(50_000);
+        assert_eq!(small, large);
+        // Whereas Raft's leader occupancy grows with followers.
+        let raft_small = profile(ProtocolKind::Raft, 3).leader_occupancy_us(50_000);
+        let raft_large = profile(ProtocolKind::Raft, 19).leader_occupancy_us(50_000);
+        assert!(raft_large > raft_small * 4);
+    }
+
+    #[test]
+    fn ibft_variability_grows_with_f() {
+        let v1 = profile(ProtocolKind::Ibft, 4).latency_variability();
+        let v6 = profile(ProtocolKind::Ibft, 19).latency_variability();
+        assert!(v6 > v1);
+        assert!(profile(ProtocolKind::Raft, 19).latency_variability() < v6);
+    }
+
+    #[test]
+    fn pow_latency_is_dominated_by_the_block_interval() {
+        let p = profile(ProtocolKind::ProofOfWork, 8);
+        assert!(p.commit_latency_us(1000) >= p.pow_interval_us);
+    }
+
+    #[test]
+    fn raft_profile_latency_matches_message_level_simulation() {
+        // Message-level cluster measurement.
+        let mut cluster = RaftCluster::new(3, RaftConfig::default(), 42);
+        cluster.run_until_leader(2_000_000).expect("leader");
+        let start = cluster.now();
+        let id = cluster.propose(1024).unwrap();
+        cluster.run_until(start + 200_000);
+        let measured = cluster.commit_time(id).expect("committed") - start;
+        // Profile prediction.
+        let predicted = profile(ProtocolKind::Raft, 3).commit_latency_us(1024);
+        let ratio = measured as f64 / predicted as f64;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn pbft_profile_latency_matches_message_level_simulation() {
+        let mut cluster = PbftCluster::new(4, PbftConfig::default(), 42);
+        let (_, payload) = cluster.propose(1024);
+        cluster.run_until(100_000);
+        let measured = cluster.commit_time(payload).expect("committed");
+        let predicted = profile(ProtocolKind::Pbft, 4).commit_latency_us(1024);
+        let ratio = measured as f64 / predicted as f64;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ProtocolKind::Raft.name(), "Raft");
+        assert_eq!(ProtocolKind::SharedLog.name(), "shared log (Kafka)");
+        assert_eq!(ProtocolKind::ProofOfWork.name(), "PoW");
+    }
+}

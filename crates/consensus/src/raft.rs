@@ -1,0 +1,782 @@
+//! Raft (Ongaro & Ousterhout, 2014): leader election and log replication.
+//!
+//! The implementation is a faithful, single-threaded state machine per node:
+//! terms, `RequestVote`/`AppendEntries` RPCs, the log-matching property, and
+//! commitment by majority replication in the leader's current term. Nodes are
+//! driven by a [`RaftCluster`] harness that exchanges messages through the
+//! simulated network and fires election/heartbeat timeouts from the event
+//! queue, so leader crashes and partitions (via the fault plan) produce real
+//! elections and real commit stalls.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::Rng;
+
+use dichotomy_common::{rng, NodeId, Timestamp};
+use dichotomy_simnet::{EventQueue, FaultPlan, NetworkConfig, NetworkModel};
+
+/// One replicated log entry: an opaque payload (a batch of transactions, a
+/// block, a storage operation) plus the term it was appended in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Term in which the leader appended this entry.
+    pub term: u64,
+    /// Opaque payload identifier (the caller keeps the actual bytes).
+    pub payload_id: u64,
+    /// Payload size in bytes, used for network cost.
+    pub payload_bytes: usize,
+}
+
+/// Raft RPC messages.
+#[derive(Debug, Clone)]
+pub enum RaftMessage {
+    RequestVote {
+        term: u64,
+        candidate: NodeId,
+        last_log_index: u64,
+        last_log_term: u64,
+    },
+    RequestVoteReply {
+        term: u64,
+        voter: NodeId,
+        granted: bool,
+    },
+    AppendEntries {
+        term: u64,
+        leader: NodeId,
+        prev_log_index: u64,
+        prev_log_term: u64,
+        entries: Vec<LogEntry>,
+        leader_commit: u64,
+    },
+    AppendEntriesReply {
+        term: u64,
+        follower: NodeId,
+        success: bool,
+        match_index: u64,
+    },
+}
+
+impl RaftMessage {
+    /// Approximate wire size for the network model.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            RaftMessage::AppendEntries { entries, .. } => {
+                64 + entries.iter().map(|e| e.payload_bytes + 16).sum::<usize>()
+            }
+            _ => 64,
+        }
+    }
+}
+
+/// Node roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    Follower,
+    Candidate,
+    Leader,
+}
+
+/// Per-node Raft state.
+#[derive(Debug)]
+pub struct RaftNode {
+    pub id: NodeId,
+    peers: Vec<NodeId>,
+    pub role: Role,
+    pub current_term: u64,
+    voted_for: Option<NodeId>,
+    /// 1-based log (index 0 is a sentinel).
+    pub log: Vec<LogEntry>,
+    pub commit_index: u64,
+    // Leader state.
+    next_index: HashMap<NodeId, u64>,
+    match_index: HashMap<NodeId, u64>,
+    votes_received: usize,
+    /// When the next election timeout fires (reset on every valid heartbeat).
+    pub election_deadline: Timestamp,
+}
+
+/// Messages to send as a result of a step: (destination, message).
+pub type Outbox = Vec<(NodeId, RaftMessage)>;
+
+impl RaftNode {
+    /// A fresh follower.
+    pub fn new(id: NodeId, peers: Vec<NodeId>) -> Self {
+        RaftNode {
+            id,
+            peers,
+            role: Role::Follower,
+            current_term: 0,
+            voted_for: None,
+            log: vec![LogEntry {
+                term: 0,
+                payload_id: 0,
+                payload_bytes: 0,
+            }],
+            commit_index: 0,
+            next_index: HashMap::new(),
+            match_index: HashMap::new(),
+            votes_received: 0,
+            election_deadline: 0,
+        }
+    }
+
+    fn last_log_index(&self) -> u64 {
+        (self.log.len() - 1) as u64
+    }
+
+    fn last_log_term(&self) -> u64 {
+        self.log.last().map(|e| e.term).unwrap_or(0)
+    }
+
+    /// Majority size for the cluster (self + peers).
+    fn majority(&self) -> usize {
+        (self.peers.len() + 1) / 2 + 1
+    }
+
+    /// Start an election: become candidate, vote for self, ask peers.
+    pub fn start_election(&mut self, now: Timestamp, timeout_us: u64) -> Outbox {
+        self.role = Role::Candidate;
+        self.current_term += 1;
+        self.voted_for = Some(self.id);
+        self.votes_received = 1;
+        self.election_deadline = now + timeout_us;
+        self.peers
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    RaftMessage::RequestVote {
+                        term: self.current_term,
+                        candidate: self.id,
+                        last_log_index: self.last_log_index(),
+                        last_log_term: self.last_log_term(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Become leader: initialize follower indices and send an empty heartbeat.
+    fn become_leader(&mut self) -> Outbox {
+        self.role = Role::Leader;
+        for &p in &self.peers {
+            self.next_index.insert(p, self.last_log_index() + 1);
+            self.match_index.insert(p, 0);
+        }
+        self.broadcast_append()
+    }
+
+    fn step_down(&mut self, term: u64) {
+        self.current_term = term;
+        self.role = Role::Follower;
+        self.voted_for = None;
+        self.votes_received = 0;
+    }
+
+    /// Leader: append a new payload to the local log and replicate it.
+    pub fn propose(&mut self, payload_id: u64, payload_bytes: usize) -> Option<Outbox> {
+        if self.role != Role::Leader {
+            return None;
+        }
+        self.log.push(LogEntry {
+            term: self.current_term,
+            payload_id,
+            payload_bytes,
+        });
+        Some(self.broadcast_append())
+    }
+
+    /// Leader: build AppendEntries for every follower from its next_index.
+    pub fn broadcast_append(&mut self) -> Outbox {
+        let mut out = Vec::new();
+        for &p in &self.peers {
+            let next = *self.next_index.get(&p).unwrap_or(&1);
+            let prev_log_index = next - 1;
+            let prev_log_term = self
+                .log
+                .get(prev_log_index as usize)
+                .map(|e| e.term)
+                .unwrap_or(0);
+            let entries: Vec<LogEntry> = self
+                .log
+                .iter()
+                .skip(next as usize)
+                .cloned()
+                .collect();
+            out.push((
+                p,
+                RaftMessage::AppendEntries {
+                    term: self.current_term,
+                    leader: self.id,
+                    prev_log_index,
+                    prev_log_term,
+                    entries,
+                    leader_commit: self.commit_index,
+                },
+            ));
+        }
+        out
+    }
+
+    /// Handle an incoming message; returns messages to send.
+    pub fn handle(&mut self, msg: RaftMessage, now: Timestamp, election_timeout_us: u64) -> Outbox {
+        match msg {
+            RaftMessage::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => {
+                if term > self.current_term {
+                    self.step_down(term);
+                }
+                let log_ok = last_log_term > self.last_log_term()
+                    || (last_log_term == self.last_log_term()
+                        && last_log_index >= self.last_log_index());
+                let granted = term == self.current_term
+                    && log_ok
+                    && (self.voted_for.is_none() || self.voted_for == Some(candidate));
+                if granted {
+                    self.voted_for = Some(candidate);
+                    self.election_deadline = now + election_timeout_us;
+                }
+                vec![(
+                    candidate,
+                    RaftMessage::RequestVoteReply {
+                        term: self.current_term,
+                        voter: self.id,
+                        granted,
+                    },
+                )]
+            }
+            RaftMessage::RequestVoteReply { term, granted, .. } => {
+                if term > self.current_term {
+                    self.step_down(term);
+                    return Vec::new();
+                }
+                if self.role == Role::Candidate && term == self.current_term && granted {
+                    self.votes_received += 1;
+                    if self.votes_received >= self.majority() {
+                        return self.become_leader();
+                    }
+                }
+                Vec::new()
+            }
+            RaftMessage::AppendEntries {
+                term,
+                leader,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            } => {
+                if term > self.current_term
+                    || (term == self.current_term && self.role == Role::Candidate)
+                {
+                    self.step_down(term);
+                }
+                if term < self.current_term {
+                    return vec![(
+                        leader,
+                        RaftMessage::AppendEntriesReply {
+                            term: self.current_term,
+                            follower: self.id,
+                            success: false,
+                            match_index: 0,
+                        },
+                    )];
+                }
+                self.election_deadline = now + election_timeout_us;
+                // Log matching check.
+                let prev_ok = self
+                    .log
+                    .get(prev_log_index as usize)
+                    .map(|e| e.term == prev_log_term)
+                    .unwrap_or(false);
+                if !prev_ok {
+                    return vec![(
+                        leader,
+                        RaftMessage::AppendEntriesReply {
+                            term: self.current_term,
+                            follower: self.id,
+                            success: false,
+                            match_index: 0,
+                        },
+                    )];
+                }
+                // Append/overwrite entries after prev_log_index.
+                let mut idx = prev_log_index as usize + 1;
+                for entry in entries {
+                    if self.log.len() > idx {
+                        if self.log[idx].term != entry.term {
+                            self.log.truncate(idx);
+                            self.log.push(entry);
+                        }
+                    } else {
+                        self.log.push(entry);
+                    }
+                    idx += 1;
+                }
+                let match_index = self.last_log_index();
+                if leader_commit > self.commit_index {
+                    self.commit_index = leader_commit.min(match_index);
+                }
+                vec![(
+                    leader,
+                    RaftMessage::AppendEntriesReply {
+                        term: self.current_term,
+                        follower: self.id,
+                        success: true,
+                        match_index,
+                    },
+                )]
+            }
+            RaftMessage::AppendEntriesReply {
+                term,
+                follower,
+                success,
+                match_index,
+            } => {
+                if term > self.current_term {
+                    self.step_down(term);
+                    return Vec::new();
+                }
+                if self.role != Role::Leader || term != self.current_term {
+                    return Vec::new();
+                }
+                if success {
+                    self.match_index.insert(follower, match_index);
+                    self.next_index.insert(follower, match_index + 1);
+                    self.advance_commit_index();
+                    Vec::new()
+                } else {
+                    // Back off and retry.
+                    let next = self.next_index.entry(follower).or_insert(1);
+                    *next = next.saturating_sub(1).max(1);
+                    let prev_log_index = *next - 1;
+                    let prev_log_term = self
+                        .log
+                        .get(prev_log_index as usize)
+                        .map(|e| e.term)
+                        .unwrap_or(0);
+                    let entries: Vec<LogEntry> =
+                        self.log.iter().skip(*next as usize).cloned().collect();
+                    vec![(
+                        follower,
+                        RaftMessage::AppendEntries {
+                            term: self.current_term,
+                            leader: self.id,
+                            prev_log_index,
+                            prev_log_term,
+                            entries,
+                            leader_commit: self.commit_index,
+                        },
+                    )]
+                }
+            }
+        }
+    }
+
+    /// Leader: advance the commit index to the highest index replicated on a
+    /// majority *in the current term* (Raft's commitment rule).
+    fn advance_commit_index(&mut self) {
+        for n in (self.commit_index + 1..=self.last_log_index()).rev() {
+            if self.log[n as usize].term != self.current_term {
+                continue;
+            }
+            let replicated = 1 + self
+                .peers
+                .iter()
+                .filter(|p| self.match_index.get(p).copied().unwrap_or(0) >= n)
+                .count();
+            if replicated >= self.majority() {
+                self.commit_index = n;
+                break;
+            }
+        }
+    }
+
+    /// Committed payload ids in log order.
+    pub fn committed_payloads(&self) -> Vec<u64> {
+        self.log[1..=self.commit_index as usize]
+            .iter()
+            .map(|e| e.payload_id)
+            .collect()
+    }
+}
+
+/// Events driving the cluster harness.
+#[derive(Debug, Clone)]
+enum ClusterEvent {
+    Deliver(NodeId, RaftMessage),
+    ElectionTick(NodeId),
+    HeartbeatTick(NodeId),
+}
+
+/// Configuration of the cluster harness.
+#[derive(Debug, Clone)]
+pub struct RaftConfig {
+    /// Base election timeout in µs (each node randomizes ±50 %).
+    pub election_timeout_us: u64,
+    /// Leader heartbeat interval in µs.
+    pub heartbeat_interval_us: u64,
+    /// Network configuration.
+    pub network: NetworkConfig,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            election_timeout_us: 150_000,
+            heartbeat_interval_us: 30_000,
+            network: NetworkConfig::lan_1gbps(),
+        }
+    }
+}
+
+/// A simulated Raft cluster.
+pub struct RaftCluster {
+    pub nodes: BTreeMap<NodeId, RaftNode>,
+    queue: EventQueue<ClusterEvent>,
+    network: NetworkModel,
+    config: RaftConfig,
+    rng: rand::rngs::StdRng,
+    next_payload: u64,
+    /// payload_id -> commit time observed at the leader.
+    commit_times: HashMap<u64, Timestamp>,
+    /// Terms for which a node's heartbeat loop has been started, so a leader
+    /// heartbeats exactly once per term it wins.
+    heartbeat_started: HashMap<NodeId, u64>,
+}
+
+impl RaftCluster {
+    /// Build a cluster of `n` nodes and schedule initial election timeouts.
+    pub fn new(n: usize, config: RaftConfig, seed: u64) -> Self {
+        let ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        let mut nodes = BTreeMap::new();
+        for &id in &ids {
+            let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p != id).collect();
+            nodes.insert(id, RaftNode::new(id, peers));
+        }
+        let mut cluster = RaftCluster {
+            nodes,
+            queue: EventQueue::new(),
+            network: NetworkModel::new(config.network.clone(), seed),
+            config,
+            rng: rng::seeded(rng::derive_seed(seed, "raft-cluster")),
+            next_payload: 1,
+            commit_times: HashMap::new(),
+            heartbeat_started: HashMap::new(),
+        };
+        for &id in &ids {
+            cluster.schedule_election_tick(id, 0);
+        }
+        cluster
+    }
+
+    /// Install a fault plan on the underlying network.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        *self.network.faults_mut() = faults;
+    }
+
+    fn schedule_election_tick(&mut self, node: NodeId, now: Timestamp) {
+        let timeout = self.config.election_timeout_us;
+        let jittered = timeout + self.rng.gen_range(0..timeout / 2 + 1);
+        let deadline = now + jittered;
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.election_deadline = deadline;
+        }
+        self.queue.schedule_at(deadline, ClusterEvent::ElectionTick(node));
+    }
+
+    fn send_all(&mut self, from: NodeId, outbox: Outbox) {
+        let now = self.queue.now();
+        for (to, msg) in outbox {
+            let bytes = msg.wire_bytes();
+            if let Some(delay) = self.network.delay(from, to, bytes, now) {
+                self.queue
+                    .schedule_in(delay, ClusterEvent::Deliver(to, msg));
+            }
+        }
+    }
+
+    /// The current leader with the highest term, if any live node considers
+    /// itself leader (a crashed ex-leader's stale state does not count).
+    pub fn leader(&self) -> Option<NodeId> {
+        let now = self.queue.now();
+        self.nodes
+            .values()
+            .filter(|n| n.role == Role::Leader)
+            .filter(|n| !self.network.faults().is_crashed(n.id, now))
+            .max_by_key(|n| n.current_term)
+            .map(|n| n.id)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.queue.now()
+    }
+
+    /// Propose a payload of the given size at the current leader; returns the
+    /// payload id, or `None` if there is no leader yet.
+    pub fn propose(&mut self, payload_bytes: usize) -> Option<u64> {
+        let leader = self.leader()?;
+        let id = self.next_payload;
+        self.next_payload += 1;
+        let outbox = self.nodes.get_mut(&leader)?.propose(id, payload_bytes)?;
+        self.send_all(leader, outbox);
+        Some(id)
+    }
+
+    /// Run the simulation until `deadline` (µs) or until the event queue
+    /// drains.
+    pub fn run_until(&mut self, deadline: Timestamp) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked");
+            match event {
+                ClusterEvent::Deliver(to, msg) => {
+                    // A crashed node neither processes nor answers.
+                    if !self.network.faults_mut().can_deliver(to, to, now) {
+                        continue;
+                    }
+                    let outbox = {
+                        let node = self.nodes.get_mut(&to).expect("node exists");
+                        node.handle(msg, now, self.config.election_timeout_us)
+                    };
+                    // Track commits at the leader.
+                    self.record_commits(to, now);
+                    self.send_all(to, outbox);
+                }
+                ClusterEvent::ElectionTick(id) => {
+                    let crashed = !self.network.faults_mut().can_deliver(id, id, now);
+                    let node = self.nodes.get_mut(&id).expect("node exists");
+                    if !crashed && node.role != Role::Leader && now >= node.election_deadline {
+                        let outbox = node.start_election(now, self.config.election_timeout_us);
+                        self.send_all(id, outbox);
+                    }
+                    self.schedule_election_tick(id, now);
+                }
+                ClusterEvent::HeartbeatTick(id) => {
+                    let crashed = !self.network.faults_mut().can_deliver(id, id, now);
+                    let is_leader =
+                        self.nodes.get(&id).map(|n| n.role == Role::Leader).unwrap_or(false);
+                    if !crashed && is_leader {
+                        let outbox = self.nodes.get_mut(&id).expect("node exists").broadcast_append();
+                        self.send_all(id, outbox);
+                        self.queue.schedule_in(
+                            self.config.heartbeat_interval_us,
+                            ClusterEvent::HeartbeatTick(id),
+                        );
+                    } else {
+                        // Stop the loop; it restarts if this node wins again.
+                        self.heartbeat_started.remove(&id);
+                    }
+                }
+            }
+            // Newly elected leaders start their heartbeat loop (once per term
+            // won, so losing and regaining leadership restarts it).
+            let new_leaders: Vec<(NodeId, u64)> = self
+                .nodes
+                .values()
+                .filter(|n| n.role == Role::Leader)
+                .map(|n| (n.id, n.current_term))
+                .filter(|(id, term)| self.heartbeat_started.get(id) != Some(term))
+                .collect();
+            for (id, term) in new_leaders {
+                self.heartbeat_started.insert(id, term);
+                self.queue.schedule_in(
+                    self.config.heartbeat_interval_us,
+                    ClusterEvent::HeartbeatTick(id),
+                );
+            }
+        }
+        self.queue.advance_to(deadline);
+    }
+
+    fn record_commits(&mut self, node: NodeId, now: Timestamp) {
+        let n = &self.nodes[&node];
+        if n.role != Role::Leader {
+            return;
+        }
+        for payload in n.committed_payloads() {
+            self.commit_times.entry(payload).or_insert(now);
+        }
+    }
+
+    /// Run until a leader is elected (or the deadline passes); returns it.
+    pub fn run_until_leader(&mut self, deadline: Timestamp) -> Option<NodeId> {
+        let mut step_deadline = self.queue.now();
+        while step_deadline < deadline {
+            step_deadline += 50_000;
+            self.run_until(step_deadline.min(deadline));
+            if let Some(l) = self.leader() {
+                return Some(l);
+            }
+        }
+        self.leader()
+    }
+
+    /// Commit time of a payload, if it committed.
+    pub fn commit_time(&self, payload: u64) -> Option<Timestamp> {
+        self.commit_times.get(&payload).copied()
+    }
+
+    /// Safety check: every pair of nodes agrees on the committed prefix.
+    pub fn committed_prefixes_consistent(&self) -> bool {
+        let logs: Vec<Vec<u64>> = self
+            .nodes
+            .values()
+            .map(|n| n.committed_payloads())
+            .collect();
+        for a in &logs {
+            for b in &logs {
+                let common = a.len().min(b.len());
+                if a[..common] != b[..common] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Total messages the protocol has put on the network.
+    pub fn messages_sent(&self) -> u64 {
+        self.network.messages_sent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dichotomy_simnet::fault::NodeFault;
+
+    fn cluster(n: usize, seed: u64) -> RaftCluster {
+        RaftCluster::new(n, RaftConfig::default(), seed)
+    }
+
+    #[test]
+    fn elects_a_single_leader() {
+        let mut c = cluster(5, 1);
+        let leader = c.run_until_leader(2_000_000).expect("leader elected");
+        // Exactly one node believes it is leader in the highest term.
+        let leaders: Vec<_> = c
+            .nodes
+            .values()
+            .filter(|n| n.role == Role::Leader)
+            .collect();
+        assert!(!leaders.is_empty());
+        assert!(leaders.iter().any(|n| n.id == leader));
+    }
+
+    #[test]
+    fn replicates_and_commits_proposals() {
+        let mut c = cluster(5, 2);
+        c.run_until_leader(2_000_000).expect("leader");
+        let mut ids = Vec::new();
+        for _ in 0..10 {
+            ids.push(c.propose(512).expect("leader accepts proposal"));
+            c.run_until(c.now() + 20_000);
+        }
+        c.run_until(c.now() + 500_000);
+        for id in ids {
+            assert!(c.commit_time(id).is_some(), "payload {id} must commit");
+        }
+        assert!(c.committed_prefixes_consistent());
+        // Followers converge on the same committed prefix as the leader.
+        let leader = c.leader().unwrap();
+        let leader_commit = c.nodes[&leader].commit_index;
+        assert!(leader_commit >= 10);
+    }
+
+    #[test]
+    fn leader_crash_triggers_reelection_and_progress_resumes() {
+        let mut c = cluster(5, 3);
+        let first = c.run_until_leader(2_000_000).expect("leader");
+        c.propose(128);
+        c.run_until(c.now() + 300_000);
+        // Crash the leader.
+        let crash_at = c.now();
+        let mut faults = FaultPlan::none();
+        faults.add(NodeFault::crash(first, crash_at));
+        c.set_faults(faults);
+        // A new leader must emerge.
+        let second = c.run_until_leader(c.now() + 5_000_000).expect("new leader");
+        assert_ne!(first, second);
+        // And new proposals still commit.
+        let id = c.propose(128).expect("new leader accepts");
+        c.run_until(c.now() + 1_000_000);
+        assert!(c.commit_time(id).is_some());
+        assert!(c.committed_prefixes_consistent());
+    }
+
+    #[test]
+    fn minority_partition_cannot_commit() {
+        let mut c = cluster(5, 4);
+        let leader = c.run_until_leader(2_000_000).expect("leader");
+        // Partition the leader together with one follower away from the rest.
+        let follower = c
+            .nodes
+            .keys()
+            .copied()
+            .find(|&n| n != leader)
+            .expect("another node");
+        let t = c.now();
+        let mut faults = FaultPlan::none();
+        faults.add_partition([leader, follower], t, None);
+        c.set_faults(faults);
+        // Proposals at the minority leader must not commit.
+        if let Some(id) = c.propose(64) {
+            c.run_until(c.now() + 1_500_000);
+            assert!(c.commit_time(id).is_none(), "minority must not commit");
+        }
+        assert!(c.committed_prefixes_consistent());
+    }
+
+    #[test]
+    fn commit_latency_is_about_one_round_trip_on_a_lan() {
+        let mut c = cluster(3, 5);
+        c.run_until_leader(2_000_000).expect("leader");
+        let start = c.now();
+        let id = c.propose(1024).unwrap();
+        c.run_until(start + 200_000);
+        let committed = c.commit_time(id).expect("committed");
+        let latency = committed - start;
+        // One AppendEntries + one reply over a ~250 µs LAN plus jitter.
+        assert!(latency > 400 && latency < 10_000, "latency {latency}");
+    }
+
+    #[test]
+    fn five_node_log_safety_under_repeated_leader_failures() {
+        let mut c = cluster(5, 6);
+        c.run_until_leader(2_000_000).unwrap();
+        let mut crashed: Vec<NodeId> = Vec::new();
+        for round in 0..2 {
+            for _ in 0..5 {
+                c.propose(256);
+                c.run_until(c.now() + 50_000);
+            }
+            let leader = match c.leader() {
+                Some(l) => l,
+                None => break,
+            };
+            crashed.push(leader);
+            let t = c.now();
+            let mut plan = FaultPlan::none();
+            for (i, &n) in crashed.iter().enumerate() {
+                // Earlier crashed leaders heal to keep a majority alive.
+                if i + 1 < crashed.len() {
+                    plan.add(NodeFault::crash_until(n, 0, t));
+                } else {
+                    plan.add(NodeFault::crash(n, t));
+                }
+            }
+            c.set_faults(plan);
+            c.run_until_leader(c.now() + 5_000_000);
+            assert!(c.committed_prefixes_consistent(), "round {round}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The benchmark driver: plays the role YCSB, OLTPBench and Caliper play in
+//! the paper's setup (Section 4.2).
+//!
+//! The driver generates transactions from a workload, stamps them with
+//! arrival times drawn from an open-loop Poisson-like process at the chosen
+//! offered load, feeds them to the system model in arrival order, and
+//! aggregates the receipts. Offering far more load than the system can absorb
+//! measures saturated (peak) throughput; offering a trickle measures
+//! unsaturated latency — the two regimes Section 5.2.1 distinguishes.
+
+use dichotomy_common::{rng, ClientId, Timestamp};
+use dichotomy_systems::TransactionalSystem;
+use dichotomy_workload::Workload;
+use rand::Rng;
+
+use crate::metrics::Metrics;
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Number of transactions to issue.
+    pub transactions: u64,
+    /// Offered load in transactions per second of simulated time.
+    pub offered_tps: f64,
+    /// Number of simulated clients (arrivals are spread across them).
+    pub clients: u64,
+    /// Whether to pre-load the workload's initial records (Figure 4/5 do;
+    /// storage-size experiments load their own data).
+    pub preload: bool,
+    /// RNG seed for arrival jitter.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            transactions: 2_000,
+            offered_tps: 50_000.0,
+            clients: 32,
+            preload: true,
+            seed: rng::DEFAULT_SEED,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// A configuration that saturates any of the modelled systems (peak
+    /// throughput measurement).
+    pub fn saturating(transactions: u64) -> Self {
+        DriverConfig {
+            transactions,
+            offered_tps: 200_000.0,
+            ..DriverConfig::default()
+        }
+    }
+
+    /// A light load for unsaturated latency measurements.
+    pub fn unsaturated(transactions: u64) -> Self {
+        DriverConfig {
+            transactions,
+            offered_tps: 50.0,
+            ..DriverConfig::default()
+        }
+    }
+}
+
+/// The result of one driver run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Aggregated metrics.
+    pub metrics: Metrics,
+    /// Simulated time of the last completion.
+    pub makespan_us: Timestamp,
+    /// Offered load used.
+    pub offered_tps: f64,
+}
+
+/// Run `workload` against `system` under the given driver configuration.
+pub fn run_workload(
+    system: &mut dyn TransactionalSystem,
+    workload: &mut dyn Workload,
+    config: &DriverConfig,
+) -> RunStats {
+    if config.preload {
+        let records = workload.initial_records();
+        system.load(&records);
+    }
+    let mut rng = rng::seeded(rng::derive_seed(config.seed, "driver"));
+    let mean_gap_us = 1e6 / config.offered_tps.max(1e-6);
+    let mut now: Timestamp = 0;
+    let mut seqs = vec![0u64; config.clients.max(1) as usize];
+    for i in 0..config.transactions {
+        let client_idx = (i % config.clients.max(1)) as usize;
+        let client = ClientId(client_idx as u64);
+        seqs[client_idx] += 1;
+        let mut txn = workload.next_transaction(client, seqs[client_idx]);
+        // Exponential inter-arrival times approximate an open-loop Poisson
+        // arrival process at the offered rate.
+        now += rng::exp_delay_us(&mut rng, mean_gap_us).max(1);
+        // Small per-client jitter so clients do not submit in lockstep.
+        now += rng.gen_range(0..2);
+        txn.submit_time = now;
+        system.submit(txn, now);
+    }
+    system.flush(now + 1_000_000);
+    let receipts = system.drain_receipts();
+    let metrics = Metrics::from_receipts(&receipts);
+    let makespan_us = receipts.iter().map(|r| r.finish_time).max().unwrap_or(now);
+    RunStats {
+        metrics,
+        makespan_us,
+        offered_tps: config.offered_tps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dichotomy_systems::{Etcd, EtcdConfig, Quorum, QuorumConfig};
+    use dichotomy_workload::{YcsbConfig, YcsbWorkload};
+
+    fn small_ycsb(theta: f64) -> YcsbWorkload {
+        YcsbWorkload::new(YcsbConfig {
+            record_count: 1_000,
+            record_size: 200,
+            zipf_theta: theta,
+            ..YcsbConfig::default()
+        })
+    }
+
+    #[test]
+    fn saturating_run_reports_positive_throughput_and_latency() {
+        let mut system = Etcd::new(EtcdConfig::default());
+        let mut workload = small_ycsb(0.0);
+        let stats = run_workload(
+            &mut system,
+            &mut workload,
+            &DriverConfig::saturating(500),
+        );
+        assert_eq!(stats.metrics.committed, 500);
+        assert!(stats.metrics.throughput_tps > 100.0);
+        assert!(stats.metrics.latency.p95_us > 0);
+        assert!(stats.makespan_us > 0);
+    }
+
+    #[test]
+    fn unsaturated_latency_is_lower_than_saturated_latency() {
+        let build = || Quorum::new(QuorumConfig {
+            max_block_txns: 20,
+            block_interval_us: 50_000,
+            ..QuorumConfig::default()
+        });
+        let mut saturated_sys = build();
+        let saturated = run_workload(
+            &mut saturated_sys,
+            &mut small_ycsb(0.0),
+            &DriverConfig::saturating(300),
+        );
+        let mut unsaturated_sys = build();
+        let unsaturated = run_workload(
+            &mut unsaturated_sys,
+            &mut small_ycsb(0.0),
+            &DriverConfig {
+                transactions: 50,
+                offered_tps: 20.0,
+                ..DriverConfig::default()
+            },
+        );
+        assert!(
+            unsaturated.metrics.latency.mean_us < saturated.metrics.latency.mean_us,
+            "unsaturated {} vs saturated {}",
+            unsaturated.metrics.latency.mean_us,
+            saturated.metrics.latency.mean_us
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_results() {
+        let run = || {
+            let mut system = Etcd::new(EtcdConfig::default());
+            let mut workload = small_ycsb(0.6);
+            run_workload(&mut system, &mut workload, &DriverConfig::saturating(300))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.metrics.committed, b.metrics.committed);
+        assert_eq!(a.metrics.latency.p50_us, b.metrics.latency.p50_us);
+        assert_eq!(a.makespan_us, b.makespan_us);
+    }
+}

@@ -1,0 +1,792 @@
+//! One function per table/figure of the paper's evaluation (Section 5).
+//!
+//! Every function returns an [`ExperimentReport`]: structured rows plus a
+//! printable text rendering. The `dichotomy-bench` binaries call these
+//! functions and print the reports; `EXPERIMENTS.md` records the paper's
+//! numbers next to the measured ones.
+//!
+//! **Scale note.** The paper populates 100 K–1 M records and drives the
+//! systems from a 96-node cluster for minutes. The experiments here are
+//! dimensioned to finish in seconds on a laptop (thousands of records,
+//! thousands of transactions); the *relative* results — orderings, trends,
+//! crossover points — are what is being reproduced, not absolute numbers.
+
+use std::fmt::Write as _;
+
+use dichotomy_common::AbortReason;
+use dichotomy_consensus::ProtocolKind;
+use dichotomy_hybrid::{all_systems, forecast_throughput, HybridSpec, SystemCategory};
+use dichotomy_simnet::{CostModel, NetworkConfig};
+use dichotomy_systems::{
+    Ahl, AhlConfig, Etcd, EtcdConfig, Fabric, FabricConfig, Quorum, QuorumConfig, ShardedTiDb,
+    SpannerLike, SpannerLikeConfig, TiDb, TiDbConfig, Tikv, TransactionalSystem,
+};
+use dichotomy_workload::{SmallbankConfig, SmallbankWorkload, YcsbConfig, YcsbMix, YcsbWorkload};
+
+use crate::driver::{run_workload, DriverConfig};
+use crate::metrics::Metrics;
+
+/// One labelled row of numbers.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (system name, parameter value, ...).
+    pub label: String,
+    /// (column name, value) pairs.
+    pub values: Vec<(String, f64)>,
+}
+
+/// A structured experiment result.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. "Figure 4".
+    pub id: &'static str,
+    /// What it reproduces.
+    pub title: &'static str,
+    /// The measured rows.
+    pub rows: Vec<Row>,
+}
+
+impl ExperimentReport {
+    /// Render as a fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        if self.rows.is_empty() {
+            return out;
+        }
+        let _ = write!(out, "{:<28}", "");
+        for (name, _) in &self.rows[0].values {
+            let _ = write!(out, "{name:>16}");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{:<28}", row.label);
+            for (_, v) in &row.values {
+                let _ = write!(out, "{v:>16.1}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Look up a value by row label and column name.
+    pub fn value(&self, row: &str, column: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.label == row)
+            .and_then(|r| r.values.iter().find(|(c, _)| c == column))
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Which of the five Figure 4/5 systems to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchSystem {
+    Fabric,
+    Quorum,
+    TiDb,
+    Etcd,
+    Tikv,
+}
+
+impl BenchSystem {
+    /// All five, in the paper's plotting order.
+    pub const ALL: [BenchSystem; 5] = [
+        BenchSystem::Fabric,
+        BenchSystem::Quorum,
+        BenchSystem::TiDb,
+        BenchSystem::Etcd,
+        BenchSystem::Tikv,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchSystem::Fabric => "Fabric",
+            BenchSystem::Quorum => "Quorum",
+            BenchSystem::TiDb => "TiDB",
+            BenchSystem::Etcd => "etcd",
+            BenchSystem::Tikv => "TiKV",
+        }
+    }
+
+    /// Build the system with `nodes` replicas (full replication).
+    pub fn build(&self, nodes: usize) -> Box<dyn TransactionalSystem> {
+        match self {
+            BenchSystem::Fabric => Box::new(Fabric::new(FabricConfig {
+                peers: nodes,
+                max_block_txns: 100,
+                block_timeout_us: 100_000,
+                ..FabricConfig::default()
+            })),
+            BenchSystem::Quorum => Box::new(Quorum::new(QuorumConfig {
+                nodes,
+                max_block_txns: 100,
+                block_interval_us: 100_000,
+                ..QuorumConfig::default()
+            })),
+            BenchSystem::TiDb => Box::new(TiDb::new(TiDbConfig {
+                tidb_servers: (nodes / 2).max(1),
+                tikv_nodes: nodes,
+                ..TiDbConfig::default()
+            })),
+            BenchSystem::Etcd => Box::new(Etcd::new(EtcdConfig {
+                nodes,
+                ..EtcdConfig::default()
+            })),
+            BenchSystem::Tikv => Box::new(Tikv::new(EtcdConfig {
+                nodes,
+                ..EtcdConfig::default()
+            })),
+        }
+    }
+}
+
+/// The reduced-scale YCSB used by most experiments.
+fn ycsb(mix: YcsbMix, record_size: usize, theta: f64, ops: usize) -> YcsbWorkload {
+    YcsbWorkload::new(YcsbConfig {
+        record_count: 5_000,
+        record_size,
+        zipf_theta: theta,
+        ops_per_txn: ops,
+        mix,
+        ..YcsbConfig::default()
+    })
+}
+
+fn peak(system: &mut dyn TransactionalSystem, workload: &mut YcsbWorkload, txns: u64) -> Metrics {
+    run_workload(system, workload, &DriverConfig::saturating(txns)).metrics
+}
+
+/// Figure 4: YCSB peak throughput (update-only and query-only) for the five
+/// systems.
+pub fn fig04_peak_throughput(txns: u64) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for sys in BenchSystem::ALL {
+        let mut s = sys.build(5);
+        let update = peak(s.as_mut(), &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1), txns);
+        let mut s = sys.build(5);
+        let query = peak(s.as_mut(), &mut ycsb(YcsbMix::QueryOnly, 1000, 0.0, 1), txns);
+        rows.push(Row {
+            label: sys.name().to_string(),
+            values: vec![
+                ("update_tps".into(), update.throughput_tps),
+                ("query_tps".into(), query.throughput_tps),
+            ],
+        });
+    }
+    ExperimentReport {
+        id: "Figure 4",
+        title: "YCSB peak throughput (update / query)",
+        rows,
+    }
+}
+
+/// Figure 5: unsaturated YCSB latency (update and query) for the five systems.
+pub fn fig05_latency(txns: u64) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for sys in BenchSystem::ALL {
+        let mut s = sys.build(5);
+        let update = run_workload(
+            s.as_mut(),
+            &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1),
+            &DriverConfig::unsaturated(txns),
+        )
+        .metrics;
+        let mut s = sys.build(5);
+        let query = run_workload(
+            s.as_mut(),
+            &mut ycsb(YcsbMix::QueryOnly, 1000, 0.0, 1),
+            &DriverConfig::unsaturated(txns),
+        )
+        .metrics;
+        rows.push(Row {
+            label: sys.name().to_string(),
+            values: vec![
+                ("update_ms".into(), update.latency.mean_us / 1000.0),
+                ("query_ms".into(), query.latency.mean_us / 1000.0),
+            ],
+        });
+    }
+    ExperimentReport {
+        id: "Figure 5",
+        title: "YCSB latency, unsaturated (update / query), ms",
+        rows,
+    }
+}
+
+/// Figure 6: Smallbank throughput under a skewed workload (θ = 1), for
+/// Fabric, Quorum and TiDB (etcd has no transactional support).
+pub fn fig06_smallbank(txns: u64) -> ExperimentReport {
+    let systems = [BenchSystem::Fabric, BenchSystem::Quorum, BenchSystem::TiDb];
+    let mut rows = Vec::new();
+    for sys in systems {
+        let mut s = sys.build(5);
+        let mut workload = SmallbankWorkload::new(SmallbankConfig {
+            accounts: 20_000,
+            zipf_theta: 1.0,
+            ..SmallbankConfig::default()
+        });
+        let metrics =
+            run_workload(s.as_mut(), &mut workload, &DriverConfig::saturating(txns)).metrics;
+        rows.push(Row {
+            label: sys.name().to_string(),
+            values: vec![
+                ("tps".into(), metrics.throughput_tps),
+                ("abort_%".into(), metrics.abort_rate_percent()),
+            ],
+        });
+    }
+    ExperimentReport {
+        id: "Figure 6",
+        title: "Smallbank throughput, skewed (θ=1)",
+        rows,
+    }
+}
+
+/// Figure 7: Quorum throughput with Raft (CFT) vs IBFT (BFT) as the number of
+/// tolerated failures grows.
+pub fn fig07_cft_vs_bft(txns: u64) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for f in 1..=4usize {
+        let mut values = Vec::new();
+        for (name, protocol, nodes) in [
+            ("raft_tps", ProtocolKind::Raft, 2 * f + 1),
+            ("ibft_tps", ProtocolKind::Ibft, 3 * f + 1),
+        ] {
+            let mut q = Quorum::new(QuorumConfig {
+                nodes,
+                consensus: protocol,
+                max_block_txns: 100,
+                block_interval_us: 100_000,
+                ..QuorumConfig::default()
+            });
+            let m = peak(&mut q, &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1), txns);
+            values.push((name.to_string(), m.throughput_tps));
+        }
+        rows.push(Row {
+            label: format!("f={f}"),
+            values,
+        });
+    }
+    ExperimentReport {
+        id: "Figure 7",
+        title: "Quorum throughput: CFT (Raft) vs BFT (IBFT)",
+        rows,
+    }
+}
+
+/// Figure 8: latency breakdown. (a) Fabric execute/order/validate, unsaturated
+/// vs saturated, against TiDB; (b) the query path: Fabric
+/// authentication/simulation/endorsement vs TiDB parse/compile/storage-get.
+pub fn fig08_latency_breakdown(txns: u64) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for (label, config) in [
+        ("Fabric unsaturated", DriverConfig::unsaturated(txns / 4)),
+        ("Fabric saturated", DriverConfig::saturating(txns)),
+    ] {
+        let mut fabric = Fabric::new(FabricConfig {
+            max_block_txns: 100,
+            block_timeout_us: 100_000,
+            ..FabricConfig::default()
+        });
+        let m = run_workload(&mut fabric, &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1), &config).metrics;
+        rows.push(Row {
+            label: label.to_string(),
+            values: vec![
+                ("execute_ms".into(), m.phase_means_us.get("execute").copied().unwrap_or(0.0) / 1000.0),
+                ("order_ms".into(), m.phase_means_us.get("order").copied().unwrap_or(0.0) / 1000.0),
+                ("validate_ms".into(), m.phase_means_us.get("validate").copied().unwrap_or(0.0) / 1000.0),
+            ],
+        });
+    }
+    for (label, config) in [
+        ("TiDB unsaturated", DriverConfig::unsaturated(txns / 4)),
+        ("TiDB saturated", DriverConfig::saturating(txns)),
+    ] {
+        let mut tidb = TiDb::new(TiDbConfig::default());
+        let m = run_workload(&mut tidb, &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1), &config).metrics;
+        rows.push(Row {
+            label: label.to_string(),
+            values: vec![("total_ms".into(), m.latency.mean_us / 1000.0)],
+        });
+    }
+    // Query-path breakdown (Figure 8b), in microseconds.
+    let mut fabric = Fabric::new(FabricConfig::default());
+    let fq = run_workload(
+        &mut fabric,
+        &mut ycsb(YcsbMix::QueryOnly, 1000, 0.0, 1),
+        &DriverConfig::unsaturated(txns / 4),
+    )
+    .metrics;
+    rows.push(Row {
+        label: "Fabric query (µs)".into(),
+        values: vec![
+            ("authentication".into(), fq.phase_means_us.get("authentication").copied().unwrap_or(0.0)),
+            ("simulation".into(), fq.phase_means_us.get("simulation").copied().unwrap_or(0.0)),
+            ("endorsement".into(), fq.phase_means_us.get("endorsement").copied().unwrap_or(0.0)),
+        ],
+    });
+    let mut tidb = TiDb::new(TiDbConfig::default());
+    let tq = run_workload(
+        &mut tidb,
+        &mut ycsb(YcsbMix::QueryOnly, 1000, 0.0, 1),
+        &DriverConfig::unsaturated(txns / 4),
+    )
+    .metrics;
+    rows.push(Row {
+        label: "TiDB query (µs)".into(),
+        values: vec![
+            ("sql-parse".into(), tq.phase_means_us.get("sql-parse").copied().unwrap_or(0.0)),
+            ("sql-compile".into(), tq.phase_means_us.get("sql-compile").copied().unwrap_or(0.0)),
+            ("storage-get".into(), tq.phase_means_us.get("storage-get").copied().unwrap_or(0.0)),
+        ],
+    });
+    ExperimentReport {
+        id: "Figure 8",
+        title: "Latency breakdown (update phases, query path)",
+        rows,
+    }
+}
+
+/// Table 4: throughput with a varying number of nodes under full replication.
+pub fn tab04_scaling(txns: u64, node_counts: &[usize]) -> ExperimentReport {
+    let systems = [
+        BenchSystem::Fabric,
+        BenchSystem::Quorum,
+        BenchSystem::TiDb,
+        BenchSystem::Etcd,
+    ];
+    let mut rows = Vec::new();
+    for sys in systems {
+        let mut values = Vec::new();
+        for &n in node_counts {
+            let mut s = sys.build(n);
+            let m = peak(s.as_mut(), &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1), txns);
+            values.push((format!("{n}_nodes"), m.throughput_tps));
+        }
+        rows.push(Row {
+            label: sys.name().to_string(),
+            values,
+        });
+    }
+    ExperimentReport {
+        id: "Table 4",
+        title: "Throughput (tps) vs number of nodes, full replication",
+        rows,
+    }
+}
+
+/// Table 5: throughput when varying TiDB servers and TiKV nodes independently.
+pub fn tab05_tidb_matrix(txns: u64, counts: &[usize]) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for &tidb_servers in counts {
+        let mut values = Vec::new();
+        for &tikv_nodes in counts {
+            let mut s = TiDb::new(TiDbConfig {
+                tidb_servers,
+                tikv_nodes,
+                ..TiDbConfig::default()
+            });
+            let m = peak(&mut s, &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1), txns);
+            values.push((format!("{tikv_nodes}_tikv"), m.throughput_tps));
+        }
+        rows.push(Row {
+            label: format!("{tidb_servers} TiDB servers"),
+            values,
+        });
+    }
+    ExperimentReport {
+        id: "Table 5",
+        title: "TiDB: throughput (tps) vs #TiDB servers × #TiKV nodes",
+        rows,
+    }
+}
+
+/// Figure 9: throughput and abort rate under increasing Zipfian skew
+/// (single-record read-modify-write transactions).
+pub fn fig09_skew(txns: u64, thetas: &[f64]) -> ExperimentReport {
+    let systems = [
+        BenchSystem::Fabric,
+        BenchSystem::Quorum,
+        BenchSystem::TiDb,
+        BenchSystem::Etcd,
+    ];
+    let mut rows = Vec::new();
+    for &theta in thetas {
+        let mut values = Vec::new();
+        for sys in systems {
+            let mut s = sys.build(5);
+            let m = peak(s.as_mut(), &mut ycsb(YcsbMix::ReadModifyWrite, 1000, theta, 1), txns);
+            values.push((format!("{}_tps", sys.name()), m.throughput_tps));
+            if matches!(sys, BenchSystem::Fabric | BenchSystem::TiDb) {
+                values.push((format!("{}_abort_%", sys.name()), m.abort_rate_percent()));
+            }
+        }
+        rows.push(Row {
+            label: format!("theta={theta:.1}"),
+            values,
+        });
+    }
+    ExperimentReport {
+        id: "Figure 9",
+        title: "Throughput and abort rate vs Zipfian skew",
+        rows,
+    }
+}
+
+/// Figure 10: throughput and abort rate vs operations per transaction (total
+/// transaction payload held at 1 000 bytes).
+pub fn fig10_opcount(txns: u64, op_counts: &[usize]) -> ExperimentReport {
+    let systems = [
+        BenchSystem::Fabric,
+        BenchSystem::Quorum,
+        BenchSystem::TiDb,
+        BenchSystem::Etcd,
+    ];
+    let mut rows = Vec::new();
+    for &ops in op_counts {
+        let mut values = Vec::new();
+        for sys in systems {
+            let mut s = sys.build(5);
+            let mut workload = YcsbWorkload::new(YcsbConfig {
+                record_count: 5_000,
+                ..YcsbConfig::op_count_sweep(ops)
+            });
+            let m = peak(s.as_mut(), &mut workload, txns);
+            values.push((format!("{}_tps", sys.name()), m.throughput_tps));
+            if sys == BenchSystem::Fabric {
+                values.push((
+                    "Fabric_rw_conflict_%".into(),
+                    m.abort_share_percent(AbortReason::ReadWriteConflict),
+                ));
+                values.push((
+                    "Fabric_inconsistent_%".into(),
+                    m.abort_share_percent(AbortReason::InconsistentRead),
+                ));
+            }
+            if sys == BenchSystem::TiDb {
+                values.push(("TiDB_abort_%".into(), m.abort_rate_percent()));
+            }
+        }
+        rows.push(Row {
+            label: format!("{ops} ops/txn"),
+            values,
+        });
+    }
+    ExperimentReport {
+        id: "Figure 10",
+        title: "Throughput and abort rate vs operations per transaction",
+        rows,
+    }
+}
+
+/// Figure 11: throughput (and Quorum/Fabric latency breakdown) vs record size
+/// under the uniform update workload.
+pub fn fig11_record_size(txns: u64, sizes: &[usize]) -> ExperimentReport {
+    let systems = [
+        BenchSystem::Fabric,
+        BenchSystem::Quorum,
+        BenchSystem::TiDb,
+        BenchSystem::Etcd,
+    ];
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let mut values = Vec::new();
+        for sys in systems {
+            let mut s = sys.build(5);
+            let m = peak(s.as_mut(), &mut ycsb(YcsbMix::UpdateOnly, size, 0.0, 1), txns);
+            values.push((format!("{}_tps", sys.name()), m.throughput_tps));
+            if sys == BenchSystem::Quorum {
+                values.push((
+                    "Quorum_commit_ms".into(),
+                    m.phase_means_us.get("commit").copied().unwrap_or(0.0) / 1000.0,
+                ));
+                values.push((
+                    "Quorum_proposal_ms".into(),
+                    m.phase_means_us.get("proposal").copied().unwrap_or(0.0) / 1000.0,
+                ));
+            }
+        }
+        rows.push(Row {
+            label: format!("{size} B"),
+            values,
+        });
+    }
+    ExperimentReport {
+        id: "Figure 11",
+        title: "Uniform update throughput and latency breakdown vs record size",
+        rows,
+    }
+}
+
+/// Figure 12: storage cost per record (Fabric state + block storage vs TiDB)
+/// as the record size grows.
+pub fn fig12_storage(records: u64, sizes: &[usize]) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for &size in sizes {
+        // Fabric: insert through the full pipeline so both the state DB and
+        // the ledger fill up.
+        let mut fabric = Fabric::new(FabricConfig {
+            max_block_txns: 100,
+            endorsement_divergence: 0.0,
+            ..FabricConfig::default()
+        });
+        let mut workload = YcsbWorkload::new(YcsbConfig {
+            record_count: records,
+            record_size: size,
+            mix: YcsbMix::UpdateOnly,
+            ..YcsbConfig::default()
+        });
+        let _ = run_workload(
+            &mut fabric,
+            &mut workload,
+            &DriverConfig {
+                transactions: records,
+                preload: false,
+                ..DriverConfig::saturating(records)
+            },
+        );
+        let fabric_fp = fabric.footprint();
+        // TiDB.
+        let mut tidb = TiDb::new(TiDbConfig::default());
+        let mut workload = YcsbWorkload::new(YcsbConfig {
+            record_count: records,
+            record_size: size,
+            mix: YcsbMix::UpdateOnly,
+            ..YcsbConfig::default()
+        });
+        let _ = run_workload(
+            &mut tidb,
+            &mut workload,
+            &DriverConfig {
+                transactions: records,
+                preload: false,
+                ..DriverConfig::saturating(records)
+            },
+        );
+        let tidb_fp = tidb.footprint();
+        rows.push(Row {
+            label: format!("{size} B"),
+            values: vec![
+                (
+                    "Fabric_state_B/rec".into(),
+                    (fabric_fp.payload_bytes + fabric_fp.index_bytes) as f64 / records as f64,
+                ),
+                (
+                    "Fabric_block_B/rec".into(),
+                    fabric_fp.history_bytes as f64 / records as f64,
+                ),
+                ("TiDB_B/rec".into(), tidb_fp.total() as f64 / records as f64),
+            ],
+        });
+    }
+    ExperimentReport {
+        id: "Figure 12",
+        title: "Storage cost per record: Fabric state / Fabric blocks / TiDB",
+        rows,
+    }
+}
+
+/// Figure 13: per-record storage cost of the two authenticated indexes (MBT
+/// vs MPT), as a function of record size.
+pub fn fig13_adr_overhead(records: u64, sizes: &[usize]) -> ExperimentReport {
+    use dichotomy_common::size::StorageFootprint;
+    use dichotomy_common::{Hash, Key, Value};
+    use dichotomy_merkle::{MerkleBucketTree, MerklePatriciaTrie};
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let mut mbt = MerkleBucketTree::fabric_default();
+        let mut mpt = MerklePatriciaTrie::new();
+        for i in 0..records {
+            // 16-byte keys, as in the paper's setup.
+            let key = Key::new(Hash::of(&i.to_be_bytes()).0[..16].to_vec());
+            let value = Value::filler(size);
+            mbt.put(&key, &value);
+            mpt.insert(&key, &value);
+        }
+        rows.push(Row {
+            label: format!("{size} B"),
+            values: vec![
+                (
+                    "MBT_B/rec".into(),
+                    size as f64 + mbt.footprint().total() as f64 / records as f64,
+                ),
+                ("MPT_B/rec".into(), mpt.footprint().total() as f64 / records as f64),
+            ],
+        });
+    }
+    ExperimentReport {
+        id: "Figure 13",
+        title: "State storage per record with tamper evidence: MBT vs MPT",
+        rows,
+    }
+}
+
+/// Figure 14: sharded scaling under a skewed workload with 2-record
+/// transactions: AHL (periodic reconfiguration), AHL (fixed members),
+/// sharded TiDB and the Spanner-like model.
+pub fn fig14_sharding(txns: u64, shard_counts: &[u32]) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        let workload = || {
+            YcsbWorkload::new(YcsbConfig {
+                record_count: 5_000,
+                record_size: 1000,
+                zipf_theta: 1.0,
+                ops_per_txn: 2,
+                mix: YcsbMix::ReadModifyWrite,
+                ..YcsbConfig::default()
+            })
+        };
+        let run = |system: &mut dyn TransactionalSystem| {
+            run_workload(system, &mut workload(), &DriverConfig::saturating(txns))
+                .metrics
+                .throughput_tps
+        };
+        let mut ahl_reconfig = Ahl::new(AhlConfig {
+            shards,
+            epoch_us: 2_000_000,
+            reconfig_pause_us: 600_000,
+            ..AhlConfig::default()
+        });
+        let mut ahl_fixed = Ahl::new(AhlConfig {
+            shards,
+            periodic_reconfiguration: false,
+            ..AhlConfig::default()
+        });
+        let mut tidb = ShardedTiDb::new(shards, NetworkConfig::lan_1gbps(), CostModel::calibrated());
+        let mut spanner = SpannerLike::new(SpannerLikeConfig {
+            shards,
+            ..SpannerLikeConfig::default()
+        });
+        rows.push(Row {
+            label: format!("{} nodes ({shards} shards)", shards * 3),
+            values: vec![
+                ("AHL_reconfig_tps".into(), run(&mut ahl_reconfig)),
+                ("AHL_fixed_tps".into(), run(&mut ahl_fixed)),
+                ("TiDB_tps".into(), run(&mut tidb)),
+                ("Spanner_tps".into(), run(&mut spanner)),
+            ],
+        });
+    }
+    ExperimentReport {
+        id: "Figure 14",
+        title: "Sharded throughput, skewed 2-record transactions",
+        rows,
+    }
+}
+
+/// Figure 15: the hybrid forecast framework — forecast vs reported throughput
+/// for the six hybrid systems of Table 2.
+pub fn fig15_hybrid_forecast() -> ExperimentReport {
+    let network = NetworkConfig::lan_1gbps();
+    let costs = CostModel::calibrated();
+    let mut rows = Vec::new();
+    for profile in all_systems() {
+        let is_hybrid = matches!(
+            profile.category,
+            SystemCategory::OutOfBlockchainDatabase | SystemCategory::OutOfDatabaseBlockchain
+        );
+        if !is_hybrid {
+            continue;
+        }
+        let spec = HybridSpec::from_profile(&profile);
+        let forecast = forecast_throughput(&spec, &network, &costs);
+        rows.push(Row {
+            label: profile.name.to_string(),
+            values: vec![
+                ("band(0=low,2=high)".into(), spec.band() as u8 as f64),
+                ("forecast_tps".into(), forecast),
+                ("reported_tps".into(), profile.reported_tps.unwrap_or(f64::NAN)),
+            ],
+        });
+    }
+    ExperimentReport {
+        id: "Figure 15",
+        title: "Hybrid-system throughput forecast vs reported numbers",
+        rows,
+    }
+}
+
+/// Table 2: the taxonomy rendering (qualitative, no measurements).
+pub fn tab02_taxonomy() -> String {
+    dichotomy_hybrid::taxonomy::render_table2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig04_preserves_the_papers_ordering() {
+        let report = fig04_peak_throughput(400);
+        let quorum = report.value("Quorum", "update_tps").unwrap();
+        let fabric = report.value("Fabric", "update_tps").unwrap();
+        let tidb = report.value("TiDB", "update_tps").unwrap();
+        let etcd = report.value("etcd", "update_tps").unwrap();
+        assert!(fabric > quorum, "Fabric {fabric:.0} vs Quorum {quorum:.0}");
+        assert!(tidb > fabric, "TiDB {tidb:.0} vs Fabric {fabric:.0}");
+        assert!(etcd > tidb, "etcd {etcd:.0} vs TiDB {tidb:.0}");
+        // Query throughput exceeds update throughput everywhere.
+        for sys in ["Fabric", "Quorum", "TiDB", "etcd", "TiKV"] {
+            assert!(
+                report.value(sys, "query_tps").unwrap() > report.value(sys, "update_tps").unwrap(),
+                "{sys}"
+            );
+        }
+        // Rendering contains every system.
+        let text = report.render();
+        assert!(text.contains("Quorum") && text.contains("TiKV"));
+    }
+
+    #[test]
+    fn fig05_blockchain_latency_exceeds_database_latency() {
+        let report = fig05_latency(60);
+        let fabric = report.value("Fabric", "update_ms").unwrap();
+        let quorum = report.value("Quorum", "update_ms").unwrap();
+        let tidb = report.value("TiDB", "update_ms").unwrap();
+        let etcd = report.value("etcd", "update_ms").unwrap();
+        assert!(fabric > tidb && quorum > tidb, "fabric {fabric:.1} quorum {quorum:.1} tidb {tidb:.1}");
+        assert!(tidb < 100.0 && etcd < 100.0);
+        // Queries are single-digit ms for blockchains, sub-ms for databases.
+        assert!(report.value("Fabric", "query_ms").unwrap() > report.value("TiDB", "query_ms").unwrap());
+    }
+
+    #[test]
+    fn fig09_skew_collapses_tidb_but_not_etcd_or_quorum() {
+        let report = fig09_skew(400, &[0.0, 1.0]);
+        let tidb_uniform = report.value("theta=0.0", "TiDB_tps").unwrap();
+        let tidb_skewed = report.value("theta=1.0", "TiDB_tps").unwrap();
+        assert!(
+            tidb_skewed < tidb_uniform * 0.6,
+            "TiDB {tidb_uniform:.0} -> {tidb_skewed:.0}"
+        );
+        let etcd_uniform = report.value("theta=0.0", "etcd_tps").unwrap();
+        let etcd_skewed = report.value("theta=1.0", "etcd_tps").unwrap();
+        assert!(etcd_skewed > etcd_uniform * 0.7);
+        // Fabric aborts grow with skew.
+        let fabric_aborts_uniform = report.value("theta=0.0", "Fabric_abort_%").unwrap();
+        let fabric_aborts_skewed = report.value("theta=1.0", "Fabric_abort_%").unwrap();
+        assert!(fabric_aborts_skewed > fabric_aborts_uniform);
+    }
+
+    #[test]
+    fn fig13_mpt_overhead_dwarfs_mbt_overhead() {
+        let report = fig13_adr_overhead(2_000, &[10, 1000]);
+        for size in ["10 B", "1000 B"] {
+            let mbt = report.value(size, "MBT_B/rec").unwrap();
+            let mpt = report.value(size, "MPT_B/rec").unwrap();
+            assert!(mpt > mbt + 500.0, "{size}: MBT {mbt:.0} vs MPT {mpt:.0}");
+        }
+    }
+
+    #[test]
+    fn fig15_report_covers_all_six_hybrids() {
+        let report = fig15_hybrid_forecast();
+        assert_eq!(report.rows.len(), 6);
+        let veritas = report.value("Veritas", "forecast_tps").unwrap();
+        let chainify = report.value("ChainifyDB", "forecast_tps").unwrap();
+        assert!(veritas > chainify);
+    }
+}

@@ -1,0 +1,36 @@
+//! The facade crate of the *Blockchains vs. Distributed Databases: Dichotomy
+//! and Fusion* reproduction.
+//!
+//! It re-exports the substrate and system crates, and adds the three pieces
+//! the experiments need:
+//!
+//! * [`metrics`] — turning a pile of [`TxnReceipt`](dichotomy_common::TxnReceipt)s
+//!   into throughput, latency percentiles, abort-rate breakdowns and
+//!   per-phase averages;
+//! * [`driver`] — the benchmark driver that feeds a workload into a system
+//!   model at a chosen offered load and collects the receipts (the role YCSB,
+//!   OLTPBench and Caliper play in the paper's setup);
+//! * [`experiments`] — one function per table/figure of the paper's
+//!   evaluation section, each returning both structured rows and a printable
+//!   report (these are what the `dichotomy-bench` binaries and the Criterion
+//!   benches call).
+
+pub mod driver;
+pub mod experiments;
+pub mod metrics;
+
+pub use driver::{run_workload, DriverConfig, RunStats};
+pub use metrics::{LatencySummary, Metrics};
+
+// Re-export the building blocks so downstream users need only this crate.
+pub use dichotomy_common as common;
+pub use dichotomy_consensus as consensus;
+pub use dichotomy_hybrid as hybrid;
+pub use dichotomy_ledger as ledger;
+pub use dichotomy_merkle as merkle;
+pub use dichotomy_sharding as sharding;
+pub use dichotomy_simnet as simnet;
+pub use dichotomy_storage as storage;
+pub use dichotomy_systems as systems;
+pub use dichotomy_txn as txn;
+pub use dichotomy_workload as workload;

@@ -1,0 +1,201 @@
+//! Receipt aggregation: throughput, latency percentiles, abort breakdowns and
+//! phase-level latency decomposition.
+
+use std::collections::BTreeMap;
+
+use dichotomy_common::{AbortReason, Timestamp, TxnReceipt, TxnStatus};
+
+/// Latency summary in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Maximum.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    fn from_sorted(mut latencies: Vec<u64>) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        latencies.sort_unstable();
+        let n = latencies.len();
+        let pct = |p: f64| latencies[((n as f64 - 1.0) * p) as usize];
+        LatencySummary {
+            mean_us: latencies.iter().sum::<u64>() as f64 / n as f64,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: latencies[n - 1],
+        }
+    }
+}
+
+/// Aggregated metrics for one run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transactions that aborted, by reason.
+    pub aborts: BTreeMap<AbortReason, u64>,
+    /// Committed transactions per second of simulated time.
+    pub throughput_tps: f64,
+    /// Latency of committed transactions.
+    pub latency: LatencySummary,
+    /// Mean per-phase latency (µs) across committed transactions, keyed by
+    /// the system-reported phase name.
+    pub phase_means_us: BTreeMap<&'static str, f64>,
+    /// Total simulated duration used for the throughput computation (µs).
+    pub duration_us: Timestamp,
+}
+
+impl Metrics {
+    /// Aggregate a set of receipts. The measurement window runs from the
+    /// earliest submit to the latest finish.
+    pub fn from_receipts(receipts: &[TxnReceipt]) -> Self {
+        if receipts.is_empty() {
+            return Metrics::default();
+        }
+        let start = receipts.iter().map(|r| r.submit_time).min().unwrap_or(0);
+        let end = receipts.iter().map(|r| r.finish_time).max().unwrap_or(0);
+        let duration_us = end.saturating_sub(start).max(1);
+
+        let mut committed = 0u64;
+        let mut aborts: BTreeMap<AbortReason, u64> = BTreeMap::new();
+        let mut latencies = Vec::new();
+        let mut phase_sums: BTreeMap<&'static str, (f64, u64)> = BTreeMap::new();
+        for r in receipts {
+            match r.status {
+                TxnStatus::Committed => {
+                    committed += 1;
+                    latencies.push(r.latency_us());
+                    for (name, us) in &r.phase_latencies {
+                        let entry = phase_sums.entry(name).or_insert((0.0, 0));
+                        entry.0 += *us as f64;
+                        entry.1 += 1;
+                    }
+                }
+                TxnStatus::Aborted(reason) => {
+                    *aborts.entry(reason).or_insert(0) += 1;
+                }
+            }
+        }
+        let phase_means_us = phase_sums
+            .into_iter()
+            .map(|(name, (sum, count))| (name, sum / count.max(1) as f64))
+            .collect();
+        Metrics {
+            committed,
+            aborts,
+            throughput_tps: committed as f64 / (duration_us as f64 / 1e6),
+            latency: LatencySummary::from_sorted(latencies),
+            phase_means_us,
+            duration_us,
+        }
+    }
+
+    /// Total aborted transactions.
+    pub fn aborted(&self) -> u64 {
+        self.aborts.values().sum()
+    }
+
+    /// Abort rate over all finished transactions, in percent.
+    pub fn abort_rate_percent(&self) -> f64 {
+        let total = self.committed + self.aborted();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.aborted() as f64 / total as f64
+        }
+    }
+
+    /// Aborts attributed to one reason, in percent of all finished
+    /// transactions.
+    pub fn abort_share_percent(&self, reason: AbortReason) -> f64 {
+        let total = self.committed + self.aborted();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.aborts.get(&reason).copied().unwrap_or(0) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dichotomy_common::{ClientId, TxnId};
+
+    fn id(seq: u64) -> TxnId {
+        TxnId::new(ClientId(1), seq)
+    }
+
+    #[test]
+    fn empty_receipts_give_zero_metrics() {
+        let m = Metrics::from_receipts(&[]);
+        assert_eq!(m.committed, 0);
+        assert_eq!(m.throughput_tps, 0.0);
+        assert_eq!(m.abort_rate_percent(), 0.0);
+    }
+
+    #[test]
+    fn throughput_and_latency_are_computed_over_the_window() {
+        // 10 commits over 1 second of simulated time, each 1 ms latency.
+        let receipts: Vec<TxnReceipt> = (0..10)
+            .map(|i| TxnReceipt::committed(id(i), i * 100_000, i * 100_000 + 1_000))
+            .collect();
+        let m = Metrics::from_receipts(&receipts);
+        assert_eq!(m.committed, 10);
+        assert!((m.throughput_tps - 10.0 / 0.901).abs() < 0.5, "{}", m.throughput_tps);
+        assert_eq!(m.latency.p50_us, 1_000);
+        assert_eq!(m.latency.max_us, 1_000);
+        assert!((m.latency.mean_us - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_breakdown_by_reason() {
+        let receipts = vec![
+            TxnReceipt::committed(id(1), 0, 10),
+            TxnReceipt::aborted(id(2), AbortReason::ReadWriteConflict, 0, 10),
+            TxnReceipt::aborted(id(3), AbortReason::ReadWriteConflict, 0, 10),
+            TxnReceipt::aborted(id(4), AbortReason::InconsistentRead, 0, 10),
+        ];
+        let m = Metrics::from_receipts(&receipts);
+        assert_eq!(m.committed, 1);
+        assert_eq!(m.aborted(), 3);
+        assert_eq!(m.abort_rate_percent(), 75.0);
+        assert_eq!(m.abort_share_percent(AbortReason::ReadWriteConflict), 50.0);
+        assert_eq!(m.abort_share_percent(AbortReason::InconsistentRead), 25.0);
+        assert_eq!(m.abort_share_percent(AbortReason::Overload), 0.0);
+    }
+
+    #[test]
+    fn phase_means_average_across_committed_receipts() {
+        let mut a = TxnReceipt::committed(id(1), 0, 300);
+        a.phase_latencies = vec![("execute", 100), ("validate", 200)];
+        let mut b = TxnReceipt::committed(id(2), 0, 500);
+        b.phase_latencies = vec![("execute", 300), ("validate", 200)];
+        let m = Metrics::from_receipts(&[a, b]);
+        assert_eq!(m.phase_means_us["execute"], 200.0);
+        assert_eq!(m.phase_means_us["validate"], 200.0);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let receipts: Vec<TxnReceipt> = (1..=100)
+            .map(|i| TxnReceipt::committed(id(i), 0, i * 10))
+            .collect();
+        let m = Metrics::from_receipts(&receipts);
+        assert_eq!(m.latency.p50_us, 500);
+        assert_eq!(m.latency.p95_us, 950);
+        assert_eq!(m.latency.p99_us, 990);
+        assert_eq!(m.latency.max_us, 1000);
+    }
+}

@@ -1,0 +1,353 @@
+//! The append-only, hash-chained ledger (Section 3.3.1).
+//!
+//! Every blockchain model in the workspace commits blocks into a [`Ledger`]:
+//! a chain whose integrity can be re-verified end to end, whose storage
+//! footprint counts as *history* (this is the "significant storage overhead"
+//! of Figure 12), and which records, per transaction, enough metadata to
+//! support the verifiability arguments of Section 3.1.1 (client signature,
+//! block height, validation flag).
+
+use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
+use dichotomy_common::{Block, Hash, NodeId, Timestamp, Transaction, TxnId};
+
+/// Validation outcome recorded next to each transaction in a block (Fabric
+/// marks invalid transactions in the block rather than removing them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnValidationFlag {
+    /// The transaction's effects were applied to the state.
+    Valid,
+    /// The transaction was recorded but its effects were discarded
+    /// (e.g. MVCC validation failure in Fabric).
+    Invalid,
+}
+
+/// A committed block plus the per-transaction validation flags.
+#[derive(Debug, Clone)]
+pub struct CommittedBlock {
+    /// The block as agreed by consensus.
+    pub block: Block,
+    /// One flag per transaction, same order as `block.txns`.
+    pub flags: Vec<TxnValidationFlag>,
+    /// When the block was committed locally (simulated µs).
+    pub commit_time: Timestamp,
+}
+
+/// Errors returned when appending to the ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// The block's `prev_hash` does not match the current tip.
+    BrokenChain { expected: Hash, found: Hash },
+    /// The block height is not `tip_height + 1`.
+    WrongHeight { expected: u64, found: u64 },
+    /// The block body does not match its header digest.
+    BadTxnsDigest,
+    /// The number of flags does not match the number of transactions.
+    FlagMismatch,
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::BrokenChain { expected, found } => {
+                write!(f, "broken chain: expected prev {expected:?}, found {found:?}")
+            }
+            LedgerError::WrongHeight { expected, found } => {
+                write!(f, "wrong height: expected {expected}, found {found}")
+            }
+            LedgerError::BadTxnsDigest => write!(f, "block body does not match header digest"),
+            LedgerError::FlagMismatch => write!(f, "validation flag count mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// The hash-chained ledger of one node.
+#[derive(Debug)]
+pub struct Ledger {
+    blocks: Vec<CommittedBlock>,
+    /// Total committed transactions (valid + invalid).
+    txn_count: u64,
+    valid_txn_count: u64,
+}
+
+impl Default for Ledger {
+    fn default() -> Self {
+        Self::new(NodeId(0))
+    }
+}
+
+impl Ledger {
+    /// A ledger holding only the genesis block produced by `proposer`.
+    pub fn new(proposer: NodeId) -> Self {
+        Ledger {
+            blocks: vec![CommittedBlock {
+                block: Block::genesis(proposer),
+                flags: Vec::new(),
+                commit_time: 0,
+            }],
+            txn_count: 0,
+            valid_txn_count: 0,
+        }
+    }
+
+    /// Height of the chain tip.
+    pub fn tip_height(&self) -> u64 {
+        self.blocks.last().expect("genesis always present").block.header.height
+    }
+
+    /// Hash of the chain tip.
+    pub fn tip_hash(&self) -> Hash {
+        self.blocks.last().expect("genesis always present").block.hash()
+    }
+
+    /// Number of blocks including genesis.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total transactions recorded (valid and invalid).
+    pub fn txn_count(&self) -> u64 {
+        self.txn_count
+    }
+
+    /// Transactions recorded as valid.
+    pub fn valid_txn_count(&self) -> u64 {
+        self.valid_txn_count
+    }
+
+    /// Append a block with its validation flags, enforcing chain integrity.
+    pub fn append(
+        &mut self,
+        block: Block,
+        flags: Vec<TxnValidationFlag>,
+        commit_time: Timestamp,
+    ) -> Result<(), LedgerError> {
+        let expected_height = self.tip_height() + 1;
+        if block.header.height != expected_height {
+            return Err(LedgerError::WrongHeight {
+                expected: expected_height,
+                found: block.header.height,
+            });
+        }
+        let expected_prev = self.tip_hash();
+        if block.header.prev_hash != expected_prev {
+            return Err(LedgerError::BrokenChain {
+                expected: expected_prev,
+                found: block.header.prev_hash,
+            });
+        }
+        if !block.verify_txns_digest() {
+            return Err(LedgerError::BadTxnsDigest);
+        }
+        if flags.len() != block.txns.len() {
+            return Err(LedgerError::FlagMismatch);
+        }
+        self.txn_count += block.txns.len() as u64;
+        self.valid_txn_count += flags.iter().filter(|f| **f == TxnValidationFlag::Valid).count() as u64;
+        self.blocks.push(CommittedBlock {
+            block,
+            flags,
+            commit_time,
+        });
+        Ok(())
+    }
+
+    /// Convenience: assemble and append a block of `txns` (all flagged valid)
+    /// proposed by `proposer` at `time`, optionally committing a state root.
+    pub fn append_txns(
+        &mut self,
+        txns: Vec<Transaction>,
+        proposer: NodeId,
+        time: Timestamp,
+        state_root: Option<Hash>,
+    ) -> Result<&CommittedBlock, LedgerError> {
+        let flags = vec![TxnValidationFlag::Valid; txns.len()];
+        let block = Block::assemble(
+            self.tip_height() + 1,
+            self.tip_hash(),
+            txns,
+            proposer,
+            time,
+            state_root,
+        );
+        self.append(block, flags, time)?;
+        Ok(self.blocks.last().expect("just appended"))
+    }
+
+    /// The committed block at `height`, if present.
+    pub fn block_at(&self, height: u64) -> Option<&CommittedBlock> {
+        self.blocks.get(height as usize)
+    }
+
+    /// Find the block height containing the given transaction id (historical
+    /// query — the ability databases lack per Section 3.3.1).
+    pub fn find_txn(&self, id: TxnId) -> Option<(u64, &Transaction)> {
+        for cb in &self.blocks {
+            for txn in &cb.block.txns {
+                if txn.id == id {
+                    return Some((cb.block.header.height, txn));
+                }
+            }
+        }
+        None
+    }
+
+    /// Re-verify the whole chain: heights, hash links and body digests.
+    /// Returns the height of the first broken block, or `None` if intact.
+    pub fn verify_chain(&self) -> Option<u64> {
+        for w in self.blocks.windows(2) {
+            let (prev, next) = (&w[0].block, &w[1].block);
+            if next.header.height != prev.header.height + 1
+                || next.header.prev_hash != prev.hash()
+                || !next.verify_txns_digest()
+            {
+                return Some(next.header.height);
+            }
+        }
+        None
+    }
+
+    /// Iterate over committed blocks in order.
+    pub fn blocks(&self) -> impl Iterator<Item = &CommittedBlock> {
+        self.blocks.iter()
+    }
+
+    /// Test hook: tamper with a stored transaction to demonstrate that
+    /// [`verify_chain`](Self::verify_chain) catches it.
+    #[doc(hidden)]
+    pub fn tamper_for_test(&mut self, height: u64) {
+        if let Some(cb) = self.blocks.get_mut(height as usize) {
+            if let Some(txn) = cb.block.txns.first_mut() {
+                txn.ops.clear();
+            }
+        }
+    }
+}
+
+impl StorageFootprint for Ledger {
+    fn footprint(&self) -> StorageBreakdown {
+        // Blocks (headers + full transaction envelopes + per-txn flag byte)
+        // are pure history: the state they produce lives in the state storage
+        // of the system that owns this ledger.
+        let history: u64 = self
+            .blocks
+            .iter()
+            .map(|cb| cb.block.wire_bytes() as u64 + cb.flags.len() as u64)
+            .sum();
+        StorageBreakdown {
+            payload_bytes: 0,
+            index_bytes: 0,
+            history_bytes: history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dichotomy_common::{ClientId, Key, Operation, Value};
+
+    fn txn(seq: u64, size: usize) -> Transaction {
+        Transaction::new(
+            TxnId::new(ClientId(1), seq),
+            vec![Operation::write(Key::from_str(&format!("k{seq}")), Value::filler(size))],
+        )
+    }
+
+    #[test]
+    fn genesis_only_ledger() {
+        let l = Ledger::new(NodeId(0));
+        assert_eq!(l.tip_height(), 0);
+        assert_eq!(l.block_count(), 1);
+        assert_eq!(l.txn_count(), 0);
+        assert_eq!(l.verify_chain(), None);
+    }
+
+    #[test]
+    fn append_txns_grows_the_chain() {
+        let mut l = Ledger::new(NodeId(0));
+        l.append_txns(vec![txn(1, 10), txn(2, 10)], NodeId(0), 100, None)
+            .unwrap();
+        l.append_txns(vec![txn(3, 10)], NodeId(1), 200, None).unwrap();
+        assert_eq!(l.tip_height(), 2);
+        assert_eq!(l.txn_count(), 3);
+        assert_eq!(l.valid_txn_count(), 3);
+        assert_eq!(l.verify_chain(), None);
+        let (h, t) = l.find_txn(TxnId::new(ClientId(1), 3)).unwrap();
+        assert_eq!(h, 2);
+        assert_eq!(t.id.seq, 3);
+        assert!(l.find_txn(TxnId::new(ClientId(9), 9)).is_none());
+    }
+
+    #[test]
+    fn append_rejects_wrong_height_and_broken_chain() {
+        let mut l = Ledger::new(NodeId(0));
+        let bogus = Block::assemble(5, l.tip_hash(), vec![], NodeId(0), 0, None);
+        assert!(matches!(
+            l.append(bogus, vec![], 0),
+            Err(LedgerError::WrongHeight { expected: 1, found: 5 })
+        ));
+        let unlinked = Block::assemble(1, Hash::of(b"nope"), vec![], NodeId(0), 0, None);
+        assert!(matches!(
+            l.append(unlinked, vec![], 0),
+            Err(LedgerError::BrokenChain { .. })
+        ));
+    }
+
+    #[test]
+    fn append_rejects_tampered_body_and_flag_mismatch() {
+        let mut l = Ledger::new(NodeId(0));
+        let mut block = Block::assemble(1, l.tip_hash(), vec![txn(1, 10)], NodeId(0), 0, None);
+        block.txns.push(txn(2, 10));
+        assert_eq!(l.append(block, vec![TxnValidationFlag::Valid; 2], 0), Err(LedgerError::BadTxnsDigest));
+
+        let ok_block = Block::assemble(1, l.tip_hash(), vec![txn(1, 10)], NodeId(0), 0, None);
+        assert_eq!(l.append(ok_block, vec![], 0), Err(LedgerError::FlagMismatch));
+    }
+
+    #[test]
+    fn invalid_flags_are_counted_separately() {
+        let mut l = Ledger::new(NodeId(0));
+        let block = Block::assemble(1, l.tip_hash(), vec![txn(1, 10), txn(2, 10)], NodeId(0), 0, None);
+        l.append(block, vec![TxnValidationFlag::Valid, TxnValidationFlag::Invalid], 0)
+            .unwrap();
+        assert_eq!(l.txn_count(), 2);
+        assert_eq!(l.valid_txn_count(), 1);
+    }
+
+    #[test]
+    fn verify_chain_detects_tampering() {
+        let mut l = Ledger::new(NodeId(0));
+        for i in 1..=5 {
+            l.append_txns(vec![txn(i, 50)], NodeId(0), i * 100, None).unwrap();
+        }
+        assert_eq!(l.verify_chain(), None);
+        l.tamper_for_test(3);
+        assert_eq!(l.verify_chain(), Some(3));
+    }
+
+    #[test]
+    fn footprint_is_history_and_grows_with_record_size() {
+        let mut small = Ledger::new(NodeId(0));
+        let mut large = Ledger::new(NodeId(0));
+        for i in 1..=10 {
+            small.append_txns(vec![txn(i, 10)], NodeId(0), i, None).unwrap();
+            large.append_txns(vec![txn(i, 5000)], NodeId(0), i, None).unwrap();
+        }
+        let fs = small.footprint();
+        let fl = large.footprint();
+        assert_eq!(fs.payload_bytes, 0);
+        assert!(fl.history_bytes > fs.history_bytes + 10 * 4900);
+    }
+
+    #[test]
+    fn block_at_and_iteration() {
+        let mut l = Ledger::new(NodeId(0));
+        l.append_txns(vec![txn(1, 10)], NodeId(0), 1, None).unwrap();
+        assert!(l.block_at(0).is_some());
+        assert!(l.block_at(1).is_some());
+        assert!(l.block_at(2).is_none());
+        assert_eq!(l.blocks().count(), 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! A plain binary Merkle tree over an ordered list of leaves, with inclusion
+//! proofs. Used for the per-block transaction digest and as the
+//! IntegriDB-style authenticated index in the FalconDB hybrid model.
+
+use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
+use dichotomy_common::Hash;
+
+/// A sibling step in an inclusion proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofStep {
+    /// The sibling hash at this level.
+    pub sibling: Hash,
+    /// Whether the sibling is on the right of the running hash.
+    pub sibling_on_right: bool,
+}
+
+/// An inclusion proof for one leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InclusionProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// The sibling path from the leaf up to (but excluding) the root.
+    pub path: Vec<ProofStep>,
+}
+
+impl InclusionProof {
+    /// Verify the proof: fold the leaf hash up the path and compare with the
+    /// expected root.
+    pub fn verify(&self, leaf_hash: Hash, root: Hash) -> bool {
+        let mut running = leaf_hash;
+        for step in &self.path {
+            running = if step.sibling_on_right {
+                Hash::combine(&running, &step.sibling)
+            } else {
+                Hash::combine(&step.sibling, &running)
+            };
+        }
+        running == root
+    }
+
+    /// Proof size in bytes (32 per sibling + 1 direction bit rounded up).
+    pub fn size_bytes(&self) -> usize {
+        self.path.len() * 33
+    }
+}
+
+/// The binary Merkle tree. Leaves are hashes supplied by the caller (hash of
+/// a transaction, of a row, ...). Odd nodes are promoted to the next level.
+#[derive(Debug, Clone, Default)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaves, last level = root (single hash).
+    levels: Vec<Vec<Hash>>,
+}
+
+impl MerkleTree {
+    /// Build the tree over the given leaf hashes.
+    pub fn build(leaves: &[Hash]) -> Self {
+        if leaves.is_empty() {
+            return MerkleTree { levels: Vec::new() };
+        }
+        let mut levels = vec![leaves.to_vec()];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let next: Vec<Hash> = prev
+                .chunks(2)
+                .map(|pair| {
+                    if pair.len() == 2 {
+                        Hash::combine(&pair[0], &pair[1])
+                    } else {
+                        pair[0]
+                    }
+                })
+                .collect();
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Root digest (`Hash::ZERO` for an empty tree).
+    pub fn root(&self) -> Hash {
+        self.levels
+            .last()
+            .and_then(|l| l.first())
+            .copied()
+            .unwrap_or(Hash::ZERO)
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels.first().map_or(0, Vec::len)
+    }
+
+    /// Tree height (number of levels including the leaves; 0 when empty).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Inclusion proof for the leaf at `index`.
+    pub fn prove(&self, index: usize) -> Option<InclusionProof> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len().saturating_sub(1)] {
+            let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            if sibling_idx < level.len() {
+                path.push(ProofStep {
+                    sibling: level[sibling_idx],
+                    sibling_on_right: idx % 2 == 0,
+                });
+            }
+            idx /= 2;
+        }
+        Some(InclusionProof {
+            leaf_index: index,
+            path,
+        })
+    }
+}
+
+impl StorageFootprint for MerkleTree {
+    fn footprint(&self) -> StorageBreakdown {
+        let interior: u64 = self
+            .levels
+            .iter()
+            .skip(1)
+            .map(|l| l.len() as u64 * 32)
+            .sum();
+        let leaves = self.leaf_count() as u64 * 32;
+        StorageBreakdown {
+            payload_bytes: 0,
+            index_bytes: interior + leaves,
+            history_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Hash> {
+        (0..n).map(|i| Hash::of(format!("leaf{i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn empty_tree_has_zero_root() {
+        let t = MerkleTree::build(&[]);
+        assert_eq!(t.root(), Hash::ZERO);
+        assert_eq!(t.leaf_count(), 0);
+        assert!(t.prove(0).is_none());
+    }
+
+    #[test]
+    fn single_leaf_root_is_the_leaf() {
+        let l = leaves(1);
+        let t = MerkleTree::build(&l);
+        assert_eq!(t.root(), l[0]);
+        assert_eq!(t.height(), 1);
+        let proof = t.prove(0).unwrap();
+        assert!(proof.path.is_empty());
+        assert!(proof.verify(l[0], t.root()));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_leaves_and_sizes() {
+        for n in [2usize, 3, 5, 8, 13, 64, 100] {
+            let l = leaves(n);
+            let t = MerkleTree::build(&l);
+            for (i, leaf) in l.iter().enumerate() {
+                let proof = t.prove(i).unwrap();
+                assert!(proof.verify(*leaf, t.root()), "n={n} i={i}");
+                // Proof bound to the right leaf.
+                if n > 1 {
+                    let other = l[(i + 1) % n];
+                    assert!(!proof.verify(other, t.root()), "n={n} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_changes_when_any_leaf_changes() {
+        let l = leaves(10);
+        let t = MerkleTree::build(&l);
+        for i in 0..10 {
+            let mut tampered = l.clone();
+            tampered[i] = Hash::of(b"evil");
+            assert_ne!(MerkleTree::build(&tampered).root(), t.root());
+        }
+    }
+
+    #[test]
+    fn proof_size_is_logarithmic() {
+        let t = MerkleTree::build(&leaves(1024));
+        let proof = t.prove(17).unwrap();
+        assert_eq!(proof.path.len(), 10);
+        assert_eq!(proof.size_bytes(), 330);
+    }
+
+    #[test]
+    fn footprint_counts_all_levels() {
+        let t = MerkleTree::build(&leaves(8));
+        // 8 + 4 + 2 + 1 = 15 hashes.
+        assert_eq!(t.footprint().index_bytes, 15 * 32);
+    }
+}

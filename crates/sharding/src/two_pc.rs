@@ -1,0 +1,220 @@
+//! Two-phase commit for cross-shard transactions (Section 3.4.2).
+//!
+//! The protocol is the textbook one: the coordinator sends PREPARE to every
+//! participant shard, collects votes, and sends COMMIT (all yes) or ABORT
+//! (any no). The taxonomy's distinction is *who the coordinator is*:
+//!
+//! * a single trusted node (databases — cheap but a blocking single point of
+//!   failure), or
+//! * a BFT-replicated state machine running in its own shard (AHL, Eth2's
+//!   beacon chain) — every coordinator step is itself a consensus decision,
+//!   adding a BFT round per phase but removing the trust assumption.
+//!
+//! The module computes both the outcome (given participant votes) and the
+//! latency/occupancy of the exchange, which the sharded system models in
+//! `dichotomy-systems` use for Figure 14 and the operation-count experiment.
+
+use dichotomy_common::{ShardId, Timestamp};
+use dichotomy_consensus::{ProtocolKind, ReplicationProfile};
+use dichotomy_simnet::{CostModel, NetworkConfig};
+
+/// Who drives the two-phase commit.
+#[derive(Debug, Clone)]
+pub enum CoordinatorKind {
+    /// A single trusted coordinator node (TiDB, Spanner).
+    Trusted,
+    /// A coordinator implemented as a replicated state machine inside a shard
+    /// running the given consensus protocol (AHL: PBFT with `n` replicas).
+    Replicated {
+        /// Consensus protocol of the coordinator shard.
+        protocol: ProtocolKind,
+        /// Replicas in the coordinator shard.
+        n: usize,
+    },
+}
+
+/// Result of a 2PC round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoPcOutcome {
+    /// Whether the transaction committed in every shard.
+    pub committed: bool,
+    /// When the outcome was known at the coordinator.
+    pub decided_at: Timestamp,
+    /// Number of protocol messages exchanged.
+    pub messages: u64,
+}
+
+/// The 2PC latency/outcome model.
+#[derive(Debug, Clone)]
+pub struct TwoPhaseCommit {
+    coordinator: CoordinatorKind,
+    network: NetworkConfig,
+    costs: CostModel,
+}
+
+impl TwoPhaseCommit {
+    /// Build a 2PC engine.
+    pub fn new(coordinator: CoordinatorKind, network: NetworkConfig, costs: CostModel) -> Self {
+        TwoPhaseCommit {
+            coordinator,
+            network,
+            costs,
+        }
+    }
+
+    fn hop_us(&self, bytes: usize) -> u64 {
+        self.network.base_latency_us
+            + (bytes as f64 / self.network.bandwidth_bytes_per_us) as u64
+            + self.network.jitter_us / 2
+    }
+
+    /// Extra latency each coordinator *step* pays when the coordinator is a
+    /// replicated state machine: its decision must itself reach consensus.
+    fn coordinator_step_overhead_us(&self) -> u64 {
+        match &self.coordinator {
+            CoordinatorKind::Trusted => 0,
+            CoordinatorKind::Replicated { protocol, n } => {
+                ReplicationProfile::new(*protocol, *n, self.network.clone(), self.costs.clone())
+                    .commit_latency_us(256)
+            }
+        }
+    }
+
+    /// Run a 2PC round started at `start` across `participants` shards, given
+    /// each shard's vote (`true` = prepared). Single-shard transactions
+    /// short-circuit: no 2PC is needed.
+    pub fn run(
+        &self,
+        start: Timestamp,
+        participants: &[(ShardId, bool)],
+        payload_bytes: usize,
+    ) -> TwoPcOutcome {
+        if participants.len() <= 1 {
+            return TwoPcOutcome {
+                committed: participants.first().map(|(_, v)| *v).unwrap_or(true),
+                decided_at: start,
+                messages: 0,
+            };
+        }
+        let committed = participants.iter().all(|(_, vote)| *vote);
+        let shards = participants.len() as u64;
+        // Phase 1: PREPARE out (with the writes) + votes back.
+        let phase1 = self.hop_us(payload_bytes) + self.hop_us(64);
+        // Phase 2: decision out + acks back.
+        let phase2 = self.hop_us(64) + self.hop_us(64);
+        // A replicated coordinator reaches consensus once per phase.
+        let coordinator_overhead = 2 * self.coordinator_step_overhead_us();
+        // Participant-side prepare work (lock/write-intent persistence).
+        let participant_work = self.costs.storage_put_us(payload_bytes);
+        let decided_at = start + phase1 + phase2 + coordinator_overhead + participant_work;
+        let coordinator_msgs = match &self.coordinator {
+            CoordinatorKind::Trusted => 0,
+            CoordinatorKind::Replicated { protocol, n } => {
+                2 * ReplicationProfile::new(
+                    *protocol,
+                    *n,
+                    self.network.clone(),
+                    self.costs.clone(),
+                )
+                .messages_per_commit()
+            }
+        };
+        TwoPcOutcome {
+            committed,
+            decided_at,
+            messages: 4 * shards + coordinator_msgs,
+        }
+    }
+
+    /// How long the coordinator resource is occupied per cross-shard
+    /// transaction (bounds coordinator throughput).
+    pub fn coordinator_occupancy_us(&self, participants: usize, payload_bytes: usize) -> u64 {
+        if participants <= 1 {
+            return 0;
+        }
+        let per_participant = (payload_bytes as f64 / self.network.bandwidth_bytes_per_us) as u64
+            + self.costs.log_append_us(1);
+        let base = per_participant * participants as u64;
+        match &self.coordinator {
+            CoordinatorKind::Trusted => base,
+            CoordinatorKind::Replicated { protocol, n } => {
+                base + 2
+                    * ReplicationProfile::new(
+                        *protocol,
+                        *n,
+                        self.network.clone(),
+                        self.costs.clone(),
+                    )
+                    .leader_occupancy_us(256)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trusted() -> TwoPhaseCommit {
+        TwoPhaseCommit::new(
+            CoordinatorKind::Trusted,
+            NetworkConfig::lan_1gbps(),
+            CostModel::calibrated(),
+        )
+    }
+
+    fn bft() -> TwoPhaseCommit {
+        TwoPhaseCommit::new(
+            CoordinatorKind::Replicated {
+                protocol: ProtocolKind::Pbft,
+                n: 4,
+            },
+            NetworkConfig::lan_1gbps(),
+            CostModel::calibrated(),
+        )
+    }
+
+    #[test]
+    fn single_shard_transactions_skip_2pc() {
+        let out = trusted().run(100, &[(ShardId(0), true)], 1000);
+        assert!(out.committed);
+        assert_eq!(out.decided_at, 100);
+        assert_eq!(out.messages, 0);
+        assert_eq!(trusted().coordinator_occupancy_us(1, 1000), 0);
+    }
+
+    #[test]
+    fn any_no_vote_aborts_everywhere() {
+        let votes = [(ShardId(0), true), (ShardId(1), false), (ShardId(2), true)];
+        let out = trusted().run(0, &votes, 500);
+        assert!(!out.committed);
+        // Abort still costs the full two phases.
+        assert!(out.decided_at > 1000);
+    }
+
+    #[test]
+    fn all_yes_commits() {
+        let votes = [(ShardId(0), true), (ShardId(1), true)];
+        assert!(trusted().run(0, &votes, 500).committed);
+    }
+
+    #[test]
+    fn bft_coordinator_costs_more_than_a_trusted_one() {
+        let votes = [(ShardId(0), true), (ShardId(1), true)];
+        let t = trusted().run(0, &votes, 1000);
+        let b = bft().run(0, &votes, 1000);
+        assert!(b.decided_at > t.decided_at + 1000, "trusted {} bft {}", t.decided_at, b.decided_at);
+        assert!(b.messages > t.messages);
+        assert!(bft().coordinator_occupancy_us(2, 1000) > trusted().coordinator_occupancy_us(2, 1000));
+    }
+
+    #[test]
+    fn more_participants_mean_more_messages_and_occupancy() {
+        let two: Vec<_> = (0..2).map(|i| (ShardId(i), true)).collect();
+        let five: Vec<_> = (0..5).map(|i| (ShardId(i), true)).collect();
+        assert!(trusted().run(0, &five, 100).messages > trusted().run(0, &two, 100).messages);
+        assert!(
+            trusted().coordinator_occupancy_us(5, 100) > trusted().coordinator_occupancy_us(2, 100)
+        );
+    }
+}

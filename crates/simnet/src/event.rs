@@ -1,0 +1,192 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, insertion sequence)`: ties on simulated time
+//! are broken by insertion order, which makes every run reproducible
+//! regardless of the payload type.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use dichotomy_common::Timestamp;
+
+/// An event scheduled at a simulated time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: Timestamp,
+    /// Tie-breaking sequence number assigned at insertion.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) pops the earliest event.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event queue with a built-in simulated clock.
+///
+/// The clock only moves forward: popping an event advances `now()` to the
+/// event's timestamp. Scheduling an event in the past is clamped to `now()`
+/// (this can only happen through arithmetic underflow in a caller and would
+/// otherwise silently reorder causality).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    now: Timestamp,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of events waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `event` to fire at absolute time `at` (clamped to `now()`).
+    pub fn schedule_at(&mut self, at: Timestamp, event: E) {
+        let time = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, event });
+    }
+
+    /// Schedule `event` to fire `delay` microseconds from now.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Timestamp, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now, "event queue moved backwards");
+        self.now = ev.time;
+        self.popped += 1;
+        Some((ev.time, ev.event))
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Advance the clock directly (used by drivers that mix event-driven and
+    /// batch processing). Never moves backwards.
+    pub fn advance_to(&mut self, t: Timestamp) {
+        self.now = self.now.max(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!(q.now(), 30);
+        assert_eq!(q.delivered(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, 1);
+        q.schedule_at(5, 2);
+        q.schedule_at(5, 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "first");
+        q.pop();
+        q.schedule_in(50, "second");
+        assert_eq!(q.pop(), Some((150, "second")));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "first");
+        q.pop();
+        q.schedule_at(10, "late");
+        assert_eq!(q.pop(), Some((100, "late")));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(500);
+        q.advance_to(100);
+        assert_eq!(q.now(), 500);
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(42, ());
+        assert_eq!(q.peek_time(), Some(42));
+        assert_eq!(q.now(), 0);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Fault injection: node crashes, recoveries, Byzantine marking and network
+//! partitions.
+//!
+//! The replication dimension of the taxonomy (Section 3.1.3) is about which
+//! failures a protocol tolerates. The consensus substrate is exercised under
+//! these fault plans in its property tests: Raft must stay safe (no two
+//! divergent commits) under crash faults, PBFT under Byzantine faults up to
+//! `f`, and both must make progress again once faults heal.
+
+use std::collections::BTreeSet;
+
+use dichotomy_common::{NodeId, Timestamp};
+
+/// A single fault with a start time and an optional end time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeFault {
+    /// The affected node.
+    pub node: NodeId,
+    /// When the fault begins.
+    pub from: Timestamp,
+    /// When the fault heals (`None` = permanent).
+    pub until: Option<Timestamp>,
+    /// What kind of fault.
+    pub kind: FaultKind,
+}
+
+/// The kinds of faults the simulator can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The node stops participating entirely (crash-stop, possibly healing).
+    Crash,
+    /// The node is Byzantine: it stays up but the protocol models it as
+    /// sending arbitrary/conflicting messages. The consensus implementations
+    /// consult this to decide which nodes equivocate.
+    Byzantine,
+}
+
+impl NodeFault {
+    /// A crash starting at `from` and lasting forever.
+    pub fn crash(node: NodeId, from: Timestamp) -> Self {
+        NodeFault {
+            node,
+            from,
+            until: None,
+            kind: FaultKind::Crash,
+        }
+    }
+
+    /// A crash that heals at `until`.
+    pub fn crash_until(node: NodeId, from: Timestamp, until: Timestamp) -> Self {
+        NodeFault {
+            node,
+            from,
+            until: Some(until),
+            kind: FaultKind::Crash,
+        }
+    }
+
+    /// Mark a node Byzantine from `from` onwards.
+    pub fn byzantine(node: NodeId, from: Timestamp) -> Self {
+        NodeFault {
+            node,
+            from,
+            until: None,
+            kind: FaultKind::Byzantine,
+        }
+    }
+
+    /// Whether the fault is active at time `t`.
+    pub fn active_at(&self, t: Timestamp) -> bool {
+        t >= self.from && self.until.map_or(true, |u| t < u)
+    }
+}
+
+/// A network partition separating two groups of nodes for a time window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// One side of the partition; every node not in `group_a` is implicitly
+    /// on the other side.
+    pub group_a: BTreeSet<NodeId>,
+    /// When the partition begins.
+    pub from: Timestamp,
+    /// When it heals (`None` = permanent).
+    pub until: Option<Timestamp>,
+}
+
+impl Partition {
+    /// Whether the partition is active at time `t`.
+    pub fn active_at(&self, t: Timestamp) -> bool {
+        t >= self.from && self.until.map_or(true, |u| t < u)
+    }
+
+    /// Whether the partition separates `a` from `b` at time `t`.
+    pub fn separates(&self, a: NodeId, b: NodeId, t: Timestamp) -> bool {
+        self.active_at(t) && (self.group_a.contains(&a) != self.group_a.contains(&b))
+    }
+}
+
+/// The complete fault schedule for a run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<NodeFault>,
+    partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a node fault.
+    pub fn add(&mut self, fault: NodeFault) -> &mut Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Add a partition between `group_a` and the rest of the cluster.
+    pub fn add_partition(
+        &mut self,
+        group_a: impl IntoIterator<Item = NodeId>,
+        from: Timestamp,
+        until: Option<Timestamp>,
+    ) -> &mut Self {
+        self.partitions.push(Partition {
+            group_a: group_a.into_iter().collect(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Whether `node` is crashed at `t`.
+    pub fn is_crashed(&self, node: NodeId, t: Timestamp) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.node == node && f.kind == FaultKind::Crash && f.active_at(t))
+    }
+
+    /// Whether `node` is marked Byzantine at `t`.
+    pub fn is_byzantine(&self, node: NodeId, t: Timestamp) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.node == node && f.kind == FaultKind::Byzantine && f.active_at(t))
+    }
+
+    /// Whether a message from `from` can be delivered to `to` at `t`:
+    /// both endpoints must be up and no active partition may separate them.
+    pub fn can_deliver(&self, from: NodeId, to: NodeId, t: Timestamp) -> bool {
+        if self.is_crashed(from, t) || self.is_crashed(to, t) {
+            return false;
+        }
+        !self.partitions.iter().any(|p| p.separates(from, to, t))
+    }
+
+    /// Nodes that are marked Byzantine at `t` out of `nodes`.
+    pub fn byzantine_nodes(&self, nodes: &[NodeId], t: Timestamp) -> Vec<NodeId> {
+        nodes
+            .iter()
+            .copied()
+            .filter(|&n| self.is_byzantine(n, t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_window_semantics() {
+        let f = NodeFault::crash_until(NodeId(1), 100, 200);
+        assert!(!f.active_at(99));
+        assert!(f.active_at(100));
+        assert!(f.active_at(199));
+        assert!(!f.active_at(200));
+    }
+
+    #[test]
+    fn permanent_crash_never_heals() {
+        let f = NodeFault::crash(NodeId(1), 10);
+        assert!(f.active_at(u64::MAX));
+    }
+
+    #[test]
+    fn plan_blocks_messages_to_and_from_crashed_nodes() {
+        let mut plan = FaultPlan::none();
+        plan.add(NodeFault::crash_until(NodeId(2), 50, 150));
+        assert!(plan.can_deliver(NodeId(0), NodeId(2), 0));
+        assert!(!plan.can_deliver(NodeId(0), NodeId(2), 100));
+        assert!(!plan.can_deliver(NodeId(2), NodeId(0), 100));
+        assert!(plan.can_deliver(NodeId(0), NodeId(2), 150));
+    }
+
+    #[test]
+    fn partitions_separate_only_across_the_cut() {
+        let mut plan = FaultPlan::none();
+        plan.add_partition([NodeId(0), NodeId(1)], 10, Some(20));
+        // Across the cut: blocked while active.
+        assert!(!plan.can_deliver(NodeId(0), NodeId(3), 15));
+        assert!(!plan.can_deliver(NodeId(3), NodeId(1), 15));
+        // Same side: fine.
+        assert!(plan.can_deliver(NodeId(0), NodeId(1), 15));
+        assert!(plan.can_deliver(NodeId(3), NodeId(4), 15));
+        // Healed.
+        assert!(plan.can_deliver(NodeId(0), NodeId(3), 25));
+    }
+
+    #[test]
+    fn byzantine_marking_does_not_block_delivery() {
+        let mut plan = FaultPlan::none();
+        plan.add(NodeFault::byzantine(NodeId(1), 0));
+        assert!(plan.can_deliver(NodeId(1), NodeId(2), 100));
+        assert!(plan.is_byzantine(NodeId(1), 100));
+        assert!(!plan.is_byzantine(NodeId(2), 100));
+        assert_eq!(
+            plan.byzantine_nodes(&[NodeId(0), NodeId(1), NodeId(2)], 5),
+            vec![NodeId(1)]
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic discrete-event cluster simulation kernel.
+//!
+//! The paper's evaluation runs real systems on a 96-node cluster; this crate
+//! is the substitute substrate (see DESIGN.md §2). It provides the four
+//! building blocks every simulated system is made of:
+//!
+//! * an [`EventQueue`] and simulated clock (microsecond granularity),
+//! * a [`NetworkModel`] with per-link latency, bandwidth and fault injection,
+//! * FIFO [`Resource`]s that model serial and multi-server processing stages
+//!   (the source of all queueing / saturation behaviour), and
+//! * a [`CostModel`] holding the CPU-cost constants (hashing, signatures,
+//!   SQL parsing, storage access) calibrated against the latency breakdowns
+//!   the paper reports in Figures 8 and 11.
+//!
+//! Nothing in this crate knows about blockchains or databases; the consensus
+//! protocols and system models are built on top of it.
+
+pub mod costs;
+pub mod event;
+pub mod fault;
+pub mod network;
+pub mod resource;
+
+pub use costs::CostModel;
+pub use event::{EventQueue, ScheduledEvent};
+pub use fault::{FaultPlan, NodeFault};
+pub use network::{NetworkConfig, NetworkModel};
+pub use resource::{MultiResource, Resource};
+
+/// Simulated time in microseconds (re-exported for convenience).
+pub use dichotomy_common::Timestamp;

@@ -1,0 +1,227 @@
+//! FIFO processing resources.
+//!
+//! A [`Resource`] models a stage that can process one item at a time (a
+//! single CPU core doing serial block validation, a consensus leader
+//! assembling batches, a WAL writer). A [`MultiResource`] models a stage with
+//! `k` identical servers (e.g. concurrent transaction executors). These two
+//! primitives are the source of every queueing and saturation effect in the
+//! system models: when the offered load exceeds a stage's capacity the
+//! stage's queue grows and latency climbs, exactly the unsaturated/saturated
+//! distinction the paper draws in Section 5.2.1.
+
+use dichotomy_common::Timestamp;
+
+/// A single-server FIFO resource.
+#[derive(Debug, Clone, Default)]
+pub struct Resource {
+    /// Time at which the server becomes free.
+    free_at: Timestamp,
+    /// Total busy time accumulated, for utilization accounting.
+    busy_us: u64,
+    /// Number of items served.
+    served: u64,
+}
+
+impl Resource {
+    /// A resource that is free immediately.
+    pub fn new() -> Self {
+        Resource::default()
+    }
+
+    /// Schedule an item that arrives at `arrival` and needs `service_us` of
+    /// work. Returns `(start, finish)`: the item starts when both it has
+    /// arrived and the server is free, and finishes `service_us` later.
+    pub fn schedule(&mut self, arrival: Timestamp, service_us: u64) -> (Timestamp, Timestamp) {
+        let start = arrival.max(self.free_at);
+        let finish = start.saturating_add(service_us);
+        self.free_at = finish;
+        self.busy_us += service_us;
+        self.served += 1;
+        (start, finish)
+    }
+
+    /// Time at which the server next becomes free.
+    pub fn free_at(&self) -> Timestamp {
+        self.free_at
+    }
+
+    /// Queueing delay an item arriving at `arrival` would experience before
+    /// starting service.
+    pub fn queue_delay(&self, arrival: Timestamp) -> u64 {
+        self.free_at.saturating_sub(arrival)
+    }
+
+    /// Total busy microseconds accumulated.
+    pub fn busy_us(&self) -> u64 {
+        self.busy_us
+    }
+
+    /// Number of items served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Utilization over the interval `[0, horizon]`.
+    pub fn utilization(&self, horizon: Timestamp) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            (self.busy_us as f64 / horizon as f64).min(1.0)
+        }
+    }
+
+    /// Reset to the initial idle state.
+    pub fn reset(&mut self) {
+        *self = Resource::default();
+    }
+}
+
+/// A `k`-server FIFO resource: an arriving item is served by the earliest
+/// available server.
+#[derive(Debug, Clone)]
+pub struct MultiResource {
+    servers: Vec<Timestamp>,
+    busy_us: u64,
+    served: u64,
+}
+
+impl MultiResource {
+    /// A resource with `k` identical servers (k ≥ 1 enforced).
+    pub fn new(k: usize) -> Self {
+        MultiResource {
+            servers: vec![0; k.max(1)],
+            busy_us: 0,
+            served: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn capacity(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Schedule an item arriving at `arrival` needing `service_us` of work on
+    /// the earliest-free server. Returns `(start, finish)`.
+    pub fn schedule(&mut self, arrival: Timestamp, service_us: u64) -> (Timestamp, Timestamp) {
+        let idx = self
+            .servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &free)| free)
+            .map(|(i, _)| i)
+            .expect("at least one server");
+        let start = arrival.max(self.servers[idx]);
+        let finish = start.saturating_add(service_us);
+        self.servers[idx] = finish;
+        self.busy_us += service_us;
+        self.served += 1;
+        (start, finish)
+    }
+
+    /// The earliest time at which any server is free.
+    pub fn earliest_free(&self) -> Timestamp {
+        self.servers.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Total busy microseconds accumulated across all servers.
+    pub fn busy_us(&self) -> u64 {
+        self.busy_us
+    }
+
+    /// Number of items served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Aggregate utilization over `[0, horizon]` (1.0 = all servers busy the
+    /// whole time).
+    pub fn utilization(&self, horizon: Timestamp) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            (self.busy_us as f64 / (horizon as f64 * self.servers.len() as f64)).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_starts_immediately() {
+        let mut r = Resource::new();
+        assert_eq!(r.schedule(100, 50), (100, 150));
+        assert_eq!(r.free_at(), 150);
+    }
+
+    #[test]
+    fn busy_resource_queues_fifo() {
+        let mut r = Resource::new();
+        r.schedule(0, 100);
+        // Arrives at 10 but must wait until 100.
+        assert_eq!(r.schedule(10, 20), (100, 120));
+        assert_eq!(r.queue_delay(110), 10);
+        assert_eq!(r.served(), 2);
+        assert_eq!(r.busy_us(), 120);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut r = Resource::new();
+        r.schedule(0, 500);
+        assert!((r.utilization(1000) - 0.5).abs() < 1e-9);
+        assert_eq!(r.utilization(0), 0.0);
+        r.schedule(0, 10_000);
+        assert_eq!(r.utilization(100), 1.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = Resource::new();
+        r.schedule(0, 100);
+        r.reset();
+        assert_eq!(r.free_at(), 0);
+        assert_eq!(r.served(), 0);
+    }
+
+    #[test]
+    fn multi_resource_uses_idle_servers_in_parallel() {
+        let mut m = MultiResource::new(2);
+        let (s1, f1) = m.schedule(0, 100);
+        let (s2, f2) = m.schedule(0, 100);
+        // Both start immediately on distinct servers.
+        assert_eq!((s1, s2), (0, 0));
+        assert_eq!((f1, f2), (100, 100));
+        // Third item waits for the earliest finisher.
+        let (s3, _) = m.schedule(0, 50);
+        assert_eq!(s3, 100);
+        assert_eq!(m.capacity(), 2);
+    }
+
+    #[test]
+    fn multi_resource_with_zero_servers_clamps_to_one() {
+        let m = MultiResource::new(0);
+        assert_eq!(m.capacity(), 1);
+    }
+
+    #[test]
+    fn multi_resource_utilization() {
+        let mut m = MultiResource::new(4);
+        for _ in 0..4 {
+            m.schedule(0, 100);
+        }
+        assert!((m.utilization(100) - 1.0).abs() < 1e-9);
+        assert!((m.utilization(200) - 0.5).abs() < 1e-9);
+        assert_eq!(m.earliest_free(), 100);
+    }
+
+    #[test]
+    fn single_and_multi_agree_for_k_equals_one() {
+        let mut r = Resource::new();
+        let mut m = MultiResource::new(1);
+        for (arrival, service) in [(0, 10), (3, 20), (100, 5)] {
+            assert_eq!(r.schedule(arrival, service), m.schedule(arrival, service));
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! A multi-version key-value store.
+//!
+//! Every concurrency-control scheme in `dichotomy-txn` needs versioned
+//! state: Fabric's optimistic validation compares the version a transaction
+//! read against the currently committed version; TiDB/Percolator reads at a
+//! snapshot timestamp; Spanner-style locking also reads snapshots. The MVCC
+//! store keeps, per key, the list of committed versions (a commit version
+//! number plus the value or a deletion marker), supports reads "as of" a
+//! version, and can garbage-collect versions older than a watermark.
+
+use std::collections::BTreeMap;
+
+use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
+use dichotomy_common::{Key, Value, Version};
+
+/// One committed version of a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// The commit version (monotonically increasing store-wide).
+    pub version: Version,
+    /// The value, or `None` for a deletion.
+    pub value: Option<Value>,
+}
+
+/// The multi-version store.
+#[derive(Debug, Default)]
+pub struct MvccStore {
+    /// Per key: committed versions in ascending version order.
+    data: BTreeMap<Key, Vec<VersionedValue>>,
+    /// Highest version committed so far.
+    latest_version: Version,
+}
+
+impl MvccStore {
+    /// An empty store at version 0.
+    pub fn new() -> Self {
+        MvccStore::default()
+    }
+
+    /// Highest committed version.
+    pub fn latest_version(&self) -> Version {
+        self.latest_version
+    }
+
+    /// Allocate the next commit version (callers then pass it to
+    /// [`commit_write`](Self::commit_write) for each key in the write set).
+    pub fn begin_commit(&mut self) -> Version {
+        self.latest_version += 1;
+        self.latest_version
+    }
+
+    /// Record a committed write of `key` at `version`.
+    ///
+    /// Versions must be appended in non-decreasing order per key; this is
+    /// guaranteed when versions come from [`begin_commit`](Self::begin_commit).
+    pub fn commit_write(&mut self, key: Key, version: Version, value: Option<Value>) {
+        self.latest_version = self.latest_version.max(version);
+        let versions = self.data.entry(key).or_default();
+        debug_assert!(
+            versions.last().map_or(true, |v| v.version <= version),
+            "versions must be appended in order"
+        );
+        versions.push(VersionedValue { version, value });
+    }
+
+    /// The latest committed version number of `key`, if the key has ever been
+    /// written (deletions still count as versions — Fabric's validation
+    /// treats a deleted key's version as its latest write).
+    pub fn latest_key_version(&self, key: &Key) -> Option<Version> {
+        self.data.get(key).and_then(|v| v.last()).map(|v| v.version)
+    }
+
+    /// Read the latest committed value of `key`.
+    pub fn get_latest(&self, key: &Key) -> Option<Value> {
+        self.data
+            .get(key)
+            .and_then(|v| v.last())
+            .and_then(|v| v.value.clone())
+    }
+
+    /// Read the value of `key` as of `snapshot` (the newest version with
+    /// `version <= snapshot`).
+    pub fn get_at(&self, key: &Key, snapshot: Version) -> Option<Value> {
+        let versions = self.data.get(key)?;
+        let idx = versions.partition_point(|v| v.version <= snapshot);
+        if idx == 0 {
+            None
+        } else {
+            versions[idx - 1].value.clone()
+        }
+    }
+
+    /// Read the (version, value) pair visible at `snapshot`.
+    pub fn read_versioned(&self, key: &Key, snapshot: Version) -> Option<(Version, Option<Value>)> {
+        let versions = self.data.get(key)?;
+        let idx = versions.partition_point(|v| v.version <= snapshot);
+        if idx == 0 {
+            None
+        } else {
+            let v = &versions[idx - 1];
+            Some((v.version, v.value.clone()))
+        }
+    }
+
+    /// Number of keys that have ever been written.
+    pub fn key_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of live keys (latest version is not a deletion).
+    pub fn live_key_count(&self) -> usize {
+        self.data
+            .values()
+            .filter(|v| v.last().map_or(false, |vv| vv.value.is_some()))
+            .count()
+    }
+
+    /// Total number of stored versions across all keys.
+    pub fn version_count(&self) -> usize {
+        self.data.values().map(Vec::len).sum()
+    }
+
+    /// Drop all versions strictly older than the newest version that is
+    /// `<= watermark` for each key (standard MVCC garbage collection: the
+    /// snapshot at `watermark` must remain readable).
+    pub fn gc(&mut self, watermark: Version) {
+        for versions in self.data.values_mut() {
+            let keep_from = versions
+                .partition_point(|v| v.version <= watermark)
+                .saturating_sub(1);
+            versions.drain(..keep_from);
+        }
+        self.data.retain(|_, v| !v.is_empty());
+    }
+}
+
+impl StorageFootprint for MvccStore {
+    fn footprint(&self) -> StorageBreakdown {
+        let mut payload = 0u64;
+        let mut history = 0u64;
+        let mut index = 0u64;
+        for (key, versions) in &self.data {
+            index += key.len() as u64 + 16;
+            for (i, v) in versions.iter().enumerate() {
+                let bytes = v.value.as_ref().map_or(1, Value::len) as u64 + 8;
+                if i + 1 == versions.len() {
+                    payload += bytes;
+                } else {
+                    history += bytes;
+                }
+            }
+        }
+        StorageBreakdown {
+            payload_bytes: payload,
+            index_bytes: index,
+            history_bytes: history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from_str(s)
+    }
+
+    #[test]
+    fn snapshot_reads_see_only_older_versions() {
+        let mut s = MvccStore::new();
+        let v1 = s.begin_commit();
+        s.commit_write(k("a"), v1, Some(Value::filler(1)));
+        let v2 = s.begin_commit();
+        s.commit_write(k("a"), v2, Some(Value::filler(2)));
+
+        assert_eq!(s.get_at(&k("a"), v1).unwrap().len(), 1);
+        assert_eq!(s.get_at(&k("a"), v2).unwrap().len(), 2);
+        assert_eq!(s.get_at(&k("a"), 0), None);
+        assert_eq!(s.get_latest(&k("a")).unwrap().len(), 2);
+        assert_eq!(s.latest_key_version(&k("a")), Some(v2));
+    }
+
+    #[test]
+    fn deletions_are_versions() {
+        let mut s = MvccStore::new();
+        let v1 = s.begin_commit();
+        s.commit_write(k("a"), v1, Some(Value::filler(4)));
+        let v2 = s.begin_commit();
+        s.commit_write(k("a"), v2, None);
+        assert_eq!(s.get_latest(&k("a")), None);
+        assert_eq!(s.get_at(&k("a"), v1).unwrap().len(), 4);
+        assert_eq!(s.latest_key_version(&k("a")), Some(v2));
+        assert_eq!(s.live_key_count(), 0);
+        assert_eq!(s.key_count(), 1);
+    }
+
+    #[test]
+    fn read_versioned_returns_the_version_read() {
+        let mut s = MvccStore::new();
+        let v1 = s.begin_commit();
+        s.commit_write(k("x"), v1, Some(Value::filler(8)));
+        let (ver, val) = s.read_versioned(&k("x"), v1 + 100).unwrap();
+        assert_eq!(ver, v1);
+        assert_eq!(val.unwrap().len(), 8);
+        assert!(s.read_versioned(&k("missing"), 10).is_none());
+    }
+
+    #[test]
+    fn gc_keeps_snapshot_at_watermark_readable() {
+        let mut s = MvccStore::new();
+        for i in 1..=10u64 {
+            let v = s.begin_commit();
+            s.commit_write(k("hot"), v, Some(Value::filler(i as usize)));
+        }
+        assert_eq!(s.version_count(), 10);
+        s.gc(5);
+        // The version visible at 5 must still be readable.
+        assert_eq!(s.get_at(&k("hot"), 5).unwrap().len(), 5);
+        // Everything older is gone.
+        assert!(s.version_count() <= 6);
+        // Latest still intact.
+        assert_eq!(s.get_latest(&k("hot")).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn footprint_splits_live_and_history() {
+        let mut s = MvccStore::new();
+        let v1 = s.begin_commit();
+        s.commit_write(k("a"), v1, Some(Value::filler(100)));
+        let v2 = s.begin_commit();
+        s.commit_write(k("a"), v2, Some(Value::filler(200)));
+        let fp = s.footprint();
+        assert_eq!(fp.payload_bytes, 200 + 8);
+        assert_eq!(fp.history_bytes, 100 + 8);
+        assert!(fp.index_bytes > 0);
+    }
+
+    #[test]
+    fn version_numbers_are_monotone() {
+        let mut s = MvccStore::new();
+        let a = s.begin_commit();
+        let b = s.begin_commit();
+        assert!(b > a);
+        assert_eq!(s.latest_version(), b);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests: every storage engine must behave like a reference
+//! `BTreeMap` under arbitrary workloads, and the MVCC store must preserve
+//! snapshot semantics under garbage collection.
+
+use proptest::prelude::*;
+
+use dichotomy_common::{Key, Value};
+use dichotomy_storage::{BPlusTree, KvEngine, LsmTree, MvccStore, SkipList};
+
+/// Apply a random op sequence to an engine and a reference map, then compare.
+fn run_against_reference(engine: &mut dyn KvEngine, ops: &[(u8, u16, u16)]) {
+    use std::collections::BTreeMap;
+    let mut reference: BTreeMap<Key, Value> = BTreeMap::new();
+    for &(op, kn, vn) in ops {
+        let key = Key::from_str(&format!("key{:05}", kn % 300));
+        match op % 4 {
+            0 | 1 | 2 => {
+                let value = Value::filler((vn % 128) as usize + 1);
+                reference.insert(key.clone(), value.clone());
+                engine.put(key, value);
+            }
+            _ => {
+                let expected = reference.remove(&key).is_some();
+                assert_eq!(engine.delete(&key), expected);
+            }
+        }
+    }
+    assert_eq!(engine.len(), reference.len());
+    for (k, v) in &reference {
+        assert_eq!(engine.get(k).as_ref(), Some(v));
+    }
+    let lo = Key::from_str("key00000");
+    let hi = Key::from_str("key99999");
+    let scanned = engine.scan(&lo, &hi);
+    let expected: Vec<(Key, Value)> = reference
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    assert_eq!(scanned, expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lsm_matches_reference(ops in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..400)) {
+        // A tiny memtable forces flushes and compactions mid-workload.
+        let mut t = LsmTree::with_config(dichotomy_storage::lsm::LsmConfig {
+            memtable_budget_bytes: 512,
+            max_runs: 4,
+        });
+        run_against_reference(&mut t, &ops);
+    }
+
+    #[test]
+    fn btree_matches_reference(ops in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..400)) {
+        let mut t = BPlusTree::new();
+        run_against_reference(&mut t, &ops);
+    }
+
+    #[test]
+    fn skiplist_matches_reference(ops in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..400)) {
+        let mut t = SkipList::new(42);
+        run_against_reference(&mut t, &ops);
+    }
+
+    #[test]
+    fn mvcc_snapshots_are_stable_under_gc(
+        writes in prop::collection::vec((0u16..50, 1u16..64), 1..200),
+        gc_fraction in 0.0f64..1.0,
+    ) {
+        let mut store = MvccStore::new();
+        let mut commits: Vec<(u64, Key, usize)> = Vec::new();
+        for (kn, len) in writes {
+            let key = Key::from_str(&format!("k{kn:03}"));
+            let v = store.begin_commit();
+            store.commit_write(key.clone(), v, Some(Value::filler(len as usize)));
+            commits.push((v, key, len as usize));
+        }
+        let latest = store.latest_version();
+        let watermark = (latest as f64 * gc_fraction) as u64;
+        // Snapshot visible at the watermark before GC...
+        let expectations: Vec<(Key, Option<usize>)> = commits
+            .iter()
+            .map(|(_, key, _)| {
+                (key.clone(), store.get_at(key, watermark.max(1)).map(|v| v.len()))
+            })
+            .collect();
+        store.gc(watermark.max(1));
+        // ...must be identical after GC.
+        for (key, expected_len) in expectations {
+            prop_assert_eq!(store.get_at(&key, watermark.max(1)).map(|v| v.len()), expected_len);
+        }
+        // And the latest version of each key is always readable.
+        for (v, key, len) in commits.iter().rev() {
+            if store.latest_key_version(key) == Some(*v) {
+                prop_assert_eq!(store.get_latest(key).unwrap().len(), *len);
+            }
+        }
+    }
+}

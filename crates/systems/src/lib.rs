@@ -1,0 +1,31 @@
+//! Models of the seven systems the paper benchmarks (Section 4.1), assembled
+//! from the substrate crates:
+//!
+//! | Model | Paper system | Replication | Concurrency | Storage |
+//! |---|---|---|---|---|
+//! | [`quorum::Quorum`] | Quorum v2.2 | txn-based, Raft or IBFT | serial (order-execute, double execution) | LSM + MPT + ledger |
+//! | [`fabric::Fabric`] | Fabric v2.2 | txn-based, shared-log orderer (Raft, 3 orderers) | concurrent simulation, OCC validation, serial commit | LSM + ledger |
+//! | [`tidb::TiDb`] | TiDB v4.0 | storage-based, Raft per region | Percolator (snapshot isolation) | LSM (TiKV) |
+//! | [`etcd::Etcd`] | etcd v3.3 | storage-based, single Raft group | serial | B+ tree (BoltDB) |
+//! | [`etcd::Tikv`] | TiKV (standalone) | storage-based, Raft | serial apply, no SQL/txn layer | LSM |
+//! | [`sharded::SpannerLike`] | Spanner | storage-based, Paxos per shard | pessimistic 2PL (wound-wait) + 2PC | LSM |
+//! | [`sharded::Ahl`] | AHL | txn-based, PBFT per shard | serial, BFT-2PC cross-shard | LSM + MBT + ledger |
+//!
+//! Every model implements [`TransactionalSystem`]: the driver in
+//! `dichotomy-core` feeds arrivals in simulated time and collects
+//! [`TxnReceipt`](dichotomy_common::TxnReceipt)s with per-phase latencies, so
+//! the same harness regenerates every figure.
+
+pub mod etcd;
+pub mod fabric;
+pub mod pipeline;
+pub mod quorum;
+pub mod sharded;
+pub mod tidb;
+
+pub use etcd::{Etcd, EtcdConfig, Tikv};
+pub use fabric::{Fabric, FabricConfig};
+pub use pipeline::{BlockCutter, SystemKind, TransactionalSystem};
+pub use quorum::{Quorum, QuorumConfig};
+pub use sharded::{Ahl, AhlConfig, ShardedTiDb, SpannerLike, SpannerLikeConfig};
+pub use tidb::{TiDb, TiDbConfig};

@@ -1,0 +1,184 @@
+//! The shared system-model interface and batching helpers.
+
+use dichotomy_common::size::StorageBreakdown;
+use dichotomy_common::{Key, Timestamp, Transaction, TxnReceipt, Value};
+
+/// Which of the benchmarked systems a model stands for (used in reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    Quorum,
+    Fabric,
+    TiDb,
+    Etcd,
+    Tikv,
+    SpannerLike,
+    Ahl,
+}
+
+impl SystemKind {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::Quorum => "Quorum",
+            SystemKind::Fabric => "Fabric",
+            SystemKind::TiDb => "TiDB",
+            SystemKind::Etcd => "etcd",
+            SystemKind::Tikv => "TiKV",
+            SystemKind::SpannerLike => "Spanner-like",
+            SystemKind::Ahl => "AHL",
+        }
+    }
+}
+
+/// The interface every system model exposes to the experiment driver.
+pub trait TransactionalSystem {
+    /// Which system this is.
+    fn kind(&self) -> SystemKind;
+
+    /// Bulk-load the initial records (not timed).
+    fn load(&mut self, records: &[(Key, Value)]);
+
+    /// Submit a transaction arriving at `arrival` (simulated µs). Read-write
+    /// transactions may be batched internally; their receipts appear from
+    /// [`drain_receipts`](Self::drain_receipts) after the batch commits.
+    fn submit(&mut self, txn: Transaction, arrival: Timestamp);
+
+    /// Force any partially filled batch to be processed (end of run, or a
+    /// block-interval tick with an empty arrival stream).
+    fn flush(&mut self, now: Timestamp);
+
+    /// Receipts completed since the last drain.
+    fn drain_receipts(&mut self) -> Vec<TxnReceipt>;
+
+    /// Current storage footprint across state, indexes and ledger/history.
+    fn footprint(&self) -> StorageBreakdown;
+
+    /// Number of nodes in the deployment.
+    fn node_count(&self) -> usize;
+}
+
+/// Groups submitted transactions into blocks the way a blockchain's block
+/// producer / ordering service cuts them: a block is emitted when it holds
+/// `max_txns` transactions or when `timeout_us` has elapsed since its first
+/// transaction arrived, whichever comes first.
+#[derive(Debug)]
+pub struct BlockCutter {
+    max_txns: usize,
+    timeout_us: u64,
+    pending: Vec<(Transaction, Timestamp)>,
+    first_arrival: Option<Timestamp>,
+}
+
+impl BlockCutter {
+    /// A cutter with the given limits.
+    pub fn new(max_txns: usize, timeout_us: u64) -> Self {
+        BlockCutter {
+            max_txns: max_txns.max(1),
+            timeout_us: timeout_us.max(1),
+            pending: Vec::new(),
+            first_arrival: None,
+        }
+    }
+
+    /// Number of transactions waiting in the open block.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Add a transaction; returns a cut batch if this arrival closed a block
+    /// (either because an older pending block timed out before `arrival`, or
+    /// because the size limit was reached).
+    pub fn add(
+        &mut self,
+        txn: Transaction,
+        arrival: Timestamp,
+    ) -> Option<(Vec<(Transaction, Timestamp)>, Timestamp)> {
+        // If the open block has already timed out by the time this arrival
+        // happens, cut it first and start a new block with this transaction.
+        if let Some(first) = self.first_arrival {
+            if arrival >= first + self.timeout_us && !self.pending.is_empty() {
+                let cut_time = first + self.timeout_us;
+                let batch = std::mem::take(&mut self.pending);
+                self.pending.push((txn, arrival));
+                self.first_arrival = Some(arrival);
+                return Some((batch, cut_time));
+            }
+        }
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(arrival);
+        }
+        self.pending.push((txn, arrival));
+        if self.pending.len() >= self.max_txns {
+            let cut_time = arrival;
+            let batch = std::mem::take(&mut self.pending);
+            self.first_arrival = None;
+            return Some((batch, cut_time));
+        }
+        None
+    }
+
+    /// Cut whatever is pending (end of run / timer tick at `now`).
+    pub fn cut(&mut self, now: Timestamp) -> Option<(Vec<(Transaction, Timestamp)>, Timestamp)> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let first = self.first_arrival.take().unwrap_or(now);
+        let cut_time = now.max(first).min(first + self.timeout_us).max(first);
+        let batch = std::mem::take(&mut self.pending);
+        Some((batch, cut_time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dichotomy_common::{ClientId, Operation, TxnId};
+
+    fn txn(seq: u64) -> Transaction {
+        Transaction::new(
+            TxnId::new(ClientId(1), seq),
+            vec![Operation::write(Key::from_str("k"), Value::filler(4))],
+        )
+    }
+
+    #[test]
+    fn cuts_on_size_limit() {
+        let mut c = BlockCutter::new(3, 1_000_000);
+        assert!(c.add(txn(1), 10).is_none());
+        assert!(c.add(txn(2), 20).is_none());
+        let (batch, at) = c.add(txn(3), 30).expect("size cut");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(at, 30);
+        assert_eq!(c.pending_len(), 0);
+    }
+
+    #[test]
+    fn cuts_on_timeout_when_a_late_arrival_shows_up() {
+        let mut c = BlockCutter::new(100, 500);
+        c.add(txn(1), 0);
+        c.add(txn(2), 100);
+        // This arrival is past the timeout of the open block.
+        let (batch, at) = c.add(txn(3), 900).expect("timeout cut");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(at, 500);
+        assert_eq!(c.pending_len(), 1);
+    }
+
+    #[test]
+    fn explicit_cut_flushes_pending() {
+        let mut c = BlockCutter::new(100, 500);
+        assert!(c.cut(0).is_none());
+        c.add(txn(1), 100);
+        let (batch, at) = c.cut(10_000).expect("flush");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(at, 600);
+        assert!(c.cut(20_000).is_none());
+    }
+
+    #[test]
+    fn system_kind_names() {
+        assert_eq!(SystemKind::Quorum.name(), "Quorum");
+        assert_eq!(SystemKind::TiDb.name(), "TiDB");
+        assert_eq!(SystemKind::Ahl.name(), "AHL");
+    }
+}
