@@ -1,0 +1,186 @@
+//! Microbenchmarks over the substrates the system models are built from:
+//! hashing, authenticated-index updates, storage-engine writes, OCC
+//! validation, consensus-profile commit latencies and the end-to-end
+//! per-transaction pipelines of a blockchain vs a database (a miniature
+//! Figure 4).
+//!
+//! ```text
+//! cargo run -p dichotomy-bench --release --bin microbench
+//! cargo run -p dichotomy-bench --release --bin microbench -- mpt lsm
+//! ```
+//!
+//! This is a dependency-free replacement for the Criterion bench the seed
+//! shipped: each benchmark runs a warmup pass, then times `iters` iterations
+//! with `std::time::Instant`, excluding per-iteration setup. Arguments filter
+//! benchmarks by substring match on the name.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use dichotomy_core::common::{hash, ClientId, Key, Operation, Transaction, TxnId, Value};
+use dichotomy_core::consensus::{ProtocolKind, ReplicationProfile};
+use dichotomy_core::driver::{run_workload, DriverConfig};
+use dichotomy_core::merkle::{MerkleBucketTree, MerklePatriciaTrie};
+use dichotomy_core::simnet::{CostModel, NetworkConfig};
+use dichotomy_core::storage::{BPlusTree, KvEngine, LsmTree, MvccStore};
+use dichotomy_core::systems::{Etcd, EtcdConfig, Quorum, QuorumConfig};
+use dichotomy_core::txn::OccExecutor;
+use dichotomy_core::workload::{YcsbConfig, YcsbMix, YcsbWorkload};
+
+/// Time `routine` over `iters` fresh states from `setup`, excluding setup
+/// time, and print a mean ns/op line.
+fn bench_batched<S, R>(
+    name: &str,
+    iters: u32,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> R,
+) {
+    for _ in 0..(iters / 10).max(1) {
+        black_box(routine(setup()));
+    }
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let state = setup();
+        let start = Instant::now();
+        let result = routine(state);
+        total += start.elapsed();
+        black_box(result);
+    }
+    let ns_per_op = total.as_nanos() as f64 / iters as f64;
+    println!("{name:<34} {iters:>7} iters {ns_per_op:>14.0} ns/op");
+}
+
+/// Time a self-contained routine (no per-iteration setup).
+fn bench<R>(name: &str, iters: u32, mut routine: impl FnMut() -> R) {
+    bench_batched(name, iters, || (), |()| routine());
+}
+
+fn bench_hashing() {
+    let data = vec![0xabu8; 1024];
+    bench("sha256_1kb", 2_000, || hash::sha256(&data));
+}
+
+fn bench_authenticated_indexes() {
+    bench_batched(
+        "mpt_insert_1kb",
+        300,
+        || {
+            let mut mpt = MerklePatriciaTrie::new();
+            for i in 0..500u64 {
+                mpt.insert(&Key::from_str(&format!("user{i:08}")), &Value::filler(100));
+            }
+            mpt
+        },
+        |mut mpt| {
+            mpt.insert(&Key::from_str("user00000042"), &Value::filler(1024));
+            mpt.root_hash()
+        },
+    );
+    bench_batched(
+        "mbt_put_1kb",
+        300,
+        MerkleBucketTree::fabric_default,
+        |mut mbt| {
+            mbt.put(&Key::from_str("user42"), &Value::filler(1024));
+            mbt.root_hash()
+        },
+    );
+}
+
+fn bench_storage_engines() {
+    bench_batched("lsm_put_1kb", 2_000, LsmTree::new, |mut t| {
+        t.put(Key::from_str("k1"), Value::filler(1024))
+    });
+    bench_batched("btree_put_1kb", 2_000, BPlusTree::new, |mut t| {
+        t.put(Key::from_str("k1"), Value::filler(1024))
+    });
+}
+
+fn bench_occ_validation() {
+    bench_batched(
+        "occ_simulate_validate_commit",
+        1_000,
+        || {
+            let mut store = MvccStore::new();
+            let v = store.begin_commit();
+            for i in 0..200u64 {
+                store.commit_write(Key::from_str(&format!("k{i}")), v, Some(Value::filler(64)));
+            }
+            (store, OccExecutor::new())
+        },
+        |(mut store, mut occ)| {
+            let txn = Transaction::new(
+                TxnId::new(ClientId(1), 1),
+                vec![Operation::read_modify_write(
+                    Key::from_str("k7"),
+                    Value::filler(64),
+                )],
+            );
+            let sim = occ.simulate(&txn, &store);
+            occ.validate_and_commit(&sim, &mut store).unwrap()
+        },
+    );
+}
+
+fn bench_consensus_profiles() {
+    for (name, kind) in [
+        ("profile_raft_commit_latency", ProtocolKind::Raft),
+        ("profile_pbft_commit_latency", ProtocolKind::Pbft),
+    ] {
+        let profile = ReplicationProfile::new(
+            kind,
+            7,
+            NetworkConfig::lan_1gbps(),
+            CostModel::default(),
+        );
+        bench(name, 10_000, || profile.commit_latency_us(black_box(4096)));
+    }
+}
+
+fn bench_end_to_end() {
+    bench("end_to_end_quorum_update_200", 10, || {
+        let mut system = Quorum::new(QuorumConfig {
+            max_block_txns: 50,
+            block_interval_us: 50_000,
+            ..QuorumConfig::default()
+        });
+        let mut workload = YcsbWorkload::new(YcsbConfig {
+            record_count: 500,
+            record_size: 200,
+            mix: YcsbMix::UpdateOnly,
+            ..YcsbConfig::default()
+        });
+        run_workload(&mut system, &mut workload, &DriverConfig::saturating(200))
+    });
+    bench("end_to_end_etcd_update_200", 10, || {
+        let mut system = Etcd::new(EtcdConfig::default());
+        let mut workload = YcsbWorkload::new(YcsbConfig {
+            record_count: 500,
+            record_size: 200,
+            mix: YcsbMix::UpdateOnly,
+            ..YcsbConfig::default()
+        });
+        run_workload(&mut system, &mut workload, &DriverConfig::saturating(200))
+    });
+}
+
+fn main() {
+    let filters: Vec<String> = std::env::args().skip(1).collect();
+    let groups: &[(&str, fn())] = &[
+        ("sha256", bench_hashing),
+        ("mpt mbt", bench_authenticated_indexes),
+        ("lsm btree", bench_storage_engines),
+        ("occ", bench_occ_validation),
+        ("profile", bench_consensus_profiles),
+        ("end_to_end", bench_end_to_end),
+    ];
+    for (keys, run) in groups {
+        let selected = filters.is_empty()
+            || filters
+                .iter()
+                .any(|f| keys.split(' ').any(|k| k.contains(f.as_str())));
+        if selected {
+            run();
+        }
+    }
+}

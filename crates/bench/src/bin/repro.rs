@@ -5,24 +5,82 @@
 //! cargo run -p dichotomy-bench --release --bin repro -- fig09
 //! cargo run -p dichotomy-bench --release --bin repro -- --quick fig04 fig14
 //! ```
+//!
+//! Unknown experiment ids exit nonzero after printing the valid list. An
+//! `all` run continues past a panicking experiment and reports a
+//! per-experiment error summary at the end (exiting nonzero if anything
+//! failed), so one broken figure never hides the rest.
+
+use dichotomy_bench::EXPERIMENTS;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let unknown_flags: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with("--") && *a != "--quick")
+        .map(String::as_str)
+        .collect();
+    if !unknown_flags.is_empty() {
+        for flag in &unknown_flags {
+            eprintln!("unknown flag '{flag}'");
+        }
+        eprintln!("valid flags: --quick");
+        std::process::exit(2);
+    }
     let requested: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
+
+    let unknown: Vec<&str> = requested
+        .iter()
+        .copied()
+        .filter(|id| *id != "all" && !EXPERIMENTS.contains(id))
+        .collect();
+    if !unknown.is_empty() {
+        for id in &unknown {
+            eprintln!("unknown experiment '{id}'");
+        }
+        eprintln!("valid experiments: all {}", EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+
     let targets: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
-        dichotomy_bench::EXPERIMENTS.to_vec()
+        EXPERIMENTS.to_vec()
     } else {
         requested
     };
+
+    let total = targets.len();
+    let mut failures: Vec<(&str, String)> = Vec::new();
     for id in targets {
-        match dichotomy_bench::run_experiment(id, quick) {
-            Some(report) => println!("{report}"),
-            None => eprintln!("unknown experiment '{id}'; known: {:?}", dichotomy_bench::EXPERIMENTS),
+        let outcome = std::panic::catch_unwind(|| dichotomy_bench::run_experiment(id, quick));
+        match outcome {
+            Ok(Some(report)) => println!("{report}"),
+            // The dispatch table and EXPERIMENTS disagree — a bug, but one
+            // `all` should survive like any other per-experiment failure.
+            Ok(None) => failures.push((id, "not in the dispatch table".to_string())),
+            Err(panic) => failures.push((id, panic_message(&panic))),
         }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("{} of {} experiments failed:", failures.len(), total);
+        for (id, msg) in &failures {
+            eprintln!("  {id}: {msg}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked (non-string payload)".to_string()
     }
 }

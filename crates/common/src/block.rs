@@ -7,14 +7,13 @@
 //! leaves it empty (Fabric ≥ v1 has no authenticated state index), and the
 //! Fabric-v0.6 / AHL models fill it with the Merkle Bucket Tree root.
 
-use serde::{Deserialize, Serialize};
-
+use crate::codec::Encode;
 use crate::hash::{Hash, Hasher};
 use crate::txn::Transaction;
 use crate::types::{NodeId, Timestamp};
 
 /// Block header: the part that is hashed and chained.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockHeader {
     /// Height of this block in the chain (genesis = 0).
     pub height: u64,
@@ -53,7 +52,7 @@ impl BlockHeader {
 }
 
 /// A block: header plus the transaction batch it commits.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// The chained header.
     pub header: BlockHeader,
@@ -137,6 +136,24 @@ impl Block {
     pub fn wire_bytes(&self) -> usize {
         const HEADER_BYTES: usize = 8 + 32 + 32 + 33 + 8 + 8;
         HEADER_BYTES + self.txns.iter().map(Transaction::wire_bytes).sum::<usize>()
+    }
+}
+
+impl Encode for BlockHeader {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.height.encode_into(out);
+        self.prev_hash.encode_into(out);
+        self.txns_digest.encode_into(out);
+        self.state_root.encode_into(out);
+        self.proposer.encode_into(out);
+        self.timestamp.encode_into(out);
+    }
+}
+
+impl Encode for Block {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.header.encode_into(out);
+        self.txns.encode_into(out);
     }
 }
 

@@ -1,0 +1,176 @@
+//! A minimal in-repo wire encoding.
+//!
+//! The seed of this reproduction derived `serde::{Serialize, Deserialize}` on
+//! the shared data types, but nothing ever serialized through serde — the
+//! derives existed only to mark "this type crosses a wire or sits on disk".
+//! Because the workspace builds offline with no crates.io dependencies, that
+//! role is filled by this hand-rolled [`Encode`] trait instead: a canonical,
+//! deterministic byte encoding (big-endian fixed-width scalars, u32
+//! length-prefixed byte strings, one tag byte per enum variant) whose primary
+//! consumer is the byte-level storage accounting in [`crate::size`].
+
+/// Types with a canonical byte encoding.
+///
+/// The encoding is deterministic — equal values encode to equal bytes — so
+/// `encoded_len` is usable for storage and bandwidth accounting, and encoded
+/// forms are usable as hashing inputs.
+pub trait Encode {
+    /// Append the canonical encoding of `self` to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Size of the canonical encoding in bytes.
+    fn encoded_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf.len()
+    }
+
+    /// The canonical encoding as an owned buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+}
+
+macro_rules! impl_encode_scalar {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_be_bytes());
+            }
+            fn encoded_len(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+impl_encode_scalar!(u8, u16, u32, u64);
+
+impl Encode for f64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_be_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Encode for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+/// Byte strings are u32 length-prefixed (4 GiB is far beyond any record the
+/// experiments produce).
+impl Encode for [u8] {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_be_bytes());
+        out.extend_from_slice(self);
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl Encode for &str {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.as_bytes().encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+/// `None` is a single 0 tag byte; `Some(v)` is a 1 tag byte plus `v`.
+impl<T: Encode> Encode for Option<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Encode::encoded_len)
+    }
+}
+
+/// Sequences of encodable values are u32 count-prefixed.
+impl<T: Encode> Encode for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_be_bytes());
+        for item in self {
+            item.encode_into(out);
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_are_fixed_width_big_endian() {
+        assert_eq!(0x0102u16.encode(), vec![1, 2]);
+        assert_eq!(1u64.encode(), vec![0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(1u64.encoded_len(), 8);
+        assert_eq!(true.encode(), vec![1]);
+        assert_eq!(1.5f64.encode(), 1.5f64.to_bits().to_be_bytes().to_vec());
+    }
+
+    #[test]
+    fn byte_strings_are_length_prefixed() {
+        let v: Vec<u8> = b"abc".to_vec();
+        assert_eq!(v.encode(), vec![0, 0, 0, 3, b'a', b'b', b'c']);
+        assert_eq!(v.encoded_len(), 7);
+        assert_eq!("xy".encode(), vec![0, 0, 0, 2, b'x', b'y']);
+    }
+
+    #[test]
+    fn options_carry_a_tag_byte() {
+        assert_eq!(Option::<u8>::None.encode(), vec![0]);
+        assert_eq!(Some(7u8).encode(), vec![1, 7]);
+        assert_eq!(Some(7u8).encoded_len(), 2);
+    }
+
+    #[test]
+    fn sequences_are_count_prefixed() {
+        let v = vec![1u16, 2, 3];
+        assert_eq!(v.encode(), vec![0, 0, 0, 3, 0, 1, 0, 2, 0, 3]);
+        assert_eq!(v.encoded_len(), v.encode().len());
+    }
+
+    #[test]
+    fn encoded_len_matches_encode_for_composites() {
+        let pair = (42u64, Some(b"payload".to_vec()));
+        assert_eq!(pair.encoded_len(), pair.encode().len());
+    }
+
+    #[test]
+    fn distinct_values_encode_distinctly() {
+        // Length prefixes keep (["ab"], ["c"]) apart from (["a"], ["bc"]).
+        let a = (b"ab".to_vec(), b"c".to_vec()).encode();
+        let b = (b"a".to_vec(), b"bc".to_vec()).encode();
+        assert_ne!(a, b);
+    }
+}

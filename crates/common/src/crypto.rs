@@ -19,23 +19,41 @@
 //! pulling in a cryptography dependency, and it is stated as a substitution
 //! in DESIGN.md.
 
-use serde::{Deserialize, Serialize};
-
+use crate::codec::Encode;
 use crate::hash::Hash;
 use crate::types::NodeId;
 
 /// Public identity of a signer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PublicKey(pub Hash);
 
 /// A signature over a message: the authentication tag plus the signer's
 /// public key (as carried in real transaction envelopes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Signature {
     /// `H(secret || message)`.
     pub tag: Hash,
     /// Claimed signer.
     pub signer: PublicKey,
+}
+
+impl Encode for PublicKey {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        32
+    }
+}
+
+impl Encode for Signature {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.tag.encode_into(out);
+        self.signer.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        64
+    }
 }
 
 /// A signing key pair.

@@ -10,10 +10,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A 256-bit digest.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Hash(pub [u8; 32]);
 
 impl Hash {
@@ -65,6 +63,17 @@ impl Hash {
     /// shard assignment).
     pub fn prefix_u64(&self) -> u64 {
         u64::from_be_bytes(self.0[..8].try_into().expect("hash has 32 bytes"))
+    }
+}
+
+/// Digests encode as their 32 raw bytes: the width is fixed, so no length
+/// prefix is needed.
+impl crate::codec::Encode for Hash {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0);
+    }
+    fn encoded_len(&self) -> usize {
+        32
     }
 }
 

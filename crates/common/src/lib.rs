@@ -18,6 +18,7 @@
 //! threads. Time and cost live in `dichotomy-simnet`.
 
 pub mod block;
+pub mod codec;
 pub mod crypto;
 pub mod error;
 pub mod hash;
@@ -27,6 +28,7 @@ pub mod txn;
 pub mod types;
 
 pub use block::{Block, BlockHeader};
+pub use codec::Encode;
 pub use crypto::{KeyPair, PublicKey, Signature};
 pub use error::{CommonError, Result};
 pub use hash::{sha256, Hash, Hasher};

@@ -4,12 +4,24 @@
 //! per record in state storage, block storage, and under the MBT / MPT
 //! authenticated indexes). To regenerate them, every storage component in the
 //! workspace reports its footprint through the [`StorageFootprint`] trait,
-//! and the helpers here aggregate per-record costs.
+//! and the helpers here aggregate per-record costs. Payload sizes come from
+//! the canonical [`Encode`] byte encoding, so accounting matches what would
+//! actually sit on a wire or on disk.
 
-use serde::{Deserialize, Serialize};
+use crate::codec::Encode;
+
+/// Total canonical encoded size of a collection of values, in bytes — the
+/// payload term of a [`StorageBreakdown`].
+pub fn encoded_bytes<'a, T, I>(items: I) -> u64
+where
+    T: Encode + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    items.into_iter().map(|item| item.encoded_len() as u64).sum()
+}
 
 /// Breakdown of a component's storage consumption in bytes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StorageBreakdown {
     /// Bytes holding the raw record payloads (keys + values).
     pub payload_bytes: u64,
@@ -56,6 +68,33 @@ impl StorageBreakdown {
     }
 }
 
+impl StorageBreakdown {
+    /// A breakdown whose payload term is the canonical encoded size of
+    /// `items` (index and history start at zero; callers add their own).
+    pub fn of_payload<'a, T, I>(items: I) -> StorageBreakdown
+    where
+        T: Encode + 'a,
+        I: IntoIterator<Item = &'a T>,
+    {
+        StorageBreakdown {
+            payload_bytes: encoded_bytes(items),
+            index_bytes: 0,
+            history_bytes: 0,
+        }
+    }
+}
+
+impl Encode for StorageBreakdown {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.payload_bytes.encode_into(out);
+        self.index_bytes.encode_into(out);
+        self.history_bytes.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        24
+    }
+}
+
 /// Implemented by every component that occupies (simulated) storage.
 pub trait StorageFootprint {
     /// Report the component's current footprint.
@@ -83,6 +122,19 @@ mod tests {
         let b = StorageBreakdown::default();
         assert_eq!(b.per_record(0), 0.0);
         assert_eq!(b.overhead_per_record(0), 0.0);
+    }
+
+    #[test]
+    fn encoded_payload_accounting_matches_the_codec() {
+        use crate::types::Value;
+        let values = vec![Value::filler(10), Value::filler(100)];
+        // Each Value encodes as a 4-byte length prefix plus its payload.
+        assert_eq!(encoded_bytes(values.iter()), (4 + 10) + (4 + 100));
+        let b = StorageBreakdown::of_payload(values.iter());
+        assert_eq!(b.payload_bytes, 118);
+        assert_eq!(b.index_bytes, 0);
+        assert_eq!(b.total(), 118);
+        assert_eq!(b.encoded_len(), b.encode().len());
     }
 
     #[test]

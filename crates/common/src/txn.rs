@@ -8,14 +8,13 @@
 //! pessimistic, Percolator-style — live in `dichotomy-txn`; this module only
 //! defines the data.
 
-use serde::{Deserialize, Serialize};
-
+use crate::codec::Encode;
 use crate::crypto::{KeyPair, Signature};
 use crate::hash::{Hash, Hasher};
 use crate::types::{ClientId, Key, Timestamp, TxnId, Value, Version};
 
 /// What a single operation does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OperationKind {
     /// Read the current value of the key.
     Read,
@@ -28,7 +27,7 @@ pub enum OperationKind {
 }
 
 /// One key-level operation inside a transaction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Operation {
     /// Operation kind.
     pub kind: OperationKind,
@@ -86,7 +85,7 @@ impl Operation {
 /// Isolation level requested by the client; the paper's database experiments
 /// run TiDB at snapshot isolation and the blockchains at serializable
 /// (ledger-order) isolation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IsolationLevel {
     /// Reads see a consistent snapshot; write-write conflicts abort.
     Snapshot,
@@ -95,7 +94,7 @@ pub enum IsolationLevel {
 }
 
 /// A client-signed transaction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transaction {
     /// Globally unique id (client, sequence).
     pub id: TxnId,
@@ -229,9 +228,62 @@ impl Transaction {
     }
 }
 
+impl Encode for OperationKind {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            OperationKind::Read => 0,
+            OperationKind::Write => 1,
+            OperationKind::ReadModifyWrite => 2,
+        });
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Encode for Operation {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.kind.encode_into(out);
+        self.key.encode_into(out);
+        self.value.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.kind.encoded_len() + self.key.encoded_len() + self.value.encoded_len()
+    }
+}
+
+impl Encode for IsolationLevel {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            IsolationLevel::Snapshot => 0,
+            IsolationLevel::Serializable => 1,
+        });
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Encode for Transaction {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.id.encode_into(out);
+        self.ops.encode_into(out);
+        self.isolation.encode_into(out);
+        self.submit_time.encode_into(out);
+        self.signature.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len()
+            + self.ops.encoded_len()
+            + self.isolation.encoded_len()
+            + 8
+            + self.signature.encoded_len()
+    }
+}
+
 /// Why a transaction aborted. The categories mirror the paper's abort-rate
 /// analysis (Figures 9b and 10b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AbortReason {
     /// Fabric-style MVCC validation failure: a key read during simulation was
     /// overwritten before commit ("read-write conflict").
@@ -255,7 +307,7 @@ pub enum AbortReason {
 }
 
 /// Final status of a transaction as observed by the issuing client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxnStatus {
     /// Committed and durable.
     Committed,
@@ -274,7 +326,7 @@ impl TxnStatus {
 /// everything the benchmark harness needs to compute throughput, latency and
 /// abort-rate breakdowns, plus the per-phase latency decomposition used by
 /// Figures 8 and 11.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TxnReceipt {
     /// The transaction this receipt is for.
     pub txn_id: TxnId,
@@ -329,6 +381,53 @@ impl TxnReceipt {
             commit_version: None,
             phase_latencies: Vec::new(),
         }
+    }
+}
+
+impl Encode for AbortReason {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            AbortReason::ReadWriteConflict => 0,
+            AbortReason::InconsistentRead => 1,
+            AbortReason::WriteWriteConflict => 2,
+            AbortReason::LockConflict => 3,
+            AbortReason::CrossShardAbort => 4,
+            AbortReason::Overload => 5,
+            AbortReason::ApplicationConstraint => 6,
+        });
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Encode for TxnStatus {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            TxnStatus::Committed => out.push(0),
+            TxnStatus::Aborted(reason) => {
+                out.push(1);
+                reason.encode_into(out);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            TxnStatus::Committed => 1,
+            TxnStatus::Aborted(_) => 2,
+        }
+    }
+}
+
+impl Encode for TxnReceipt {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.txn_id.encode_into(out);
+        self.status.encode_into(out);
+        self.submit_time.encode_into(out);
+        self.finish_time.encode_into(out);
+        self.reads.encode_into(out);
+        self.commit_version.encode_into(out);
+        self.phase_latencies.encode_into(out);
     }
 }
 

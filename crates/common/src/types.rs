@@ -3,10 +3,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::codec::Encode;
 
 /// A logical node (replica/peer/orderer/server) in a simulated cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u64);
 
 impl NodeId {
@@ -28,7 +28,7 @@ impl fmt::Display for NodeId {
 }
 
 /// A client issuing transactions against one of the systems.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClientId(pub u64);
 
 impl fmt::Display for ClientId {
@@ -38,7 +38,7 @@ impl fmt::Display for ClientId {
 }
 
 /// A shard (data partition) identifier used by the sharding substrate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ShardId(pub u32);
 
 impl fmt::Display for ShardId {
@@ -48,7 +48,7 @@ impl fmt::Display for ShardId {
 }
 
 /// Globally unique transaction identifier (client id, client sequence).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId {
     /// Which client issued the transaction.
     pub client: ClientId,
@@ -83,7 +83,7 @@ pub type Version = u64;
 
 /// Record key. Keys are opaque byte strings; YCSB-style workloads use
 /// `user<zero-padded-number>` keys, Smallbank uses `acct:<n>:<field>`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key(pub Vec<u8>);
 
 impl Key {
@@ -121,7 +121,7 @@ impl fmt::Display for Key {
 
 /// Record value: an opaque byte payload whose size is one of the paper's
 /// experiment knobs (Table 3: 10–5000 bytes).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Value(pub Vec<u8>);
 
 impl Value {
@@ -155,6 +155,61 @@ impl Value {
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt_bytes_as_ascii(&self.0, f)
+    }
+}
+
+impl Encode for NodeId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Encode for ClientId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Encode for ShardId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl Encode for TxnId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.client.encode_into(out);
+        self.seq.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        16
+    }
+}
+
+impl Encode for Key {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.0.len()
+    }
+}
+
+impl Encode for Value {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.0.len()
     }
 }
 

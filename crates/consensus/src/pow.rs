@@ -10,9 +10,8 @@
 //! the longest chain. Actual hash grinding is pointless to reproduce, so
 //! mining times are sampled rather than computed.
 
-use rand::rngs::StdRng;
-
-use dichotomy_common::{rng, NodeId, Timestamp};
+use dichotomy_common::rng::{self, StdRng};
+use dichotomy_common::{NodeId, Timestamp};
 
 /// Configuration of the mining network.
 #[derive(Debug, Clone)]

@@ -10,9 +10,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use rand::Rng;
-
-use dichotomy_common::{rng, NodeId, Timestamp};
+use dichotomy_common::rng::{self, Rng};
+use dichotomy_common::{NodeId, Timestamp};
 use dichotomy_simnet::{EventQueue, FaultPlan, NetworkConfig, NetworkModel};
 
 /// One replicated log entry: an opaque payload (a batch of transactions, a
@@ -441,7 +440,7 @@ pub struct RaftCluster {
     queue: EventQueue<ClusterEvent>,
     network: NetworkModel,
     config: RaftConfig,
-    rng: rand::rngs::StdRng,
+    rng: rng::StdRng,
     next_payload: u64,
     /// payload_id -> commit time observed at the leader.
     commit_times: HashMap<u64, Timestamp>,

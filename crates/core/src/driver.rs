@@ -8,10 +8,10 @@
 //! measures saturated (peak) throughput; offering a trickle measures
 //! unsaturated latency — the two regimes Section 5.2.1 distinguishes.
 
-use dichotomy_common::{rng, ClientId, Timestamp};
+use dichotomy_common::rng::{self, Rng};
+use dichotomy_common::{ClientId, Timestamp};
 use dichotomy_systems::TransactionalSystem;
 use dichotomy_workload::Workload;
-use rand::Rng;
 
 use crate::metrics::Metrics;
 
@@ -98,7 +98,7 @@ pub fn run_workload(
         // arrival process at the offered rate.
         now += rng::exp_delay_us(&mut rng, mean_gap_us).max(1);
         // Small per-client jitter so clients do not submit in lockstep.
-        now += rng.gen_range(0..2);
+        now += rng.gen_range(0..2u64);
         txn.submit_time = now;
         system.submit(txn, now);
     }

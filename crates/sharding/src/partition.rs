@@ -1,8 +1,7 @@
 //! Data partitioning and shard (re-)formation.
 
-use rand::seq::SliceRandom;
-
-use dichotomy_common::{rng, Hash, Key, NodeId, ShardId};
+use dichotomy_common::rng::{self, SliceRandom};
+use dichotomy_common::{Hash, Key, NodeId, ShardId};
 
 /// How data is mapped to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -22,11 +22,11 @@
 //! lets ablation benches ask "what if signatures were free?" by zeroing a
 //! single field.
 
-use serde::{Deserialize, Serialize};
+use dichotomy_common::codec::Encode;
 
 /// CPU cost constants, all in microseconds (`_us`) or microseconds per byte
 /// (`_per_byte_us`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     // --- cryptography ---------------------------------------------------
     /// Fixed cost of one hash invocation (setup + finalization).
@@ -201,6 +201,33 @@ impl CostModel {
     /// CPU to check a received block header.
     pub fn block_header_check(&self) -> u64 {
         self.block_header_check_us.ceil() as u64
+    }
+}
+
+impl Encode for CostModel {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.hash_base_us.encode_into(out);
+        self.hash_per_byte_us.encode_into(out);
+        self.sig_sign_us.encode_into(out);
+        self.sig_verify_us.encode_into(out);
+        self.client_auth_us.encode_into(out);
+        self.chaincode_exec_base_us.encode_into(out);
+        self.evm_exec_base_us.encode_into(out);
+        self.evm_exec_per_byte_us.encode_into(out);
+        self.sql_parse_us.encode_into(out);
+        self.sql_compile_us.encode_into(out);
+        self.sql_coordinate_us.encode_into(out);
+        self.storage_get_base_us.encode_into(out);
+        self.storage_get_per_byte_us.encode_into(out);
+        self.storage_put_base_us.encode_into(out);
+        self.storage_put_per_byte_us.encode_into(out);
+        self.adr_node_update_us.encode_into(out);
+        self.adr_leaf_per_byte_us.encode_into(out);
+        self.log_append_us.encode_into(out);
+        self.block_header_check_us.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        19 * 8
     }
 }
 

@@ -7,17 +7,14 @@
 //! nodes and partitions (from [`crate::fault`]) make delivery fail, which the
 //! consensus protocols must tolerate.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-
-use dichotomy_common::rng;
+use dichotomy_common::codec::Encode;
+use dichotomy_common::rng::{self, Rng, StdRng};
 use dichotomy_common::{NodeId, Timestamp};
 
 use crate::fault::FaultPlan;
 
 /// Static description of the cluster network.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkConfig {
     /// One-way base latency between two distinct nodes, in µs. LAN default
     /// reflects the paper's in-house 1 Gb Ethernet cluster.
@@ -57,6 +54,18 @@ impl NetworkConfig {
             bandwidth_bytes_per_us: 12.5,
             loopback_latency_us: 5,
         }
+    }
+}
+
+impl Encode for NetworkConfig {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.base_latency_us.encode_into(out);
+        self.jitter_us.encode_into(out);
+        self.bandwidth_bytes_per_us.encode_into(out);
+        self.loopback_latency_us.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        32
     }
 }
 

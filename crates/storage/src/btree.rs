@@ -283,7 +283,7 @@ mod tests {
     #[test]
     fn reverse_and_random_insert_orders_work() {
         for seed in [1u64, 2, 3] {
-            use rand::seq::SliceRandom;
+            use dichotomy_common::rng::SliceRandom;
             let mut order: Vec<u32> = (0..500).collect();
             let mut rng = dichotomy_common::rng::seeded(seed);
             order.shuffle(&mut rng);

@@ -8,10 +8,7 @@
 //! [`read_amplification`](crate::engine::KvEngine::read_amplification)
 //! reports.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
-use dichotomy_common::rng;
+use dichotomy_common::rng::{self, Rng, StdRng};
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
 use dichotomy_common::{Key, Value};
 

@@ -7,8 +7,9 @@
 //! replay, and truncation (checkpointing), whose footprint counts as
 //! `history_bytes`.
 
+use dichotomy_common::codec::Encode;
 use dichotomy_common::hash::Hash;
-use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
+use dichotomy_common::size::{encoded_bytes, StorageBreakdown, StorageFootprint};
 use dichotomy_common::{Key, Value};
 
 /// One logical WAL record.
@@ -22,15 +23,36 @@ pub enum WalRecord {
     Commit { txn_seq: u64 },
 }
 
-impl WalRecord {
-    fn payload_bytes(&self) -> usize {
+/// The on-disk format of a record: a tag byte plus the canonical encoding of
+/// the fields. This is what the footprint accounting charges for.
+impl Encode for WalRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
-            WalRecord::Put { key, value } => key.len() + value.len(),
-            WalRecord::Delete { key } => key.len(),
+            WalRecord::Put { key, value } => {
+                out.push(0);
+                key.encode_into(out);
+                value.encode_into(out);
+            }
+            WalRecord::Delete { key } => {
+                out.push(1);
+                key.encode_into(out);
+            }
+            WalRecord::Commit { txn_seq } => {
+                out.push(2);
+                txn_seq.encode_into(out);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            WalRecord::Put { key, value } => key.encoded_len() + value.encoded_len(),
+            WalRecord::Delete { key } => key.encoded_len(),
             WalRecord::Commit { .. } => 8,
         }
     }
+}
 
+impl WalRecord {
     fn checksum(&self) -> Hash {
         match self {
             WalRecord::Put { key, value } => {
@@ -130,12 +152,10 @@ impl WriteAheadLog {
 
 impl StorageFootprint for WriteAheadLog {
     fn footprint(&self) -> StorageBreakdown {
-        // Per entry: payload + 32-byte checksum + 8-byte LSN + 4-byte length.
-        let history: u64 = self
-            .entries
-            .iter()
-            .map(|e| e.record.payload_bytes() as u64 + 32 + 8 + 4)
-            .sum();
+        // Per entry: the encoded record plus a 32-byte checksum and an
+        // 8-byte LSN.
+        let history = encoded_bytes(self.entries.iter().map(|e| &e.record))
+            + self.entries.len() as u64 * (32 + 8);
         StorageBreakdown {
             payload_bytes: 0,
             index_bytes: 0,
@@ -211,6 +231,8 @@ mod tests {
         let fp = wal.footprint();
         assert_eq!(fp.payload_bytes, 0);
         assert_eq!(fp.index_bytes, 0);
-        assert!(fp.history_bytes >= 50);
+        // The history charge is the canonical encoding plus the 40-byte
+        // checksum + LSN overhead.
+        assert_eq!(fp.history_bytes, put("k", 50).encoded_len() as u64 + 40);
     }
 }

@@ -83,7 +83,7 @@ pub struct Fabric {
     occ: OccExecutor,
     ledger: Ledger,
     receipts: VecDeque<TxnReceipt>,
-    rng: rand::rngs::StdRng,
+    rng: dichotomy_common::rng::StdRng,
     committed: u64,
     aborted_rw: u64,
     aborted_inconsistent: u64,
@@ -92,7 +92,6 @@ pub struct Fabric {
 impl Fabric {
     /// Build a Fabric deployment.
     pub fn new(config: FabricConfig) -> Self {
-        use rand::SeedableRng;
         Fabric {
             endorsers: MultiResource::new(config.peers.max(1) * 4),
             orderer: SharedLog::new(SharedLogConfig {
@@ -107,7 +106,7 @@ impl Fabric {
             occ: OccExecutor::new(),
             ledger: Ledger::new(NodeId(0)),
             receipts: VecDeque::new(),
-            rng: rand::rngs::StdRng::seed_from_u64(config.seed),
+            rng: dichotomy_common::rng::seeded(config.seed),
             committed: 0,
             aborted_rw: 0,
             aborted_inconsistent: 0,
@@ -134,7 +133,7 @@ impl Fabric {
         txn: &Transaction,
         arrival: Timestamp,
     ) -> Result<(Timestamp, u64), AbortReason> {
-        use rand::Rng;
+        use dichotomy_common::rng::Rng;
         let c = &self.config.costs;
         let simulate = c.client_auth()
             + c.chaincode_exec_us(txn.op_count(), txn.payload_bytes())
@@ -366,6 +365,9 @@ mod tests {
     fn non_conflicting_writes_commit_through_all_three_phases() {
         let mut f = Fabric::new(FabricConfig {
             max_block_txns: 10,
+            // This test exercises the happy path; endorsement divergence has
+            // its own test below.
+            endorsement_divergence: 0.0,
             ..FabricConfig::default()
         });
         seed_keys(&mut f, 50);

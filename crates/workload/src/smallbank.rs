@@ -8,10 +8,8 @@
 //! the combination that narrows the blockchain/database gap in the paper's
 //! measurements.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
-use dichotomy_common::{rng, ClientId, Key, KeyPair, Operation, Transaction, TxnId, Value};
+use dichotomy_common::rng::{self, Rng, StdRng};
+use dichotomy_common::{ClientId, Key, KeyPair, Operation, Transaction, TxnId, Value};
 
 use crate::zipf::ZipfianGenerator;
 use crate::Workload;

@@ -1,9 +1,7 @@
 //! The YCSB core workload with the knobs of Table 3.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
-use dichotomy_common::{rng, ClientId, Key, KeyPair, Operation, Transaction, TxnId, Value};
+use dichotomy_common::rng::{self, Rng, StdRng};
+use dichotomy_common::{ClientId, Key, KeyPair, Operation, Transaction, TxnId, Value};
 
 use crate::zipf::ZipfianGenerator;
 use crate::Workload;

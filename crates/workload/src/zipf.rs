@@ -3,10 +3,7 @@
 //! θ = 0 degenerates to uniform and θ = 1 produces the heavy skew the paper's
 //! contention experiments use.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
-use dichotomy_common::rng;
+use dichotomy_common::rng::{self, Rng, StdRng};
 
 /// Zipfian generator over `0..n`.
 #[derive(Debug, Clone)]

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 verification plus a smoke run of the repro binary.
+# The workspace is offline-only: everything must resolve from path
+# dependencies (no crates.io access in CI).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> repro tab02 (quick smoke, must be reproducible)"
+cargo run -p dichotomy-bench --release --bin repro -- --quick tab02 > /tmp/ci_tab02_a.out
+cargo run -p dichotomy-bench --release --bin repro -- --quick tab02 > /tmp/ci_tab02_b.out
+test -s /tmp/ci_tab02_a.out
+cmp /tmp/ci_tab02_a.out /tmp/ci_tab02_b.out
+
+echo "==> ci.sh: all checks passed"
