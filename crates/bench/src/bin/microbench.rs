@@ -127,12 +127,8 @@ fn bench_consensus_profiles() {
         ("profile_raft_commit_latency", ProtocolKind::Raft),
         ("profile_pbft_commit_latency", ProtocolKind::Pbft),
     ] {
-        let profile = ReplicationProfile::new(
-            kind,
-            7,
-            NetworkConfig::lan_1gbps(),
-            CostModel::default(),
-        );
+        let profile =
+            ReplicationProfile::new(kind, 7, NetworkConfig::lan_1gbps(), CostModel::default());
         bench(name, 10_000, || profile.commit_latency_us(black_box(4096)));
     }
 }

@@ -4,66 +4,79 @@
 //! cargo run -p dichotomy-bench --release --bin repro -- all
 //! cargo run -p dichotomy-bench --release --bin repro -- fig09
 //! cargo run -p dichotomy-bench --release --bin repro -- --quick fig04 fig14
+//! cargo run -p dichotomy-bench --release --bin repro -- --list
+//! cargo run -p dichotomy-bench --release --bin repro -- --quick --seed 7 --json out.json all
 //! ```
+//!
+//! Flags:
+//!
+//! * `--quick` — scale transaction counts down for smoke runs;
+//! * `--list` — print every experiment id with its report title and exit;
+//! * `--txns N` — override the per-experiment transaction/record count;
+//! * `--seed S` — reseed every run (same seed ⇒ bit-identical output);
+//! * `--json PATH` — additionally write all completed reports as JSON.
 //!
 //! Unknown experiment ids exit nonzero after printing the valid list. An
 //! `all` run continues past a panicking experiment and reports a
 //! per-experiment error summary at the end (exiting nonzero if anything
 //! failed), so one broken figure never hides the rest.
 
-use dichotomy_bench::EXPERIMENTS;
+use dichotomy_bench::{json, list_experiments, run_report, RunOptions, EXPERIMENTS};
+use dichotomy_core::experiments::ExperimentReport;
+
+struct Cli {
+    options: RunOptions,
+    json_path: Option<String>,
+    list: bool,
+    targets: Vec<String>,
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let unknown_flags: Vec<&str> = args
-        .iter()
-        .filter(|a| a.starts_with("--") && *a != "--quick")
-        .map(String::as_str)
-        .collect();
-    if !unknown_flags.is_empty() {
-        for flag in &unknown_flags {
-            eprintln!("unknown flag '{flag}'");
-        }
-        eprintln!("valid flags: --quick");
-        std::process::exit(2);
-    }
-    let requested: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let cli = parse_args(std::env::args().skip(1));
 
-    let unknown: Vec<&str> = requested
-        .iter()
-        .copied()
-        .filter(|id| *id != "all" && !EXPERIMENTS.contains(id))
-        .collect();
-    if !unknown.is_empty() {
-        for id in &unknown {
-            eprintln!("unknown experiment '{id}'");
+    if cli.list {
+        for (key, id, title) in list_experiments() {
+            println!("{key:<8} {id:<10} {title}");
         }
-        eprintln!("valid experiments: all {}", EXPERIMENTS.join(" "));
-        std::process::exit(2);
+        return;
     }
 
-    let targets: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
+    let targets: Vec<&str> = if cli.targets.is_empty() || cli.targets.iter().any(|t| t == "all") {
         EXPERIMENTS.to_vec()
     } else {
-        requested
+        cli.targets.iter().map(String::as_str).collect()
     };
 
     let total = targets.len();
+    let mut completed: Vec<(String, ExperimentReport)> = Vec::new();
     let mut failures: Vec<(&str, String)> = Vec::new();
     for id in targets {
-        let outcome = std::panic::catch_unwind(|| dichotomy_bench::run_experiment(id, quick));
+        let opts = cli.options.clone();
+        let outcome = std::panic::catch_unwind(move || run_report(id, &opts));
         match outcome {
-            Ok(Some(report)) => println!("{report}"),
+            Ok(Some(report)) => {
+                println!("{}", report.render());
+                completed.push((id.to_string(), report));
+            }
             // The dispatch table and EXPERIMENTS disagree — a bug, but one
             // `all` should survive like any other per-experiment failure.
             Ok(None) => failures.push((id, "not in the dispatch table".to_string())),
             Err(panic) => failures.push((id, panic_message(&panic))),
         }
+    }
+
+    if let Some(path) = &cli.json_path {
+        let doc = json::document(
+            cli.options.quick,
+            cli.options.txns,
+            cli.options.seed,
+            &completed,
+        );
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} report(s) to {path}", completed.len());
     }
 
     if !failures.is_empty() {
@@ -72,6 +85,90 @@ fn main() {
             eprintln!("  {id}: {msg}");
         }
         std::process::exit(1);
+    }
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Cli {
+    let mut cli = Cli {
+        options: RunOptions::default(),
+        json_path: None,
+        list: false,
+        targets: Vec::new(),
+    };
+    let mut args = args.peekable();
+    let mut bad_usage = Vec::new();
+    while let Some(arg) = args.next() {
+        // Accept both `--flag value` and `--flag=value`.
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (arg.clone(), None),
+        };
+        match flag.as_str() {
+            "--quick" | "--list" if inline_value.is_some() => {
+                bad_usage.push(format!("flag '{flag}' takes no value"));
+            }
+            "--quick" => cli.options.quick = true,
+            "--list" => cli.list = true,
+            "--txns" => {
+                if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
+                    match v.parse::<u64>() {
+                        Ok(n) => cli.options.txns = Some(n),
+                        Err(_) => bad_usage.push(format!("--txns: '{v}' is not a count")),
+                    }
+                }
+            }
+            "--seed" => {
+                if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
+                    match v.parse::<u64>() {
+                        Ok(s) => cli.options.seed = s,
+                        Err(_) => bad_usage.push(format!("--seed: '{v}' is not a u64")),
+                    }
+                }
+            }
+            "--json" => {
+                if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
+                    cli.json_path = Some(v);
+                }
+            }
+            f if f.starts_with("--") => bad_usage.push(format!("unknown flag '{f}'")),
+            _ => cli.targets.push(arg),
+        }
+    }
+
+    let unknown: Vec<&String> = cli
+        .targets
+        .iter()
+        .filter(|id| id.as_str() != "all" && !EXPERIMENTS.contains(&id.as_str()))
+        .collect();
+    for id in &unknown {
+        bad_usage.push(format!("unknown experiment '{id}'"));
+    }
+    if !bad_usage.is_empty() {
+        for msg in &bad_usage {
+            eprintln!("{msg}");
+        }
+        eprintln!("valid flags: --quick --list --txns N --seed S --json PATH");
+        eprintln!("valid experiments: all {}", EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+    cli
+}
+
+/// The value of `--flag value` / `--flag=value`, or `None` after recording a
+/// usage error. A following `--…` token is another flag, never a value.
+fn value_of(
+    flag: &str,
+    inline: Option<String>,
+    args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+    bad_usage: &mut Vec<String>,
+) -> Option<String> {
+    let next_is_value = args.peek().is_some_and(|a| !a.starts_with("--"));
+    match inline.or_else(|| if next_is_value { args.next() } else { None }) {
+        Some(v) => Some(v),
+        None => {
+            bad_usage.push(format!("flag '{flag}' needs a value"));
+            None
+        }
     }
 }
 

@@ -1,0 +1,155 @@
+//! A minimal JSON writer for experiment reports.
+//!
+//! The workspace builds offline with zero crates.io dependencies, so instead
+//! of `serde_json` this module hand-writes the (small, fixed) document shape
+//! `repro --json` emits. Output is deterministic: key order is fixed, floats
+//! use Rust's shortest round-trip formatting, and non-finite values (the
+//! `NaN` a missing reported throughput produces) become `null`, keeping the
+//! document standard-conforming.
+
+use dichotomy_core::experiments::ExperimentReport;
+
+/// Escape a string for a JSON string literal (quotes, backslashes, control
+/// characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a float as a JSON number, mapping non-finite values to `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialize one report: id, title, rows (label + named values) and the
+/// preformatted text for qualitative reports.
+pub fn report(key: &str, report: &ExperimentReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"key\":\"{}\",\"id\":\"{}\",\"title\":\"{}\",\"rows\":[",
+        escape(key),
+        escape(report.id),
+        escape(report.title)
+    ));
+    for (i, row) in report.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"values\":[",
+            escape(&row.label)
+        ));
+        for (j, (column, value)) in row.values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"column\":\"{}\",\"value\":{}}}",
+                escape(column),
+                number(*value)
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"text\":");
+    match &report.text {
+        Some(text) => out.push_str(&format!("\"{}\"", escape(text))),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
+/// Serialize a full `repro` run: the options used plus every report.
+pub fn document(
+    quick: bool,
+    txns: Option<u64>,
+    seed: u64,
+    reports: &[(String, ExperimentReport)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"generator\":\"repro\",\"quick\":{quick},\"txns\":{},\"seed\":{seed},\"experiments\":[",
+        match txns {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        }
+    ));
+    for (i, (key, rep)) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&report(key, rep));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dichotomy_core::experiments::Row;
+
+    fn sample() -> ExperimentReport {
+        ExperimentReport {
+            id: "Figure 0",
+            title: "sample \"quoted\"",
+            rows: vec![Row {
+                label: "θ=1".into(),
+                values: vec![("tps".into(), 12.5), ("missing".into(), f64::NAN)],
+            }],
+            text: None,
+        }
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_characters() {
+        assert_eq!(escape("a\"b\\c\nd\te\u{1}"), "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn report_serialization_contains_rows_and_nan_as_null() {
+        let json = report("fig00", &sample());
+        assert!(json.starts_with("{\"key\":\"fig00\",\"id\":\"Figure 0\""));
+        assert!(json.contains("\"label\":\"θ=1\""));
+        assert!(json.contains("{\"column\":\"tps\",\"value\":12.5}"));
+        assert!(json.contains("{\"column\":\"missing\",\"value\":null}"));
+        assert!(json.ends_with("\"text\":null}"));
+    }
+
+    #[test]
+    fn document_wraps_options_and_reports() {
+        let doc = document(true, Some(300), 7, &[("fig00".to_string(), sample())]);
+        assert!(doc.starts_with(
+            "{\"generator\":\"repro\",\"quick\":true,\"txns\":300,\"seed\":7,\"experiments\":["
+        ));
+        assert!(doc.ends_with("]}"));
+        let doc_default = document(false, None, 7, &[]);
+        assert!(doc_default.contains("\"txns\":null"));
+        assert!(doc_default.contains("\"experiments\":[]"));
+    }
+}

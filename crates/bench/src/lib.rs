@@ -3,14 +3,21 @@
 //! * `cargo run -p dichotomy-bench --release --bin repro -- <experiment>`
 //!   regenerates a single table/figure (`fig04` … `fig15`, `tab02`, `tab04`,
 //!   `tab05`) or `all` of them, printing the same rows the paper reports.
-//! * `cargo bench -p dichotomy-bench` runs the Criterion microbenchmarks over
-//!   the substrates (hashing, MPT/MBT updates, OCC validation, consensus
-//!   profiles) that the system models are built from.
+//!   `--list` enumerates the experiments, `--txns`/`--seed` rescale and
+//!   reseed the runs, and `--json PATH` writes every report as a
+//!   machine-readable document (see [`json`]).
+//! * `cargo run -p dichotomy-bench --release --bin microbench` runs the
+//!   dependency-free microbenchmarks over the substrates (hashing, MPT/MBT
+//!   updates, OCC validation, consensus profiles).
 //!
-//! The experiment implementations live in
-//! [`dichotomy_core::experiments`]; this crate only provides entry points.
+//! The experiment *plans* live in [`dichotomy_core::experiments`]; this
+//! crate scales them (quick vs full), executes them through the generic
+//! `run_plan` engine and serializes the reports.
 
-use dichotomy_core::experiments as exp;
+pub mod json;
+
+use dichotomy_core::experiments::{self as exp, ExperimentReport};
+use dichotomy_core::scenario::{run_plan, ExperimentPlan};
 
 /// Every experiment the harness can run, with its identifier.
 pub const EXPERIMENTS: &[&str] = &[
@@ -18,29 +25,101 @@ pub const EXPERIMENTS: &[&str] = &[
     "fig14", "fig15", "tab02", "tab04", "tab05",
 ];
 
+/// How to scale and seed a run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Scale the transaction counts down for smoke runs.
+    pub quick: bool,
+    /// Override the per-experiment transaction/record count.
+    pub txns: Option<u64>,
+    /// RNG seed threaded through systems, workloads and the driver.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            quick: false,
+            txns: None,
+            seed: dichotomy_core::common::rng::DEFAULT_SEED,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Quick-mode options.
+    pub fn quick() -> Self {
+        RunOptions {
+            quick: true,
+            ..RunOptions::default()
+        }
+    }
+
+    /// The driven transaction count: the override, or the mode default.
+    fn txns(&self) -> u64 {
+        self.txns.unwrap_or(if self.quick { 300 } else { 2_000 })
+    }
+
+    /// The record count for the storage experiment (fig12).
+    fn storage_records(&self) -> u64 {
+        self.txns.unwrap_or(if self.quick { 500 } else { 2_000 })
+    }
+
+    /// The record count for the authenticated-index experiment (fig13).
+    fn adr_records(&self) -> u64 {
+        self.txns.unwrap_or(if self.quick { 2_000 } else { 10_000 })
+    }
+}
+
+/// Build the plan for one experiment id under the given options. Returns
+/// `None` for unknown ids.
+pub fn plan_for(id: &str, opts: &RunOptions) -> Option<ExperimentPlan> {
+    let n = opts.txns();
+    let seed = opts.seed;
+    let plan = match id {
+        "fig04" => exp::fig04_plan(n, seed),
+        "fig05" => exp::fig05_plan(n / 4, seed),
+        "fig06" => exp::fig06_plan(n, seed),
+        "fig07" => exp::fig07_plan(n, seed),
+        "fig08" => exp::fig08_plan(n, seed),
+        "fig09" => exp::fig09_plan(n, &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0], seed),
+        "fig10" => exp::fig10_plan(n, &[1, 2, 4, 6, 8, 10], seed),
+        "fig11" => exp::fig11_plan(n, &[10, 100, 1000, 5000], seed),
+        "fig12" => exp::fig12_plan(opts.storage_records(), &[10, 100, 1000, 5000], seed),
+        "fig13" => exp::fig13_plan(opts.adr_records(), &[10, 100, 1000, 5000]),
+        "fig14" => exp::fig14_plan(n, &[1, 4, 8, 16], seed),
+        "fig15" => exp::fig15_plan(),
+        "tab02" => exp::tab02_plan(),
+        "tab04" => exp::tab04_plan(n, &[3, 7, 11, 15, 19], seed),
+        "tab05" => exp::tab05_plan(n / 2, &[3, 7, 11], seed),
+        _ => return None,
+    };
+    Some(plan)
+}
+
+/// Run one experiment by id and return its structured report.
+pub fn run_report(id: &str, opts: &RunOptions) -> Option<ExperimentReport> {
+    plan_for(id, opts).map(|plan| run_plan(&plan))
+}
+
 /// Run one experiment by id and return its printable report. `quick` scales
 /// the transaction counts down for smoke runs.
 pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
-    let n: u64 = if quick { 300 } else { 2_000 };
-    let report = match id {
-        "fig04" => exp::fig04_peak_throughput(n).render(),
-        "fig05" => exp::fig05_latency(n / 4).render(),
-        "fig06" => exp::fig06_smallbank(n).render(),
-        "fig07" => exp::fig07_cft_vs_bft(n).render(),
-        "fig08" => exp::fig08_latency_breakdown(n).render(),
-        "fig09" => exp::fig09_skew(n, &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]).render(),
-        "fig10" => exp::fig10_opcount(n, &[1, 2, 4, 6, 8, 10]).render(),
-        "fig11" => exp::fig11_record_size(n, &[10, 100, 1000, 5000]).render(),
-        "fig12" => exp::fig12_storage(if quick { 500 } else { 2_000 }, &[10, 100, 1000, 5000]).render(),
-        "fig13" => exp::fig13_adr_overhead(if quick { 2_000 } else { 10_000 }, &[10, 100, 1000, 5000]).render(),
-        "fig14" => exp::fig14_sharding(n, &[1, 4, 8, 16]).render(),
-        "fig15" => exp::fig15_hybrid_forecast().render(),
-        "tab02" => exp::tab02_taxonomy(),
-        "tab04" => exp::tab04_scaling(n, &[3, 7, 11, 15, 19]).render(),
-        "tab05" => exp::tab05_tidb_matrix(n / 2, &[3, 7, 11]).render(),
-        _ => return None,
+    let opts = if quick {
+        RunOptions::quick()
+    } else {
+        RunOptions::default()
     };
-    Some(report)
+    run_report(id, &opts).map(|report| report.render())
+}
+
+/// (id, report id, title) for every experiment, for `repro --list`.
+pub fn list_experiments() -> Vec<(&'static str, &'static str, &'static str)> {
+    let opts = RunOptions::quick();
+    EXPERIMENTS
+        .iter()
+        .filter_map(|id| plan_for(id, &opts).map(|plan| (*id, plan.id, plan.title)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -58,5 +137,44 @@ mod tests {
         }
         assert!(run_experiment("nope", true).is_none());
         assert_eq!(EXPERIMENTS.len(), 15);
+    }
+
+    #[test]
+    fn every_experiment_has_a_plan_and_a_listing() {
+        let listed = list_experiments();
+        assert_eq!(listed.len(), EXPERIMENTS.len());
+        for (key, id, title) in listed {
+            assert!(EXPERIMENTS.contains(&key));
+            assert!(!id.is_empty() && !title.is_empty());
+        }
+    }
+
+    #[test]
+    fn txns_override_rescales_the_plans() {
+        let opts = RunOptions {
+            txns: Some(42),
+            ..RunOptions::quick()
+        };
+        let plan = plan_for("fig13", &opts).unwrap();
+        // fig13 drives `records` inserts per row; the override reaches it.
+        match &plan.rows[0].runs[0].probe {
+            dichotomy_core::scenario::Probe::AdrOverhead { records, .. } => {
+                assert_eq!(*records, 42)
+            }
+            _ => panic!("expected the ADR probe"),
+        }
+    }
+
+    #[test]
+    fn seed_threads_from_options_into_the_plan() {
+        let opts = RunOptions {
+            seed: 777,
+            ..RunOptions::quick()
+        };
+        let plan = plan_for("fig06", &opts).unwrap();
+        match &plan.rows[0].runs[0].probe {
+            dichotomy_core::scenario::Probe::Drive { driver, .. } => assert_eq!(driver.seed, 777),
+            _ => panic!("expected a drive probe"),
+        }
     }
 }

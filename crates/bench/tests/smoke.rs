@@ -1,16 +1,20 @@
 //! Smoke coverage of the full experiment dispatch table: every id in
 //! `EXPERIMENTS` must produce a non-empty report in quick mode (the quick
-//! path scales the heavyweight sweeps down), and seeded runs must be
-//! bit-for-bit reproducible.
+//! path scales the heavyweight sweeps down), seeded runs must be bit-for-bit
+//! reproducible, and the `--json` document must be valid JSON covering every
+//! experiment.
 
-use dichotomy_bench::{run_experiment, EXPERIMENTS};
+use dichotomy_bench::{json, run_experiment, run_report, RunOptions, EXPERIMENTS};
 
 #[test]
 fn every_experiment_produces_a_nonempty_quick_report() {
     for id in EXPERIMENTS {
         let out = run_experiment(id, true)
             .unwrap_or_else(|| panic!("experiment '{id}' missing from the dispatch table"));
-        assert!(!out.trim().is_empty(), "experiment '{id}' produced an empty report");
+        assert!(
+            !out.trim().is_empty(),
+            "experiment '{id}' produced an empty report"
+        );
     }
 }
 
@@ -23,6 +27,225 @@ fn quick_reports_are_reproducible() {
 }
 
 #[test]
+fn seeded_reports_differ_across_seeds_but_not_within_one() {
+    let at_seed = |seed: u64| {
+        run_report(
+            "tab05",
+            &RunOptions {
+                seed,
+                ..RunOptions::quick()
+            },
+        )
+        .unwrap()
+    };
+    assert_eq!(at_seed(5).rows, at_seed(5).rows);
+    assert_ne!(at_seed(5).rows, at_seed(6).rows);
+}
+
+#[test]
 fn unknown_ids_are_rejected() {
     assert!(run_experiment("fig99", true).is_none());
+}
+
+#[test]
+fn the_json_document_is_valid_and_covers_every_experiment() {
+    // Keep the runtime in check: the cheap ids exercise rows, NaN → null
+    // (fig15's missing reported numbers) and preformatted text (tab02).
+    let opts = RunOptions::quick();
+    let reports: Vec<_> = ["fig13", "fig15", "tab02"]
+        .iter()
+        .map(|id| (id.to_string(), run_report(id, &opts).unwrap()))
+        .collect();
+    let doc = json::document(true, None, opts.seed, &reports);
+    let value = parse_json(&doc).expect("repro --json output must parse as JSON");
+
+    let experiments = value
+        .get("experiments")
+        .and_then(Json::as_array)
+        .expect("document has an experiments array");
+    assert_eq!(experiments.len(), 3);
+    // fig13 carries rows with finite values.
+    let fig13 = &experiments[0];
+    let rows = fig13.get("rows").and_then(Json::as_array).unwrap();
+    assert_eq!(rows.len(), 4);
+    // fig15's missing reported numbers serialize as null, not NaN.
+    assert!(!doc.contains("NaN"));
+    // tab02 is qualitative: empty rows, non-null text.
+    let tab02 = &experiments[2];
+    assert!(tab02
+        .get("rows")
+        .and_then(Json::as_array)
+        .unwrap()
+        .is_empty());
+    assert!(matches!(tab02.get("text"), Some(Json::String(s)) if s.contains("Quorum")));
+}
+
+// --- A minimal JSON parser, test-only, to validate the writer without an
+// --- external crate.
+
+#[derive(Debug)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(s: &str) -> Result<Json, String> {
+    let bytes: Vec<char> = s.chars().collect();
+    let mut pos = 0;
+    let value = parse_value(&bytes, &mut pos)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(s: &[char], pos: &mut usize) {
+    while *pos < s.len() && s[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(s: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+    if s.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{c}' at {pos}"))
+    }
+}
+
+fn parse_value(s: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(s, pos);
+    match s.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(s, pos);
+            if s.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(s, pos);
+                let key = match parse_value(s, pos)? {
+                    Json::String(k) => k,
+                    other => return Err(format!("non-string key {other:?}")),
+                };
+                skip_ws(s, pos);
+                expect(s, pos, ':')?;
+                fields.push((key, parse_value(s, pos)?));
+                skip_ws(s, pos);
+                match s.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at {pos}")),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(s, pos);
+            if s.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(s, pos)?);
+                skip_ws(s, pos);
+                match s.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at {pos}")),
+                }
+            }
+        }
+        Some('"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match s.get(*pos) {
+                    Some('"') => {
+                        *pos += 1;
+                        return Ok(Json::String(out));
+                    }
+                    Some('\\') => {
+                        *pos += 1;
+                        match s.get(*pos) {
+                            Some('"') => out.push('"'),
+                            Some('\\') => out.push('\\'),
+                            Some('/') => out.push('/'),
+                            Some('n') => out.push('\n'),
+                            Some('r') => out.push('\r'),
+                            Some('t') => out.push('\t'),
+                            Some('u') => {
+                                let hex: String = s[*pos + 1..*pos + 5].iter().collect();
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|e| format!("bad \\u escape: {e}"))?;
+                                out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(c) if (*c as u32) >= 0x20 => {
+                        out.push(*c);
+                        *pos += 1;
+                    }
+                    other => return Err(format!("bad string char {other:?}")),
+                }
+            }
+        }
+        Some('t') if s[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if s[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if s[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < s.len() && (s[*pos].is_ascii_digit() || "+-.eE".contains(s[*pos])) {
+                *pos += 1;
+            }
+            let text: String = s[start..*pos].iter().collect();
+            text.parse::<f64>()
+                .map(Json::Number)
+                .map_err(|e| format!("bad number '{text}': {e}"))
+        }
+        other => Err(format!("unexpected {other:?} at {pos}")),
+    }
 }

@@ -48,8 +48,12 @@ mod tests {
         assert!(CommonError::IntegrityViolation("bad proof".into())
             .to_string()
             .contains("bad proof"));
-        assert!(CommonError::InvalidArgument("x".into()).to_string().contains("invalid argument"));
-        assert!(CommonError::InvalidState("y".into()).to_string().contains("invalid state"));
+        assert!(CommonError::InvalidArgument("x".into())
+            .to_string()
+            .contains("invalid argument"));
+        assert!(CommonError::InvalidState("y".into())
+            .to_string()
+            .contains("invalid state"));
         assert!(CommonError::Codec("z".into()).to_string().contains("codec"));
     }
 

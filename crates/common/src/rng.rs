@@ -204,7 +204,7 @@ pub fn derive_seed(parent: u64, label: &str) -> u64 {
 pub fn exp_delay_us<R: Rng>(rng: &mut R, mean_us: f64) -> u64 {
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
     let d = -mean_us * u.ln();
-    d.max(1.0).min(1e12) as u64
+    d.clamp(1.0, 1e12) as u64
 }
 
 #[cfg(test)]

@@ -17,7 +17,10 @@ where
     T: Encode + 'a,
     I: IntoIterator<Item = &'a T>,
 {
-    items.into_iter().map(|item| item.encoded_len() as u64).sum()
+    items
+        .into_iter()
+        .map(|item| item.encoded_len() as u64)
+        .sum()
 }
 
 /// Breakdown of a component's storage consumption in bytes.

@@ -67,12 +67,18 @@ impl Operation {
 
     /// Whether the operation reads the key (reads and read-modify-writes).
     pub fn reads(&self) -> bool {
-        matches!(self.kind, OperationKind::Read | OperationKind::ReadModifyWrite)
+        matches!(
+            self.kind,
+            OperationKind::Read | OperationKind::ReadModifyWrite
+        )
     }
 
     /// Whether the operation writes the key (writes and read-modify-writes).
     pub fn writes(&self) -> bool {
-        matches!(self.kind, OperationKind::Write | OperationKind::ReadModifyWrite)
+        matches!(
+            self.kind,
+            OperationKind::Write | OperationKind::ReadModifyWrite
+        )
     }
 
     /// Size of the operation payload in bytes (key + value), used for
@@ -123,7 +129,12 @@ impl Transaction {
     }
 
     /// Build and sign a transaction with the client's key.
-    pub fn signed(id: TxnId, ops: Vec<Operation>, submit_time: Timestamp, keypair: &KeyPair) -> Self {
+    pub fn signed(
+        id: TxnId,
+        ops: Vec<Operation>,
+        submit_time: Timestamp,
+        keypair: &KeyPair,
+    ) -> Self {
         let mut txn = Transaction {
             id,
             ops,
@@ -214,7 +225,13 @@ impl Transaction {
     pub fn wire_bytes(&self) -> usize {
         const HEADER: usize = 48;
         const SIGNATURE: usize = 96;
-        HEADER + self.payload_bytes() + if self.signature.is_some() { SIGNATURE } else { 0 }
+        HEADER
+            + self.payload_bytes()
+            + if self.signature.is_some() {
+                SIGNATURE
+            } else {
+                0
+            }
     }
 
     /// Number of operations.

@@ -92,7 +92,9 @@ impl Key {
         Key(bytes.into())
     }
 
-    /// Construct a key from a UTF-8 string slice.
+    /// Construct a key from a UTF-8 string slice. Unlike `FromStr` this is
+    /// infallible, hence the inherent method.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Self {
         Key(s.as_bytes().to_vec())
     }

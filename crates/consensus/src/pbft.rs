@@ -158,7 +158,10 @@ impl PbftNode {
                 // Prepared = pre-prepare + 2f prepares (counting our own).
                 if set.len() + 1 >= self.quorum()
                     && self.pre_prepared.contains_key(&(view, seq))
-                    && !self.commits.get(&(view, seq)).map_or(false, |c| c.contains(&self.id))
+                    && !self
+                        .commits
+                        .get(&(view, seq))
+                        .is_some_and(|c| c.contains(&self.id))
                 {
                     self.commits.entry((view, seq)).or_default().insert(self.id);
                     return vec![PbftMessage::Commit {
@@ -317,7 +320,8 @@ impl PbftCluster {
                     self.network.delay(from, to, bytes, now)
                 };
                 if let Some(d) = delay {
-                    self.queue.schedule_in(d, PbftEvent::Deliver(to, msg.clone()));
+                    self.queue
+                        .schedule_in(d, PbftEvent::Deliver(to, msg.clone()));
                 }
             }
         }
@@ -397,14 +401,18 @@ impl PbftCluster {
             }
         }
         for (payload, count) in counts {
-            if count >= f + 1 {
+            if count > f {
                 self.commit_times.entry(payload).or_insert(now);
             }
         }
     }
 
     fn quorum_committed_count(&self) -> usize {
-        self.nodes.values().map(|n| n.committed.len()).max().unwrap_or(0)
+        self.nodes
+            .values()
+            .map(|n| n.committed.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Commit time of a payload, if it committed cluster-wide.
@@ -512,7 +520,10 @@ mod tests {
         let (_, payload) = c.propose(256);
         // Run long enough for the request timeout and the view change.
         c.run_until(3_000_000);
-        assert!(c.commit_time(payload).is_none(), "pre-prepare was lost with the primary");
+        assert!(
+            c.commit_time(payload).is_none(),
+            "pre-prepare was lost with the primary"
+        );
         let new_primary = c.primary();
         assert_ne!(new_primary, primary, "view change must elect a new primary");
         assert!(c.agreement_holds());

@@ -125,7 +125,8 @@ impl PowSimulator {
                 .iter()
                 .enumerate()
                 .map(|(i, &power)| {
-                    let mean = self.config.target_interval_us as f64 * total_power / power.max(1e-9);
+                    let mean =
+                        self.config.target_interval_us as f64 * total_power / power.max(1e-9);
                     let t = rng::exp_delay_us(&mut self.rng, mean);
                     (now + t, NodeId(i as u64))
                 })

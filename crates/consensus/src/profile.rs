@@ -123,7 +123,6 @@ impl ReplicationProfile {
     /// Time from handing a batch of `payload_bytes` to the leader/primary
     /// until it is durably committed/ordered cluster-wide.
     pub fn commit_latency_us(&self, payload_bytes: usize) -> u64 {
-        let peers = self.n.saturating_sub(1);
         match self.kind {
             ProtocolKind::Raft => {
                 // AppendEntries with payload + ack, plus leader log append.
@@ -148,7 +147,6 @@ impl ReplicationProfile {
             }
         }
         .max(1)
-        .saturating_add(if peers == 0 { 0 } else { 0 })
     }
 
     /// How long the leader/primary (the serial bottleneck of the protocol) is

@@ -130,7 +130,7 @@ impl RaftNode {
 
     /// Majority size for the cluster (self + peers).
     fn majority(&self) -> usize {
-        (self.peers.len() + 1) / 2 + 1
+        self.peers.len().div_ceil(2) + 1
     }
 
     /// Start an election: become candidate, vote for self, ask peers.
@@ -197,12 +197,7 @@ impl RaftNode {
                 .get(prev_log_index as usize)
                 .map(|e| e.term)
                 .unwrap_or(0);
-            let entries: Vec<LogEntry> = self
-                .log
-                .iter()
-                .skip(next as usize)
-                .cloned()
-                .collect();
+            let entries: Vec<LogEntry> = self.log.iter().skip(next as usize).cloned().collect();
             out.push((
                 p,
                 RaftMessage::AppendEntries {
@@ -305,8 +300,7 @@ impl RaftNode {
                     )];
                 }
                 // Append/overwrite entries after prev_log_index.
-                let mut idx = prev_log_index as usize + 1;
-                for entry in entries {
+                for (idx, entry) in (prev_log_index as usize + 1..).zip(entries) {
                     if self.log.len() > idx {
                         if self.log[idx].term != entry.term {
                             self.log.truncate(idx);
@@ -315,7 +309,6 @@ impl RaftNode {
                     } else {
                         self.log.push(entry);
                     }
-                    idx += 1;
                 }
                 let match_index = self.last_log_index();
                 if leader_commit > self.commit_index {
@@ -486,7 +479,8 @@ impl RaftCluster {
         if let Some(n) = self.nodes.get_mut(&node) {
             n.election_deadline = deadline;
         }
-        self.queue.schedule_at(deadline, ClusterEvent::ElectionTick(node));
+        self.queue
+            .schedule_at(deadline, ClusterEvent::ElectionTick(node));
     }
 
     fn send_all(&mut self, from: NodeId, outbox: Outbox) {
@@ -561,10 +555,17 @@ impl RaftCluster {
                 }
                 ClusterEvent::HeartbeatTick(id) => {
                     let crashed = !self.network.faults_mut().can_deliver(id, id, now);
-                    let is_leader =
-                        self.nodes.get(&id).map(|n| n.role == Role::Leader).unwrap_or(false);
+                    let is_leader = self
+                        .nodes
+                        .get(&id)
+                        .map(|n| n.role == Role::Leader)
+                        .unwrap_or(false);
                     if !crashed && is_leader {
-                        let outbox = self.nodes.get_mut(&id).expect("node exists").broadcast_append();
+                        let outbox = self
+                            .nodes
+                            .get_mut(&id)
+                            .expect("node exists")
+                            .broadcast_append();
                         self.send_all(id, outbox);
                         self.queue.schedule_in(
                             self.config.heartbeat_interval_us,

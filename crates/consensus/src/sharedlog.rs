@@ -167,7 +167,11 @@ mod tests {
         let mut l = log();
         let r = l.append(0, 1000);
         // to-broker hop + service + broker replication RTT + ack hop.
-        assert!(r.appended_at > 700 && r.appended_at < 3_000, "{}", r.appended_at);
+        assert!(
+            r.appended_at > 700 && r.appended_at < 3_000,
+            "{}",
+            r.appended_at
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ fn run(system: &mut dyn TransactionalSystem, theta: f64) -> (f64, f64) {
         ..YcsbConfig::default()
     });
     let stats = run_workload(system, &mut workload, &DriverConfig::saturating(800));
-    (stats.metrics.throughput_tps, stats.metrics.abort_rate_percent())
+    (
+        stats.metrics.throughput_tps,
+        stats.metrics.abort_rate_percent(),
+    )
 }
 
 fn main() {

@@ -22,8 +22,10 @@ fn main() {
 
     let mut quorum = Quorum::new(QuorumConfig::default());
     let mut etcd = Etcd::new(EtcdConfig::default());
-    let systems: Vec<(&str, &mut dyn TransactionalSystem)> =
-        vec![("Quorum (blockchain)", &mut quorum), ("etcd (database)", &mut etcd)];
+    let systems: Vec<(&str, &mut dyn TransactionalSystem)> = vec![
+        ("Quorum (blockchain)", &mut quorum),
+        ("etcd (database)", &mut etcd),
+    ];
 
     println!("YCSB update-only, 1 KB records, 5-node full replication\n");
     for (name, system) in systems {

@@ -62,6 +62,15 @@ impl DriverConfig {
             ..DriverConfig::default()
         }
     }
+
+    /// Replace the RNG seed. `saturating`/`unsaturated` keep the workspace
+    /// default seed; experiment plans and `repro --seed` thread their seed
+    /// through this so that runs are reproducible *per seed* rather than
+    /// always identical.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 /// The result of one driver run.
@@ -132,11 +141,7 @@ mod tests {
     fn saturating_run_reports_positive_throughput_and_latency() {
         let mut system = Etcd::new(EtcdConfig::default());
         let mut workload = small_ycsb(0.0);
-        let stats = run_workload(
-            &mut system,
-            &mut workload,
-            &DriverConfig::saturating(500),
-        );
+        let stats = run_workload(&mut system, &mut workload, &DriverConfig::saturating(500));
         assert_eq!(stats.metrics.committed, 500);
         assert!(stats.metrics.throughput_tps > 100.0);
         assert!(stats.metrics.latency.p95_us > 0);
@@ -145,11 +150,13 @@ mod tests {
 
     #[test]
     fn unsaturated_latency_is_lower_than_saturated_latency() {
-        let build = || Quorum::new(QuorumConfig {
-            max_block_txns: 20,
-            block_interval_us: 50_000,
-            ..QuorumConfig::default()
-        });
+        let build = || {
+            Quorum::new(QuorumConfig {
+                max_block_txns: 20,
+                block_interval_us: 50_000,
+                ..QuorumConfig::default()
+            })
+        };
         let mut saturated_sys = build();
         let saturated = run_workload(
             &mut saturated_sys,
@@ -172,6 +179,113 @@ mod tests {
             unsaturated.metrics.latency.mean_us,
             saturated.metrics.latency.mean_us
         );
+    }
+
+    /// Records what the driver submits, committing everything instantly:
+    /// makes the open-loop arrival process itself observable.
+    #[derive(Default)]
+    struct ArrivalRecorder {
+        arrivals: Vec<Timestamp>,
+        clients: Vec<u64>,
+        receipts: Vec<dichotomy_common::TxnReceipt>,
+    }
+
+    impl TransactionalSystem for ArrivalRecorder {
+        fn kind(&self) -> dichotomy_systems::SystemKind {
+            dichotomy_systems::SystemKind::Etcd
+        }
+        fn load(&mut self, _records: &[(dichotomy_common::Key, dichotomy_common::Value)]) {}
+        fn submit(&mut self, txn: dichotomy_common::Transaction, arrival: Timestamp) {
+            self.arrivals.push(arrival);
+            self.clients.push(txn.id.client.0);
+            self.receipts.push(dichotomy_common::TxnReceipt::committed(
+                txn.id,
+                arrival,
+                arrival + 1,
+            ));
+        }
+        fn flush(&mut self, _now: Timestamp) {}
+        fn drain_receipts(&mut self) -> Vec<dichotomy_common::TxnReceipt> {
+            std::mem::take(&mut self.receipts)
+        }
+        fn footprint(&self) -> dichotomy_common::size::StorageBreakdown {
+            dichotomy_common::size::StorageBreakdown::default()
+        }
+        fn node_count(&self) -> usize {
+            1
+        }
+    }
+
+    fn record_arrivals(config: &DriverConfig) -> ArrivalRecorder {
+        let mut recorder = ArrivalRecorder::default();
+        let mut workload = small_ycsb(0.0);
+        run_workload(&mut recorder, &mut workload, config);
+        recorder
+    }
+
+    #[test]
+    fn arrival_times_are_strictly_increasing() {
+        let recorder = record_arrivals(&DriverConfig {
+            transactions: 2_000,
+            offered_tps: 10_000.0,
+            ..DriverConfig::default()
+        });
+        assert_eq!(recorder.arrivals.len(), 2_000);
+        assert!(
+            recorder.arrivals.windows(2).all(|w| w[0] < w[1]),
+            "open-loop arrivals must advance monotonically"
+        );
+    }
+
+    #[test]
+    fn mean_inter_arrival_gap_tracks_the_offered_load() {
+        for offered_tps in [1_000.0, 25_000.0] {
+            let recorder = record_arrivals(&DriverConfig {
+                transactions: 8_000,
+                offered_tps,
+                ..DriverConfig::default()
+            });
+            let span = (recorder.arrivals.last().unwrap() - recorder.arrivals[0]) as f64;
+            let observed_gap = span / (recorder.arrivals.len() - 1) as f64;
+            let expected_gap = 1e6 / offered_tps;
+            assert!(
+                (observed_gap - expected_gap).abs() < expected_gap * 0.1,
+                "offered {offered_tps} tps: observed mean gap {observed_gap:.1} µs, \
+                 expected ≈{expected_gap:.1} µs"
+            );
+        }
+    }
+
+    #[test]
+    fn arrivals_cycle_round_robin_across_the_configured_clients() {
+        let clients = 8u64;
+        let transactions = 401u64;
+        let recorder = record_arrivals(&DriverConfig {
+            transactions,
+            clients,
+            ..DriverConfig::default()
+        });
+        // The i-th submission comes from client i mod `clients`, as the
+        // DriverConfig docs promise.
+        for (i, client) in recorder.clients.iter().enumerate() {
+            assert_eq!(*client, i as u64 % clients, "submission {i}");
+        }
+        // Every client id in [0, clients) appears, and the spread is even to
+        // within one transaction.
+        let mut counts = vec![0u64; clients as usize];
+        for client in &recorder.clients {
+            counts[*client as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "uneven spread: {counts:?}");
+    }
+
+    #[test]
+    fn driver_seed_changes_the_arrival_jitter() {
+        let arrivals =
+            |seed: u64| record_arrivals(&DriverConfig::saturating(500).with_seed(seed)).arrivals;
+        assert_eq!(arrivals(7), arrivals(7));
+        assert_ne!(arrivals(7), arrivals(8));
     }
 
     #[test]

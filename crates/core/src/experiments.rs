@@ -1,33 +1,38 @@
-//! One function per table/figure of the paper's evaluation (Section 5).
+//! One plan constructor per table/figure of the paper's evaluation
+//! (Section 5).
 //!
-//! Every function returns an [`ExperimentReport`]: structured rows plus a
-//! printable text rendering. The `dichotomy-bench` binaries call these
-//! functions and print the reports; `EXPERIMENTS.md` records the paper's
-//! numbers next to the measured ones.
+//! Every experiment is now *data*: a `figNN_plan`/`tabNN_plan` function
+//! assembles an [`ExperimentPlan`] — systems described by
+//! [`SystemSpec`](dichotomy_systems::SystemSpec), workloads by
+//! [`WorkloadSpec`], sweeps by [`Sweep`](crate::scenario::Sweep) — and the
+//! one generic engine, [`run_plan`], executes it. The historical
+//! `figNN_*`/`tabNN_*` entry points remain as thin wrappers that expand and
+//! run the plan at the workspace default seed, returning the same
+//! [`ExperimentReport`] rows (ids, labels and column names unchanged).
 //!
 //! **Scale note.** The paper populates 100 K–1 M records and drives the
-//! systems from a 96-node cluster for minutes. The experiments here are
+//! systems from a 96-node cluster for minutes. The plans here are
 //! dimensioned to finish in seconds on a laptop (thousands of records,
 //! thousands of transactions); the *relative* results — orderings, trends,
 //! crossover points — are what is being reproduced, not absolute numbers.
 
 use std::fmt::Write as _;
 
+use dichotomy_common::rng::DEFAULT_SEED;
 use dichotomy_common::AbortReason;
 use dichotomy_consensus::ProtocolKind;
-use dichotomy_hybrid::{all_systems, forecast_throughput, HybridSpec, SystemCategory};
-use dichotomy_simnet::{CostModel, NetworkConfig};
-use dichotomy_systems::{
-    Ahl, AhlConfig, Etcd, EtcdConfig, Fabric, FabricConfig, Quorum, QuorumConfig, ShardedTiDb,
-    SpannerLike, SpannerLikeConfig, TiDb, TiDbConfig, Tikv, TransactionalSystem,
-};
-use dichotomy_workload::{SmallbankConfig, SmallbankWorkload, YcsbConfig, YcsbMix, YcsbWorkload};
+use dichotomy_hybrid::{all_systems, SystemCategory};
+use dichotomy_systems::{SystemKind, SystemSpec};
+use dichotomy_workload::{SmallbankConfig, WorkloadSpec, YcsbConfig, YcsbMix};
 
-use crate::driver::{run_workload, DriverConfig};
-use crate::metrics::Metrics;
+use crate::driver::DriverConfig;
+use crate::scenario::{
+    run_plan, ColumnSpec, ExperimentPlan, Metric, PlannedRow, PlannedRun, Probe, Scenario, Sweep,
+    SystemEntry,
+};
 
 /// One labelled row of numbers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Row label (system name, parameter value, ...).
     pub label: String,
@@ -36,7 +41,7 @@ pub struct Row {
 }
 
 /// A structured experiment result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// Experiment id, e.g. "Figure 4".
     pub id: &'static str,
@@ -44,11 +49,18 @@ pub struct ExperimentReport {
     pub title: &'static str,
     /// The measured rows.
     pub rows: Vec<Row>,
+    /// Pre-rendered text for qualitative experiments (Table 2's taxonomy);
+    /// rendered verbatim instead of the row grid when present.
+    pub text: Option<String>,
 }
 
 impl ExperimentReport {
-    /// Render as a fixed-width text table.
+    /// Render as a fixed-width text table (or the preformatted text for
+    /// qualitative reports).
     pub fn render(&self) -> String {
+        if let Some(text) = &self.text {
+            return text.clone();
+        }
         let mut out = String::new();
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
         if self.rows.is_empty() {
@@ -79,72 +91,30 @@ impl ExperimentReport {
     }
 }
 
-/// Which of the five Figure 4/5 systems to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BenchSystem {
-    Fabric,
-    Quorum,
-    TiDb,
-    Etcd,
-    Tikv,
-}
+/// The five fully replicated systems of Figures 4/5, in the paper's plotting
+/// order.
+const BENCH_FIVE: [SystemKind; 5] = [
+    SystemKind::Fabric,
+    SystemKind::Quorum,
+    SystemKind::TiDb,
+    SystemKind::Etcd,
+    SystemKind::Tikv,
+];
 
-impl BenchSystem {
-    /// All five, in the paper's plotting order.
-    pub const ALL: [BenchSystem; 5] = [
-        BenchSystem::Fabric,
-        BenchSystem::Quorum,
-        BenchSystem::TiDb,
-        BenchSystem::Etcd,
-        BenchSystem::Tikv,
-    ];
-
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            BenchSystem::Fabric => "Fabric",
-            BenchSystem::Quorum => "Quorum",
-            BenchSystem::TiDb => "TiDB",
-            BenchSystem::Etcd => "etcd",
-            BenchSystem::Tikv => "TiKV",
-        }
-    }
-
-    /// Build the system with `nodes` replicas (full replication).
-    pub fn build(&self, nodes: usize) -> Box<dyn TransactionalSystem> {
-        match self {
-            BenchSystem::Fabric => Box::new(Fabric::new(FabricConfig {
-                peers: nodes,
-                max_block_txns: 100,
-                block_timeout_us: 100_000,
-                ..FabricConfig::default()
-            })),
-            BenchSystem::Quorum => Box::new(Quorum::new(QuorumConfig {
-                nodes,
-                max_block_txns: 100,
-                block_interval_us: 100_000,
-                ..QuorumConfig::default()
-            })),
-            BenchSystem::TiDb => Box::new(TiDb::new(TiDbConfig {
-                tidb_servers: (nodes / 2).max(1),
-                tikv_nodes: nodes,
-                ..TiDbConfig::default()
-            })),
-            BenchSystem::Etcd => Box::new(Etcd::new(EtcdConfig {
-                nodes,
-                ..EtcdConfig::default()
-            })),
-            BenchSystem::Tikv => Box::new(Tikv::new(EtcdConfig {
-                nodes,
-                ..EtcdConfig::default()
-            })),
-        }
+/// The benchmarked deployment of a system with `nodes` replicas (full
+/// replication, the paper's 100 ms / 100-txn block cutting for the
+/// blockchains).
+fn bench_spec(kind: SystemKind, nodes: usize) -> SystemSpec {
+    let spec = SystemSpec::new(kind).with_nodes(nodes);
+    match kind {
+        SystemKind::Fabric | SystemKind::Quorum => spec.with_blocks(100, 100_000),
+        _ => spec,
     }
 }
 
 /// The reduced-scale YCSB used by most experiments.
-fn ycsb(mix: YcsbMix, record_size: usize, theta: f64, ops: usize) -> YcsbWorkload {
-    YcsbWorkload::new(YcsbConfig {
+fn ycsb(mix: YcsbMix, record_size: usize, theta: f64, ops: usize) -> WorkloadSpec {
+    WorkloadSpec::Ycsb(YcsbConfig {
         record_count: 5_000,
         record_size,
         zipf_theta: theta,
@@ -154,564 +124,681 @@ fn ycsb(mix: YcsbMix, record_size: usize, theta: f64, ops: usize) -> YcsbWorkloa
     })
 }
 
-fn peak(system: &mut dyn TransactionalSystem, workload: &mut YcsbWorkload, txns: u64) -> Metrics {
-    run_workload(system, workload, &DriverConfig::saturating(txns)).metrics
+fn col(name: impl Into<String>, metric: Metric) -> ColumnSpec {
+    ColumnSpec::new(name, metric)
 }
 
-/// Figure 4: YCSB peak throughput (update-only and query-only) for the five
-/// systems.
-pub fn fig04_peak_throughput(txns: u64) -> ExperimentReport {
-    let mut rows = Vec::new();
-    for sys in BenchSystem::ALL {
-        let mut s = sys.build(5);
-        let update = peak(s.as_mut(), &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1), txns);
-        let mut s = sys.build(5);
-        let query = peak(s.as_mut(), &mut ycsb(YcsbMix::QueryOnly, 1000, 0.0, 1), txns);
-        rows.push(Row {
-            label: sys.name().to_string(),
-            values: vec![
-                ("update_tps".into(), update.throughput_tps),
-                ("query_tps".into(), query.throughput_tps),
-            ],
-        });
+fn drive(
+    system: SystemSpec,
+    workload: WorkloadSpec,
+    driver: DriverConfig,
+    columns: Vec<ColumnSpec>,
+    seed: u64,
+) -> PlannedRun {
+    let mut system = system;
+    if system.seed.is_none() {
+        system.seed = Some(seed);
     }
-    ExperimentReport {
+    PlannedRun {
+        probe: Probe::Drive {
+            system,
+            workload: workload.with_seed(seed),
+            driver: driver.with_seed(seed),
+        },
+        columns,
+    }
+}
+
+/// Figure 4 plan: YCSB peak throughput (update-only and query-only) for the
+/// five systems.
+pub fn fig04_plan(txns: u64, seed: u64) -> ExperimentPlan {
+    let rows = BENCH_FIVE
+        .iter()
+        .map(|&kind| PlannedRow {
+            label: kind.name().to_string(),
+            runs: vec![
+                drive(
+                    bench_spec(kind, 5),
+                    ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1),
+                    DriverConfig::saturating(txns),
+                    vec![col("update_tps", Metric::ThroughputTps)],
+                    seed,
+                ),
+                drive(
+                    bench_spec(kind, 5),
+                    ycsb(YcsbMix::QueryOnly, 1000, 0.0, 1),
+                    DriverConfig::saturating(txns),
+                    vec![col("query_tps", Metric::ThroughputTps)],
+                    seed,
+                ),
+            ],
+        })
+        .collect();
+    ExperimentPlan {
         id: "Figure 4",
         title: "YCSB peak throughput (update / query)",
         rows,
+        text: None,
     }
 }
 
-/// Figure 5: unsaturated YCSB latency (update and query) for the five systems.
-pub fn fig05_latency(txns: u64) -> ExperimentReport {
-    let mut rows = Vec::new();
-    for sys in BenchSystem::ALL {
-        let mut s = sys.build(5);
-        let update = run_workload(
-            s.as_mut(),
-            &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1),
-            &DriverConfig::unsaturated(txns),
-        )
-        .metrics;
-        let mut s = sys.build(5);
-        let query = run_workload(
-            s.as_mut(),
-            &mut ycsb(YcsbMix::QueryOnly, 1000, 0.0, 1),
-            &DriverConfig::unsaturated(txns),
-        )
-        .metrics;
-        rows.push(Row {
-            label: sys.name().to_string(),
-            values: vec![
-                ("update_ms".into(), update.latency.mean_us / 1000.0),
-                ("query_ms".into(), query.latency.mean_us / 1000.0),
+/// Figure 4: YCSB peak throughput for the five systems.
+pub fn fig04_peak_throughput(txns: u64) -> ExperimentReport {
+    run_plan(&fig04_plan(txns, DEFAULT_SEED))
+}
+
+/// Figure 5 plan: unsaturated YCSB latency (update and query) for the five
+/// systems.
+pub fn fig05_plan(txns: u64, seed: u64) -> ExperimentPlan {
+    let rows = BENCH_FIVE
+        .iter()
+        .map(|&kind| PlannedRow {
+            label: kind.name().to_string(),
+            runs: vec![
+                drive(
+                    bench_spec(kind, 5),
+                    ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1),
+                    DriverConfig::unsaturated(txns),
+                    vec![col("update_ms", Metric::LatencyMeanMs)],
+                    seed,
+                ),
+                drive(
+                    bench_spec(kind, 5),
+                    ycsb(YcsbMix::QueryOnly, 1000, 0.0, 1),
+                    DriverConfig::unsaturated(txns),
+                    vec![col("query_ms", Metric::LatencyMeanMs)],
+                    seed,
+                ),
             ],
-        });
-    }
-    ExperimentReport {
+        })
+        .collect();
+    ExperimentPlan {
         id: "Figure 5",
         title: "YCSB latency, unsaturated (update / query), ms",
         rows,
+        text: None,
     }
 }
 
-/// Figure 6: Smallbank throughput under a skewed workload (θ = 1), for
+/// Figure 5: unsaturated YCSB latency for the five systems.
+pub fn fig05_latency(txns: u64) -> ExperimentReport {
+    run_plan(&fig05_plan(txns, DEFAULT_SEED))
+}
+
+/// Figure 6 plan: Smallbank throughput under a skewed workload (θ = 1), for
 /// Fabric, Quorum and TiDB (etcd has no transactional support).
-pub fn fig06_smallbank(txns: u64) -> ExperimentReport {
-    let systems = [BenchSystem::Fabric, BenchSystem::Quorum, BenchSystem::TiDb];
-    let mut rows = Vec::new();
-    for sys in systems {
-        let mut s = sys.build(5);
-        let mut workload = SmallbankWorkload::new(SmallbankConfig {
+pub fn fig06_plan(txns: u64, seed: u64) -> ExperimentPlan {
+    let scenario = Scenario {
+        id: "Figure 6",
+        title: "Smallbank throughput, skewed (θ=1)",
+        systems: [SystemKind::Fabric, SystemKind::Quorum, SystemKind::TiDb]
+            .iter()
+            .map(|&kind| SystemEntry {
+                spec: bench_spec(kind, 5),
+                columns: vec![
+                    col("tps", Metric::ThroughputTps),
+                    col("abort_%", Metric::AbortPercent),
+                ],
+            })
+            .collect(),
+        workload: WorkloadSpec::Smallbank(SmallbankConfig {
             accounts: 20_000,
             zipf_theta: 1.0,
             ..SmallbankConfig::default()
-        });
-        let metrics =
-            run_workload(s.as_mut(), &mut workload, &DriverConfig::saturating(txns)).metrics;
-        rows.push(Row {
-            label: sys.name().to_string(),
-            values: vec![
-                ("tps".into(), metrics.throughput_tps),
-                ("abort_%".into(), metrics.abort_rate_percent()),
-            ],
-        });
-    }
-    ExperimentReport {
-        id: "Figure 6",
-        title: "Smallbank throughput, skewed (θ=1)",
-        rows,
-    }
+        }),
+        driver: DriverConfig::saturating(txns),
+        sweep: Sweep::None,
+        row_labels: None,
+        seed,
+    };
+    scenario.plan()
 }
 
-/// Figure 7: Quorum throughput with Raft (CFT) vs IBFT (BFT) as the number of
-/// tolerated failures grows.
-pub fn fig07_cft_vs_bft(txns: u64) -> ExperimentReport {
-    let mut rows = Vec::new();
-    for f in 1..=4usize {
-        let mut values = Vec::new();
-        for (name, protocol, nodes) in [
-            ("raft_tps", ProtocolKind::Raft, 2 * f + 1),
-            ("ibft_tps", ProtocolKind::Ibft, 3 * f + 1),
-        ] {
-            let mut q = Quorum::new(QuorumConfig {
-                nodes,
-                consensus: protocol,
-                max_block_txns: 100,
-                block_interval_us: 100_000,
-                ..QuorumConfig::default()
-            });
-            let m = peak(&mut q, &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1), txns);
-            values.push((name.to_string(), m.throughput_tps));
-        }
-        rows.push(Row {
+/// Figure 6: Smallbank throughput, skewed.
+pub fn fig06_smallbank(txns: u64) -> ExperimentReport {
+    run_plan(&fig06_plan(txns, DEFAULT_SEED))
+}
+
+/// Figure 7 plan: Quorum throughput with Raft (CFT) vs IBFT (BFT) as the
+/// number of tolerated failures grows. The node count per row follows the
+/// failure model: 2f+1 for Raft, 3f+1 for IBFT.
+pub fn fig07_plan(txns: u64, seed: u64) -> ExperimentPlan {
+    let rows = (1..=4usize)
+        .map(|f| PlannedRow {
             label: format!("f={f}"),
-            values,
-        });
-    }
-    ExperimentReport {
+            runs: [
+                ("raft_tps", ProtocolKind::Raft, 2 * f + 1),
+                ("ibft_tps", ProtocolKind::Ibft, 3 * f + 1),
+            ]
+            .into_iter()
+            .map(|(name, protocol, nodes)| {
+                drive(
+                    bench_spec(SystemKind::Quorum, nodes).with_consensus(protocol),
+                    ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1),
+                    DriverConfig::saturating(txns),
+                    vec![col(name, Metric::ThroughputTps)],
+                    seed,
+                )
+            })
+            .collect(),
+        })
+        .collect();
+    ExperimentPlan {
         id: "Figure 7",
         title: "Quorum throughput: CFT (Raft) vs BFT (IBFT)",
         rows,
+        text: None,
     }
 }
 
-/// Figure 8: latency breakdown. (a) Fabric execute/order/validate, unsaturated
-/// vs saturated, against TiDB; (b) the query path: Fabric
+/// Figure 7: Quorum CFT vs BFT throughput.
+pub fn fig07_cft_vs_bft(txns: u64) -> ExperimentReport {
+    run_plan(&fig07_plan(txns, DEFAULT_SEED))
+}
+
+/// Figure 8 plan: latency breakdown. (a) Fabric execute/order/validate,
+/// unsaturated vs saturated, against TiDB; (b) the query path: Fabric
 /// authentication/simulation/endorsement vs TiDB parse/compile/storage-get.
-pub fn fig08_latency_breakdown(txns: u64) -> ExperimentReport {
-    let mut rows = Vec::new();
-    for (label, config) in [
-        ("Fabric unsaturated", DriverConfig::unsaturated(txns / 4)),
-        ("Fabric saturated", DriverConfig::saturating(txns)),
-    ] {
-        let mut fabric = Fabric::new(FabricConfig {
-            max_block_txns: 100,
-            block_timeout_us: 100_000,
-            ..FabricConfig::default()
-        });
-        let m = run_workload(&mut fabric, &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1), &config).metrics;
-        rows.push(Row {
-            label: label.to_string(),
-            values: vec![
-                ("execute_ms".into(), m.phase_means_us.get("execute").copied().unwrap_or(0.0) / 1000.0),
-                ("order_ms".into(), m.phase_means_us.get("order").copied().unwrap_or(0.0) / 1000.0),
-                ("validate_ms".into(), m.phase_means_us.get("validate").copied().unwrap_or(0.0) / 1000.0),
-            ],
-        });
-    }
-    for (label, config) in [
-        ("TiDB unsaturated", DriverConfig::unsaturated(txns / 4)),
-        ("TiDB saturated", DriverConfig::saturating(txns)),
-    ] {
-        let mut tidb = TiDb::new(TiDbConfig::default());
-        let m = run_workload(&mut tidb, &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1), &config).metrics;
-        rows.push(Row {
-            label: label.to_string(),
-            values: vec![("total_ms".into(), m.latency.mean_us / 1000.0)],
-        });
-    }
-    // Query-path breakdown (Figure 8b), in microseconds.
-    let mut fabric = Fabric::new(FabricConfig::default());
-    let fq = run_workload(
-        &mut fabric,
-        &mut ycsb(YcsbMix::QueryOnly, 1000, 0.0, 1),
-        &DriverConfig::unsaturated(txns / 4),
-    )
-    .metrics;
-    rows.push(Row {
-        label: "Fabric query (µs)".into(),
-        values: vec![
-            ("authentication".into(), fq.phase_means_us.get("authentication").copied().unwrap_or(0.0)),
-            ("simulation".into(), fq.phase_means_us.get("simulation").copied().unwrap_or(0.0)),
-            ("endorsement".into(), fq.phase_means_us.get("endorsement").copied().unwrap_or(0.0)),
-        ],
-    });
-    let mut tidb = TiDb::new(TiDbConfig::default());
-    let tq = run_workload(
-        &mut tidb,
-        &mut ycsb(YcsbMix::QueryOnly, 1000, 0.0, 1),
-        &DriverConfig::unsaturated(txns / 4),
-    )
-    .metrics;
-    rows.push(Row {
-        label: "TiDB query (µs)".into(),
-        values: vec![
-            ("sql-parse".into(), tq.phase_means_us.get("sql-parse").copied().unwrap_or(0.0)),
-            ("sql-compile".into(), tq.phase_means_us.get("sql-compile").copied().unwrap_or(0.0)),
-            ("storage-get".into(), tq.phase_means_us.get("storage-get").copied().unwrap_or(0.0)),
-        ],
-    });
-    ExperimentReport {
+pub fn fig08_plan(txns: u64, seed: u64) -> ExperimentPlan {
+    // The paper's TiDB deployment here is the 3+3 default, not the
+    // half-frontend split of the full-replication sweeps.
+    let tidb = || {
+        SystemSpec::new(SystemKind::TiDb)
+            .with_nodes(3)
+            .with_frontends(3)
+    };
+    let fabric_bench = || SystemSpec::new(SystemKind::Fabric).with_blocks(100, 100_000);
+    let update = || ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1);
+    let query = || ycsb(YcsbMix::QueryOnly, 1000, 0.0, 1);
+    let fabric_phase_cols = || {
+        vec![
+            col("execute_ms", Metric::PhaseMeanMs("execute")),
+            col("order_ms", Metric::PhaseMeanMs("order")),
+            col("validate_ms", Metric::PhaseMeanMs("validate")),
+        ]
+    };
+    let rows = vec![
+        PlannedRow {
+            label: "Fabric unsaturated".into(),
+            runs: vec![drive(
+                fabric_bench(),
+                update(),
+                DriverConfig::unsaturated(txns / 4),
+                fabric_phase_cols(),
+                seed,
+            )],
+        },
+        PlannedRow {
+            label: "Fabric saturated".into(),
+            runs: vec![drive(
+                fabric_bench(),
+                update(),
+                DriverConfig::saturating(txns),
+                fabric_phase_cols(),
+                seed,
+            )],
+        },
+        PlannedRow {
+            label: "TiDB unsaturated".into(),
+            runs: vec![drive(
+                tidb(),
+                update(),
+                DriverConfig::unsaturated(txns / 4),
+                vec![col("total_ms", Metric::LatencyMeanMs)],
+                seed,
+            )],
+        },
+        PlannedRow {
+            label: "TiDB saturated".into(),
+            runs: vec![drive(
+                tidb(),
+                update(),
+                DriverConfig::saturating(txns),
+                vec![col("total_ms", Metric::LatencyMeanMs)],
+                seed,
+            )],
+        },
+        // Query-path breakdown (Figure 8b), in microseconds, at the models'
+        // default deployments.
+        PlannedRow {
+            label: "Fabric query (µs)".into(),
+            runs: vec![drive(
+                SystemSpec::new(SystemKind::Fabric),
+                query(),
+                DriverConfig::unsaturated(txns / 4),
+                vec![
+                    col("authentication", Metric::PhaseMeanUs("authentication")),
+                    col("simulation", Metric::PhaseMeanUs("simulation")),
+                    col("endorsement", Metric::PhaseMeanUs("endorsement")),
+                ],
+                seed,
+            )],
+        },
+        PlannedRow {
+            label: "TiDB query (µs)".into(),
+            runs: vec![drive(
+                tidb(),
+                query(),
+                DriverConfig::unsaturated(txns / 4),
+                vec![
+                    col("sql-parse", Metric::PhaseMeanUs("sql-parse")),
+                    col("sql-compile", Metric::PhaseMeanUs("sql-compile")),
+                    col("storage-get", Metric::PhaseMeanUs("storage-get")),
+                ],
+                seed,
+            )],
+        },
+    ];
+    ExperimentPlan {
         id: "Figure 8",
         title: "Latency breakdown (update phases, query path)",
         rows,
+        text: None,
     }
 }
 
-/// Table 4: throughput with a varying number of nodes under full replication.
-pub fn tab04_scaling(txns: u64, node_counts: &[usize]) -> ExperimentReport {
-    let systems = [
-        BenchSystem::Fabric,
-        BenchSystem::Quorum,
-        BenchSystem::TiDb,
-        BenchSystem::Etcd,
-    ];
-    let mut rows = Vec::new();
-    for sys in systems {
-        let mut values = Vec::new();
-        for &n in node_counts {
-            let mut s = sys.build(n);
-            let m = peak(s.as_mut(), &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1), txns);
-            values.push((format!("{n}_nodes"), m.throughput_tps));
-        }
-        rows.push(Row {
-            label: sys.name().to_string(),
-            values,
-        });
-    }
-    ExperimentReport {
-        id: "Table 4",
-        title: "Throughput (tps) vs number of nodes, full replication",
-        rows,
-    }
+/// Figure 8: latency breakdown.
+pub fn fig08_latency_breakdown(txns: u64) -> ExperimentReport {
+    run_plan(&fig08_plan(txns, DEFAULT_SEED))
 }
 
-/// Table 5: throughput when varying TiDB servers and TiKV nodes independently.
-pub fn tab05_tidb_matrix(txns: u64, counts: &[usize]) -> ExperimentReport {
-    let mut rows = Vec::new();
-    for &tidb_servers in counts {
-        let mut values = Vec::new();
-        for &tikv_nodes in counts {
-            let mut s = TiDb::new(TiDbConfig {
-                tidb_servers,
-                tikv_nodes,
-                ..TiDbConfig::default()
-            });
-            let m = peak(&mut s, &mut ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1), txns);
-            values.push((format!("{tikv_nodes}_tikv"), m.throughput_tps));
-        }
-        rows.push(Row {
-            label: format!("{tidb_servers} TiDB servers"),
-            values,
-        });
-    }
-    ExperimentReport {
-        id: "Table 5",
-        title: "TiDB: throughput (tps) vs #TiDB servers × #TiKV nodes",
-        rows,
-    }
-}
+/// The four systems of the parameter sweeps (Figures 9–11, Table 4).
+const SWEEP_FOUR: [SystemKind; 4] = [
+    SystemKind::Fabric,
+    SystemKind::Quorum,
+    SystemKind::TiDb,
+    SystemKind::Etcd,
+];
 
-/// Figure 9: throughput and abort rate under increasing Zipfian skew
+/// Figure 9 plan: throughput and abort rate under increasing Zipfian skew
 /// (single-record read-modify-write transactions).
-pub fn fig09_skew(txns: u64, thetas: &[f64]) -> ExperimentReport {
-    let systems = [
-        BenchSystem::Fabric,
-        BenchSystem::Quorum,
-        BenchSystem::TiDb,
-        BenchSystem::Etcd,
-    ];
-    let mut rows = Vec::new();
-    for &theta in thetas {
-        let mut values = Vec::new();
-        for sys in systems {
-            let mut s = sys.build(5);
-            let m = peak(s.as_mut(), &mut ycsb(YcsbMix::ReadModifyWrite, 1000, theta, 1), txns);
-            values.push((format!("{}_tps", sys.name()), m.throughput_tps));
-            if matches!(sys, BenchSystem::Fabric | BenchSystem::TiDb) {
-                values.push((format!("{}_abort_%", sys.name()), m.abort_rate_percent()));
-            }
-        }
-        rows.push(Row {
-            label: format!("theta={theta:.1}"),
-            values,
-        });
-    }
-    ExperimentReport {
+pub fn fig09_plan(txns: u64, thetas: &[f64], seed: u64) -> ExperimentPlan {
+    let scenario = Scenario {
         id: "Figure 9",
         title: "Throughput and abort rate vs Zipfian skew",
-        rows,
-    }
+        systems: SWEEP_FOUR
+            .iter()
+            .map(|&kind| {
+                let mut columns = vec![col(format!("{}_tps", kind.name()), Metric::ThroughputTps)];
+                if matches!(kind, SystemKind::Fabric | SystemKind::TiDb) {
+                    columns.push(col(
+                        format!("{}_abort_%", kind.name()),
+                        Metric::AbortPercent,
+                    ));
+                }
+                SystemEntry {
+                    spec: bench_spec(kind, 5),
+                    columns,
+                }
+            })
+            .collect(),
+        workload: ycsb(YcsbMix::ReadModifyWrite, 1000, 0.0, 1),
+        driver: DriverConfig::saturating(txns),
+        sweep: Sweep::Theta(thetas.to_vec()),
+        row_labels: None,
+        seed,
+    };
+    scenario.plan()
 }
 
-/// Figure 10: throughput and abort rate vs operations per transaction (total
-/// transaction payload held at 1 000 bytes).
-pub fn fig10_opcount(txns: u64, op_counts: &[usize]) -> ExperimentReport {
-    let systems = [
-        BenchSystem::Fabric,
-        BenchSystem::Quorum,
-        BenchSystem::TiDb,
-        BenchSystem::Etcd,
-    ];
-    let mut rows = Vec::new();
-    for &ops in op_counts {
-        let mut values = Vec::new();
-        for sys in systems {
-            let mut s = sys.build(5);
-            let mut workload = YcsbWorkload::new(YcsbConfig {
-                record_count: 5_000,
-                ..YcsbConfig::op_count_sweep(ops)
-            });
-            let m = peak(s.as_mut(), &mut workload, txns);
-            values.push((format!("{}_tps", sys.name()), m.throughput_tps));
-            if sys == BenchSystem::Fabric {
-                values.push((
-                    "Fabric_rw_conflict_%".into(),
-                    m.abort_share_percent(AbortReason::ReadWriteConflict),
-                ));
-                values.push((
-                    "Fabric_inconsistent_%".into(),
-                    m.abort_share_percent(AbortReason::InconsistentRead),
-                ));
-            }
-            if sys == BenchSystem::TiDb {
-                values.push(("TiDB_abort_%".into(), m.abort_rate_percent()));
-            }
-        }
-        rows.push(Row {
-            label: format!("{ops} ops/txn"),
-            values,
-        });
-    }
-    ExperimentReport {
+/// Figure 9: skew sweep.
+pub fn fig09_skew(txns: u64, thetas: &[f64]) -> ExperimentReport {
+    run_plan(&fig09_plan(txns, thetas, DEFAULT_SEED))
+}
+
+/// Figure 10 plan: throughput and abort rate vs operations per transaction
+/// (total transaction payload held at 1 000 bytes).
+pub fn fig10_plan(txns: u64, op_counts: &[usize], seed: u64) -> ExperimentPlan {
+    let scenario = Scenario {
         id: "Figure 10",
         title: "Throughput and abort rate vs operations per transaction",
-        rows,
-    }
+        systems: SWEEP_FOUR
+            .iter()
+            .map(|&kind| {
+                let mut columns = vec![col(format!("{}_tps", kind.name()), Metric::ThroughputTps)];
+                if kind == SystemKind::Fabric {
+                    columns.push(col(
+                        "Fabric_rw_conflict_%",
+                        Metric::AbortSharePercent(AbortReason::ReadWriteConflict),
+                    ));
+                    columns.push(col(
+                        "Fabric_inconsistent_%",
+                        Metric::AbortSharePercent(AbortReason::InconsistentRead),
+                    ));
+                }
+                if kind == SystemKind::TiDb {
+                    columns.push(col("TiDB_abort_%", Metric::AbortPercent));
+                }
+                SystemEntry {
+                    spec: bench_spec(kind, 5),
+                    columns,
+                }
+            })
+            .collect(),
+        workload: ycsb(YcsbMix::ReadModifyWrite, 1000, 0.0, 1),
+        driver: DriverConfig::saturating(txns),
+        sweep: Sweep::OpsPerTxn {
+            counts: op_counts.to_vec(),
+            payload_bytes: Some(1_000),
+        },
+        row_labels: None,
+        seed,
+    };
+    scenario.plan()
 }
 
-/// Figure 11: throughput (and Quorum/Fabric latency breakdown) vs record size
+/// Figure 10: operations-per-transaction sweep.
+pub fn fig10_opcount(txns: u64, op_counts: &[usize]) -> ExperimentReport {
+    run_plan(&fig10_plan(txns, op_counts, DEFAULT_SEED))
+}
+
+/// Figure 11 plan: throughput (and Quorum latency breakdown) vs record size
 /// under the uniform update workload.
-pub fn fig11_record_size(txns: u64, sizes: &[usize]) -> ExperimentReport {
-    let systems = [
-        BenchSystem::Fabric,
-        BenchSystem::Quorum,
-        BenchSystem::TiDb,
-        BenchSystem::Etcd,
-    ];
-    let mut rows = Vec::new();
-    for &size in sizes {
-        let mut values = Vec::new();
-        for sys in systems {
-            let mut s = sys.build(5);
-            let m = peak(s.as_mut(), &mut ycsb(YcsbMix::UpdateOnly, size, 0.0, 1), txns);
-            values.push((format!("{}_tps", sys.name()), m.throughput_tps));
-            if sys == BenchSystem::Quorum {
-                values.push((
-                    "Quorum_commit_ms".into(),
-                    m.phase_means_us.get("commit").copied().unwrap_or(0.0) / 1000.0,
-                ));
-                values.push((
-                    "Quorum_proposal_ms".into(),
-                    m.phase_means_us.get("proposal").copied().unwrap_or(0.0) / 1000.0,
-                ));
-            }
-        }
-        rows.push(Row {
-            label: format!("{size} B"),
-            values,
-        });
-    }
-    ExperimentReport {
+pub fn fig11_plan(txns: u64, sizes: &[usize], seed: u64) -> ExperimentPlan {
+    let scenario = Scenario {
         id: "Figure 11",
         title: "Uniform update throughput and latency breakdown vs record size",
-        rows,
-    }
+        systems: SWEEP_FOUR
+            .iter()
+            .map(|&kind| {
+                let mut columns = vec![col(format!("{}_tps", kind.name()), Metric::ThroughputTps)];
+                if kind == SystemKind::Quorum {
+                    columns.push(col("Quorum_commit_ms", Metric::PhaseMeanMs("commit")));
+                    columns.push(col("Quorum_proposal_ms", Metric::PhaseMeanMs("proposal")));
+                }
+                SystemEntry {
+                    spec: bench_spec(kind, 5),
+                    columns,
+                }
+            })
+            .collect(),
+        workload: ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1),
+        driver: DriverConfig::saturating(txns),
+        sweep: Sweep::RecordSize(sizes.to_vec()),
+        row_labels: None,
+        seed,
+    };
+    scenario.plan()
 }
 
-/// Figure 12: storage cost per record (Fabric state + block storage vs TiDB)
-/// as the record size grows.
-pub fn fig12_storage(records: u64, sizes: &[usize]) -> ExperimentReport {
-    let mut rows = Vec::new();
-    for &size in sizes {
-        // Fabric: insert through the full pipeline so both the state DB and
-        // the ledger fill up.
-        let mut fabric = Fabric::new(FabricConfig {
-            max_block_txns: 100,
-            endorsement_divergence: 0.0,
-            ..FabricConfig::default()
-        });
-        let mut workload = YcsbWorkload::new(YcsbConfig {
+/// Figure 11: record-size sweep.
+pub fn fig11_record_size(txns: u64, sizes: &[usize]) -> ExperimentReport {
+    run_plan(&fig11_plan(txns, sizes, DEFAULT_SEED))
+}
+
+/// Figure 12 plan: storage cost per record (Fabric state + block storage vs
+/// TiDB) as the record size grows. Every transaction inserts a fresh record
+/// (`preload: false`), so `records` drives both the write count and the
+/// per-record denominators.
+pub fn fig12_plan(records: u64, sizes: &[usize], seed: u64) -> ExperimentPlan {
+    let driver = || DriverConfig {
+        transactions: records,
+        preload: false,
+        ..DriverConfig::saturating(records)
+    };
+    let workload = |size: usize| {
+        WorkloadSpec::Ycsb(YcsbConfig {
             record_count: records,
             record_size: size,
             mix: YcsbMix::UpdateOnly,
             ..YcsbConfig::default()
-        });
-        let _ = run_workload(
-            &mut fabric,
-            &mut workload,
-            &DriverConfig {
-                transactions: records,
-                preload: false,
-                ..DriverConfig::saturating(records)
-            },
-        );
-        let fabric_fp = fabric.footprint();
-        // TiDB.
-        let mut tidb = TiDb::new(TiDbConfig::default());
-        let mut workload = YcsbWorkload::new(YcsbConfig {
-            record_count: records,
-            record_size: size,
-            mix: YcsbMix::UpdateOnly,
-            ..YcsbConfig::default()
-        });
-        let _ = run_workload(
-            &mut tidb,
-            &mut workload,
-            &DriverConfig {
-                transactions: records,
-                preload: false,
-                ..DriverConfig::saturating(records)
-            },
-        );
-        let tidb_fp = tidb.footprint();
-        rows.push(Row {
+        })
+    };
+    // Insert through the full pipeline so both the state DB and the ledger
+    // fill up; endorsement divergence off so every insert commits.
+    let fabric = || {
+        let mut spec = SystemSpec::new(SystemKind::Fabric).with_endorsement_divergence(0.0);
+        spec.block_txns = Some(100);
+        spec
+    };
+    let tidb = || {
+        SystemSpec::new(SystemKind::TiDb)
+            .with_nodes(3)
+            .with_frontends(3)
+    };
+    let rows = sizes
+        .iter()
+        .map(|&size| PlannedRow {
             label: format!("{size} B"),
-            values: vec![
-                (
-                    "Fabric_state_B/rec".into(),
-                    (fabric_fp.payload_bytes + fabric_fp.index_bytes) as f64 / records as f64,
+            runs: vec![
+                drive(
+                    fabric(),
+                    workload(size),
+                    driver(),
+                    vec![
+                        col("Fabric_state_B/rec", Metric::StateBytesPerRecord),
+                        col("Fabric_block_B/rec", Metric::HistoryBytesPerRecord),
+                    ],
+                    seed,
                 ),
-                (
-                    "Fabric_block_B/rec".into(),
-                    fabric_fp.history_bytes as f64 / records as f64,
+                drive(
+                    tidb(),
+                    workload(size),
+                    driver(),
+                    vec![col("TiDB_B/rec", Metric::TotalBytesPerRecord)],
+                    seed,
                 ),
-                ("TiDB_B/rec".into(), tidb_fp.total() as f64 / records as f64),
             ],
-        });
-    }
-    ExperimentReport {
+        })
+        .collect();
+    ExperimentPlan {
         id: "Figure 12",
         title: "Storage cost per record: Fabric state / Fabric blocks / TiDB",
         rows,
+        text: None,
     }
 }
 
-/// Figure 13: per-record storage cost of the two authenticated indexes (MBT
-/// vs MPT), as a function of record size.
-pub fn fig13_adr_overhead(records: u64, sizes: &[usize]) -> ExperimentReport {
-    use dichotomy_common::size::StorageFootprint;
-    use dichotomy_common::{Hash, Key, Value};
-    use dichotomy_merkle::{MerkleBucketTree, MerklePatriciaTrie};
-    let mut rows = Vec::new();
-    for &size in sizes {
-        let mut mbt = MerkleBucketTree::fabric_default();
-        let mut mpt = MerklePatriciaTrie::new();
-        for i in 0..records {
-            // 16-byte keys, as in the paper's setup.
-            let key = Key::new(Hash::of(&i.to_be_bytes()).0[..16].to_vec());
-            let value = Value::filler(size);
-            mbt.put(&key, &value);
-            mpt.insert(&key, &value);
-        }
-        rows.push(Row {
+/// Figure 12: storage cost per record.
+pub fn fig12_storage(records: u64, sizes: &[usize]) -> ExperimentReport {
+    run_plan(&fig12_plan(records, sizes, DEFAULT_SEED))
+}
+
+/// Figure 13 plan: per-record storage cost of the two authenticated indexes
+/// (MBT vs MPT), as a function of record size.
+pub fn fig13_plan(records: u64, sizes: &[usize]) -> ExperimentPlan {
+    let rows = sizes
+        .iter()
+        .map(|&size| PlannedRow {
             label: format!("{size} B"),
-            values: vec![
-                (
-                    "MBT_B/rec".into(),
-                    size as f64 + mbt.footprint().total() as f64 / records as f64,
-                ),
-                ("MPT_B/rec".into(), mpt.footprint().total() as f64 / records as f64),
-            ],
-        });
-    }
-    ExperimentReport {
+            runs: vec![PlannedRun {
+                probe: Probe::AdrOverhead {
+                    records,
+                    record_size: size,
+                },
+                columns: vec![
+                    col("MBT_B/rec", Metric::Extra("mbt_b_per_rec")),
+                    col("MPT_B/rec", Metric::Extra("mpt_b_per_rec")),
+                ],
+            }],
+        })
+        .collect();
+    ExperimentPlan {
         id: "Figure 13",
         title: "State storage per record with tamper evidence: MBT vs MPT",
         rows,
+        text: None,
     }
 }
 
-/// Figure 14: sharded scaling under a skewed workload with 2-record
+/// Figure 13: authenticated-index overhead.
+pub fn fig13_adr_overhead(records: u64, sizes: &[usize]) -> ExperimentReport {
+    run_plan(&fig13_plan(records, sizes))
+}
+
+/// Figure 14 plan: sharded scaling under a skewed workload with 2-record
 /// transactions: AHL (periodic reconfiguration), AHL (fixed members),
 /// sharded TiDB and the Spanner-like model.
-pub fn fig14_sharding(txns: u64, shard_counts: &[u32]) -> ExperimentReport {
-    let mut rows = Vec::new();
-    for &shards in shard_counts {
-        let workload = || {
-            YcsbWorkload::new(YcsbConfig {
-                record_count: 5_000,
-                record_size: 1000,
-                zipf_theta: 1.0,
-                ops_per_txn: 2,
-                mix: YcsbMix::ReadModifyWrite,
-                ..YcsbConfig::default()
-            })
-        };
-        let run = |system: &mut dyn TransactionalSystem| {
-            run_workload(system, &mut workload(), &DriverConfig::saturating(txns))
-                .metrics
-                .throughput_tps
-        };
-        let mut ahl_reconfig = Ahl::new(AhlConfig {
-            shards,
-            epoch_us: 2_000_000,
-            reconfig_pause_us: 600_000,
-            ..AhlConfig::default()
-        });
-        let mut ahl_fixed = Ahl::new(AhlConfig {
-            shards,
-            periodic_reconfiguration: false,
-            ..AhlConfig::default()
-        });
-        let mut tidb = ShardedTiDb::new(shards, NetworkConfig::lan_1gbps(), CostModel::calibrated());
-        let mut spanner = SpannerLike::new(SpannerLikeConfig {
-            shards,
-            ..SpannerLikeConfig::default()
-        });
-        rows.push(Row {
-            label: format!("{} nodes ({shards} shards)", shards * 3),
-            values: vec![
-                ("AHL_reconfig_tps".into(), run(&mut ahl_reconfig)),
-                ("AHL_fixed_tps".into(), run(&mut ahl_fixed)),
-                ("TiDB_tps".into(), run(&mut tidb)),
-                ("Spanner_tps".into(), run(&mut spanner)),
-            ],
-        });
-    }
-    ExperimentReport {
+pub fn fig14_plan(txns: u64, shard_counts: &[u32], seed: u64) -> ExperimentPlan {
+    let scenario = Scenario {
         id: "Figure 14",
         title: "Sharded throughput, skewed 2-record transactions",
-        rows,
-    }
+        systems: vec![
+            SystemEntry {
+                spec: SystemSpec::new(SystemKind::Ahl).with_reconfiguration(2_000_000, 600_000),
+                columns: vec![col("AHL_reconfig_tps", Metric::ThroughputTps)],
+            },
+            SystemEntry {
+                spec: SystemSpec::new(SystemKind::Ahl).with_periodic_reconfiguration(false),
+                columns: vec![col("AHL_fixed_tps", Metric::ThroughputTps)],
+            },
+            SystemEntry {
+                // A sharded TiDb spec builds the region-partitioned model.
+                spec: SystemSpec::new(SystemKind::TiDb).with_shards(1),
+                columns: vec![col("TiDB_tps", Metric::ThroughputTps)],
+            },
+            SystemEntry {
+                spec: SystemSpec::new(SystemKind::SpannerLike),
+                columns: vec![col("Spanner_tps", Metric::ThroughputTps)],
+            },
+        ],
+        workload: WorkloadSpec::Ycsb(YcsbConfig {
+            record_count: 5_000,
+            record_size: 1000,
+            zipf_theta: 1.0,
+            ops_per_txn: 2,
+            mix: YcsbMix::ReadModifyWrite,
+            ..YcsbConfig::default()
+        }),
+        driver: DriverConfig::saturating(txns),
+        sweep: Sweep::Shards(shard_counts.to_vec()),
+        row_labels: Some(
+            shard_counts
+                .iter()
+                .map(|&shards| format!("{} nodes ({shards} shards)", shards * 3))
+                .collect(),
+        ),
+        seed,
+    };
+    scenario.plan()
 }
 
-/// Figure 15: the hybrid forecast framework — forecast vs reported throughput
-/// for the six hybrid systems of Table 2.
-pub fn fig15_hybrid_forecast() -> ExperimentReport {
-    let network = NetworkConfig::lan_1gbps();
-    let costs = CostModel::calibrated();
-    let mut rows = Vec::new();
-    for profile in all_systems() {
-        let is_hybrid = matches!(
-            profile.category,
-            SystemCategory::OutOfBlockchainDatabase | SystemCategory::OutOfDatabaseBlockchain
-        );
-        if !is_hybrid {
-            continue;
-        }
-        let spec = HybridSpec::from_profile(&profile);
-        let forecast = forecast_throughput(&spec, &network, &costs);
-        rows.push(Row {
+/// Figure 14: sharded scaling.
+pub fn fig14_sharding(txns: u64, shard_counts: &[u32]) -> ExperimentReport {
+    run_plan(&fig14_plan(txns, shard_counts, DEFAULT_SEED))
+}
+
+/// Figure 15 plan: the hybrid forecast framework — forecast vs reported
+/// throughput for the six hybrid systems of Table 2.
+pub fn fig15_plan() -> ExperimentPlan {
+    let rows = all_systems()
+        .iter()
+        .filter(|profile| {
+            matches!(
+                profile.category,
+                SystemCategory::OutOfBlockchainDatabase | SystemCategory::OutOfDatabaseBlockchain
+            )
+        })
+        .map(|profile| PlannedRow {
             label: profile.name.to_string(),
-            values: vec![
-                ("band(0=low,2=high)".into(), spec.band() as u8 as f64),
-                ("forecast_tps".into(), forecast),
-                ("reported_tps".into(), profile.reported_tps.unwrap_or(f64::NAN)),
-            ],
-        });
-    }
-    ExperimentReport {
+            runs: vec![PlannedRun {
+                probe: Probe::Forecast {
+                    profile: profile.name,
+                },
+                columns: vec![
+                    col("band(0=low,2=high)", Metric::Extra("band")),
+                    col("forecast_tps", Metric::Extra("forecast_tps")),
+                    col("reported_tps", Metric::Extra("reported_tps")),
+                ],
+            }],
+        })
+        .collect();
+    ExperimentPlan {
         id: "Figure 15",
         title: "Hybrid-system throughput forecast vs reported numbers",
         rows,
+        text: None,
     }
 }
 
-/// Table 2: the taxonomy rendering (qualitative, no measurements).
+/// Figure 15: hybrid forecast vs reported throughput.
+pub fn fig15_hybrid_forecast() -> ExperimentReport {
+    run_plan(&fig15_plan())
+}
+
+/// Table 2 plan: the taxonomy rendering (qualitative, no measurements).
+pub fn tab02_plan() -> ExperimentPlan {
+    ExperimentPlan {
+        id: "Table 2",
+        title: "Design-space taxonomy",
+        rows: Vec::new(),
+        text: Some(dichotomy_hybrid::taxonomy::render_table2()),
+    }
+}
+
+/// Table 2: the taxonomy rendering.
 pub fn tab02_taxonomy() -> String {
-    dichotomy_hybrid::taxonomy::render_table2()
+    run_plan(&tab02_plan()).render()
+}
+
+/// Table 4 plan: throughput with a varying number of nodes under full
+/// replication. Rows are systems; columns are the node counts.
+pub fn tab04_plan(txns: u64, node_counts: &[usize], seed: u64) -> ExperimentPlan {
+    let rows = SWEEP_FOUR
+        .iter()
+        .map(|&kind| PlannedRow {
+            label: kind.name().to_string(),
+            runs: node_counts
+                .iter()
+                .map(|&n| {
+                    drive(
+                        bench_spec(kind, n),
+                        ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1),
+                        DriverConfig::saturating(txns),
+                        vec![col(format!("{n}_nodes"), Metric::ThroughputTps)],
+                        seed,
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    ExperimentPlan {
+        id: "Table 4",
+        title: "Throughput (tps) vs number of nodes, full replication",
+        rows,
+        text: None,
+    }
+}
+
+/// Table 4: node-count scaling.
+pub fn tab04_scaling(txns: u64, node_counts: &[usize]) -> ExperimentReport {
+    run_plan(&tab04_plan(txns, node_counts, DEFAULT_SEED))
+}
+
+/// Table 5 plan: throughput when varying TiDB servers and TiKV nodes
+/// independently.
+pub fn tab05_plan(txns: u64, counts: &[usize], seed: u64) -> ExperimentPlan {
+    let rows = counts
+        .iter()
+        .map(|&tidb_servers| PlannedRow {
+            label: format!("{tidb_servers} TiDB servers"),
+            runs: counts
+                .iter()
+                .map(|&tikv_nodes| {
+                    drive(
+                        SystemSpec::new(SystemKind::TiDb)
+                            .with_nodes(tikv_nodes)
+                            .with_frontends(tidb_servers),
+                        ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1),
+                        DriverConfig::saturating(txns),
+                        vec![col(format!("{tikv_nodes}_tikv"), Metric::ThroughputTps)],
+                        seed,
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    ExperimentPlan {
+        id: "Table 5",
+        title: "TiDB: throughput (tps) vs #TiDB servers × #TiKV nodes",
+        rows,
+        text: None,
+    }
+}
+
+/// Table 5: the TiDB server × storage-node matrix.
+pub fn tab05_tidb_matrix(txns: u64, counts: &[usize]) -> ExperimentReport {
+    run_plan(&tab05_plan(txns, counts, DEFAULT_SEED))
 }
 
 #[cfg(test)]
@@ -747,10 +834,15 @@ mod tests {
         let quorum = report.value("Quorum", "update_ms").unwrap();
         let tidb = report.value("TiDB", "update_ms").unwrap();
         let etcd = report.value("etcd", "update_ms").unwrap();
-        assert!(fabric > tidb && quorum > tidb, "fabric {fabric:.1} quorum {quorum:.1} tidb {tidb:.1}");
+        assert!(
+            fabric > tidb && quorum > tidb,
+            "fabric {fabric:.1} quorum {quorum:.1} tidb {tidb:.1}"
+        );
         assert!(tidb < 100.0 && etcd < 100.0);
         // Queries are single-digit ms for blockchains, sub-ms for databases.
-        assert!(report.value("Fabric", "query_ms").unwrap() > report.value("TiDB", "query_ms").unwrap());
+        assert!(
+            report.value("Fabric", "query_ms").unwrap() > report.value("TiDB", "query_ms").unwrap()
+        );
     }
 
     #[test]
@@ -788,5 +880,31 @@ mod tests {
         let veritas = report.value("Veritas", "forecast_tps").unwrap();
         let chainify = report.value("ChainifyDB", "forecast_tps").unwrap();
         assert!(veritas > chainify);
+    }
+
+    #[test]
+    fn same_seed_reproduces_reports_different_seeds_may_differ() {
+        // Same seed: rows agree bit for bit, across a plan that exercises
+        // system, workload and driver seeds.
+        let a = run_plan(&fig06_plan(120, 1234));
+        let b = run_plan(&fig06_plan(120, 1234));
+        assert_eq!(a.rows, b.rows);
+        // A different seed changes the measured numbers (the structure —
+        // labels and columns — is identical).
+        let c = run_plan(&fig06_plan(120, 99));
+        assert_eq!(
+            a.rows.iter().map(|r| &r.label).collect::<Vec<_>>(),
+            c.rows.iter().map(|r| &r.label).collect::<Vec<_>>()
+        );
+        assert_ne!(a.rows, c.rows, "different seeds should perturb the rows");
+    }
+
+    #[test]
+    fn plans_are_data_probe_counts_match_the_grids() {
+        assert_eq!(fig04_plan(10, 1).probe_count(), 10); // 5 systems × 2 workloads
+        assert_eq!(fig07_plan(10, 1).probe_count(), 8); // 4 f-values × 2 protocols
+        assert_eq!(fig09_plan(10, &[0.0, 1.0], 1).probe_count(), 8); // 2 thetas × 4 systems
+        assert_eq!(tab04_plan(10, &[3, 7], 1).probe_count(), 8); // 4 systems × 2 node counts
+        assert_eq!(tab02_plan().probe_count(), 0);
     }
 }

@@ -10,17 +10,22 @@
 //! * [`driver`] — the benchmark driver that feeds a workload into a system
 //!   model at a chosen offered load and collects the receipts (the role YCSB,
 //!   OLTPBench and Caliper play in the paper's setup);
-//! * [`experiments`] — one function per table/figure of the paper's
-//!   evaluation section, each returning both structured rows and a printable
-//!   report (these are what the `dichotomy-bench` binaries and the Criterion
-//!   benches call).
+//! * [`scenario`] — the Scenario API: experiments as data. A
+//!   [`scenario::Scenario`] composes `SystemSpec`s, a `WorkloadSpec`, a
+//!   `DriverConfig` and a `Sweep` into an [`scenario::ExperimentPlan`], and
+//!   one generic engine ([`scenario::run_plan`]) executes any plan;
+//! * [`experiments`] — one *plan constructor* per table/figure of the
+//!   paper's evaluation section, each a thin description executed by
+//!   `run_plan` (these are what the `dichotomy-bench` binaries call).
 
 pub mod driver;
 pub mod experiments;
 pub mod metrics;
+pub mod scenario;
 
 pub use driver::{run_workload, DriverConfig, RunStats};
 pub use metrics::{LatencySummary, Metrics};
+pub use scenario::{run_plan, ExperimentPlan, Scenario, Sweep};
 
 // Re-export the building blocks so downstream users need only this crate.
 pub use dichotomy_common as common;

@@ -153,7 +153,11 @@ mod tests {
             .collect();
         let m = Metrics::from_receipts(&receipts);
         assert_eq!(m.committed, 10);
-        assert!((m.throughput_tps - 10.0 / 0.901).abs() < 0.5, "{}", m.throughput_tps);
+        assert!(
+            (m.throughput_tps - 10.0 / 0.901).abs() < 0.5,
+            "{}",
+            m.throughput_tps
+        );
         assert_eq!(m.latency.p50_us, 1_000);
         assert_eq!(m.latency.max_us, 1_000);
         assert!((m.latency.mean_us - 1_000.0).abs() < 1e-9);

@@ -1,0 +1,660 @@
+//! The Scenario API: experiments as data.
+//!
+//! The paper's evaluation is a grid of measurements over a small design
+//! space: pick systems ([`SystemSpec`]), pick a workload ([`WorkloadSpec`]),
+//! pick a driver regime ([`DriverConfig`]), vary one axis ([`Sweep`]), read a
+//! handful of metrics off every run. This module captures that shape
+//! declaratively:
+//!
+//! * a [`Scenario`] is the `{systems, workload, driver, sweep}` description;
+//!   [`Scenario::plan`] expands it into an [`ExperimentPlan`];
+//! * an [`ExperimentPlan`] is the fully elaborated grid — labelled rows of
+//!   [`Probe`]s with the columns each probe reports — and is what the one
+//!   generic engine, [`run_plan`], executes;
+//! * every `figNN_*`/`tabNN_*` function in [`crate::experiments`] is now a
+//!   small plan constructor; none of them contains a measurement loop.
+//!
+//! New experiments therefore cost one spec: compose a `SystemSpec` (any
+//! point in the taxonomy the registry can build), name a workload, choose a
+//! sweep, and hand the plan to `run_plan` — or to the `repro` binary, which
+//! can serialize any report as JSON.
+//!
+//! ```
+//! use dichotomy_core::scenario::{ColumnSpec, Metric, Scenario, Sweep, SystemEntry, run_plan};
+//! use dichotomy_core::driver::DriverConfig;
+//! use dichotomy_systems::{SystemKind, SystemSpec};
+//! use dichotomy_workload::{WorkloadSpec, YcsbMix};
+//!
+//! let scenario = Scenario {
+//!     id: "Ad hoc",
+//!     title: "etcd update throughput vs skew",
+//!     systems: vec![SystemEntry {
+//!         spec: SystemSpec::new(SystemKind::Etcd),
+//!         columns: vec![ColumnSpec::new("tps", Metric::ThroughputTps)],
+//!     }],
+//!     workload: WorkloadSpec::ycsb(YcsbMix::UpdateOnly).with_records(1_000),
+//!     driver: DriverConfig::saturating(200),
+//!     sweep: Sweep::Theta(vec![0.0, 0.9]),
+//!     row_labels: None,
+//!     seed: 7,
+//! };
+//! let report = run_plan(&scenario.plan());
+//! assert_eq!(report.rows.len(), 2);
+//! ```
+
+use std::collections::BTreeMap;
+
+use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
+use dichotomy_common::{AbortReason, Hash, Key, Value};
+use dichotomy_hybrid::{all_systems, forecast_throughput, HybridSpec};
+use dichotomy_merkle::{MerkleBucketTree, MerklePatriciaTrie};
+use dichotomy_simnet::{CostModel, NetworkConfig};
+use dichotomy_systems::{SystemRegistry, SystemSpec};
+use dichotomy_workload::WorkloadSpec;
+
+use crate::driver::{run_workload, DriverConfig};
+use crate::experiments::{ExperimentReport, Row};
+use crate::metrics::Metrics;
+
+/// What one column reads off an executed probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Committed transactions per second of simulated time.
+    ThroughputTps,
+    /// Aborts as a percentage of finished transactions.
+    AbortPercent,
+    /// Aborts attributed to one reason, as a percentage of finished
+    /// transactions.
+    AbortSharePercent(AbortReason),
+    /// Mean commit latency in milliseconds.
+    LatencyMeanMs,
+    /// Mean latency of one named pipeline phase, in milliseconds.
+    PhaseMeanMs(&'static str),
+    /// Mean latency of one named pipeline phase, in microseconds.
+    PhaseMeanUs(&'static str),
+    /// State bytes (payload + index) per driven record.
+    StateBytesPerRecord,
+    /// History bytes (ledger blocks, WAL, old versions) per driven record.
+    HistoryBytesPerRecord,
+    /// Total storage bytes per driven record.
+    TotalBytesPerRecord,
+    /// A probe-computed named value (non-driving probes).
+    Extra(&'static str),
+}
+
+/// One named column of a report row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSpec {
+    /// Column name, exactly as rendered.
+    pub name: String,
+    /// What to extract.
+    pub metric: Metric,
+}
+
+impl ColumnSpec {
+    /// A column reading `metric` under `name`.
+    pub fn new(name: impl Into<String>, metric: Metric) -> Self {
+        ColumnSpec {
+            name: name.into(),
+            metric,
+        }
+    }
+}
+
+/// One measurement a plan schedules. (`Drive` dominates the size — that is
+/// fine, probes are plan data constructed once per cell, not a hot type.)
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum Probe {
+    /// Build the system, build the workload, drive it, read metrics and the
+    /// storage footprint.
+    Drive {
+        /// The system under test.
+        system: SystemSpec,
+        /// The workload description.
+        workload: WorkloadSpec,
+        /// The driver regime.
+        driver: DriverConfig,
+    },
+    /// Populate the two authenticated indexes (MBT vs MPT) and report their
+    /// per-record storage (Figure 13). Extras: `mbt_b_per_rec`,
+    /// `mpt_b_per_rec`.
+    AdrOverhead {
+        /// Records inserted into each index.
+        records: u64,
+        /// Value size per record.
+        record_size: usize,
+    },
+    /// The Section 5.6 forecast for a Table 2 profile. Extras: `band`,
+    /// `forecast_tps`, `reported_tps`.
+    Forecast {
+        /// Profile name as it appears in `dichotomy_hybrid::all_systems`.
+        profile: &'static str,
+    },
+}
+
+/// A probe plus the columns it contributes to its row.
+#[derive(Debug, Clone)]
+pub struct PlannedRun {
+    /// The measurement.
+    pub probe: Probe,
+    /// The columns read off it, in rendering order.
+    pub columns: Vec<ColumnSpec>,
+}
+
+/// One labelled report row: the concatenated columns of its runs.
+#[derive(Debug, Clone)]
+pub struct PlannedRow {
+    /// Row label, exactly as rendered.
+    pub label: String,
+    /// The measurements backing the row.
+    pub runs: Vec<PlannedRun>,
+}
+
+/// A fully elaborated experiment: what [`run_plan`] executes.
+#[derive(Debug, Clone)]
+pub struct ExperimentPlan {
+    /// Report id ("Figure 4", ...).
+    pub id: &'static str,
+    /// Report title.
+    pub title: &'static str,
+    /// The measurement grid.
+    pub rows: Vec<PlannedRow>,
+    /// Pre-rendered text for qualitative experiments (Table 2); rendered
+    /// verbatim instead of the row grid when present.
+    pub text: Option<String>,
+}
+
+impl ExperimentPlan {
+    /// Number of probes the plan schedules.
+    pub fn probe_count(&self) -> usize {
+        self.rows.iter().map(|r| r.runs.len()).sum()
+    }
+}
+
+/// The axis a [`Scenario`] varies — one knob, many points.
+#[derive(Debug, Clone)]
+pub enum Sweep {
+    /// No sweep: one row per system.
+    None,
+    /// Replica count.
+    Nodes(Vec<usize>),
+    /// Zipfian skew θ.
+    Theta(Vec<f64>),
+    /// Operations per transaction; when `payload_bytes` is set the record
+    /// size shrinks so the total transaction payload stays constant
+    /// (Figure 10's axis).
+    OpsPerTxn {
+        /// The operation counts.
+        counts: Vec<usize>,
+        /// Total transaction payload to hold constant, if any.
+        payload_bytes: Option<usize>,
+    },
+    /// Record (value) size in bytes.
+    RecordSize(Vec<usize>),
+    /// Shard count.
+    Shards(Vec<u32>),
+    /// Offered load in transactions per second.
+    OfferedTps(Vec<f64>),
+}
+
+impl Sweep {
+    /// Number of sweep points (0 for [`Sweep::None`]).
+    pub fn len(&self) -> usize {
+        match self {
+            Sweep::None => 0,
+            Sweep::Nodes(v) => v.len(),
+            Sweep::Theta(v) => v.len(),
+            Sweep::OpsPerTxn { counts, .. } => counts.len(),
+            Sweep::RecordSize(v) => v.len(),
+            Sweep::Shards(v) => v.len(),
+            Sweep::OfferedTps(v) => v.len(),
+        }
+    }
+
+    /// Whether there are no sweep points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Default row label for point `i`.
+    fn label(&self, i: usize) -> String {
+        match self {
+            Sweep::None => String::new(),
+            Sweep::Nodes(v) => format!("{} nodes", v[i]),
+            Sweep::Theta(v) => format!("theta={:.1}", v[i]),
+            Sweep::OpsPerTxn { counts, .. } => format!("{} ops/txn", counts[i]),
+            Sweep::RecordSize(v) => format!("{} B", v[i]),
+            Sweep::Shards(v) => format!("{} shards", v[i]),
+            Sweep::OfferedTps(v) => format!("{} tps", v[i]),
+        }
+    }
+
+    /// Apply point `i` to the components of one run.
+    fn apply(
+        &self,
+        i: usize,
+        spec: &mut SystemSpec,
+        workload: &mut WorkloadSpec,
+        driver: &mut DriverConfig,
+    ) {
+        match self {
+            Sweep::None => {}
+            Sweep::Nodes(v) => spec.nodes = Some(v[i]),
+            Sweep::Theta(v) => *workload = workload.clone().with_theta(v[i]),
+            Sweep::OpsPerTxn {
+                counts,
+                payload_bytes,
+            } => {
+                let ops = counts[i].max(1);
+                *workload = workload.clone().with_ops_per_txn(ops);
+                if let Some(total) = payload_bytes {
+                    *workload = workload.clone().with_record_size(total / ops);
+                }
+            }
+            Sweep::RecordSize(v) => *workload = workload.clone().with_record_size(v[i]),
+            Sweep::Shards(v) => spec.shards = Some(v[i]),
+            Sweep::OfferedTps(v) => driver.offered_tps = v[i],
+        }
+    }
+}
+
+/// One system's role in a scenario: its spec and the columns its runs
+/// contribute to every row.
+#[derive(Debug, Clone)]
+pub struct SystemEntry {
+    /// The system under test.
+    pub spec: SystemSpec,
+    /// Columns read off each of its runs.
+    pub columns: Vec<ColumnSpec>,
+}
+
+/// A declarative experiment: systems × workload × driver × sweep.
+///
+/// With a sweep, rows are sweep points and every system runs at every point;
+/// without one, rows are the systems themselves. The scenario's `seed` is
+/// threaded into every component, so two plans expanded from the same
+/// scenario reproduce bit for bit and a different seed legitimately differs.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Report id.
+    pub id: &'static str,
+    /// Report title.
+    pub title: &'static str,
+    /// The systems under test, with their report columns.
+    pub systems: Vec<SystemEntry>,
+    /// The workload every run draws from.
+    pub workload: WorkloadSpec,
+    /// The driver regime.
+    pub driver: DriverConfig,
+    /// The varied axis.
+    pub sweep: Sweep,
+    /// Row label overrides (must match the number of rows when set).
+    pub row_labels: Option<Vec<String>>,
+    /// RNG seed threaded through systems, workload and driver.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Expand into the fully elaborated grid.
+    pub fn plan(&self) -> ExperimentPlan {
+        if let Some(labels) = &self.row_labels {
+            let expected = if self.sweep.is_empty() {
+                self.systems.len()
+            } else {
+                self.sweep.len()
+            };
+            assert_eq!(
+                labels.len(),
+                expected,
+                "scenario '{}': row_labels has {} entries but the plan has {} rows",
+                self.id,
+                labels.len(),
+                expected
+            );
+        }
+        let driver = self.driver.clone().with_seed(self.seed);
+        let workload = self.workload.clone().with_seed(self.seed);
+        let seeded_spec = |entry: &SystemEntry| {
+            let mut spec = entry.spec.clone();
+            if spec.seed.is_none() {
+                spec.seed = Some(self.seed);
+            }
+            spec
+        };
+        let rows = if self.sweep.is_empty() {
+            // One row per system.
+            self.systems
+                .iter()
+                .enumerate()
+                .map(|(i, entry)| PlannedRow {
+                    label: self.row_label(i).unwrap_or_else(|| entry.spec.label()),
+                    runs: vec![PlannedRun {
+                        probe: Probe::Drive {
+                            system: seeded_spec(entry),
+                            workload: workload.clone(),
+                            driver: driver.clone(),
+                        },
+                        columns: entry.columns.clone(),
+                    }],
+                })
+                .collect()
+        } else {
+            // One row per sweep point, every system measured at each point.
+            (0..self.sweep.len())
+                .map(|i| PlannedRow {
+                    label: self.row_label(i).unwrap_or_else(|| self.sweep.label(i)),
+                    runs: self
+                        .systems
+                        .iter()
+                        .map(|entry| {
+                            let mut spec = seeded_spec(entry);
+                            let mut wl = workload.clone();
+                            let mut drv = driver.clone();
+                            self.sweep.apply(i, &mut spec, &mut wl, &mut drv);
+                            PlannedRun {
+                                probe: Probe::Drive {
+                                    system: spec,
+                                    workload: wl,
+                                    driver: drv,
+                                },
+                                columns: entry.columns.clone(),
+                            }
+                        })
+                        .collect(),
+                })
+                .collect()
+        };
+        ExperimentPlan {
+            id: self.id,
+            title: self.title,
+            rows,
+            text: None,
+        }
+    }
+
+    fn row_label(&self, i: usize) -> Option<String> {
+        self.row_labels.as_ref().map(|labels| labels[i].clone())
+    }
+}
+
+/// What a probe produced, before column extraction.
+struct Observation {
+    metrics: Metrics,
+    footprint: StorageBreakdown,
+    records: u64,
+    extras: BTreeMap<&'static str, f64>,
+}
+
+/// Execute a plan with the built-in system registry.
+pub fn run_plan(plan: &ExperimentPlan) -> ExperimentReport {
+    run_plan_with(plan, &SystemRegistry::with_builtins())
+}
+
+/// Execute a plan, building systems through `registry`.
+///
+/// Panics if a spec's kind has no registered builder — the `repro` binary
+/// turns per-experiment panics into a failure summary.
+pub fn run_plan_with(plan: &ExperimentPlan, registry: &SystemRegistry) -> ExperimentReport {
+    let rows = plan
+        .rows
+        .iter()
+        .map(|row| Row {
+            label: row.label.clone(),
+            values: row
+                .runs
+                .iter()
+                .flat_map(|run| execute(run, registry))
+                .collect(),
+        })
+        .collect();
+    ExperimentReport {
+        id: plan.id,
+        title: plan.title,
+        rows,
+        text: plan.text.clone(),
+    }
+}
+
+fn execute(run: &PlannedRun, registry: &SystemRegistry) -> Vec<(String, f64)> {
+    let observation = observe(&run.probe, registry);
+    run.columns
+        .iter()
+        .map(|column| (column.name.clone(), extract(&observation, &column.metric)))
+        .collect()
+}
+
+fn observe(probe: &Probe, registry: &SystemRegistry) -> Observation {
+    match probe {
+        Probe::Drive {
+            system,
+            workload,
+            driver,
+        } => {
+            let mut sys = registry
+                .build(system)
+                .unwrap_or_else(|e| panic!("cannot build {}: {e}", system.label()));
+            let mut wl = workload.build();
+            let stats = run_workload(sys.as_mut(), wl.as_mut(), driver);
+            Observation {
+                metrics: stats.metrics,
+                footprint: sys.footprint(),
+                records: driver.transactions,
+                extras: BTreeMap::new(),
+            }
+        }
+        Probe::AdrOverhead {
+            records,
+            record_size,
+        } => {
+            let mut mbt = MerkleBucketTree::fabric_default();
+            let mut mpt = MerklePatriciaTrie::new();
+            for i in 0..*records {
+                // 16-byte keys, as in the paper's setup.
+                let key = Key::new(Hash::of(&i.to_be_bytes()).0[..16].to_vec());
+                let value = Value::filler(*record_size);
+                mbt.put(&key, &value);
+                mpt.insert(&key, &value);
+            }
+            let per_rec = |fp: StorageBreakdown| fp.total() as f64 / (*records).max(1) as f64;
+            let mut extras = BTreeMap::new();
+            extras.insert(
+                "mbt_b_per_rec",
+                *record_size as f64 + per_rec(mbt.footprint()),
+            );
+            extras.insert("mpt_b_per_rec", per_rec(mpt.footprint()));
+            Observation {
+                metrics: Metrics::default(),
+                footprint: StorageBreakdown::default(),
+                records: *records,
+                extras,
+            }
+        }
+        Probe::Forecast { profile } => {
+            let profiles = all_systems();
+            let p = profiles
+                .iter()
+                .find(|s| s.name == *profile)
+                .unwrap_or_else(|| panic!("unknown Table 2 profile '{profile}'"));
+            let spec = HybridSpec::from_profile(p);
+            let forecast =
+                forecast_throughput(&spec, &NetworkConfig::lan_1gbps(), &CostModel::calibrated());
+            let mut extras = BTreeMap::new();
+            extras.insert("band", spec.band() as u8 as f64);
+            extras.insert("forecast_tps", forecast);
+            extras.insert("reported_tps", p.reported_tps.unwrap_or(f64::NAN));
+            Observation {
+                metrics: Metrics::default(),
+                footprint: StorageBreakdown::default(),
+                records: 0,
+                extras,
+            }
+        }
+    }
+}
+
+fn extract(obs: &Observation, metric: &Metric) -> f64 {
+    let phase = |name: &str| obs.metrics.phase_means_us.get(name).copied().unwrap_or(0.0);
+    let records = obs.records.max(1) as f64;
+    match metric {
+        Metric::ThroughputTps => obs.metrics.throughput_tps,
+        Metric::AbortPercent => obs.metrics.abort_rate_percent(),
+        Metric::AbortSharePercent(reason) => obs.metrics.abort_share_percent(*reason),
+        Metric::LatencyMeanMs => obs.metrics.latency.mean_us / 1000.0,
+        Metric::PhaseMeanMs(name) => phase(name) / 1000.0,
+        Metric::PhaseMeanUs(name) => phase(name),
+        Metric::StateBytesPerRecord => {
+            (obs.footprint.payload_bytes + obs.footprint.index_bytes) as f64 / records
+        }
+        Metric::HistoryBytesPerRecord => obs.footprint.history_bytes as f64 / records,
+        Metric::TotalBytesPerRecord => obs.footprint.total() as f64 / records,
+        Metric::Extra(key) => obs.extras.get(key).copied().unwrap_or(f64::NAN),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dichotomy_systems::SystemKind;
+    use dichotomy_workload::YcsbMix;
+
+    fn tiny_scenario(seed: u64) -> Scenario {
+        Scenario {
+            id: "T",
+            title: "tiny",
+            systems: vec![SystemEntry {
+                spec: SystemSpec::new(SystemKind::Etcd),
+                columns: vec![
+                    ColumnSpec::new("tps", Metric::ThroughputTps),
+                    ColumnSpec::new("abort_%", Metric::AbortPercent),
+                ],
+            }],
+            workload: WorkloadSpec::ycsb(YcsbMix::UpdateOnly).with_records(500),
+            driver: DriverConfig::saturating(150),
+            sweep: Sweep::None,
+            row_labels: None,
+            seed,
+        }
+    }
+
+    #[test]
+    fn sweepless_scenarios_have_one_row_per_system() {
+        let report = run_plan(&tiny_scenario(1).plan());
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].label, "etcd");
+        assert!(report.value("etcd", "tps").unwrap() > 0.0);
+        assert_eq!(report.value("etcd", "abort_%").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sweeps_expand_to_one_row_per_point() {
+        let mut scenario = tiny_scenario(1);
+        scenario.sweep = Sweep::Theta(vec![0.0, 0.5, 1.0]);
+        let plan = scenario.plan();
+        assert_eq!(plan.rows.len(), 3);
+        assert_eq!(plan.rows[1].label, "theta=0.5");
+        assert_eq!(plan.probe_count(), 3);
+        let report = run_plan(&plan);
+        assert!(report.value("theta=1.0", "tps").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn row_label_overrides_win() {
+        let mut scenario = tiny_scenario(1);
+        scenario.sweep = Sweep::Nodes(vec![3, 5]);
+        scenario.row_labels = Some(vec!["small".into(), "large".into()]);
+        let plan = scenario.plan();
+        assert_eq!(plan.rows[0].label, "small");
+        assert_eq!(plan.rows[1].label, "large");
+    }
+
+    #[test]
+    fn node_sweeps_reach_the_built_system() {
+        let mut scenario = tiny_scenario(1);
+        scenario.sweep = Sweep::Nodes(vec![3, 7]);
+        let plan = scenario.plan();
+        match &plan.rows[1].runs[0].probe {
+            Probe::Drive { system, .. } => assert_eq!(system.nodes, Some(7)),
+            _ => panic!("expected a drive probe"),
+        }
+    }
+
+    #[test]
+    fn ops_sweep_keeps_total_payload_constant() {
+        let mut scenario = tiny_scenario(1);
+        scenario.sweep = Sweep::OpsPerTxn {
+            counts: vec![1, 4],
+            payload_bytes: Some(1000),
+        };
+        let plan = scenario.plan();
+        match &plan.rows[1].runs[0].probe {
+            Probe::Drive { workload, .. } => match workload {
+                WorkloadSpec::Ycsb(c) => {
+                    assert_eq!(c.ops_per_txn, 4);
+                    assert_eq!(c.record_size, 250);
+                }
+                _ => panic!("expected YCSB"),
+            },
+            _ => panic!("expected a drive probe"),
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_and_seeds_thread_through() {
+        let a = run_plan(&tiny_scenario(42).plan());
+        let b = run_plan(&tiny_scenario(42).plan());
+        assert_eq!(a.rows[0].values, b.rows[0].values);
+        match &tiny_scenario(42).plan().rows[0].runs[0].probe {
+            Probe::Drive {
+                system,
+                workload,
+                driver,
+            } => {
+                assert_eq!(system.seed, Some(42));
+                assert_eq!(workload.seed(), 42);
+                assert_eq!(driver.seed, 42);
+            }
+            _ => panic!("expected a drive probe"),
+        }
+    }
+
+    #[test]
+    fn forecast_and_adr_probes_fill_extras() {
+        let plan = ExperimentPlan {
+            id: "X",
+            title: "probes",
+            rows: vec![
+                PlannedRow {
+                    label: "Veritas".into(),
+                    runs: vec![PlannedRun {
+                        probe: Probe::Forecast { profile: "Veritas" },
+                        columns: vec![
+                            ColumnSpec::new("forecast_tps", Metric::Extra("forecast_tps")),
+                            ColumnSpec::new("reported_tps", Metric::Extra("reported_tps")),
+                        ],
+                    }],
+                },
+                PlannedRow {
+                    label: "100 B".into(),
+                    runs: vec![PlannedRun {
+                        probe: Probe::AdrOverhead {
+                            records: 200,
+                            record_size: 100,
+                        },
+                        columns: vec![
+                            ColumnSpec::new("MBT_B/rec", Metric::Extra("mbt_b_per_rec")),
+                            ColumnSpec::new("MPT_B/rec", Metric::Extra("mpt_b_per_rec")),
+                        ],
+                    }],
+                },
+            ],
+            text: None,
+        };
+        let report = run_plan(&plan);
+        assert!(report.value("Veritas", "forecast_tps").unwrap() > 0.0);
+        assert_eq!(report.value("Veritas", "reported_tps").unwrap(), 29_000.0);
+        let mbt = report.value("100 B", "MBT_B/rec").unwrap();
+        let mpt = report.value("100 B", "MPT_B/rec").unwrap();
+        assert!(mpt > mbt);
+    }
+}

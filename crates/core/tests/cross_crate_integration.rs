@@ -7,7 +7,9 @@ use dichotomy_core::experiments;
 use dichotomy_core::systems::{
     Fabric, FabricConfig, Quorum, QuorumConfig, TiDb, TiDbConfig, TransactionalSystem,
 };
-use dichotomy_core::workload::{SmallbankConfig, SmallbankWorkload, Workload, YcsbConfig, YcsbMix, YcsbWorkload};
+use dichotomy_core::workload::{
+    SmallbankConfig, SmallbankWorkload, Workload, YcsbConfig, YcsbMix, YcsbWorkload,
+};
 
 /// The headline result (Figure 4's ordering) holds end to end through the
 /// driver: databases beat blockchains on YCSB updates, and everything beats
@@ -20,7 +22,10 @@ fn figure4_ordering_holds_through_the_public_api() {
     let tidb = report.value("TiDB", "update_tps").unwrap();
     let etcd = report.value("etcd", "update_tps").unwrap();
     let tikv = report.value("TiKV", "update_tps").unwrap();
-    assert!(quorum < fabric && fabric < tidb && tidb < etcd, "{quorum} {fabric} {tidb} {etcd}");
+    assert!(
+        quorum < fabric && fabric < tidb && tidb < etcd,
+        "{quorum} {fabric} {tidb} {etcd}"
+    );
     assert!(tikv > tidb);
 }
 
@@ -68,7 +73,9 @@ fn signatures_travel_through_the_blockchain_pipeline() {
 /// when the workload has no conflicts).
 #[test]
 fn different_systems_reach_the_same_final_state_without_conflicts() {
-    let keys: Vec<Key> = (0..50).map(|i| Key::from_str(&format!("acct{i:03}"))).collect();
+    let keys: Vec<Key> = (0..50)
+        .map(|i| Key::from_str(&format!("acct{i:03}")))
+        .collect();
     let txns: Vec<Transaction> = keys
         .iter()
         .enumerate()
@@ -126,7 +133,10 @@ fn storage_hierarchy_is_consistent_across_experiments() {
     let fabric_block = report.value("1000 B", "Fabric_block_B/rec").unwrap();
     let tidb = report.value("1000 B", "TiDB_B/rec").unwrap();
     assert!(fabric_block > 1000.0, "blocks store the full envelopes");
-    assert!(fabric_state + fabric_block > tidb, "ledger overhead dominates");
+    assert!(
+        fabric_state + fabric_block > tidb,
+        "ledger overhead dominates"
+    );
 
     let adr = experiments::fig13_adr_overhead(1_000, &[1000]);
     let mbt = adr.value("1000 B", "MBT_B/rec").unwrap();

@@ -77,7 +77,8 @@ impl HybridSpec {
 /// concurrent designs scale with the node count. The estimate is the minimum
 /// of the two — the pipeline's bottleneck.
 pub fn forecast_throughput(spec: &HybridSpec, network: &NetworkConfig, costs: &CostModel) -> f64 {
-    let profile = ReplicationProfile::new(spec.protocol, spec.nodes, network.clone(), costs.clone());
+    let profile =
+        ReplicationProfile::new(spec.protocol, spec.nodes, network.clone(), costs.clone());
     let batch_bytes = spec.txn_bytes * spec.batch_size;
     // Ordering-layer rate. Pipelined CFT orderers (Raft, shared log) sustain
     // one batch per leader-occupancy period; BFT protocols run their rounds
@@ -173,7 +174,9 @@ mod tests {
             "Veritas {f_veritas:.0} vs ChainifyDB {f_chainify:.0}"
         );
         // And the bands agree with the reported ordering.
-        assert!(HybridSpec::from_profile(veritas).band() >= HybridSpec::from_profile(chainify).band());
+        assert!(
+            HybridSpec::from_profile(veritas).band() >= HybridSpec::from_profile(chainify).band()
+        );
     }
 
     #[test]
@@ -184,7 +187,10 @@ mod tests {
         let brd = systems.iter().find(|s| s.name == "BRD").unwrap();
         let f_bigchain = forecast_throughput(&HybridSpec::from_profile(bigchain), &net, &costs);
         let f_brd = forecast_throughput(&HybridSpec::from_profile(brd), &net, &costs);
-        assert!(f_brd > f_bigchain, "BRD {f_brd:.0} vs BigchainDB {f_bigchain:.0}");
+        assert!(
+            f_brd > f_bigchain,
+            "BRD {f_brd:.0} vs BigchainDB {f_bigchain:.0}"
+        );
     }
 
     #[test]

@@ -7,6 +7,6 @@ pub mod taxonomy;
 
 pub use forecast::{forecast_throughput, HybridSpec, ThroughputBand};
 pub use taxonomy::{
-    all_systems, ConcurrencyChoice, LedgerSupport, ReplicationModel, ShardingSupport,
-    StorageIndex, SystemCategory, SystemProfile,
+    all_systems, ConcurrencyChoice, LedgerSupport, ReplicationModel, ShardingSupport, StorageIndex,
+    SystemCategory, SystemProfile,
 };

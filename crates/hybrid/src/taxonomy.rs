@@ -316,7 +316,12 @@ mod tests {
                 SystemCategory::PermissionedBlockchain
                 | SystemCategory::PermissionlessBlockchain
                 | SystemCategory::OutOfDatabaseBlockchain => {
-                    assert_eq!(s.replication, ReplicationModel::TransactionBased, "{}", s.name)
+                    assert_eq!(
+                        s.replication,
+                        ReplicationModel::TransactionBased,
+                        "{}",
+                        s.name
+                    )
                 }
                 SystemCategory::NewSqlDatabase
                 | SystemCategory::NoSqlDatabase
@@ -355,7 +360,11 @@ mod tests {
     fn table_rendering_mentions_every_system() {
         let rendered = render_table2();
         for s in all_systems() {
-            assert!(rendered.contains(s.name), "{} missing from rendering", s.name);
+            assert!(
+                rendered.contains(s.name),
+                "{} missing from rendering",
+                s.name
+            );
         }
     }
 }

@@ -49,7 +49,10 @@ impl std::fmt::Display for LedgerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LedgerError::BrokenChain { expected, found } => {
-                write!(f, "broken chain: expected prev {expected:?}, found {found:?}")
+                write!(
+                    f,
+                    "broken chain: expected prev {expected:?}, found {found:?}"
+                )
             }
             LedgerError::WrongHeight { expected, found } => {
                 write!(f, "wrong height: expected {expected}, found {found}")
@@ -93,12 +96,21 @@ impl Ledger {
 
     /// Height of the chain tip.
     pub fn tip_height(&self) -> u64 {
-        self.blocks.last().expect("genesis always present").block.header.height
+        self.blocks
+            .last()
+            .expect("genesis always present")
+            .block
+            .header
+            .height
     }
 
     /// Hash of the chain tip.
     pub fn tip_hash(&self) -> Hash {
-        self.blocks.last().expect("genesis always present").block.hash()
+        self.blocks
+            .last()
+            .expect("genesis always present")
+            .block
+            .hash()
     }
 
     /// Number of blocks including genesis.
@@ -144,7 +156,10 @@ impl Ledger {
             return Err(LedgerError::FlagMismatch);
         }
         self.txn_count += block.txns.len() as u64;
-        self.valid_txn_count += flags.iter().filter(|f| **f == TxnValidationFlag::Valid).count() as u64;
+        self.valid_txn_count += flags
+            .iter()
+            .filter(|f| **f == TxnValidationFlag::Valid)
+            .count() as u64;
         self.blocks.push(CommittedBlock {
             block,
             flags,
@@ -251,7 +266,10 @@ mod tests {
     fn txn(seq: u64, size: usize) -> Transaction {
         Transaction::new(
             TxnId::new(ClientId(1), seq),
-            vec![Operation::write(Key::from_str(&format!("k{seq}")), Value::filler(size))],
+            vec![Operation::write(
+                Key::from_str(&format!("k{seq}")),
+                Value::filler(size),
+            )],
         )
     }
 
@@ -269,7 +287,8 @@ mod tests {
         let mut l = Ledger::new(NodeId(0));
         l.append_txns(vec![txn(1, 10), txn(2, 10)], NodeId(0), 100, None)
             .unwrap();
-        l.append_txns(vec![txn(3, 10)], NodeId(1), 200, None).unwrap();
+        l.append_txns(vec![txn(3, 10)], NodeId(1), 200, None)
+            .unwrap();
         assert_eq!(l.tip_height(), 2);
         assert_eq!(l.txn_count(), 3);
         assert_eq!(l.valid_txn_count(), 3);
@@ -286,7 +305,10 @@ mod tests {
         let bogus = Block::assemble(5, l.tip_hash(), vec![], NodeId(0), 0, None);
         assert!(matches!(
             l.append(bogus, vec![], 0),
-            Err(LedgerError::WrongHeight { expected: 1, found: 5 })
+            Err(LedgerError::WrongHeight {
+                expected: 1,
+                found: 5
+            })
         ));
         let unlinked = Block::assemble(1, Hash::of(b"nope"), vec![], NodeId(0), 0, None);
         assert!(matches!(
@@ -300,18 +322,35 @@ mod tests {
         let mut l = Ledger::new(NodeId(0));
         let mut block = Block::assemble(1, l.tip_hash(), vec![txn(1, 10)], NodeId(0), 0, None);
         block.txns.push(txn(2, 10));
-        assert_eq!(l.append(block, vec![TxnValidationFlag::Valid; 2], 0), Err(LedgerError::BadTxnsDigest));
+        assert_eq!(
+            l.append(block, vec![TxnValidationFlag::Valid; 2], 0),
+            Err(LedgerError::BadTxnsDigest)
+        );
 
         let ok_block = Block::assemble(1, l.tip_hash(), vec![txn(1, 10)], NodeId(0), 0, None);
-        assert_eq!(l.append(ok_block, vec![], 0), Err(LedgerError::FlagMismatch));
+        assert_eq!(
+            l.append(ok_block, vec![], 0),
+            Err(LedgerError::FlagMismatch)
+        );
     }
 
     #[test]
     fn invalid_flags_are_counted_separately() {
         let mut l = Ledger::new(NodeId(0));
-        let block = Block::assemble(1, l.tip_hash(), vec![txn(1, 10), txn(2, 10)], NodeId(0), 0, None);
-        l.append(block, vec![TxnValidationFlag::Valid, TxnValidationFlag::Invalid], 0)
-            .unwrap();
+        let block = Block::assemble(
+            1,
+            l.tip_hash(),
+            vec![txn(1, 10), txn(2, 10)],
+            NodeId(0),
+            0,
+            None,
+        );
+        l.append(
+            block,
+            vec![TxnValidationFlag::Valid, TxnValidationFlag::Invalid],
+            0,
+        )
+        .unwrap();
         assert_eq!(l.txn_count(), 2);
         assert_eq!(l.valid_txn_count(), 1);
     }
@@ -320,7 +359,8 @@ mod tests {
     fn verify_chain_detects_tampering() {
         let mut l = Ledger::new(NodeId(0));
         for i in 1..=5 {
-            l.append_txns(vec![txn(i, 50)], NodeId(0), i * 100, None).unwrap();
+            l.append_txns(vec![txn(i, 50)], NodeId(0), i * 100, None)
+                .unwrap();
         }
         assert_eq!(l.verify_chain(), None);
         l.tamper_for_test(3);
@@ -332,8 +372,12 @@ mod tests {
         let mut small = Ledger::new(NodeId(0));
         let mut large = Ledger::new(NodeId(0));
         for i in 1..=10 {
-            small.append_txns(vec![txn(i, 10)], NodeId(0), i, None).unwrap();
-            large.append_txns(vec![txn(i, 5000)], NodeId(0), i, None).unwrap();
+            small
+                .append_txns(vec![txn(i, 10)], NodeId(0), i, None)
+                .unwrap();
+            large
+                .append_txns(vec![txn(i, 5000)], NodeId(0), i, None)
+                .unwrap();
         }
         let fs = small.footprint();
         let fl = large.footprint();

@@ -100,7 +100,11 @@ impl MerkleBucketTree {
     }
 
     fn rebuild_all_levels(&mut self) {
-        let bucket_digests: Vec<Hash> = self.buckets.iter().map(|b| Self::digest_bucket(b)).collect();
+        let bucket_digests: Vec<Hash> = self
+            .buckets
+            .iter()
+            .map(|b| Self::digest_bucket(b))
+            .collect();
         self.levels = vec![bucket_digests];
         while self.levels.last().expect("non-empty").len() > 1 {
             let prev = self.levels.last().expect("non-empty");
@@ -143,8 +147,12 @@ impl MerkleBucketTree {
     /// for CPU-cost charging.
     pub fn put(&mut self, key: &Key, value: &Value) -> UpdateStats {
         let bucket = self.bucket_of(key);
-        let key_digest: [u8; 16] = Hash::of(key.as_bytes()).0[..16].try_into().expect("16 bytes");
-        let value_digest: [u8; 8] = Hash::of(value.as_bytes()).0[..8].try_into().expect("8 bytes");
+        let key_digest: [u8; 16] = Hash::of(key.as_bytes()).0[..16]
+            .try_into()
+            .expect("16 bytes");
+        let value_digest: [u8; 8] = Hash::of(value.as_bytes()).0[..8]
+            .try_into()
+            .expect("8 bytes");
         let entries = &mut self.buckets[bucket];
         match entries.binary_search_by(|e| e.key_digest.cmp(&key_digest)) {
             Ok(i) => entries[i].value_digest = value_digest,
@@ -171,8 +179,12 @@ impl MerkleBucketTree {
     /// authenticates what the state storage returned).
     pub fn authenticate(&self, key: &Key, value: &Value) -> bool {
         let bucket = self.bucket_of(key);
-        let key_digest: [u8; 16] = Hash::of(key.as_bytes()).0[..16].try_into().expect("16 bytes");
-        let value_digest: [u8; 8] = Hash::of(value.as_bytes()).0[..8].try_into().expect("8 bytes");
+        let key_digest: [u8; 16] = Hash::of(key.as_bytes()).0[..16]
+            .try_into()
+            .expect("16 bytes");
+        let value_digest: [u8; 8] = Hash::of(value.as_bytes()).0[..8]
+            .try_into()
+            .expect("8 bytes");
         self.buckets[bucket]
             .binary_search_by(|e| e.key_digest.cmp(&key_digest))
             .map(|i| self.buckets[bucket][i].value_digest == value_digest)
@@ -182,7 +194,9 @@ impl MerkleBucketTree {
     /// Remove `key`; returns `true` if it was present.
     pub fn delete(&mut self, key: &Key) -> bool {
         let bucket = self.bucket_of(key);
-        let key_digest: [u8; 16] = Hash::of(key.as_bytes()).0[..16].try_into().expect("16 bytes");
+        let key_digest: [u8; 16] = Hash::of(key.as_bytes()).0[..16]
+            .try_into()
+            .expect("16 bytes");
         let entries = &mut self.buckets[bucket];
         if let Ok(i) = entries.binary_search_by(|e| e.key_digest.cmp(&key_digest)) {
             entries.remove(i);

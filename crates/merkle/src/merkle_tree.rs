@@ -141,7 +141,9 @@ mod tests {
     use super::*;
 
     fn leaves(n: usize) -> Vec<Hash> {
-        (0..n).map(|i| Hash::of(format!("leaf{i}").as_bytes())).collect()
+        (0..n)
+            .map(|i| Hash::of(format!("leaf{i}").as_bytes()))
+            .collect()
     }
 
     #[test]

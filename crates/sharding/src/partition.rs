@@ -215,8 +215,20 @@ mod tests {
     #[test]
     fn secure_formation_reshuffles_every_epoch_static_does_not() {
         let nodes: Vec<NodeId> = (0..24).map(NodeId).collect();
-        let secure0 = ShardPlan::form(&nodes, 4, ShardFormation::SecureRandom { epoch_us: 1 }, 0, 7);
-        let secure1 = ShardPlan::form(&nodes, 4, ShardFormation::SecureRandom { epoch_us: 1 }, 1, 7);
+        let secure0 = ShardPlan::form(
+            &nodes,
+            4,
+            ShardFormation::SecureRandom { epoch_us: 1 },
+            0,
+            7,
+        );
+        let secure1 = ShardPlan::form(
+            &nodes,
+            4,
+            ShardFormation::SecureRandom { epoch_us: 1 },
+            1,
+            7,
+        );
         assert_eq!(secure0.shard_count(), 6);
         assert_ne!(secure0.assignment, secure1.assignment);
         let static0 = ShardPlan::form(&nodes, 4, ShardFormation::Static, 0, 7);

@@ -110,13 +110,8 @@ impl TwoPhaseCommit {
         let coordinator_msgs = match &self.coordinator {
             CoordinatorKind::Trusted => 0,
             CoordinatorKind::Replicated { protocol, n } => {
-                2 * ReplicationProfile::new(
-                    *protocol,
-                    *n,
-                    self.network.clone(),
-                    self.costs.clone(),
-                )
-                .messages_per_commit()
+                2 * ReplicationProfile::new(*protocol, *n, self.network.clone(), self.costs.clone())
+                    .messages_per_commit()
             }
         };
         TwoPcOutcome {
@@ -138,14 +133,13 @@ impl TwoPhaseCommit {
         match &self.coordinator {
             CoordinatorKind::Trusted => base,
             CoordinatorKind::Replicated { protocol, n } => {
-                base + 2
-                    * ReplicationProfile::new(
-                        *protocol,
-                        *n,
-                        self.network.clone(),
-                        self.costs.clone(),
-                    )
-                    .leader_occupancy_us(256)
+                base + 2 * ReplicationProfile::new(
+                    *protocol,
+                    *n,
+                    self.network.clone(),
+                    self.costs.clone(),
+                )
+                .leader_occupancy_us(256)
             }
         }
     }
@@ -203,9 +197,16 @@ mod tests {
         let votes = [(ShardId(0), true), (ShardId(1), true)];
         let t = trusted().run(0, &votes, 1000);
         let b = bft().run(0, &votes, 1000);
-        assert!(b.decided_at > t.decided_at + 1000, "trusted {} bft {}", t.decided_at, b.decided_at);
+        assert!(
+            b.decided_at > t.decided_at + 1000,
+            "trusted {} bft {}",
+            t.decided_at,
+            b.decided_at
+        );
         assert!(b.messages > t.messages);
-        assert!(bft().coordinator_occupancy_us(2, 1000) > trusted().coordinator_occupancy_us(2, 1000));
+        assert!(
+            bft().coordinator_occupancy_us(2, 1000) > trusted().coordinator_occupancy_us(2, 1000)
+        );
     }
 
     #[test]

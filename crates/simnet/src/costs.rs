@@ -188,8 +188,7 @@ impl CostModel {
     /// With the default calibration and the real MPT's node counts this
     /// reproduces the 56 µs → 2.5 ms growth of Section 5.3.3.
     pub fn adr_update_us(&self, nodes: usize, leaf_bytes: usize) -> u64 {
-        (nodes as f64 * self.adr_node_update_us
-            + leaf_bytes as f64 * self.adr_leaf_per_byte_us)
+        (nodes as f64 * self.adr_node_update_us + leaf_bytes as f64 * self.adr_leaf_per_byte_us)
             .ceil() as u64
     }
 

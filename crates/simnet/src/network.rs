@@ -117,13 +117,7 @@ impl NetworkModel {
     /// One-way delivery delay for a `bytes`-sized message from `from` to
     /// `to`, sent at time `now`. Returns `None` if the message is lost
     /// (receiver crashed or the pair is partitioned at `now`).
-    pub fn delay(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        bytes: usize,
-        now: Timestamp,
-    ) -> Option<u64> {
+    pub fn delay(&mut self, from: NodeId, to: NodeId, bytes: usize, now: Timestamp) -> Option<u64> {
         self.messages_sent += 1;
         self.bytes_sent += bytes as u64;
         if !self.faults.can_deliver(from, to, now) {
@@ -161,7 +155,10 @@ impl NetworkModel {
             let d = self.delay(from, peer, bytes, now);
             let serialization = (bytes as f64 / self.config.bandwidth_bytes_per_us) as u64;
             uplink_occupancy += serialization;
-            out.push((peer, d.map(|d| d + uplink_occupancy.saturating_sub(serialization))));
+            out.push((
+                peer,
+                d.map(|d| d + uplink_occupancy.saturating_sub(serialization)),
+            ));
         }
         out
     }

@@ -46,7 +46,9 @@ impl BPlusTree {
     /// An empty tree.
     pub fn new() -> Self {
         BPlusTree {
-            nodes: vec![Node::Leaf { entries: Vec::new() }],
+            nodes: vec![Node::Leaf {
+                entries: Vec::new(),
+            }],
             root: 0,
             len: 0,
         }

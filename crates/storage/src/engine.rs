@@ -139,8 +139,10 @@ pub mod conformance {
         let lo = Key::from_str("key00000");
         let hi = Key::from_str("key99999");
         let scanned = engine.scan(&lo, &hi);
-        let expected: Vec<(Key, Value)> =
-            reference.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let expected: Vec<(Key, Value)> = reference
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         assert_eq!(scanned, expected);
     }
 }

@@ -43,7 +43,10 @@ struct Run {
 impl Run {
     fn from_memtable(memtable: &BTreeMap<Key, Slot>) -> Self {
         Run {
-            entries: memtable.iter().map(|(k, s)| (k.clone(), s.clone())).collect(),
+            entries: memtable
+                .iter()
+                .map(|(k, s)| (k.clone(), s.clone()))
+                .collect(),
         }
     }
 

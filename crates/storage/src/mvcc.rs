@@ -111,7 +111,7 @@ impl MvccStore {
     pub fn live_key_count(&self) -> usize {
         self.data
             .values()
-            .filter(|v| v.last().map_or(false, |vv| vv.value.is_some()))
+            .filter(|v| v.last().is_some_and(|vv| vv.value.is_some()))
             .count()
     }
 

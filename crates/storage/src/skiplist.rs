@@ -120,11 +120,19 @@ impl KvEngine for SkipList {
         let mut forward = vec![NIL; lvl];
         #[allow(clippy::needless_range_loop)]
         for l in 0..lvl {
-            let pred = if update[l] == 0 && l >= self.level { 0 } else { update[l] };
+            let pred = if update[l] == 0 && l >= self.level {
+                0
+            } else {
+                update[l]
+            };
             forward[l] = self.nodes[pred].forward[l];
             self.nodes[pred].forward[l] = new_idx;
         }
-        self.nodes.push(SkipNode { key, value, forward });
+        self.nodes.push(SkipNode {
+            key,
+            value,
+            forward,
+        });
         self.len += 1;
     }
 
@@ -142,9 +150,10 @@ impl KvEngine for SkipList {
         if candidate == NIL || self.nodes[candidate].key != *key {
             return false;
         }
-        for l in 0..self.level {
-            if self.nodes[update[l]].forward.get(l) == Some(&candidate) {
-                self.nodes[update[l]].forward[l] = self.nodes[candidate].forward.get(l).copied().unwrap_or(NIL);
+        for (l, &pred) in update.iter().enumerate().take(self.level) {
+            if self.nodes[pred].forward.get(l) == Some(&candidate) {
+                self.nodes[pred].forward[l] =
+                    self.nodes[candidate].forward.get(l).copied().unwrap_or(NIL);
             }
         }
         // The node stays in the arena (like a freed Redis node awaiting

@@ -189,7 +189,9 @@ mod tests {
     fn replay_returns_records_in_order() {
         let mut wal = WriteAheadLog::new();
         wal.append(put("a", 1));
-        wal.append(WalRecord::Delete { key: Key::from_str("a") });
+        wal.append(WalRecord::Delete {
+            key: Key::from_str("a"),
+        });
         wal.append(WalRecord::Commit { txn_seq: 9 });
         let replayed = wal.replay();
         assert_eq!(replayed.len(), 3);

@@ -91,7 +91,8 @@ impl<E: KvEngine> KvSystem<E> {
                 let value = self.engine.get(&op.key);
                 // B+ tree / LSM probe cost scaled by structural depth.
                 cost += (c.storage_get_us(value.as_ref().map_or(64, Value::len)) / 4)
-                    * self.engine.read_amplification(&op.key).max(1) as u64 / 2
+                    * self.engine.read_amplification(&op.key).max(1) as u64
+                    / 2
                     + 20;
                 reads.push((op.key.clone(), value));
             }

@@ -125,8 +125,9 @@ impl Fabric {
         (self.committed, self.aborted_rw, self.aborted_inconsistent)
     }
 
-    /// Endorsement phase: authentication + concurrent simulation on the peers
-    /// + endorsement signatures + client-side comparison. Returns the time
+    /// Endorsement phase: authentication, concurrent simulation on the
+    /// peers, endorsement signatures and the client-side comparison of the
+    /// endorsements. Returns the time
     /// the endorsed transaction is ready for ordering, or an abort.
     fn endorse(
         &mut self,
@@ -157,7 +158,11 @@ impl Fabric {
     }
 
     /// Validation + commit of one cut block at the peers (serial).
-    fn process_block(&mut self, batch: Vec<(Transaction, Timestamp, Timestamp)>, ordered_at: Timestamp) {
+    fn process_block(
+        &mut self,
+        batch: Vec<(Transaction, Timestamp, Timestamp)>,
+        ordered_at: Timestamp,
+    ) {
         if batch.is_empty() {
             return;
         }
@@ -271,7 +276,9 @@ impl TransactionalSystem for Fabric {
         match self.endorse(&txn, arrival) {
             Err(reason) => {
                 self.aborted_inconsistent += 1;
-                let finish = arrival + self.config.costs.client_auth() + 2 * self.config.network.base_latency_us;
+                let finish = arrival
+                    + self.config.costs.client_auth()
+                    + 2 * self.config.network.base_latency_us;
                 self.receipts
                     .push_back(TxnReceipt::aborted(txn.id, reason, arrival, finish));
             }
@@ -300,7 +307,11 @@ impl TransactionalSystem for Fabric {
                     let batch: Vec<(Transaction, Timestamp, Timestamp)> = batch
                         .into_iter()
                         .map(|(t, endorse_t, _)| {
-                            let client_arrival = if t.submit_time > 0 { t.submit_time } else { endorse_t };
+                            let client_arrival = if t.submit_time > 0 {
+                                t.submit_time
+                            } else {
+                                endorse_t
+                            };
                             (t, client_arrival, endorse_t)
                         })
                         .collect();
@@ -318,7 +329,11 @@ impl TransactionalSystem for Fabric {
             let batch: Vec<(Transaction, Timestamp, Timestamp)> = raw_batch
                 .into_iter()
                 .map(|(t, endorse_t)| {
-                    let client_arrival = if t.submit_time > 0 { t.submit_time } else { endorse_t };
+                    let client_arrival = if t.submit_time > 0 {
+                        t.submit_time
+                    } else {
+                        endorse_t
+                    };
                     (t, client_arrival, endorse_t)
                 })
                 .collect();
@@ -348,7 +363,10 @@ mod tests {
     fn rmw(seq: u64, key: &str, size: usize, arrival: Timestamp) -> Transaction {
         let mut t = Transaction::new(
             TxnId::new(ClientId(1), seq),
-            vec![Operation::read_modify_write(Key::from_str(key), Value::filler(size))],
+            vec![Operation::read_modify_write(
+                Key::from_str(key),
+                Value::filler(size),
+            )],
         );
         t.submit_time = arrival;
         t
@@ -379,7 +397,11 @@ mod tests {
         let receipts = f.drain_receipts();
         assert_eq!(receipts.len(), 20);
         assert!(receipts.iter().all(|r| r.status.is_committed()));
-        let phases: Vec<&str> = receipts[0].phase_latencies.iter().map(|(n, _)| *n).collect();
+        let phases: Vec<&str> = receipts[0]
+            .phase_latencies
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
         assert_eq!(phases, vec!["execute", "order", "validate"]);
         assert_eq!(f.ledger.txn_count(), 20);
         assert!(f.ledger.verify_chain().is_none());
@@ -403,7 +425,9 @@ mod tests {
         let committed = receipts.iter().filter(|r| r.status.is_committed()).count();
         let aborted = receipts
             .iter()
-            .filter(|r| r.status == dichotomy_common::TxnStatus::Aborted(AbortReason::ReadWriteConflict))
+            .filter(|r| {
+                r.status == dichotomy_common::TxnStatus::Aborted(AbortReason::ReadWriteConflict)
+            })
             .count();
         assert!(committed >= 1);
         assert!(aborted > 20, "aborted {aborted}");
@@ -479,18 +503,33 @@ mod tests {
         let n = 1500u64;
         for seq in 0..n {
             let arrival = seq * 50;
-            f.submit(rmw(seq, &format!("k{}", seq % 2000), 1000, arrival), arrival);
+            f.submit(
+                rmw(seq, &format!("k{}", seq % 2000), 1000, arrival),
+                arrival,
+            );
         }
         f.flush(120_000_000);
         let receipts = f.drain_receipts();
         let early: u64 = receipts[..50]
             .iter()
-            .map(|r| r.phase_latencies.iter().find(|(n, _)| *n == "validate").unwrap().1)
+            .map(|r| {
+                r.phase_latencies
+                    .iter()
+                    .find(|(n, _)| *n == "validate")
+                    .unwrap()
+                    .1
+            })
             .sum::<u64>()
             / 50;
         let late: u64 = receipts[receipts.len() - 50..]
             .iter()
-            .map(|r| r.phase_latencies.iter().find(|(n, _)| *n == "validate").unwrap().1)
+            .map(|r| {
+                r.phase_latencies
+                    .iter()
+                    .find(|(n, _)| *n == "validate")
+                    .unwrap()
+                    .1
+            })
             .sum::<u64>()
             / 50;
         assert!(late > early * 3, "early {early} late {late}");

@@ -21,6 +21,7 @@ pub mod fabric;
 pub mod pipeline;
 pub mod quorum;
 pub mod sharded;
+pub mod spec;
 pub mod tidb;
 
 pub use etcd::{Etcd, EtcdConfig, Tikv};
@@ -28,4 +29,5 @@ pub use fabric::{Fabric, FabricConfig};
 pub use pipeline::{BlockCutter, SystemKind, TransactionalSystem};
 pub use quorum::{Quorum, QuorumConfig};
 pub use sharded::{Ahl, AhlConfig, ShardedTiDb, SpannerLike, SpannerLikeConfig};
+pub use spec::{SystemBuilder, SystemRegistry, SystemSpec, TaxonomyPoint, UnknownSystem};
 pub use tidb::{TiDb, TiDbConfig};

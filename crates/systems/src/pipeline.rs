@@ -3,8 +3,9 @@
 use dichotomy_common::size::StorageBreakdown;
 use dichotomy_common::{Key, Timestamp, Transaction, TxnReceipt, Value};
 
-/// Which of the benchmarked systems a model stands for (used in reports).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Which of the benchmarked systems a model stands for (used in reports and
+/// as the lookup key of the [`SystemRegistry`](crate::spec::SystemRegistry)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SystemKind {
     Quorum,
     Fabric,
@@ -16,6 +17,17 @@ pub enum SystemKind {
 }
 
 impl SystemKind {
+    /// Every kind with a built-in model, in the paper's plotting order.
+    pub const ALL: [SystemKind; 7] = [
+        SystemKind::Fabric,
+        SystemKind::Quorum,
+        SystemKind::TiDb,
+        SystemKind::Etcd,
+        SystemKind::Tikv,
+        SystemKind::SpannerLike,
+        SystemKind::Ahl,
+    ];
+
     /// Display name matching the paper's figures.
     pub fn name(&self) -> &'static str {
         match self {
@@ -123,7 +135,9 @@ impl BlockCutter {
             return None;
         }
         let first = self.first_arrival.take().unwrap_or(now);
-        let cut_time = now.max(first).min(first + self.timeout_us).max(first);
+        // The block is cut when the timer fires: never before the first
+        // arrival, never after the block's timeout expires.
+        let cut_time = now.clamp(first, first.saturating_add(self.timeout_us));
         let batch = std::mem::take(&mut self.pending);
         Some((batch, cut_time))
     }
@@ -162,6 +176,26 @@ mod tests {
         assert_eq!(batch.len(), 2);
         assert_eq!(at, 500);
         assert_eq!(c.pending_len(), 1);
+    }
+
+    #[test]
+    fn cut_time_is_clamped_to_the_blocks_lifetime() {
+        // `now` before the first arrival (a stale timer tick): the cut is
+        // dated at the first arrival, never earlier.
+        let mut c = BlockCutter::new(100, 500);
+        c.add(txn(1), 1_000);
+        let (_, at) = c.cut(400).expect("cut");
+        assert_eq!(at, 1_000);
+        // `now` past the timeout: the cut is dated when the timeout expired.
+        let mut c = BlockCutter::new(100, 500);
+        c.add(txn(2), 1_000);
+        let (_, at) = c.cut(9_999).expect("cut");
+        assert_eq!(at, 1_500);
+        // `now` inside the window: the cut happens exactly at `now`.
+        let mut c = BlockCutter::new(100, 500);
+        c.add(txn(3), 1_000);
+        let (_, at) = c.cut(1_200).expect("cut");
+        assert_eq!(at, 1_200);
     }
 
     #[test]

@@ -282,7 +282,11 @@ mod tests {
         assert_eq!(q.ledger.txn_count(), 10);
         assert!(q.ledger.verify_chain().is_none());
         // Phases present on every write receipt.
-        let phases: Vec<&str> = receipts[0].phase_latencies.iter().map(|(n, _)| *n).collect();
+        let phases: Vec<&str> = receipts[0]
+            .phase_latencies
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
         assert_eq!(phases, vec!["proposal", "consensus", "commit"]);
     }
 

@@ -77,7 +77,12 @@ impl ShardedDb {
         ShardedDb {
             partitioner: Partitioner::hash(shards),
             shard_pipes: (0..shards.max(1)).map(|_| Resource::new()).collect(),
-            replication: ReplicationProfile::new(protocol, nodes_per_shard, network.clone(), costs.clone()),
+            replication: ReplicationProfile::new(
+                protocol,
+                nodes_per_shard,
+                network.clone(),
+                costs.clone(),
+            ),
             two_pc: TwoPhaseCommit::new(coordinator, network, costs),
             state: MvccStore::new(),
             engine: LsmTree::new(),
@@ -131,7 +136,8 @@ impl ShardedDb {
         let version = self.state.begin_commit();
         for op in txn.ops.iter().filter(|o| o.writes()) {
             let value = op.value.clone().unwrap_or_else(|| Value::filler(1));
-            self.state.commit_write(op.key.clone(), version, Some(value.clone()));
+            self.state
+                .commit_write(op.key.clone(), version, Some(value.clone()));
             self.engine.put(op.key.clone(), value);
             self.busy_until.insert(op.key.clone(), decided.decided_at);
         }
@@ -208,7 +214,11 @@ impl TransactionalSystem for SpannerLike {
         let mut wait_us = busy.saturating_sub(arrival);
         let mut wounded = false;
         for op in &txn.ops {
-            let mode = if op.writes() { LockMode::Exclusive } else { LockMode::Shared };
+            let mode = if op.writes() {
+                LockMode::Exclusive
+            } else {
+                LockMode::Shared
+            };
             match self.locks.acquire(txn.id, &op.key, mode) {
                 LockOutcome::Granted | LockOutcome::Wounded(_) => {}
                 LockOutcome::Wait(holders) => {
@@ -223,10 +233,14 @@ impl TransactionalSystem for SpannerLike {
         if wounded {
             let _ = self.locks.finish(txn.id);
             self.db.aborted += 1;
-            let finish = arrival + wait_us + c.sql_frontend_us() + self.config.network.base_latency_us;
-            self.db
-                .receipts
-                .push_back(TxnReceipt::aborted(txn.id, AbortReason::LockConflict, arrival, finish));
+            let finish =
+                arrival + wait_us + c.sql_frontend_us() + self.config.network.base_latency_us;
+            self.db.receipts.push_back(TxnReceipt::aborted(
+                txn.id,
+                AbortReason::LockConflict,
+                arrival,
+                finish,
+            ));
             return;
         }
         let per_shard = c.sql_frontend_us()
@@ -241,12 +255,17 @@ impl TransactionalSystem for SpannerLike {
                     }
                 })
                 .sum::<u64>();
-        let commit_at = self.db.replicate_and_commit(&txn, arrival + wait_us, per_shard);
+        let commit_at = self
+            .db
+            .replicate_and_commit(&txn, arrival + wait_us, per_shard);
         let _ = self.locks.finish(txn.id);
         self.db.committed += 1;
         let finish = commit_at + self.config.network.base_latency_us;
         let mut r = TxnReceipt::committed(txn.id, arrival, finish);
-        r.phase_latencies = vec![("locking", wait_us), ("commit", commit_at.saturating_sub(arrival + wait_us))];
+        r.phase_latencies = vec![
+            ("locking", wait_us),
+            ("commit", commit_at.saturating_sub(arrival + wait_us)),
+        ];
         self.db.receipts.push_back(r);
     }
 
@@ -339,9 +358,11 @@ impl TransactionalSystem for ShardedTiDb {
                 .sum::<u64>();
         let commit_at = self.db.replicate_and_commit(&txn, arrival, per_shard);
         self.db.committed += 1;
-        self.db
-            .receipts
-            .push_back(TxnReceipt::committed(txn.id, arrival, commit_at + self.network.base_latency_us));
+        self.db.receipts.push_back(TxnReceipt::committed(
+            txn.id,
+            arrival,
+            commit_at + self.network.base_latency_us,
+        ));
     }
 
     fn flush(&mut self, _now: Timestamp) {}
@@ -513,7 +534,11 @@ impl TransactionalSystem for Ahl {
         }
         let commit_at = self.db.replicate_and_commit(&txn, start, per_shard);
         self.db.committed += 1;
-        let mut r = TxnReceipt::committed(txn.id, arrival, commit_at + self.config.network.base_latency_us);
+        let mut r = TxnReceipt::committed(
+            txn.id,
+            arrival,
+            commit_at + self.config.network.base_latency_us,
+        );
         r.phase_latencies = vec![
             ("reconfiguration", reconfig),
             ("shard-consensus", commit_at.saturating_sub(start)),
@@ -620,13 +645,17 @@ mod tests {
     #[test]
     fn more_shards_scale_the_databases() {
         let t = |shards: u32| {
-            let mut s = ShardedTiDb::new(shards, NetworkConfig::lan_1gbps(), CostModel::calibrated());
+            let mut s =
+                ShardedTiDb::new(shards, NetworkConfig::lan_1gbps(), CostModel::calibrated());
             s.load(&records(1000));
             throughput_skewed(&mut s, 600, 50, 900)
         };
         let small = t(1);
         let large = t(16);
-        assert!(large > small * 1.5, "1 shard {small:.0} vs 16 shards {large:.0}");
+        assert!(
+            large > small * 1.5,
+            "1 shard {small:.0} vs 16 shards {large:.0}"
+        );
     }
 
     #[test]
@@ -647,7 +676,10 @@ mod tests {
         let committed = receipts.iter().filter(|r| r.status.is_committed()).count();
         assert!(committed >= 1);
         // Either the second waited, or it was wounded and aborted.
-        assert!(lock_wait > 0 || committed == 1, "wait {lock_wait} committed {committed}");
+        assert!(
+            lock_wait > 0 || committed == 1,
+            "wait {lock_wait} committed {committed}"
+        );
     }
 
     #[test]

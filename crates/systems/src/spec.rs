@@ -1,0 +1,585 @@
+//! Composable system descriptions: the paper's design-space taxonomy as an
+//! *open* API.
+//!
+//! The paper's thesis is that every benchmarked system is a point in the
+//! four-dimensional design space (replication, concurrency control, storage,
+//! sharding). A [`SystemSpec`] describes such a point as plain data — kind,
+//! node counts, block cutting, consensus profile, sharding knobs — and a
+//! [`SystemRegistry`] maps the spec onto a concrete
+//! [`TransactionalSystem`] model. Experiment plans carry specs instead of
+//! hand-built systems, so a new deployment shape (more nodes, a different
+//! consensus profile, a sharded variant) is one spec, not one function.
+//!
+//! The taxonomy wiring closes the loop with `dichotomy_hybrid::taxonomy`:
+//! [`SystemSpec::taxonomy`] places a spec in the design space, and
+//! [`SystemSpec::from_profile`] / [`SystemSpec::matches_profile`] derive and
+//! validate specs against the Table 2 rows.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dichotomy_consensus::ProtocolKind;
+use dichotomy_hybrid::taxonomy::{
+    ConcurrencyChoice, LedgerSupport, ReplicationModel, ShardingSupport, SystemProfile,
+};
+use dichotomy_simnet::{CostModel, NetworkConfig};
+
+use crate::etcd::{Etcd, EtcdConfig, Tikv};
+use crate::fabric::{Fabric, FabricConfig};
+use crate::pipeline::{SystemKind, TransactionalSystem};
+use crate::quorum::{Quorum, QuorumConfig};
+use crate::sharded::{Ahl, AhlConfig, ShardedTiDb, SpannerLike, SpannerLikeConfig};
+use crate::tidb::{TiDb, TiDbConfig};
+
+/// A buildable description of a system deployment: one point in the paper's
+/// design space plus the deployment knobs the experiments sweep.
+///
+/// Knobs left at `None` fall back to each model's defaults, so a spec only
+/// states what it cares about:
+///
+/// ```
+/// use dichotomy_systems::{SystemKind, SystemSpec};
+/// let spec = SystemSpec::new(SystemKind::Quorum)
+///     .with_nodes(7)
+///     .with_blocks(100, 100_000);
+/// let system = spec.build().unwrap();
+/// assert_eq!(system.node_count(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    /// Which registered model to build.
+    pub kind: SystemKind,
+    /// Report label override (defaults to the kind's display name).
+    pub label: Option<String>,
+    /// Replicas: validators (Quorum), peers (Fabric), storage nodes
+    /// (TiKV/etcd), or nodes per shard for the sharded models.
+    pub nodes: Option<usize>,
+    /// Stateless SQL frontends (TiDB servers). `None` derives them from
+    /// `nodes` the way the paper's full-replication deployment does.
+    pub frontends: Option<usize>,
+    /// Shards; `None`/`Some(0)` means unsharded. A sharded `TiDb` spec
+    /// builds the region-partitioned model of Figure 14.
+    pub shards: Option<u32>,
+    /// Consensus profile override (e.g. Raft vs IBFT for Quorum).
+    pub consensus: Option<ProtocolKind>,
+    /// Block cutting: maximum transactions per block.
+    pub block_txns: Option<usize>,
+    /// Block cutting: interval/timeout in simulated µs.
+    pub block_interval_us: Option<u64>,
+    /// Fabric endorsement divergence probability.
+    pub endorsement_divergence: Option<f64>,
+    /// AHL: whether shards are periodically re-formed.
+    pub periodic_reconfiguration: Option<bool>,
+    /// AHL: epoch length between reconfigurations (µs).
+    pub epoch_us: Option<u64>,
+    /// AHL: pause per reconfiguration (µs).
+    pub reconfig_pause_us: Option<u64>,
+    /// Network model (defaults to the calibrated 1 Gbps LAN).
+    pub network: Option<NetworkConfig>,
+    /// CPU cost model (defaults to the calibrated profile).
+    pub costs: Option<CostModel>,
+    /// RNG seed for the model's stochastic choices.
+    pub seed: Option<u64>,
+}
+
+impl SystemSpec {
+    /// A spec for `kind` with every knob at the model's default.
+    pub fn new(kind: SystemKind) -> Self {
+        SystemSpec {
+            kind,
+            label: None,
+            nodes: None,
+            frontends: None,
+            shards: None,
+            consensus: None,
+            block_txns: None,
+            block_interval_us: None,
+            endorsement_divergence: None,
+            periodic_reconfiguration: None,
+            epoch_us: None,
+            reconfig_pause_us: None,
+            network: None,
+            costs: None,
+            seed: None,
+        }
+    }
+
+    /// Override the report label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Set the replica count.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = Some(nodes);
+        self
+    }
+
+    /// Set the number of stateless SQL frontends (TiDB).
+    pub fn with_frontends(mut self, frontends: usize) -> Self {
+        self.frontends = Some(frontends);
+        self
+    }
+
+    /// Set the shard count.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Set the consensus profile.
+    pub fn with_consensus(mut self, protocol: ProtocolKind) -> Self {
+        self.consensus = Some(protocol);
+        self
+    }
+
+    /// Set the block-cutting limits (max transactions, interval µs).
+    pub fn with_blocks(mut self, max_txns: usize, interval_us: u64) -> Self {
+        self.block_txns = Some(max_txns);
+        self.block_interval_us = Some(interval_us);
+        self
+    }
+
+    /// Set the Fabric endorsement-divergence probability.
+    pub fn with_endorsement_divergence(mut self, p: f64) -> Self {
+        self.endorsement_divergence = Some(p);
+        self
+    }
+
+    /// Enable/disable AHL's periodic shard reconfiguration.
+    pub fn with_periodic_reconfiguration(mut self, on: bool) -> Self {
+        self.periodic_reconfiguration = Some(on);
+        self
+    }
+
+    /// Set AHL's reconfiguration cadence (epoch length, pause per epoch).
+    pub fn with_reconfiguration(mut self, epoch_us: u64, pause_us: u64) -> Self {
+        self.epoch_us = Some(epoch_us);
+        self.reconfig_pause_us = Some(pause_us);
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The label used in reports.
+    pub fn label(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| self.kind.name().to_string())
+    }
+
+    /// Shard count, defaulting to unsharded.
+    pub fn shard_count(&self) -> u32 {
+        self.shards.unwrap_or(0)
+    }
+
+    /// Build through the built-in registry.
+    pub fn build(&self) -> Result<Box<dyn TransactionalSystem>, UnknownSystem> {
+        SystemRegistry::with_builtins().build(self)
+    }
+
+    /// Where this spec sits in the paper's design space.
+    pub fn taxonomy(&self) -> TaxonomyPoint {
+        let sharded = self.shard_count() > 1;
+        let (replication, concurrency, ledger) = match self.kind {
+            SystemKind::Quorum => (
+                ReplicationModel::TransactionBased,
+                ConcurrencyChoice::Serial,
+                LedgerSupport::Yes,
+            ),
+            SystemKind::Fabric => (
+                ReplicationModel::TransactionBased,
+                ConcurrencyChoice::ConcurrentExecutionSerialCommit,
+                LedgerSupport::Yes,
+            ),
+            SystemKind::TiDb => (
+                ReplicationModel::StorageBased,
+                ConcurrencyChoice::Concurrent,
+                LedgerSupport::No,
+            ),
+            SystemKind::Etcd | SystemKind::Tikv => (
+                ReplicationModel::StorageBased,
+                ConcurrencyChoice::Serial,
+                LedgerSupport::No,
+            ),
+            SystemKind::SpannerLike => (
+                ReplicationModel::StorageBased,
+                ConcurrencyChoice::Concurrent,
+                LedgerSupport::No,
+            ),
+            SystemKind::Ahl => (
+                ReplicationModel::TransactionBased,
+                ConcurrencyChoice::Serial,
+                LedgerSupport::Yes,
+            ),
+        };
+        let protocol = self.consensus.unwrap_or(match self.kind {
+            SystemKind::Fabric => ProtocolKind::SharedLog,
+            SystemKind::Ahl => ProtocolKind::Pbft,
+            _ => ProtocolKind::Raft,
+        });
+        let sharding = match self.kind {
+            // The NewSQL databases shard behind a trusted coordinator as soon
+            // as data spans regions; AHL runs BFT 2PC across shards.
+            SystemKind::TiDb => ShardingSupport::TwoPcTrustedCoordinator,
+            SystemKind::SpannerLike => ShardingSupport::TwoPcTrustedCoordinator,
+            SystemKind::Ahl if sharded => ShardingSupport::TwoPcBftCoordinator,
+            _ => ShardingSupport::None,
+        };
+        TaxonomyPoint {
+            replication,
+            protocol,
+            concurrency,
+            ledger,
+            sharding,
+        }
+    }
+
+    /// Derive a buildable spec from a Table 2 profile, if the profile's
+    /// design point has a built-in model.
+    pub fn from_profile(profile: &SystemProfile) -> Option<SystemSpec> {
+        let kind = match profile.name {
+            "Quorum v2.2" => SystemKind::Quorum,
+            "Fabric v2.2" => SystemKind::Fabric,
+            "TiDB v4.0" => SystemKind::TiDb,
+            "etcd v3.3" => SystemKind::Etcd,
+            "Spanner" => SystemKind::SpannerLike,
+            _ => return None,
+        };
+        Some(SystemSpec::new(kind).with_consensus(profile.protocol))
+    }
+
+    /// Whether this spec's design-space coordinates agree with a Table 2
+    /// profile (replication, concurrency, ledger and failure model).
+    pub fn matches_profile(&self, profile: &SystemProfile) -> bool {
+        let point = self.taxonomy();
+        point.replication == profile.replication
+            && point.concurrency == profile.concurrency
+            && point.ledger == profile.ledger
+            && point.protocol.failure_model() == profile.protocol.failure_model()
+    }
+}
+
+/// A spec's coordinates in the paper's design space (Tables 1 and 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaxonomyPoint {
+    /// What is replicated: the transaction log or the storage log.
+    pub replication: ReplicationModel,
+    /// The ordering/replication protocol.
+    pub protocol: ProtocolKind,
+    /// How transactions execute.
+    pub concurrency: ConcurrencyChoice,
+    /// Whether an append-only tamper-evident ledger is kept.
+    pub ledger: LedgerSupport,
+    /// Whether and how the system shards.
+    pub sharding: ShardingSupport,
+}
+
+/// Error returned when no builder is registered for a spec's kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSystem {
+    /// The kind that had no registered builder.
+    pub kind: SystemKind,
+}
+
+impl fmt::Display for UnknownSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no builder registered for system kind {:?}", self.kind)
+    }
+}
+
+impl std::error::Error for UnknownSystem {}
+
+/// A builder function: spec in, boxed system model out.
+pub type SystemBuilder = fn(&SystemSpec) -> Box<dyn TransactionalSystem>;
+
+/// Maps [`SystemSpec`]s onto concrete models.
+///
+/// The registry replaces the closed per-system `match` the experiments used
+/// to hardcode: builders are plain function values keyed by [`SystemKind`],
+/// so a caller can re-register a kind to swap in a variant model (or register
+/// a kind the built-ins do not cover) without touching the experiment code.
+pub struct SystemRegistry {
+    builders: BTreeMap<SystemKind, SystemBuilder>,
+}
+
+impl SystemRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SystemRegistry {
+            builders: BTreeMap::new(),
+        }
+    }
+
+    /// The registry with every built-in model registered.
+    pub fn with_builtins() -> Self {
+        let mut r = SystemRegistry::new();
+        r.register(SystemKind::Fabric, build_fabric);
+        r.register(SystemKind::Quorum, build_quorum);
+        r.register(SystemKind::TiDb, build_tidb);
+        r.register(SystemKind::Etcd, build_etcd);
+        r.register(SystemKind::Tikv, build_tikv);
+        r.register(SystemKind::SpannerLike, build_spanner_like);
+        r.register(SystemKind::Ahl, build_ahl);
+        r
+    }
+
+    /// Register (or replace) the builder for `kind`.
+    pub fn register(&mut self, kind: SystemKind, builder: SystemBuilder) {
+        self.builders.insert(kind, builder);
+    }
+
+    /// The kinds with a registered builder.
+    pub fn kinds(&self) -> Vec<SystemKind> {
+        self.builders.keys().copied().collect()
+    }
+
+    /// Build the model a spec describes.
+    pub fn build(&self, spec: &SystemSpec) -> Result<Box<dyn TransactionalSystem>, UnknownSystem> {
+        self.builders
+            .get(&spec.kind)
+            .map(|builder| builder(spec))
+            .ok_or(UnknownSystem { kind: spec.kind })
+    }
+}
+
+impl Default for SystemRegistry {
+    fn default() -> Self {
+        SystemRegistry::with_builtins()
+    }
+}
+
+fn build_fabric(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
+    let d = FabricConfig::default();
+    Box::new(Fabric::new(FabricConfig {
+        peers: spec.nodes.unwrap_or(d.peers),
+        max_block_txns: spec.block_txns.unwrap_or(d.max_block_txns),
+        block_timeout_us: spec.block_interval_us.unwrap_or(d.block_timeout_us),
+        endorsement_divergence: spec
+            .endorsement_divergence
+            .unwrap_or(d.endorsement_divergence),
+        network: spec.network.clone().unwrap_or(d.network),
+        costs: spec.costs.clone().unwrap_or(d.costs),
+        seed: spec.seed.unwrap_or(d.seed),
+        ..d
+    }))
+}
+
+fn build_quorum(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
+    let d = QuorumConfig::default();
+    Box::new(Quorum::new(QuorumConfig {
+        nodes: spec.nodes.unwrap_or(d.nodes),
+        consensus: spec.consensus.unwrap_or(d.consensus),
+        max_block_txns: spec.block_txns.unwrap_or(d.max_block_txns),
+        block_interval_us: spec.block_interval_us.unwrap_or(d.block_interval_us),
+        network: spec.network.clone().unwrap_or(d.network),
+        costs: spec.costs.clone().unwrap_or(d.costs),
+        seed: spec.seed.unwrap_or(d.seed),
+        ..d
+    }))
+}
+
+fn build_tidb(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
+    if spec.shard_count() > 0 {
+        // The region-partitioned TiDB of Figure 14.
+        return Box::new(ShardedTiDb::new(
+            spec.shard_count(),
+            spec.network
+                .clone()
+                .unwrap_or_else(NetworkConfig::lan_1gbps),
+            spec.costs.clone().unwrap_or_else(CostModel::calibrated),
+        ));
+    }
+    let d = TiDbConfig::default();
+    let tikv_nodes = spec.nodes.unwrap_or(d.tikv_nodes);
+    Box::new(TiDb::new(TiDbConfig {
+        // The paper's full-replication deployment splits a cluster roughly
+        // half SQL frontends, half storage nodes.
+        tidb_servers: spec.frontends.unwrap_or((tikv_nodes / 2).max(1)),
+        tikv_nodes,
+        network: spec.network.clone().unwrap_or(d.network),
+        costs: spec.costs.clone().unwrap_or(d.costs),
+        ..d
+    }))
+}
+
+fn kv_config(spec: &SystemSpec) -> EtcdConfig {
+    let d = EtcdConfig::default();
+    EtcdConfig {
+        nodes: spec.nodes.unwrap_or(d.nodes),
+        network: spec.network.clone().unwrap_or(d.network),
+        costs: spec.costs.clone().unwrap_or(d.costs),
+        ..d
+    }
+}
+
+fn build_etcd(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
+    Box::new(Etcd::new(kv_config(spec)))
+}
+
+fn build_tikv(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
+    Box::new(Tikv::new(kv_config(spec)))
+}
+
+fn build_spanner_like(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
+    let d = SpannerLikeConfig::default();
+    Box::new(SpannerLike::new(SpannerLikeConfig {
+        shards: if spec.shard_count() > 0 {
+            spec.shard_count()
+        } else {
+            d.shards
+        },
+        nodes_per_shard: spec.nodes.unwrap_or(d.nodes_per_shard),
+        network: spec.network.clone().unwrap_or(d.network),
+        costs: spec.costs.clone().unwrap_or(d.costs),
+        ..d
+    }))
+}
+
+fn build_ahl(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
+    let d = AhlConfig::default();
+    Box::new(Ahl::new(AhlConfig {
+        shards: if spec.shard_count() > 0 {
+            spec.shard_count()
+        } else {
+            d.shards
+        },
+        nodes_per_shard: spec.nodes.unwrap_or(d.nodes_per_shard),
+        periodic_reconfiguration: spec
+            .periodic_reconfiguration
+            .unwrap_or(d.periodic_reconfiguration),
+        epoch_us: spec.epoch_us.unwrap_or(d.epoch_us),
+        reconfig_pause_us: spec.reconfig_pause_us.unwrap_or(d.reconfig_pause_us),
+        network: spec.network.clone().unwrap_or(d.network),
+        costs: spec.costs.clone().unwrap_or(d.costs),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dichotomy_hybrid::all_systems;
+
+    #[test]
+    fn every_builtin_kind_builds() {
+        let registry = SystemRegistry::with_builtins();
+        for kind in SystemKind::ALL {
+            let system = registry.build(&SystemSpec::new(kind)).unwrap();
+            assert_eq!(system.kind(), kind, "{kind:?}");
+            assert!(system.node_count() > 0);
+        }
+        assert_eq!(registry.kinds().len(), SystemKind::ALL.len());
+    }
+
+    #[test]
+    fn an_empty_registry_rejects_every_spec() {
+        let registry = SystemRegistry::new();
+        let err = registry
+            .build(&SystemSpec::new(SystemKind::Etcd))
+            .err()
+            .expect("empty registry must not build");
+        assert_eq!(err.kind, SystemKind::Etcd);
+        assert!(err.to_string().contains("Etcd"));
+    }
+
+    #[test]
+    fn node_and_block_knobs_reach_the_models() {
+        let quorum = SystemSpec::new(SystemKind::Quorum)
+            .with_nodes(9)
+            .with_blocks(50, 10_000)
+            .build()
+            .unwrap();
+        assert_eq!(quorum.node_count(), 9);
+        // Fabric counts its 3 orderers on top of the peers.
+        let fabric = SystemSpec::new(SystemKind::Fabric)
+            .with_nodes(7)
+            .build()
+            .unwrap();
+        assert_eq!(fabric.node_count(), 10);
+        let etcd = SystemSpec::new(SystemKind::Etcd)
+            .with_nodes(5)
+            .build()
+            .unwrap();
+        assert_eq!(etcd.node_count(), 5);
+    }
+
+    #[test]
+    fn a_sharded_tidb_spec_builds_the_partitioned_model() {
+        let spec = SystemSpec::new(SystemKind::TiDb).with_shards(4);
+        let system = spec.build().unwrap();
+        assert_eq!(system.kind(), SystemKind::TiDb);
+        // 4 shards × 3 replicas.
+        assert_eq!(system.node_count(), 12);
+    }
+
+    #[test]
+    fn a_replaced_builder_wins() {
+        fn tiny_etcd(_spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
+            Box::new(Etcd::new(EtcdConfig {
+                nodes: 1,
+                ..EtcdConfig::default()
+            }))
+        }
+        let mut registry = SystemRegistry::with_builtins();
+        registry.register(SystemKind::Etcd, tiny_etcd);
+        let system = registry
+            .build(&SystemSpec::new(SystemKind::Etcd).with_nodes(99))
+            .unwrap();
+        assert_eq!(system.node_count(), 1);
+    }
+
+    #[test]
+    fn labels_default_to_the_kind_name() {
+        assert_eq!(SystemSpec::new(SystemKind::TiDb).label(), "TiDB");
+        assert_eq!(
+            SystemSpec::new(SystemKind::TiDb)
+                .with_label("TiDB saturated")
+                .label(),
+            "TiDB saturated"
+        );
+    }
+
+    #[test]
+    fn taxonomy_points_follow_the_paper() {
+        let quorum = SystemSpec::new(SystemKind::Quorum).taxonomy();
+        assert_eq!(quorum.replication, ReplicationModel::TransactionBased);
+        assert_eq!(quorum.ledger, LedgerSupport::Yes);
+        let tidb = SystemSpec::new(SystemKind::TiDb).taxonomy();
+        assert_eq!(tidb.replication, ReplicationModel::StorageBased);
+        assert_eq!(tidb.concurrency, ConcurrencyChoice::Concurrent);
+        assert_eq!(tidb.sharding, ShardingSupport::TwoPcTrustedCoordinator);
+        let ahl = SystemSpec::new(SystemKind::Ahl).with_shards(4).taxonomy();
+        assert_eq!(ahl.sharding, ShardingSupport::TwoPcBftCoordinator);
+    }
+
+    #[test]
+    fn specs_derived_from_table2_match_their_profiles_and_build() {
+        let mut derived = 0;
+        for profile in all_systems() {
+            if let Some(spec) = SystemSpec::from_profile(&profile) {
+                derived += 1;
+                assert!(
+                    spec.matches_profile(&profile),
+                    "{} disagrees with its own profile",
+                    profile.name
+                );
+                assert!(spec.build().is_ok(), "{} failed to build", profile.name);
+            }
+        }
+        // Quorum, Fabric v2.2, TiDB, etcd, Spanner.
+        assert_eq!(derived, 5);
+    }
+
+    #[test]
+    fn foreign_profiles_do_not_match_mismatched_specs() {
+        let systems = all_systems();
+        let tidb_profile = systems.iter().find(|s| s.name == "TiDB v4.0").unwrap();
+        let quorum = SystemSpec::new(SystemKind::Quorum);
+        assert!(!quorum.matches_profile(tidb_profile));
+    }
+}

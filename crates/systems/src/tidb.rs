@@ -138,7 +138,10 @@ impl TiDb {
         receipt.reads = reads;
         receipt.phase_latencies = vec![
             ("sql-parse", self.config.costs.sql_parse_us.ceil() as u64),
-            ("sql-compile", self.config.costs.sql_compile_us.ceil() as u64),
+            (
+                "sql-compile",
+                self.config.costs.sql_compile_us.ceil() as u64,
+            ),
             ("storage-get", self.config.costs.storage_get_us(1000)),
         ];
         self.receipts.push_back(receipt);
@@ -230,9 +233,11 @@ impl TransactionalSystem for TiDb {
         let write_keys = txn.write_set();
         let shards = self.partitioner.shards_of(&write_keys);
         let votes: Vec<_> = shards.iter().map(|&s| (s, true)).collect();
-        let two_pc_out = self
-            .two_pc
-            .run(storage_done + replication_latency, &votes, txn.payload_bytes());
+        let two_pc_out = self.two_pc.run(
+            storage_done + replication_latency,
+            &votes,
+            txn.payload_bytes(),
+        );
 
         match result {
             Ok(outcome) => {
@@ -240,12 +245,7 @@ impl TransactionalSystem for TiDb {
                 let penalty =
                     outcome.lock_conflict_rounds as u64 * self.config.lock_conflict_penalty_us;
                 let finish = two_pc_out.decided_at + penalty + self.config.network.base_latency_us;
-                for (key, _) in txn
-                    .ops
-                    .iter()
-                    .filter(|o| o.writes())
-                    .map(|o| (&o.key, ()))
-                {
+                for (key, _) in txn.ops.iter().filter(|o| o.writes()).map(|o| (&o.key, ())) {
                     if let Some(v) = self.state.get_latest(key) {
                         self.engine.put(key.clone(), v);
                     }
@@ -260,7 +260,12 @@ impl TransactionalSystem for TiDb {
                     ("sql", sql_done.saturating_sub(arrival)),
                     ("storage", storage_done.saturating_sub(sql_done)),
                     ("replication", replication_latency),
-                    ("2pc", two_pc_out.decided_at.saturating_sub(storage_done + replication_latency)),
+                    (
+                        "2pc",
+                        two_pc_out
+                            .decided_at
+                            .saturating_sub(storage_done + replication_latency),
+                    ),
                 ];
                 self.committed += 1;
                 self.receipts.push_back(receipt);
@@ -269,9 +274,7 @@ impl TransactionalSystem for TiDb {
                 // Failed transactions still burn coordinator time on
                 // contention resolution before reporting the abort.
                 let penalty = (rounds.max(1) as u64) * self.config.lock_conflict_penalty_us;
-                let (_, contention_done) = self
-                    .sql_servers
-                    .schedule(storage_done, penalty);
+                let (_, contention_done) = self.sql_servers.schedule(storage_done, penalty);
                 let finish = contention_done + self.config.network.base_latency_us;
                 self.aborted += 1;
                 self.receipts
@@ -306,7 +309,10 @@ mod tests {
     fn rmw(client: u64, seq: u64, key: &str, size: usize) -> Transaction {
         Transaction::new(
             TxnId::new(ClientId(client), seq),
-            vec![Operation::read_modify_write(Key::from_str(key), Value::filler(size))],
+            vec![Operation::read_modify_write(
+                Key::from_str(key),
+                Value::filler(size),
+            )],
         )
     }
 
@@ -323,7 +329,10 @@ mod tests {
     fn uniform_writes_commit_without_aborts() {
         let mut t = seeded(1000);
         for seq in 0..200u64 {
-            t.submit(rmw(seq % 8, seq, &format!("k{:05}", seq % 1000), 1000), seq * 200);
+            t.submit(
+                rmw(seq % 8, seq, &format!("k{:05}", seq % 1000), 1000),
+                seq * 200,
+            );
         }
         t.flush(0);
         let receipts = t.drain_receipts();

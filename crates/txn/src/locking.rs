@@ -148,7 +148,8 @@ impl LockManager {
                 state.exclusive = None;
             }
         }
-        self.locks.retain(|_, s| s.exclusive.is_some() || !s.shared.is_empty());
+        self.locks
+            .retain(|_, s| s.exclusive.is_some() || !s.shared.is_empty());
     }
 
     /// Finish a transaction: release its locks and clear bookkeeping. Returns
@@ -187,8 +188,14 @@ mod tests {
         let mut lm = LockManager::new();
         lm.register(t(1), 10);
         lm.register(t(2), 20);
-        assert_eq!(lm.acquire(t(1), &k("a"), LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(2), &k("a"), LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(1), &k("a"), LockMode::Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(2), &k("a"), LockMode::Shared),
+            LockOutcome::Granted
+        );
         assert_eq!(lm.locked_keys(), 1);
     }
 
@@ -197,7 +204,10 @@ mod tests {
         let mut lm = LockManager::new();
         lm.register(t(1), 10);
         lm.register(t(2), 20);
-        assert_eq!(lm.acquire(t(1), &k("a"), LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(1), &k("a"), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         // Younger writer waits for the older holder.
         assert_eq!(
             lm.acquire(t(2), &k("a"), LockMode::Exclusive),
@@ -205,7 +215,10 @@ mod tests {
         );
         // Release lets it in.
         lm.release_all(t(1));
-        assert_eq!(lm.acquire(t(2), &k("a"), LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(2), &k("a"), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
     }
 
     #[test]
@@ -213,7 +226,10 @@ mod tests {
         let mut lm = LockManager::new();
         lm.register(t(1), 10); // older
         lm.register(t(2), 20); // younger
-        assert_eq!(lm.acquire(t(2), &k("a"), LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(2), &k("a"), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         match lm.acquire(t(1), &k("a"), LockMode::Exclusive) {
             LockOutcome::Wounded(victims) => assert_eq!(victims, vec![t(2)]),
             other => panic!("expected wound, got {other:?}"),
@@ -229,10 +245,19 @@ mod tests {
         let mut lm = LockManager::new();
         lm.register(t(1), 10);
         lm.register(t(2), 20);
-        assert_eq!(lm.acquire(t(1), &k("a"), LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(2), &k("b"), LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(1), &k("a"), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(2), &k("b"), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         // T2 wants a: must wait (holder is older).
-        assert_eq!(lm.acquire(t(2), &k("a"), LockMode::Exclusive), LockOutcome::Wait(vec![t(1)]));
+        assert_eq!(
+            lm.acquire(t(2), &k("a"), LockMode::Exclusive),
+            LockOutcome::Wait(vec![t(1)])
+        );
         // T1 wants b: wounds T2, no cycle possible.
         match lm.acquire(t(1), &k("b"), LockMode::Exclusive) {
             LockOutcome::Wounded(v) => assert_eq!(v, vec![t(2)]),
@@ -244,8 +269,14 @@ mod tests {
     fn shared_to_exclusive_upgrade_by_same_txn() {
         let mut lm = LockManager::new();
         lm.register(t(1), 10);
-        assert_eq!(lm.acquire(t(1), &k("a"), LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(1), &k("a"), LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(1), &k("a"), LockMode::Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(1), &k("a"), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
     }
 
     #[test]

@@ -87,10 +87,7 @@ impl OccExecutor {
     /// more than zero versions on any read key return different results, and
     /// the client aborts with `InconsistentRead`. `staleness` carries each
     /// endorser's snapshot version.
-    pub fn check_endorsements(
-        &mut self,
-        results: &[SimulationResult],
-    ) -> Result<(), AbortReason> {
+    pub fn check_endorsements(&mut self, results: &[SimulationResult]) -> Result<(), AbortReason> {
         if results.len() <= 1 {
             return Ok(());
         }
@@ -152,7 +149,10 @@ mod tests {
     fn rmw(seq: u64, key: &str) -> Transaction {
         Transaction::new(
             TxnId::new(ClientId(1), seq),
-            vec![Operation::read_modify_write(Key::from_str(key), Value::filler(8))],
+            vec![Operation::read_modify_write(
+                Key::from_str(key),
+                Value::filler(8),
+            )],
         )
     }
 
@@ -265,6 +265,8 @@ mod tests {
             Err(AbortReason::InconsistentRead)
         );
         // Identical endorsements pass.
-        assert!(occ.check_endorsements(&[sim_fresh.clone(), sim_fresh]).is_ok());
+        assert!(occ
+            .check_endorsements(&[sim_fresh.clone(), sim_fresh])
+            .is_ok());
     }
 }

@@ -211,7 +211,9 @@ mod tests {
         seed(&mut store, &["a", "b"]);
         let mut exec = PercolatorExecutor::new();
         for seq in 1..=5 {
-            let out = exec.execute(&txn(1, seq, &["a", "b"]), &mut store, 3).unwrap();
+            let out = exec
+                .execute(&txn(1, seq, &["a", "b"]), &mut store, 3)
+                .unwrap();
             assert!(out.commit_ts > out.start_ts);
             assert_eq!(out.lock_conflict_rounds, 0);
         }
@@ -253,8 +255,14 @@ mod tests {
         // coordinator holding the primary lock).
         let a = txn(1, 1, &["hot"]);
         let writes = vec![(Key::from_str("hot"), Value::filler(8))];
-        exec.try_prewrite(a.id, &Key::from_str("hot"), &writes, store.latest_version(), &store)
-            .unwrap();
+        exec.try_prewrite(
+            a.id,
+            &Key::from_str("hot"),
+            &writes,
+            store.latest_version(),
+            &store,
+        )
+        .unwrap();
         assert_eq!(exec.locks_held(), 1);
         // Transaction B now conflicts on the lock and eventually aborts.
         let b = txn(2, 1, &["hot"]);

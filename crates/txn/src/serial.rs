@@ -75,7 +75,10 @@ mod tests {
         let mut store = MvccStore::new();
         let mut exec = SerialExecutor::new();
         let k = Key::from_str("a");
-        exec.execute(&txn(1, vec![Operation::write(k.clone(), Value::filler(5))]), &mut store);
+        exec.execute(
+            &txn(1, vec![Operation::write(k.clone(), Value::filler(5))]),
+            &mut store,
+        );
         let out = exec.execute(&txn(2, vec![Operation::read(k.clone())]), &mut store);
         assert_eq!(out.reads[0].1.as_ref().unwrap().len(), 5);
         assert_eq!(exec.executed(), 2);
@@ -86,9 +89,15 @@ mod tests {
         let mut store = MvccStore::new();
         let mut exec = SerialExecutor::new();
         let k = Key::from_str("counter");
-        exec.execute(&txn(1, vec![Operation::write(k.clone(), Value::filler(1))]), &mut store);
+        exec.execute(
+            &txn(1, vec![Operation::write(k.clone(), Value::filler(1))]),
+            &mut store,
+        );
         let out = exec.execute(
-            &txn(2, vec![Operation::read_modify_write(k.clone(), Value::filler(2))]),
+            &txn(
+                2,
+                vec![Operation::read_modify_write(k.clone(), Value::filler(2))],
+            ),
             &mut store,
         );
         assert_eq!(out.reads.len(), 1);
@@ -102,10 +111,16 @@ mod tests {
         let mut exec = SerialExecutor::new();
         let k = Key::from_str("a");
         let v1 = exec
-            .execute(&txn(1, vec![Operation::write(k.clone(), Value::filler(1))]), &mut store)
+            .execute(
+                &txn(1, vec![Operation::write(k.clone(), Value::filler(1))]),
+                &mut store,
+            )
             .version;
         let v2 = exec
-            .execute(&txn(2, vec![Operation::write(k, Value::filler(1))]), &mut store)
+            .execute(
+                &txn(2, vec![Operation::write(k, Value::filler(1))]),
+                &mut store,
+            )
             .version;
         assert!(v2 > v1);
     }
@@ -114,7 +129,10 @@ mod tests {
     fn read_of_missing_key_is_none() {
         let mut store = MvccStore::new();
         let mut exec = SerialExecutor::new();
-        let out = exec.execute(&txn(1, vec![Operation::read(Key::from_str("nope"))]), &mut store);
+        let out = exec.execute(
+            &txn(1, vec![Operation::read(Key::from_str("nope"))]),
+            &mut store,
+        );
         assert_eq!(out.reads[0].1, None);
         assert_eq!(out.writes, 0);
     }

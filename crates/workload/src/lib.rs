@@ -14,10 +14,12 @@
 //! them uniformly.
 
 pub mod smallbank;
+pub mod spec;
 pub mod ycsb;
 pub mod zipf;
 
 pub use smallbank::{SmallbankConfig, SmallbankWorkload};
+pub use spec::WorkloadSpec;
 pub use ycsb::{YcsbConfig, YcsbMix, YcsbWorkload};
 pub use zipf::ZipfianGenerator;
 

@@ -131,7 +131,10 @@ impl Workload for SmallbankWorkload {
     fn initial_records(&self) -> Vec<(Key, Value)> {
         let mut records = Vec::with_capacity(self.config.accounts as usize * 2);
         for c in 0..self.config.accounts {
-            records.push((Self::checking_key(c), Value::filler(self.config.record_size)));
+            records.push((
+                Self::checking_key(c),
+                Value::filler(self.config.record_size),
+            ));
             records.push((Self::savings_key(c), Value::filler(self.config.record_size)));
         }
         records
@@ -174,8 +177,12 @@ mod tests {
         let w = small();
         let records = w.initial_records();
         assert_eq!(records.len(), 2000);
-        assert!(records.iter().any(|(k, _)| k.to_string().starts_with("chk:")));
-        assert!(records.iter().any(|(k, _)| k.to_string().starts_with("sav:")));
+        assert!(records
+            .iter()
+            .any(|(k, _)| k.to_string().starts_with("chk:")));
+        assert!(records
+            .iter()
+            .any(|(k, _)| k.to_string().starts_with("sav:")));
         assert!(records.iter().all(|(_, v)| v.len() == 16));
     }
 

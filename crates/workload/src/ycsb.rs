@@ -139,7 +139,12 @@ impl YcsbWorkload {
 impl Workload for YcsbWorkload {
     fn initial_records(&self) -> Vec<(Key, Value)> {
         (0..self.config.record_count)
-            .map(|i| (Self::key_for(i), Value::filler(self.config.record_size.max(1))))
+            .map(|i| {
+                (
+                    Self::key_for(i),
+                    Value::filler(self.config.record_size.max(1)),
+                )
+            })
             .collect()
     }
 

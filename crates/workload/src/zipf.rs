@@ -64,7 +64,9 @@ impl ZipfianGenerator {
         self.theta
     }
 
-    /// Draw the next key index in `0..n`. Index 0 is the hottest key.
+    /// Draw the next key index in `0..n`. Index 0 is the hottest key. (Not
+    /// an `Iterator`: the stream is infinite and infallible.)
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         if self.theta < 1e-6 {
             return self.rng.gen_range(0..self.n);

@@ -1,10 +1,16 @@
 #!/usr/bin/env sh
-# Tier-1 verification plus a smoke run of the repro binary.
+# Tier-1 verification plus lint gates and a smoke run of the repro binary.
 # The workspace is offline-only: everything must resolve from path
 # dependencies (no crates.io access in CI).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -12,10 +18,14 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> repro tab02 (quick smoke, must be reproducible)"
-cargo run -p dichotomy-bench --release --bin repro -- --quick tab02 > /tmp/ci_tab02_a.out
-cargo run -p dichotomy-bench --release --bin repro -- --quick tab02 > /tmp/ci_tab02_b.out
-test -s /tmp/ci_tab02_a.out
-cmp /tmp/ci_tab02_a.out /tmp/ci_tab02_b.out
+echo "==> repro --json reproducibility (two seeded runs, byte-for-byte)"
+cargo run -p dichotomy-bench --release --bin repro -- \
+    --quick --seed 7 --json /tmp/ci_repro_a.json tab02 fig13 fig15 > /tmp/ci_repro_a.out
+cargo run -p dichotomy-bench --release --bin repro -- \
+    --quick --seed 7 --json /tmp/ci_repro_b.json tab02 fig13 fig15 > /tmp/ci_repro_b.out
+test -s /tmp/ci_repro_a.out
+test -s /tmp/ci_repro_a.json
+cmp /tmp/ci_repro_a.out /tmp/ci_repro_b.out
+cmp /tmp/ci_repro_a.json /tmp/ci_repro_b.json
 
 echo "==> ci.sh: all checks passed"
