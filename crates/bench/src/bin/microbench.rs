@@ -7,25 +7,40 @@
 //! ```text
 //! cargo run -p dichotomy-bench --release --bin microbench
 //! cargo run -p dichotomy-bench --release --bin microbench -- mpt lsm
+//! cargo run -p dichotomy-bench --release --bin microbench -- --smoke
 //! ```
 //!
 //! This is a dependency-free replacement for the Criterion bench the seed
 //! shipped: each benchmark runs a warmup pass, then times `iters` iterations
 //! with `std::time::Instant`, excluding per-iteration setup. Arguments filter
-//! benchmarks by substring match on the name.
+//! benchmarks by substring match on the name; `--smoke` scales the iteration
+//! counts down so CI can run every case as an engine-hot-path regression
+//! check in seconds.
 
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use dichotomy_core::common::{hash, ClientId, Key, Operation, Transaction, TxnId, Value};
 use dichotomy_core::consensus::{ProtocolKind, ReplicationProfile};
 use dichotomy_core::driver::{run_workload, DriverConfig};
 use dichotomy_core::merkle::{MerkleBucketTree, MerklePatriciaTrie};
-use dichotomy_core::simnet::{CostModel, NetworkConfig};
+use dichotomy_core::simnet::{CostModel, EventQueue, NetworkConfig, SimEngine};
 use dichotomy_core::storage::{BPlusTree, KvEngine, LsmTree, MvccStore};
 use dichotomy_core::systems::{Etcd, EtcdConfig, Quorum, QuorumConfig};
 use dichotomy_core::txn::OccExecutor;
 use dichotomy_core::workload::{YcsbConfig, YcsbMix, YcsbWorkload};
+
+/// Whether `--smoke` was passed: scale iteration counts down for CI.
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+fn effective_iters(iters: u32) -> u32 {
+    if SMOKE.load(Ordering::Relaxed) {
+        (iters / 20).max(2)
+    } else {
+        iters
+    }
+}
 
 /// Time `routine` over `iters` fresh states from `setup`, excluding setup
 /// time, and print a mean ns/op line.
@@ -35,6 +50,7 @@ fn bench_batched<S, R>(
     mut setup: impl FnMut() -> S,
     mut routine: impl FnMut(S) -> R,
 ) {
+    let iters = effective_iters(iters);
     for _ in 0..(iters / 10).max(1) {
         black_box(routine(setup()));
     }
@@ -133,6 +149,57 @@ fn bench_consensus_profiles() {
     }
 }
 
+fn bench_event_engine() {
+    // The engine hot path: schedule N events with scattered timestamps and
+    // drain them in order.
+    bench("event_queue_schedule_pop_10k", 200, || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule_at(i ^ 0x2a5a, i);
+        }
+        let mut acc = 0u64;
+        while let Some((t, _)) = q.pop() {
+            acc = acc.wrapping_add(t);
+        }
+        acc
+    });
+    // A synthetic service pipeline on the engine: every event books work on
+    // one of two processes and reschedules a follow-up stage.
+    bench("engine_two_stage_pipeline_5k", 200, || {
+        let mut e: SimEngine<(u32, u64)> = SimEngine::new();
+        let front = e.add_process("front", 4);
+        let back = e.add_process("back", 1);
+        for i in 0..5_000u64 {
+            e.schedule_at(i * 3, (0, i));
+        }
+        let mut finished = 0u64;
+        while let Some((now, (stage, token))) = e.pop() {
+            match stage {
+                0 => {
+                    let (_, done) = e.service(front, now, 5);
+                    e.schedule_at(done, (1, token));
+                }
+                _ => {
+                    e.service(back, now, 2);
+                    finished += 1;
+                }
+            }
+        }
+        finished
+    });
+    // The full event loop end to end: driver arrivals + etcd stage events.
+    bench("engine_loop_etcd_update_300", 10, || {
+        let mut system = Etcd::new(EtcdConfig::default());
+        let mut workload = YcsbWorkload::new(YcsbConfig {
+            record_count: 500,
+            record_size: 200,
+            mix: YcsbMix::UpdateOnly,
+            ..YcsbConfig::default()
+        });
+        run_workload(&mut system, &mut workload, &DriverConfig::saturating(300))
+    });
+}
+
 fn bench_end_to_end() {
     bench("end_to_end_quorum_update_200", 10, || {
         let mut system = Quorum::new(QuorumConfig {
@@ -161,13 +228,18 @@ fn bench_end_to_end() {
 }
 
 fn main() {
-    let filters: Vec<String> = std::env::args().skip(1).collect();
+    let mut filters: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = filters.iter().position(|a| a == "--smoke") {
+        filters.remove(i);
+        SMOKE.store(true, Ordering::Relaxed);
+    }
     let groups: &[(&str, fn())] = &[
         ("sha256", bench_hashing),
         ("mpt mbt", bench_authenticated_indexes),
         ("lsm btree", bench_storage_engines),
         ("occ", bench_occ_validation),
         ("profile", bench_consensus_profiles),
+        ("event_queue engine", bench_event_engine),
         ("end_to_end", bench_end_to_end),
     ];
     for (keys, run) in groups {

@@ -14,7 +14,10 @@
 //! * `--list` — print every experiment id with its report title and exit;
 //! * `--txns N` — override the per-experiment transaction/record count;
 //! * `--seed S` — reseed every run (same seed ⇒ bit-identical output);
-//! * `--json PATH` — additionally write all completed reports as JSON.
+//! * `--json PATH` — additionally write all completed reports as JSON. Each
+//!   row of a driving experiment carries its windowed time series (`series`:
+//!   per-window tps, abort %, p50/p95/p99 latency) — see
+//!   `dichotomy_bench::json` for the schema.
 //!
 //! Unknown experiment ids exit nonzero after printing the valid list. An
 //! `all` run continues past a panicking experiment and reports a

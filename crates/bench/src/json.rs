@@ -6,8 +6,13 @@
 //! use Rust's shortest round-trip formatting, and non-finite values (the
 //! `NaN` a missing reported throughput produces) become `null`, keeping the
 //! document standard-conforming.
+//!
+//! Each row additionally carries `series`: one windowed time series per
+//! driving probe (`{"name", "window_us", "warmup_us", "windows": [{
+//! "start_us", "end_us", "committed", "aborted", "tps", "abort_pct",
+//! "p50_us", "p95_us", "p99_us"}]}`) — empty for non-driving probes.
 
-use dichotomy_core::experiments::ExperimentReport;
+use dichotomy_core::experiments::{ExperimentReport, RowSeries};
 
 /// Escape a string for a JSON string literal (quotes, backslashes, control
 /// characters).
@@ -66,6 +71,13 @@ pub fn report(key: &str, report: &ExperimentReport) -> String {
                 number(*value)
             ));
         }
+        out.push_str("],\"series\":[");
+        for (j, s) in row.series.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&row_series(s));
+        }
         out.push_str("]}");
     }
     out.push_str("],\"text\":");
@@ -74,6 +86,37 @@ pub fn report(key: &str, report: &ExperimentReport) -> String {
         None => out.push_str("null"),
     }
     out.push('}');
+    out
+}
+
+/// Serialize one windowed time series attached to a row.
+fn row_series(s: &RowSeries) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"window_us\":{},\"warmup_us\":{},\"windows\":[",
+        escape(&s.name),
+        s.series.window_us,
+        s.series.warmup_us
+    ));
+    for (i, w) in s.series.windows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"start_us\":{},\"end_us\":{},\"committed\":{},\"aborted\":{},\"tps\":{},\
+             \"abort_pct\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            w.start_us,
+            w.end_us,
+            w.committed,
+            w.aborted,
+            number(w.throughput_tps),
+            number(w.abort_rate_percent),
+            w.latency.p50_us,
+            w.latency.p95_us,
+            w.latency.p99_us
+        ));
+    }
+    out.push_str("]}");
     out
 }
 
@@ -106,6 +149,7 @@ pub fn document(
 mod tests {
     use super::*;
     use dichotomy_core::experiments::Row;
+    use dichotomy_core::metrics::{LatencySummary, TimeSeries, TimeWindow};
 
     fn sample() -> ExperimentReport {
         ExperimentReport {
@@ -114,9 +158,37 @@ mod tests {
             rows: vec![Row {
                 label: "θ=1".into(),
                 values: vec![("tps".into(), 12.5), ("missing".into(), f64::NAN)],
+                series: Vec::new(),
             }],
             text: None,
         }
+    }
+
+    fn sample_with_series() -> ExperimentReport {
+        let mut report = sample();
+        report.rows[0].series.push(RowSeries {
+            name: "etcd".into(),
+            series: TimeSeries {
+                window_us: 1_000,
+                warmup_us: 0,
+                windows: vec![TimeWindow {
+                    start_us: 0,
+                    end_us: 1_000,
+                    committed: 3,
+                    aborted: 1,
+                    throughput_tps: 3_000.0,
+                    abort_rate_percent: 25.0,
+                    latency: LatencySummary {
+                        mean_us: 10.0,
+                        p50_us: 10,
+                        p95_us: 12,
+                        p99_us: 12,
+                        max_us: 12,
+                    },
+                }],
+            },
+        });
+        report
     }
 
     #[test]
@@ -138,7 +210,20 @@ mod tests {
         assert!(json.contains("\"label\":\"θ=1\""));
         assert!(json.contains("{\"column\":\"tps\",\"value\":12.5}"));
         assert!(json.contains("{\"column\":\"missing\",\"value\":null}"));
+        assert!(json.contains("\"series\":[]"));
         assert!(json.ends_with("\"text\":null}"));
+    }
+
+    #[test]
+    fn time_series_serialize_per_row() {
+        let json = report("fig00", &sample_with_series());
+        assert!(json.contains(
+            "\"series\":[{\"name\":\"etcd\",\"window_us\":1000,\"warmup_us\":0,\"windows\":["
+        ));
+        assert!(json.contains(
+            "{\"start_us\":0,\"end_us\":1000,\"committed\":3,\"aborted\":1,\"tps\":3000,\
+             \"abort_pct\":25,\"p50_us\":10,\"p95_us\":12,\"p99_us\":12}"
+        ));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! * `cargo run -p dichotomy-bench --release --bin repro -- <experiment>`
 //!   regenerates a single table/figure (`fig04` … `fig15`, `tab02`, `tab04`,
-//!   `tab05`) or `all` of them, printing the same rows the paper reports.
+//!   `tab05`), the fault scenario (`fault01`), or `all` of them, printing
+//!   the same rows the paper reports.
 //!   `--list` enumerates the experiments, `--txns`/`--seed` rescale and
 //!   reseed the runs, and `--json PATH` writes every report as a
 //!   machine-readable document (see [`json`]).
@@ -22,7 +23,7 @@ use dichotomy_core::scenario::{run_plan, ExperimentPlan};
 /// Every experiment the harness can run, with its identifier.
 pub const EXPERIMENTS: &[&str] = &[
     "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "tab02", "tab04", "tab05",
+    "fig14", "fig15", "tab02", "tab04", "tab05", "fault01",
 ];
 
 /// How to scale and seed a run.
@@ -92,6 +93,7 @@ pub fn plan_for(id: &str, opts: &RunOptions) -> Option<ExperimentPlan> {
         "tab02" => exp::tab02_plan(),
         "tab04" => exp::tab04_plan(n, &[3, 7, 11, 15, 19], seed),
         "tab05" => exp::tab05_plan(n / 2, &[3, 7, 11], seed),
+        "fault01" => exp::fault01_plan(n, seed),
         _ => return None,
     };
     Some(plan)
@@ -136,7 +138,18 @@ mod tests {
             assert!(!out.is_empty());
         }
         assert!(run_experiment("nope", true).is_none());
-        assert_eq!(EXPERIMENTS.len(), 15);
+        assert_eq!(EXPERIMENTS.len(), 16);
+    }
+
+    #[test]
+    fn fault01_smoke_run_reports_a_windowed_series() {
+        let report = run_report("fault01", &RunOptions::quick()).expect("known experiment");
+        assert_eq!(report.rows.len(), 1);
+        let series = &report.rows[0].series;
+        assert_eq!(series.len(), 1);
+        assert!(!series[0].series.is_empty());
+        // The crash dip: at least one interior window with zero commits.
+        assert!(series[0].series.windows.iter().any(|w| w.committed == 0));
     }
 
     #[test]

@@ -52,7 +52,7 @@ fn the_json_document_is_valid_and_covers_every_experiment() {
     // Keep the runtime in check: the cheap ids exercise rows, NaN → null
     // (fig15's missing reported numbers) and preformatted text (tab02).
     let opts = RunOptions::quick();
-    let reports: Vec<_> = ["fig13", "fig15", "tab02"]
+    let reports: Vec<_> = ["fig13", "fig15", "tab02", "fault01"]
         .iter()
         .map(|id| (id.to_string(), run_report(id, &opts).unwrap()))
         .collect();
@@ -63,7 +63,21 @@ fn the_json_document_is_valid_and_covers_every_experiment() {
         .get("experiments")
         .and_then(Json::as_array)
         .expect("document has an experiments array");
-    assert_eq!(experiments.len(), 3);
+    assert_eq!(experiments.len(), 4);
+    // fault01 drives a workload: its row carries a windowed time series.
+    let fault01 = &experiments[3];
+    let fault_rows = fault01.get("rows").and_then(Json::as_array).unwrap();
+    let series = fault_rows[0]
+        .get("series")
+        .and_then(Json::as_array)
+        .expect("driving rows carry a series array");
+    assert_eq!(series.len(), 1);
+    let windows = series[0]
+        .get("windows")
+        .and_then(Json::as_array)
+        .expect("series has windows");
+    assert!(!windows.is_empty());
+    assert!(windows[0].get("tps").is_some() && windows[0].get("p95_us").is_some());
     // fig13 carries rows with finite values.
     let fig13 = &experiments[0];
     let rows = fig13.get("rows").and_then(Json::as_array).unwrap();

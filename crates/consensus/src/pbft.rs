@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use dichotomy_common::{NodeId, Timestamp};
-use dichotomy_simnet::{EventQueue, FaultPlan, NetworkConfig, NetworkModel};
+use dichotomy_simnet::{FaultPlan, NetworkConfig, NetworkModel, SimEngine};
 
 /// Which member of the protocol family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -250,7 +250,7 @@ impl Default for PbftConfig {
 /// A simulated PBFT/IBFT cluster.
 pub struct PbftCluster {
     pub nodes: BTreeMap<NodeId, PbftNode>,
-    queue: EventQueue<PbftEvent>,
+    engine: SimEngine<PbftEvent>,
     network: NetworkModel,
     config: PbftConfig,
     next_seq: u64,
@@ -267,7 +267,7 @@ impl PbftCluster {
         }
         PbftCluster {
             nodes,
-            queue: EventQueue::new(),
+            engine: SimEngine::new(),
             network: NetworkModel::new(config.network.clone(), seed),
             config,
             next_seq: 0,
@@ -305,11 +305,11 @@ impl PbftCluster {
 
     /// Current simulated time.
     pub fn now(&self) -> Timestamp {
-        self.queue.now()
+        self.engine.now()
     }
 
     fn broadcast_from(&mut self, from: NodeId, msgs: Vec<PbftMessage>) {
-        let now = self.queue.now();
+        let now = self.engine.now();
         let peers: Vec<NodeId> = self.nodes.keys().copied().collect();
         for msg in msgs {
             for &to in &peers {
@@ -320,7 +320,7 @@ impl PbftCluster {
                     self.network.delay(from, to, bytes, now)
                 };
                 if let Some(d) = delay {
-                    self.queue
+                    self.engine
                         .schedule_in(d, PbftEvent::Deliver(to, msg.clone()));
                 }
             }
@@ -343,7 +343,7 @@ impl PbftCluster {
         };
         self.broadcast_from(primary, vec![msg]);
         // Arm the backups' request timers.
-        self.queue.schedule_in(
+        self.engine.schedule_in(
             self.config.request_timeout_us,
             PbftEvent::RequestTimeout { seq },
         );
@@ -352,11 +352,11 @@ impl PbftCluster {
 
     /// Run the simulation until `deadline`.
     pub fn run_until(&mut self, deadline: Timestamp) {
-        while let Some(t) = self.queue.peek_time() {
+        while let Some(t) = self.engine.peek_time() {
             if t > deadline {
                 break;
             }
-            let (now, ev) = self.queue.pop().expect("peeked");
+            let (now, ev) = self.engine.pop().expect("peeked");
             match ev {
                 PbftEvent::Deliver(to, msg) => {
                     if !self.network.faults_mut().can_deliver(to, to, now) {
@@ -387,7 +387,7 @@ impl PbftCluster {
                 }
             }
         }
-        self.queue.advance_to(deadline);
+        self.engine.advance_to(deadline);
     }
 
     fn record_commits(&mut self, now: Timestamp) {

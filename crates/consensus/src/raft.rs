@@ -4,15 +4,16 @@
 //! terms, `RequestVote`/`AppendEntries` RPCs, the log-matching property, and
 //! commitment by majority replication in the leader's current term. Nodes are
 //! driven by a [`RaftCluster`] harness that exchanges messages through the
-//! simulated network and fires election/heartbeat timeouts from the event
-//! queue, so leader crashes and partitions (via the fault plan) produce real
-//! elections and real commit stalls.
+//! simulated network and fires election/heartbeat timeouts from the shared
+//! [`SimEngine`] (the same discrete-event core the system models and the
+//! benchmark driver run on), so leader crashes and partitions (via the fault
+//! plan) produce real elections and real commit stalls.
 
 use std::collections::{BTreeMap, HashMap};
 
 use dichotomy_common::rng::{self, Rng};
 use dichotomy_common::{NodeId, Timestamp};
-use dichotomy_simnet::{EventQueue, FaultPlan, NetworkConfig, NetworkModel};
+use dichotomy_simnet::{FaultPlan, NetworkConfig, NetworkModel, SimEngine};
 
 /// One replicated log entry: an opaque payload (a batch of transactions, a
 /// block, a storage operation) plus the term it was appended in.
@@ -430,7 +431,7 @@ impl Default for RaftConfig {
 /// A simulated Raft cluster.
 pub struct RaftCluster {
     pub nodes: BTreeMap<NodeId, RaftNode>,
-    queue: EventQueue<ClusterEvent>,
+    engine: SimEngine<ClusterEvent>,
     network: NetworkModel,
     config: RaftConfig,
     rng: rng::StdRng,
@@ -453,7 +454,7 @@ impl RaftCluster {
         }
         let mut cluster = RaftCluster {
             nodes,
-            queue: EventQueue::new(),
+            engine: SimEngine::new(),
             network: NetworkModel::new(config.network.clone(), seed),
             config,
             rng: rng::seeded(rng::derive_seed(seed, "raft-cluster")),
@@ -479,16 +480,16 @@ impl RaftCluster {
         if let Some(n) = self.nodes.get_mut(&node) {
             n.election_deadline = deadline;
         }
-        self.queue
+        self.engine
             .schedule_at(deadline, ClusterEvent::ElectionTick(node));
     }
 
     fn send_all(&mut self, from: NodeId, outbox: Outbox) {
-        let now = self.queue.now();
+        let now = self.engine.now();
         for (to, msg) in outbox {
             let bytes = msg.wire_bytes();
             if let Some(delay) = self.network.delay(from, to, bytes, now) {
-                self.queue
+                self.engine
                     .schedule_in(delay, ClusterEvent::Deliver(to, msg));
             }
         }
@@ -497,7 +498,7 @@ impl RaftCluster {
     /// The current leader with the highest term, if any live node considers
     /// itself leader (a crashed ex-leader's stale state does not count).
     pub fn leader(&self) -> Option<NodeId> {
-        let now = self.queue.now();
+        let now = self.engine.now();
         self.nodes
             .values()
             .filter(|n| n.role == Role::Leader)
@@ -508,7 +509,7 @@ impl RaftCluster {
 
     /// Current simulated time.
     pub fn now(&self) -> Timestamp {
-        self.queue.now()
+        self.engine.now()
     }
 
     /// Propose a payload of the given size at the current leader; returns the
@@ -525,11 +526,11 @@ impl RaftCluster {
     /// Run the simulation until `deadline` (µs) or until the event queue
     /// drains.
     pub fn run_until(&mut self, deadline: Timestamp) {
-        while let Some(t) = self.queue.peek_time() {
+        while let Some(t) = self.engine.peek_time() {
             if t > deadline {
                 break;
             }
-            let (now, event) = self.queue.pop().expect("peeked");
+            let (now, event) = self.engine.pop().expect("peeked");
             match event {
                 ClusterEvent::Deliver(to, msg) => {
                     // A crashed node neither processes nor answers.
@@ -567,7 +568,7 @@ impl RaftCluster {
                             .expect("node exists")
                             .broadcast_append();
                         self.send_all(id, outbox);
-                        self.queue.schedule_in(
+                        self.engine.schedule_in(
                             self.config.heartbeat_interval_us,
                             ClusterEvent::HeartbeatTick(id),
                         );
@@ -588,13 +589,13 @@ impl RaftCluster {
                 .collect();
             for (id, term) in new_leaders {
                 self.heartbeat_started.insert(id, term);
-                self.queue.schedule_in(
+                self.engine.schedule_in(
                     self.config.heartbeat_interval_us,
                     ClusterEvent::HeartbeatTick(id),
                 );
             }
         }
-        self.queue.advance_to(deadline);
+        self.engine.advance_to(deadline);
     }
 
     fn record_commits(&mut self, node: NodeId, now: Timestamp) {
@@ -609,7 +610,7 @@ impl RaftCluster {
 
     /// Run until a leader is elected (or the deadline passes); returns it.
     pub fn run_until_leader(&mut self, deadline: Timestamp) -> Option<NodeId> {
-        let mut step_deadline = self.queue.now();
+        let mut step_deadline = self.engine.now();
         while step_deadline < deadline {
             step_deadline += 50_000;
             self.run_until(step_deadline.min(deadline));

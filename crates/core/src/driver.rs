@@ -1,19 +1,22 @@
 //! The benchmark driver: plays the role YCSB, OLTPBench and Caliper play in
 //! the paper's setup (Section 4.2).
 //!
-//! The driver generates transactions from a workload, stamps them with
-//! arrival times drawn from an open-loop Poisson-like process at the chosen
-//! offered load, feeds them to the system model in arrival order, and
-//! aggregates the receipts. Offering far more load than the system can absorb
-//! measures saturated (peak) throughput; offering a trickle measures
-//! unsaturated latency — the two regimes Section 5.2.1 distinguishes.
+//! The driver is an event loop on the shared simulation engine. Open-loop
+//! arrivals (exponential inter-arrival gaps at the offered load) are
+//! scheduled as events and interleave, on one clock, with the stage events
+//! the system model schedules for itself — block cut timers, validation
+//! completions, replication rounds. Backlog and saturation therefore emerge
+//! from queueing on the model's service processes rather than from post-hoc
+//! arithmetic: offering far more load than the system can absorb measures
+//! saturated (peak) throughput; offering a trickle measures unsaturated
+//! latency — the two regimes Section 5.2.1 distinguishes.
 
 use dichotomy_common::rng::{self, Rng};
 use dichotomy_common::{ClientId, Timestamp};
-use dichotomy_systems::TransactionalSystem;
+use dichotomy_systems::{run_to_completion_with, Engine, SysEvent, TransactionalSystem};
 use dichotomy_workload::Workload;
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, TimeSeries};
 
 /// Driver configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +30,12 @@ pub struct DriverConfig {
     /// Whether to pre-load the workload's initial records (Figure 4/5 do;
     /// storage-size experiments load their own data).
     pub preload: bool,
+    /// Width of the windowed time-series buckets (µs). `None` derives a
+    /// window from the run's makespan (≈ 20 windows).
+    pub window_us: Option<u64>,
+    /// Receipts finishing before this simulated time are trimmed from the
+    /// time series (warm-up).
+    pub warmup_us: Timestamp,
     /// RNG seed for arrival jitter.
     pub seed: u64,
 }
@@ -38,6 +47,8 @@ impl Default for DriverConfig {
             offered_tps: 50_000.0,
             clients: 32,
             preload: true,
+            window_us: None,
+            warmup_us: 0,
             seed: rng::DEFAULT_SEED,
         }
     }
@@ -71,6 +82,12 @@ impl DriverConfig {
         self.seed = seed;
         self
     }
+
+    /// Fix the time-series window width.
+    pub fn with_window(mut self, window_us: u64) -> Self {
+        self.window_us = Some(window_us);
+        self
+    }
 }
 
 /// The result of one driver run.
@@ -78,13 +95,73 @@ impl DriverConfig {
 pub struct RunStats {
     /// Aggregated metrics.
     pub metrics: Metrics,
+    /// Windowed time series of the same receipts (throughput, latency
+    /// percentiles and abort rate per simulated-time window).
+    pub series: TimeSeries,
     /// Simulated time of the last completion.
     pub makespan_us: Timestamp,
     /// Offered load used.
     pub offered_tps: f64,
+    /// Events the engine delivered during the run (arrivals + stages).
+    pub events_delivered: u64,
+    /// Events that were scheduled in the past and clamped to the engine
+    /// clock. Nonzero values point at causality bugs in a system model
+    /// (timestamp underflow); normal runs report 0.
+    pub events_clamped: u64,
+}
+
+/// Generates the open-loop arrival schedule: exponential inter-arrival gaps
+/// at the offered rate, round-robin across clients, with a small per-arrival
+/// jitter. Arrival timestamps are strictly monotonic — per client and across
+/// clients — so event order never depends on heap tie-breaking.
+struct ArrivalProcess {
+    rng: rng::StdRng,
+    mean_gap_us: f64,
+    clients: u64,
+    seqs: Vec<u64>,
+    issued: u64,
+    base: Timestamp,
+    last_arrival: Timestamp,
+}
+
+impl ArrivalProcess {
+    fn new(config: &DriverConfig) -> Self {
+        ArrivalProcess {
+            rng: rng::seeded(rng::derive_seed(config.seed, "driver")),
+            mean_gap_us: 1e6 / config.offered_tps.max(1e-6),
+            clients: config.clients.max(1),
+            seqs: vec![0u64; config.clients.max(1) as usize],
+            issued: 0,
+            base: 0,
+            last_arrival: 0,
+        }
+    }
+
+    /// The next arrival: `(client, per-client seq, timestamp)`.
+    fn next(&mut self) -> (ClientId, u64, Timestamp) {
+        let client_idx = (self.issued % self.clients) as usize;
+        self.issued += 1;
+        self.seqs[client_idx] += 1;
+        // Exponential inter-arrival times approximate an open-loop Poisson
+        // arrival process at the offered rate.
+        self.base += rng::exp_delay_us(&mut self.rng, self.mean_gap_us).max(1);
+        // Small per-arrival jitter so clients do not submit in lockstep. The
+        // jitter does not accumulate into the base clock (it would bias the
+        // offered rate), and the result is bumped past the previous arrival
+        // so timestamps never tie — across clients included.
+        let jitter = self.rng.gen_range(0..2u64);
+        let at = (self.base + jitter).max(self.last_arrival + 1);
+        self.last_arrival = at;
+        (ClientId(client_idx as u64), self.seqs[client_idx], at)
+    }
 }
 
 /// Run `workload` against `system` under the given driver configuration.
+///
+/// The event loop: schedule an arrival, dispatch events in `(time, seq)`
+/// order — handing arrivals to the system and stage events back to it —
+/// scheduling the next arrival as each one fires, then drain the queue and
+/// aggregate the receipts.
 pub fn run_workload(
     system: &mut dyn TransactionalSystem,
     workload: &mut dyn Workload,
@@ -94,31 +171,42 @@ pub fn run_workload(
         let records = workload.initial_records();
         system.load(&records);
     }
-    let mut rng = rng::seeded(rng::derive_seed(config.seed, "driver"));
-    let mean_gap_us = 1e6 / config.offered_tps.max(1e-6);
-    let mut now: Timestamp = 0;
-    let mut seqs = vec![0u64; config.clients.max(1) as usize];
-    for i in 0..config.transactions {
-        let client_idx = (i % config.clients.max(1)) as usize;
-        let client = ClientId(client_idx as u64);
-        seqs[client_idx] += 1;
-        let mut txn = workload.next_transaction(client, seqs[client_idx]);
-        // Exponential inter-arrival times approximate an open-loop Poisson
-        // arrival process at the offered rate.
-        now += rng::exp_delay_us(&mut rng, mean_gap_us).max(1);
-        // Small per-client jitter so clients do not submit in lockstep.
-        now += rng.gen_range(0..2u64);
-        txn.submit_time = now;
-        system.submit(txn, now);
+    let mut engine = Engine::new();
+    system.attach(&mut engine);
+
+    let mut arrivals = ArrivalProcess::new(config);
+    let schedule_next =
+        |engine: &mut Engine, arrivals: &mut ArrivalProcess, workload: &mut dyn Workload| {
+            let (client, seq, at) = arrivals.next();
+            let mut txn = workload.next_transaction(client, seq);
+            txn.submit_time = at;
+            engine.schedule_at(at, SysEvent::Arrival(txn));
+        };
+    if config.transactions > 0 {
+        schedule_next(&mut engine, &mut arrivals, workload);
     }
-    system.flush(now + 1_000_000);
+    run_to_completion_with(system, &mut engine, |engine| {
+        if arrivals.issued < config.transactions {
+            schedule_next(engine, &mut arrivals, workload);
+        }
+    });
+
     let receipts = system.drain_receipts();
     let metrics = Metrics::from_receipts(&receipts);
-    let makespan_us = receipts.iter().map(|r| r.finish_time).max().unwrap_or(now);
+    let makespan_us = receipts
+        .iter()
+        .map(|r| r.finish_time)
+        .max()
+        .unwrap_or(engine.now());
+    let window_us = config.window_us.unwrap_or((makespan_us / 20).max(1));
+    let series = TimeSeries::from_receipts(&receipts, window_us, config.warmup_us);
     RunStats {
         metrics,
+        series,
         makespan_us,
         offered_tps: config.offered_tps,
+        events_delivered: engine.delivered(),
+        events_clamped: engine.clamped(),
     }
 }
 
@@ -146,6 +234,27 @@ mod tests {
         assert!(stats.metrics.throughput_tps > 100.0);
         assert!(stats.metrics.latency.p95_us > 0);
         assert!(stats.makespan_us > 0);
+        // Every arrival plus at least one stage event per write.
+        assert!(stats.events_delivered > 500);
+        assert_eq!(stats.events_clamped, 0, "no causality violations");
+    }
+
+    #[test]
+    fn no_model_schedules_events_into_the_past() {
+        // Drive every registered system kind through the event loop and
+        // check the engine's clamp counter: a nonzero value means a model
+        // scheduled a stage event before the current simulated time.
+        use dichotomy_systems::{SystemKind, SystemSpec};
+        for kind in SystemKind::ALL {
+            let mut system = SystemSpec::new(kind).build().expect("builtin model");
+            let mut workload = small_ycsb(0.4);
+            let stats = run_workload(
+                system.as_mut(),
+                &mut workload,
+                &DriverConfig::saturating(200),
+            );
+            assert_eq!(stats.events_clamped, 0, "{kind:?} clamped events");
+        }
     }
 
     #[test]
@@ -181,6 +290,37 @@ mod tests {
         );
     }
 
+    #[test]
+    fn saturating_runs_produce_a_backlog_shaped_time_series() {
+        // Offer far more load than Quorum's serial pipeline absorbs: the
+        // windowed latency (queueing delay) climbs across the run.
+        let mut system = Quorum::new(QuorumConfig {
+            max_block_txns: 50,
+            block_interval_us: 50_000,
+            ..QuorumConfig::default()
+        });
+        let stats = run_workload(
+            &mut system,
+            &mut small_ycsb(0.0),
+            &DriverConfig::saturating(600),
+        );
+        let busy: Vec<_> = stats
+            .series
+            .windows
+            .iter()
+            .filter(|w| w.committed > 0)
+            .collect();
+        assert!(busy.len() >= 3, "expected several busy windows");
+        let first = busy.first().unwrap();
+        let last = busy.last().unwrap();
+        assert!(
+            last.latency.p50_us > first.latency.p50_us * 2,
+            "backlog should inflate windowed latency: first p50 {} last p50 {}",
+            first.latency.p50_us,
+            last.latency.p50_us
+        );
+    }
+
     /// Records what the driver submits, committing everything instantly:
     /// makes the open-loop arrival process itself observable.
     #[derive(Default)]
@@ -195,7 +335,8 @@ mod tests {
             dichotomy_systems::SystemKind::Etcd
         }
         fn load(&mut self, _records: &[(dichotomy_common::Key, dichotomy_common::Value)]) {}
-        fn submit(&mut self, txn: dichotomy_common::Transaction, arrival: Timestamp) {
+        fn on_arrival(&mut self, txn: dichotomy_common::Transaction, engine: &mut Engine) {
+            let arrival = engine.now();
             self.arrivals.push(arrival);
             self.clients.push(txn.id.client.0);
             self.receipts.push(dichotomy_common::TxnReceipt::committed(
@@ -204,7 +345,6 @@ mod tests {
                 arrival + 1,
             ));
         }
-        fn flush(&mut self, _now: Timestamp) {}
         fn drain_receipts(&mut self) -> Vec<dichotomy_common::TxnReceipt> {
             std::mem::take(&mut self.receipts)
         }
@@ -235,6 +375,40 @@ mod tests {
             recorder.arrivals.windows(2).all(|w| w[0] < w[1]),
             "open-loop arrivals must advance monotonically"
         );
+    }
+
+    #[test]
+    fn arrivals_never_tie_even_at_extreme_offered_load() {
+        // Regression for the per-client jitter: at a mean gap of ~1 µs the
+        // old cumulative jitter let two clients submit at the same µs tick,
+        // leaving the interleaving to heap tie-breaking. Arrivals must be
+        // strictly monotonic globally (hence per client too) and identical
+        // across equal-seed runs.
+        let config = DriverConfig {
+            transactions: 5_000,
+            offered_tps: 1_000_000.0,
+            ..DriverConfig::default()
+        };
+        let a = record_arrivals(&config);
+        assert!(
+            a.arrivals.windows(2).all(|w| w[0] < w[1]),
+            "global strict monotonicity"
+        );
+        for client in 0..config.clients {
+            let per_client: Vec<_> = a
+                .arrivals
+                .iter()
+                .zip(&a.clients)
+                .filter(|(_, c)| **c == client)
+                .map(|(t, _)| *t)
+                .collect();
+            assert!(
+                per_client.windows(2).all(|w| w[0] < w[1]),
+                "client {client} arrivals must be strictly monotonic"
+            );
+        }
+        let b = record_arrivals(&config);
+        assert_eq!(a.arrivals, b.arrivals, "same seed, same schedule");
     }
 
     #[test]
@@ -300,5 +474,7 @@ mod tests {
         assert_eq!(a.metrics.committed, b.metrics.committed);
         assert_eq!(a.metrics.latency.p50_us, b.metrics.latency.p50_us);
         assert_eq!(a.makespan_us, b.makespan_us);
+        assert_eq!(a.events_delivered, b.events_delivered);
+        assert_eq!(a.series, b.series);
     }
 }

@@ -19,9 +19,10 @@
 use std::fmt::Write as _;
 
 use dichotomy_common::rng::DEFAULT_SEED;
-use dichotomy_common::AbortReason;
+use dichotomy_common::{AbortReason, NodeId};
 use dichotomy_consensus::ProtocolKind;
 use dichotomy_hybrid::{all_systems, SystemCategory};
+use dichotomy_simnet::{FaultPlan, NodeFault};
 use dichotomy_systems::{SystemKind, SystemSpec};
 use dichotomy_workload::{SmallbankConfig, WorkloadSpec, YcsbConfig, YcsbMix};
 
@@ -38,6 +39,19 @@ pub struct Row {
     pub label: String,
     /// (column name, value) pairs.
     pub values: Vec<(String, f64)>,
+    /// Windowed time series, one per driving probe backing the row (empty
+    /// for non-driving probes). Rendered only by machine-readable outputs
+    /// (`repro --json`); the text table stays scalar.
+    pub series: Vec<RowSeries>,
+}
+
+/// A named windowed time series attached to a report row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowSeries {
+    /// Which probe produced it (the system label).
+    pub name: String,
+    /// The windowed throughput/latency/abort data.
+    pub series: crate::metrics::TimeSeries,
 }
 
 /// A structured experiment result.
@@ -249,6 +263,7 @@ pub fn fig06_plan(txns: u64, seed: u64) -> ExperimentPlan {
         driver: DriverConfig::saturating(txns),
         sweep: Sweep::None,
         row_labels: None,
+        faults: None,
         seed,
     };
     scenario.plan()
@@ -436,6 +451,7 @@ pub fn fig09_plan(txns: u64, thetas: &[f64], seed: u64) -> ExperimentPlan {
         driver: DriverConfig::saturating(txns),
         sweep: Sweep::Theta(thetas.to_vec()),
         row_labels: None,
+        faults: None,
         seed,
     };
     scenario.plan()
@@ -482,6 +498,7 @@ pub fn fig10_plan(txns: u64, op_counts: &[usize], seed: u64) -> ExperimentPlan {
             payload_bytes: Some(1_000),
         },
         row_labels: None,
+        faults: None,
         seed,
     };
     scenario.plan()
@@ -516,6 +533,7 @@ pub fn fig11_plan(txns: u64, sizes: &[usize], seed: u64) -> ExperimentPlan {
         driver: DriverConfig::saturating(txns),
         sweep: Sweep::RecordSize(sizes.to_vec()),
         row_labels: None,
+        faults: None,
         seed,
     };
     scenario.plan()
@@ -668,6 +686,7 @@ pub fn fig14_plan(txns: u64, shard_counts: &[u32], seed: u64) -> ExperimentPlan 
                 .map(|&shards| format!("{} nodes ({shards} shards)", shards * 3))
                 .collect(),
         ),
+        faults: None,
         seed,
     };
     scenario.plan()
@@ -801,6 +820,52 @@ pub fn tab05_tidb_matrix(txns: u64, counts: &[usize]) -> ExperimentReport {
     run_plan(&tab05_plan(txns, counts, DEFAULT_SEED))
 }
 
+/// The arrival span (µs) of the fault-scenario run: `txns` arrivals at the
+/// 2 000 tps the plan offers.
+fn fault01_span_us(txns: u64) -> u64 {
+    txns.saturating_mul(500).max(12)
+}
+
+/// Fault 1 plan: the Raft-backed etcd model driven through a declarative
+/// crash-and-recover schedule. The leader crashes for the middle third of
+/// the arrival span; the windowed time series shows commits dropping to zero
+/// during the outage and the queued backlog bursting through after the crash
+/// heals and the failover pause elapses. The load (2 000 tps) is well under
+/// etcd's capacity so the dip is attributable to the fault, not saturation.
+pub fn fault01_plan(txns: u64, seed: u64) -> ExperimentPlan {
+    let span = fault01_span_us(txns);
+    let mut faults = FaultPlan::none();
+    faults.add(NodeFault::crash_until(NodeId(0), span / 3, 2 * span / 3));
+    let scenario = Scenario {
+        id: "Fault 1",
+        title: "etcd update throughput through a leader crash and recovery",
+        systems: vec![SystemEntry {
+            spec: SystemSpec::new(SystemKind::Etcd),
+            columns: vec![
+                col("tps", Metric::ThroughputTps),
+                col("abort_%", Metric::AbortPercent),
+            ],
+        }],
+        workload: ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1),
+        driver: DriverConfig {
+            transactions: txns,
+            offered_tps: 2_000.0,
+            window_us: Some((span / 12).max(1)),
+            ..DriverConfig::default()
+        },
+        sweep: Sweep::None,
+        row_labels: None,
+        faults: Some(faults),
+        seed,
+    };
+    scenario.plan()
+}
+
+/// Fault 1: leader crash and recovery on the Raft-backed etcd model.
+pub fn fault01_crash_recovery(txns: u64) -> ExperimentReport {
+    run_plan(&fault01_plan(txns, DEFAULT_SEED))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -897,6 +962,53 @@ mod tests {
             c.rows.iter().map(|r| &r.label).collect::<Vec<_>>()
         );
         assert_ne!(a.rows, c.rows, "different seeds should perturb the rows");
+    }
+
+    #[test]
+    fn saturating_probes_report_a_nonempty_windowed_series() {
+        // The Fabric peak-throughput probe of Figure 4: its report row must
+        // carry windowed time-series data (one series per driving probe).
+        let report = fig04_peak_throughput(200);
+        let fabric = report.rows.iter().find(|r| r.label == "Fabric").unwrap();
+        assert_eq!(fabric.series.len(), 2, "update + query probes");
+        assert!(
+            fabric.series.iter().all(|s| !s.series.is_empty()),
+            "saturation runs must produce windows"
+        );
+        assert!(fabric.series[0]
+            .series
+            .windows
+            .iter()
+            .any(|w| w.committed > 0));
+    }
+
+    #[test]
+    fn fault01_shows_the_crash_dip_and_the_recovery_in_the_windows() {
+        let txns = 600;
+        let report = fault01_crash_recovery(txns);
+        assert!(report.value("etcd", "tps").unwrap() > 0.0);
+        let series = &report.rows[0].series[0].series;
+        assert!(!series.is_empty());
+        let span = fault01_span_us(txns);
+        let (crash_from, crash_until) = (span / 3, 2 * span / 3);
+        let before = series.window_at(crash_from / 2).unwrap();
+        let during = series.window_at((crash_from + crash_until) / 2).unwrap();
+        assert!(before.committed > 0, "healthy windows commit");
+        assert_eq!(during.committed, 0, "mid-crash window must stall");
+        // Recovery: once the crash heals (plus failover), the stalled backlog
+        // bursts through — some post-heal window beats the pre-crash rate.
+        let recovered = series
+            .windows
+            .iter()
+            .filter(|w| w.start_us >= crash_until)
+            .map(|w| w.committed)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            recovered > before.committed,
+            "post-heal burst {recovered} should exceed pre-crash {}",
+            before.committed
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod metrics;
 pub mod scenario;
 
 pub use driver::{run_workload, DriverConfig, RunStats};
-pub use metrics::{LatencySummary, Metrics};
+pub use metrics::{LatencySummary, Metrics, TimeSeries, TimeWindow};
 pub use scenario::{run_plan, ExperimentPlan, Scenario, Sweep};
 
 // Re-export the building blocks so downstream users need only this crate.

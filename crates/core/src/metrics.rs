@@ -1,5 +1,10 @@
-//! Receipt aggregation: throughput, latency percentiles, abort breakdowns and
-//! phase-level latency decomposition.
+//! Receipt aggregation: throughput, latency percentiles, abort breakdowns,
+//! phase-level latency decomposition and windowed time series.
+//!
+//! [`Metrics::from_receipts`] summarizes a whole run; [`TimeSeries`] buckets
+//! the same receipts into fixed simulated-time windows (throughput, latency
+//! percentiles and abort rate per window, with optional warm-up trimming),
+//! which is how saturation build-up and fault dips become visible.
 
 use std::collections::BTreeMap;
 
@@ -21,7 +26,9 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn from_sorted(mut latencies: Vec<u64>) -> Self {
+    /// Summarize a set of latencies (order irrelevant): mean plus the
+    /// p50/p95/p99/max order statistics. Empty input gives all zeros.
+    pub fn of(mut latencies: Vec<u64>) -> Self {
         if latencies.is_empty() {
             return LatencySummary::default();
         }
@@ -95,7 +102,7 @@ impl Metrics {
             committed,
             aborts,
             throughput_tps: committed as f64 / (duration_us as f64 / 1e6),
-            latency: LatencySummary::from_sorted(latencies),
+            latency: LatencySummary::of(latencies),
             phase_means_us,
             duration_us,
         }
@@ -125,6 +132,110 @@ impl Metrics {
         } else {
             100.0 * self.aborts.get(&reason).copied().unwrap_or(0) as f64 / total as f64
         }
+    }
+}
+
+/// One fixed-width window of a [`TimeSeries`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeWindow {
+    /// Window start (inclusive, simulated µs).
+    pub start_us: Timestamp,
+    /// Window end (exclusive, simulated µs).
+    pub end_us: Timestamp,
+    /// Transactions that committed (finished) inside the window.
+    pub committed: u64,
+    /// Transactions that aborted inside the window.
+    pub aborted: u64,
+    /// Committed transactions per second over the window width.
+    pub throughput_tps: f64,
+    /// Aborts as a percentage of the window's finished transactions.
+    pub abort_rate_percent: f64,
+    /// Latency summary of the window's committed transactions.
+    pub latency: LatencySummary,
+}
+
+/// Windowed time-series view of a run: receipts bucketed by finish time into
+/// contiguous fixed-width windows, after warm-up trimming.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    /// Window width (µs).
+    pub window_us: u64,
+    /// Receipts finishing before this simulated time were dropped.
+    pub warmup_us: u64,
+    /// The windows, contiguous from `warmup_us` to past the last finish.
+    /// Windows with no finishing transactions are present (all-zero) — they
+    /// are what a stall or crash dip looks like.
+    pub windows: Vec<TimeWindow>,
+}
+
+impl TimeSeries {
+    /// Bucket `receipts` into `window_us`-wide windows by finish time,
+    /// dropping receipts that finish before `warmup_us` (warm-up trimming).
+    pub fn from_receipts(receipts: &[TxnReceipt], window_us: u64, warmup_us: Timestamp) -> Self {
+        let window_us = window_us.max(1);
+        let kept: Vec<&TxnReceipt> = receipts
+            .iter()
+            .filter(|r| r.finish_time >= warmup_us)
+            .collect();
+        let Some(last_finish) = kept.iter().map(|r| r.finish_time).max() else {
+            return TimeSeries {
+                window_us,
+                warmup_us,
+                windows: Vec::new(),
+            };
+        };
+        let count = ((last_finish - warmup_us) / window_us + 1) as usize;
+        let mut committed = vec![0u64; count];
+        let mut aborted = vec![0u64; count];
+        let mut latencies: Vec<Vec<u64>> = vec![Vec::new(); count];
+        for r in kept {
+            let idx = ((r.finish_time - warmup_us) / window_us) as usize;
+            match r.status {
+                TxnStatus::Committed => {
+                    committed[idx] += 1;
+                    latencies[idx].push(r.latency_us());
+                }
+                TxnStatus::Aborted(_) => aborted[idx] += 1,
+            }
+        }
+        let windows = (0..count)
+            .map(|i| {
+                let start_us = warmup_us + i as u64 * window_us;
+                let finished = committed[i] + aborted[i];
+                TimeWindow {
+                    start_us,
+                    end_us: start_us + window_us,
+                    committed: committed[i],
+                    aborted: aborted[i],
+                    throughput_tps: committed[i] as f64 / (window_us as f64 / 1e6),
+                    abort_rate_percent: if finished == 0 {
+                        0.0
+                    } else {
+                        100.0 * aborted[i] as f64 / finished as f64
+                    },
+                    latency: LatencySummary::of(std::mem::take(&mut latencies[i])),
+                }
+            })
+            .collect();
+        TimeSeries {
+            window_us,
+            warmup_us,
+            windows,
+        }
+    }
+
+    /// Whether the series has no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The window containing simulated time `t`, if any.
+    pub fn window_at(&self, t: Timestamp) -> Option<&TimeWindow> {
+        if t < self.warmup_us {
+            return None;
+        }
+        self.windows
+            .get(((t - self.warmup_us) / self.window_us.max(1)) as usize)
     }
 }
 
@@ -201,5 +312,108 @@ mod tests {
         assert_eq!(m.latency.p95_us, 950);
         assert_eq!(m.latency.p99_us, 990);
         assert_eq!(m.latency.max_us, 1000);
+    }
+
+    #[test]
+    fn single_receipt_metrics_are_well_defined() {
+        let m = Metrics::from_receipts(&[TxnReceipt::committed(id(1), 100, 400)]);
+        assert_eq!(m.committed, 1);
+        assert_eq!(m.aborted(), 0);
+        // Degenerate window: duration clamps to ≥ 1 µs, so throughput is
+        // finite; every percentile equals the single sample.
+        assert!(m.throughput_tps.is_finite() && m.throughput_tps > 0.0);
+        assert_eq!(m.latency.p50_us, 300);
+        assert_eq!(m.latency.p95_us, 300);
+        assert_eq!(m.latency.p99_us, 300);
+        assert_eq!(m.latency.max_us, 300);
+        assert_eq!(m.latency.mean_us, 300.0);
+    }
+
+    #[test]
+    fn all_aborted_run_has_zero_throughput_and_full_abort_rate() {
+        let receipts: Vec<TxnReceipt> = (0..5)
+            .map(|i| TxnReceipt::aborted(id(i), AbortReason::Overload, i * 10, i * 10 + 5))
+            .collect();
+        let m = Metrics::from_receipts(&receipts);
+        assert_eq!(m.committed, 0);
+        assert_eq!(m.aborted(), 5);
+        assert_eq!(m.throughput_tps, 0.0);
+        assert_eq!(m.abort_rate_percent(), 100.0);
+        // No committed latencies: the summary is the zero default.
+        assert_eq!(m.latency, LatencySummary::default());
+    }
+
+    #[test]
+    fn empty_receipts_give_an_empty_time_series() {
+        let s = TimeSeries::from_receipts(&[], 1_000, 0);
+        assert!(s.is_empty());
+        assert_eq!(s.window_at(500), None);
+    }
+
+    #[test]
+    fn time_series_buckets_by_finish_time_and_keeps_empty_windows() {
+        // Finishes at 500, 1500, 1600 and 3500: four 1 ms windows, the third
+        // of which is empty (the "dip" shape).
+        let receipts = vec![
+            TxnReceipt::committed(id(1), 0, 500),
+            TxnReceipt::committed(id(2), 1_000, 1_500),
+            TxnReceipt::aborted(id(3), AbortReason::Overload, 1_000, 1_600),
+            TxnReceipt::committed(id(4), 3_000, 3_500),
+        ];
+        let s = TimeSeries::from_receipts(&receipts, 1_000, 0);
+        assert_eq!(s.windows.len(), 4);
+        assert_eq!(
+            s.windows.iter().map(|w| w.committed).collect::<Vec<_>>(),
+            vec![1, 1, 0, 1]
+        );
+        assert_eq!(s.windows[1].aborted, 1);
+        assert_eq!(s.windows[1].abort_rate_percent, 50.0);
+        assert_eq!(s.windows[2].throughput_tps, 0.0);
+        // 1 commit per 1 ms window = 1000 tps.
+        assert_eq!(s.windows[0].throughput_tps, 1_000.0);
+        assert_eq!(s.window_at(3_200).unwrap().start_us, 3_000);
+        assert_eq!(s.windows[0].end_us, 1_000);
+    }
+
+    #[test]
+    fn warmup_trimming_drops_early_finishes_and_shifts_the_origin() {
+        let receipts = vec![
+            TxnReceipt::committed(id(1), 0, 400), // trimmed
+            TxnReceipt::committed(id(2), 0, 1_200),
+            TxnReceipt::committed(id(3), 0, 1_900),
+        ];
+        let s = TimeSeries::from_receipts(&receipts, 1_000, 1_000);
+        assert_eq!(s.windows.len(), 1);
+        assert_eq!(s.windows[0].start_us, 1_000);
+        assert_eq!(s.windows[0].committed, 2);
+        assert_eq!(s.window_at(500), None, "before the warm-up origin");
+    }
+
+    #[test]
+    fn windowed_percentiles_match_a_hand_computed_fixture() {
+        // Window 0 (finish < 1000): latencies 10..=100 step 10 (10 samples).
+        // Window 1: latencies 200 and 400.
+        let mut receipts: Vec<TxnReceipt> = (1..=10)
+            .map(|i| TxnReceipt::committed(id(i), 0, i * 10))
+            .collect();
+        receipts.push(TxnReceipt::committed(id(11), 1_000, 1_200));
+        receipts.push(TxnReceipt::committed(id(12), 1_000, 1_400));
+        let s = TimeSeries::from_receipts(&receipts, 1_000, 0);
+        assert_eq!(s.windows.len(), 2);
+        let w0 = &s.windows[0];
+        // By the order-statistic rule index = floor((n-1) * p):
+        // n=10 → p50 at index 4 (50), p95 at index 8 (90), p99 at index 8.
+        assert_eq!(w0.latency.p50_us, 50);
+        assert_eq!(w0.latency.p95_us, 90);
+        assert_eq!(w0.latency.p99_us, 90);
+        assert_eq!(w0.latency.max_us, 100);
+        assert_eq!(w0.latency.mean_us, 55.0);
+        let w1 = &s.windows[1];
+        // n=2 → p50 at index 0 (200), p95/p99 at index 0 (200), max 400.
+        assert_eq!(w1.latency.p50_us, 200);
+        assert_eq!(w1.latency.p95_us, 200);
+        assert_eq!(w1.latency.p99_us, 200);
+        assert_eq!(w1.latency.max_us, 400);
+        assert_eq!(w1.latency.mean_us, 300.0);
     }
 }

@@ -36,6 +36,7 @@
 //!     driver: DriverConfig::saturating(200),
 //!     sweep: Sweep::Theta(vec![0.0, 0.9]),
 //!     row_labels: None,
+//!     faults: None,
 //!     seed: 7,
 //! };
 //! let report = run_plan(&scenario.plan());
@@ -48,12 +49,12 @@ use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
 use dichotomy_common::{AbortReason, Hash, Key, Value};
 use dichotomy_hybrid::{all_systems, forecast_throughput, HybridSpec};
 use dichotomy_merkle::{MerkleBucketTree, MerklePatriciaTrie};
-use dichotomy_simnet::{CostModel, NetworkConfig};
+use dichotomy_simnet::{CostModel, FaultPlan, NetworkConfig};
 use dichotomy_systems::{SystemRegistry, SystemSpec};
 use dichotomy_workload::WorkloadSpec;
 
 use crate::driver::{run_workload, DriverConfig};
-use crate::experiments::{ExperimentReport, Row};
+use crate::experiments::{ExperimentReport, Row, RowSeries};
 use crate::metrics::Metrics;
 
 /// What one column reads off an executed probe.
@@ -291,6 +292,9 @@ pub struct Scenario {
     pub sweep: Sweep,
     /// Row label overrides (must match the number of rows when set).
     pub row_labels: Option<Vec<String>>,
+    /// Fault schedule injected into every system that does not carry its
+    /// own — crash/partition experiments as declarative plans.
+    pub faults: Option<FaultPlan>,
     /// RNG seed threaded through systems, workload and driver.
     pub seed: u64,
 }
@@ -319,6 +323,9 @@ impl Scenario {
             let mut spec = entry.spec.clone();
             if spec.seed.is_none() {
                 spec.seed = Some(self.seed);
+            }
+            if spec.faults.is_none() {
+                spec.faults = self.faults.clone();
             }
             spec
         };
@@ -384,6 +391,8 @@ struct Observation {
     footprint: StorageBreakdown,
     records: u64,
     extras: BTreeMap<&'static str, f64>,
+    /// Windowed time series (driving probes only), with the probe's label.
+    series: Option<RowSeries>,
 }
 
 /// Execute a plan with the built-in system registry.
@@ -399,13 +408,19 @@ pub fn run_plan_with(plan: &ExperimentPlan, registry: &SystemRegistry) -> Experi
     let rows = plan
         .rows
         .iter()
-        .map(|row| Row {
-            label: row.label.clone(),
-            values: row
-                .runs
-                .iter()
-                .flat_map(|run| execute(run, registry))
-                .collect(),
+        .map(|row| {
+            let mut values = Vec::new();
+            let mut series = Vec::new();
+            for run in &row.runs {
+                let (run_values, run_series) = execute(run, registry);
+                values.extend(run_values);
+                series.extend(run_series);
+            }
+            Row {
+                label: row.label.clone(),
+                values,
+                series,
+            }
         })
         .collect();
     ExperimentReport {
@@ -416,12 +431,14 @@ pub fn run_plan_with(plan: &ExperimentPlan, registry: &SystemRegistry) -> Experi
     }
 }
 
-fn execute(run: &PlannedRun, registry: &SystemRegistry) -> Vec<(String, f64)> {
+fn execute(run: &PlannedRun, registry: &SystemRegistry) -> (Vec<(String, f64)>, Option<RowSeries>) {
     let observation = observe(&run.probe, registry);
-    run.columns
+    let values = run
+        .columns
         .iter()
         .map(|column| (column.name.clone(), extract(&observation, &column.metric)))
-        .collect()
+        .collect();
+    (values, observation.series)
 }
 
 fn observe(probe: &Probe, registry: &SystemRegistry) -> Observation {
@@ -441,6 +458,10 @@ fn observe(probe: &Probe, registry: &SystemRegistry) -> Observation {
                 footprint: sys.footprint(),
                 records: driver.transactions,
                 extras: BTreeMap::new(),
+                series: Some(RowSeries {
+                    name: system.label(),
+                    series: stats.series,
+                }),
             }
         }
         Probe::AdrOverhead {
@@ -468,6 +489,7 @@ fn observe(probe: &Probe, registry: &SystemRegistry) -> Observation {
                 footprint: StorageBreakdown::default(),
                 records: *records,
                 extras,
+                series: None,
             }
         }
         Probe::Forecast { profile } => {
@@ -488,6 +510,7 @@ fn observe(probe: &Probe, registry: &SystemRegistry) -> Observation {
                 footprint: StorageBreakdown::default(),
                 records: 0,
                 extras,
+                series: None,
             }
         }
     }
@@ -533,6 +556,7 @@ mod tests {
             driver: DriverConfig::saturating(150),
             sweep: Sweep::None,
             row_labels: None,
+            faults: None,
             seed,
         }
     }

@@ -5,7 +5,8 @@ use dichotomy_core::common::{ClientId, Key, Operation, Transaction, TxnId, Value
 use dichotomy_core::driver::{run_workload, DriverConfig};
 use dichotomy_core::experiments;
 use dichotomy_core::systems::{
-    Fabric, FabricConfig, Quorum, QuorumConfig, TiDb, TiDbConfig, TransactionalSystem,
+    drive_arrivals, Fabric, FabricConfig, Quorum, QuorumConfig, TiDb, TiDbConfig,
+    TransactionalSystem,
 };
 use dichotomy_core::workload::{
     SmallbankConfig, SmallbankWorkload, Workload, YcsbConfig, YcsbMix, YcsbWorkload,
@@ -92,29 +93,33 @@ fn different_systems_reach_the_same_final_state_without_conflicts() {
         ..QuorumConfig::default()
     });
     let mut tidb = TiDb::new(TiDbConfig::default());
-    for (i, txn) in txns.iter().enumerate() {
-        quorum.submit(txn.clone(), (i as u64 + 1) * 1000);
-        tidb.submit(txn.clone(), (i as u64 + 1) * 1000);
-    }
-    quorum.flush(10_000_000);
-    tidb.flush(10_000_000);
-    let q_receipts = quorum.drain_receipts();
-    let t_receipts = tidb.drain_receipts();
+    let schedule: Vec<(Transaction, u64)> = txns
+        .iter()
+        .enumerate()
+        .map(|(i, txn)| (txn.clone(), (i as u64 + 1) * 1000))
+        .collect();
+    let q_receipts = drive_arrivals(&mut quorum, schedule.clone());
+    let t_receipts = drive_arrivals(&mut tidb, schedule);
     assert_eq!(q_receipts.len(), 50);
     assert_eq!(t_receipts.len(), 50);
     assert!(q_receipts.iter().all(|r| r.status.is_committed()));
     assert!(t_receipts.iter().all(|r| r.status.is_committed()));
     // Both systems answer subsequent reads with the same values.
-    for (i, key) in keys.iter().enumerate() {
-        let read = Transaction::new(
-            TxnId::new(ClientId(2), i as u64 + 1),
-            vec![Operation::read(key.clone())],
-        );
-        quorum.submit(read.clone(), 20_000_000 + i as u64);
-        tidb.submit(read, 20_000_000 + i as u64);
-    }
-    let q_reads = quorum.drain_receipts();
-    let t_reads = tidb.drain_receipts();
+    let reads: Vec<(Transaction, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, key)| {
+            (
+                Transaction::new(
+                    TxnId::new(ClientId(2), i as u64 + 1),
+                    vec![Operation::read(key.clone())],
+                ),
+                20_000_000 + i as u64,
+            )
+        })
+        .collect();
+    let q_reads = drive_arrivals(&mut quorum, reads.clone());
+    let t_reads = drive_arrivals(&mut tidb, reads);
     for (q, t) in q_reads.iter().zip(&t_reads) {
         assert_eq!(
             q.reads[0].1.as_ref().map(Value::len),

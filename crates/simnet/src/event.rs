@@ -55,6 +55,7 @@ pub struct EventQueue<E> {
     now: Timestamp,
     next_seq: u64,
     popped: u64,
+    clamped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -71,6 +72,7 @@ impl<E> EventQueue<E> {
             now: 0,
             next_seq: 0,
             popped: 0,
+            clamped: 0,
         }
     }
 
@@ -94,8 +96,19 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
-    /// Schedule `event` to fire at absolute time `at` (clamped to `now()`).
+    /// Number of events that were scheduled in the past and silently clamped
+    /// to `now()`. A nonzero count usually points at arithmetic underflow in
+    /// a caller; assertions on this keep causality bugs from hiding.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Schedule `event` to fire at absolute time `at` (clamped to `now()`;
+    /// clamps are counted, see [`clamped`](Self::clamped)).
     pub fn schedule_at(&mut self, at: Timestamp, event: E) {
+        if at < self.now {
+            self.clamped += 1;
+        }
         let time = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -170,6 +183,43 @@ mod tests {
         q.pop();
         q.schedule_at(10, "late");
         assert_eq!(q.pop(), Some((100, "late")));
+    }
+
+    #[test]
+    fn clamps_are_counted() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.clamped(), 0);
+        q.schedule_at(100, "a");
+        q.pop();
+        // Exactly at `now` is not a clamp; strictly before it is.
+        q.schedule_at(100, "on-time");
+        assert_eq!(q.clamped(), 0);
+        q.schedule_at(99, "late");
+        q.schedule_at(0, "very late");
+        assert_eq!(q.clamped(), 2);
+        // Clamped events still fire, at `now`.
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(100, "on-time"), (100, "late"), (100, "very late")]
+        );
+    }
+
+    #[test]
+    fn clamped_events_tie_break_by_insertion_seq_behind_on_time_events() {
+        // Three events land on the same timestamp through different routes:
+        // an on-time schedule, then two clamps. Delivery follows insertion
+        // order — the (time, seq) tie-break — regardless of the requested
+        // (pre-clamp) times.
+        let mut q = EventQueue::new();
+        q.schedule_at(50, 0u8);
+        q.pop();
+        q.schedule_at(50, 1u8);
+        q.schedule_at(7, 2u8); // clamped to 50, seq after event 1
+        q.schedule_at(49, 3u8); // clamped to 50, seq after event 2
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(q.clamped(), 2);
     }
 
     #[test]

@@ -137,6 +137,25 @@ impl FaultPlan {
             .any(|f| f.node == node && f.kind == FaultKind::Crash && f.active_at(t))
     }
 
+    /// If `node` is crashed at `t`, when the crash heals: `Some(Some(u))`
+    /// for a crash healing at `u` (the latest, if several overlap),
+    /// `Some(None)` for a permanent crash, `None` when the node is up.
+    pub fn crashed_until(&self, node: NodeId, t: Timestamp) -> Option<Option<Timestamp>> {
+        let mut hit = None;
+        for f in self
+            .faults
+            .iter()
+            .filter(|f| f.node == node && f.kind == FaultKind::Crash && f.active_at(t))
+        {
+            hit = Some(match (hit, f.until) {
+                (Some(None), _) | (_, None) => None,
+                (Some(Some(prev)), Some(u)) => Some(u.max(prev)),
+                (None, Some(u)) => Some(u),
+            });
+        }
+        hit
+    }
+
     /// Whether `node` is marked Byzantine at `t`.
     pub fn is_byzantine(&self, node: NodeId, t: Timestamp) -> bool {
         self.faults
@@ -180,6 +199,20 @@ mod tests {
     fn permanent_crash_never_heals() {
         let f = NodeFault::crash(NodeId(1), 10);
         assert!(f.active_at(u64::MAX));
+    }
+
+    #[test]
+    fn crashed_until_reports_the_heal_time() {
+        let mut plan = FaultPlan::none();
+        plan.add(NodeFault::crash_until(NodeId(1), 100, 200));
+        plan.add(NodeFault::crash_until(NodeId(1), 150, 400));
+        plan.add(NodeFault::crash(NodeId(2), 50));
+        assert_eq!(plan.crashed_until(NodeId(1), 99), None);
+        // Overlapping crashes heal at the latest end.
+        assert_eq!(plan.crashed_until(NodeId(1), 160), Some(Some(400)));
+        assert_eq!(plan.crashed_until(NodeId(1), 399), Some(Some(400)));
+        assert_eq!(plan.crashed_until(NodeId(1), 400), None);
+        assert_eq!(plan.crashed_until(NodeId(2), 60), Some(None));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! is the substitute substrate (see DESIGN.md §2). It provides the four
 //! building blocks every simulated system is made of:
 //!
-//! * an [`EventQueue`] and simulated clock (microsecond granularity),
+//! * a [`SimEngine`] — the discrete-event core: an [`EventQueue`] with a
+//!   simulated clock (microsecond granularity) plus named [`Process`]
+//!   service queues every pipeline stage is built on,
 //! * a [`NetworkModel`] with per-link latency, bandwidth and fault injection,
 //! * FIFO [`Resource`]s that model serial and multi-server processing stages
 //!   (the source of all queueing / saturation behaviour), and
@@ -16,12 +18,14 @@
 //! protocols and system models are built on top of it.
 
 pub mod costs;
+pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod network;
 pub mod resource;
 
 pub use costs::CostModel;
+pub use engine::{Process, ProcessId, SimEngine, StageEvent};
 pub use event::{EventQueue, ScheduledEvent};
 pub use fault::{FaultPlan, NodeFault};
 pub use network::{NetworkConfig, NetworkModel};

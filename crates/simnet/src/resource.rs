@@ -123,6 +123,12 @@ impl MultiResource {
         self.servers.iter().copied().min().unwrap_or(0)
     }
 
+    /// Queueing delay an item arriving at `arrival` would experience before
+    /// any server could start it.
+    pub fn queue_delay(&self, arrival: Timestamp) -> u64 {
+        self.earliest_free().saturating_sub(arrival)
+    }
+
     /// Total busy microseconds accumulated across all servers.
     pub fn busy_us(&self) -> u64 {
         self.busy_us

@@ -7,16 +7,25 @@
 //! from the leader without consensus. Neither runs a SQL layer, a
 //! transaction coordinator, client authentication, or an authenticated
 //! index — which is exactly why they top Figure 4.
+//!
+//! Event pipeline (propose → apply → replicate): an arriving write is
+//! proposed into the leader's Raft batch and queued on the serial apply
+//! process; the `Applied` stage event fires when the apply completes, at
+//! which point the write lands in the storage engine and the receipt is
+//! stamped with the replication round trip. A [`FaultPlan`] on the config
+//! makes the leader crash-stop: writes arriving (or due to start) inside a
+//! crash window stall until the crash heals plus a failover pause, which is
+//! what the crash-and-recover scenario measures.
 
 use std::collections::VecDeque;
 
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
-use dichotomy_common::{Key, Timestamp, Transaction, TxnReceipt, Value};
+use dichotomy_common::{AbortReason, Key, NodeId, Timestamp, Transaction, TxnReceipt, Value};
 use dichotomy_consensus::{ProtocolKind, ReplicationProfile};
-use dichotomy_simnet::{CostModel, MultiResource, NetworkConfig, Resource};
+use dichotomy_simnet::{CostModel, FaultPlan, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{BPlusTree, KvEngine, LsmTree};
 
-use crate::pipeline::{SystemKind, TransactionalSystem};
+use crate::pipeline::{Engine, SysEvent, SystemKind, TokenMap, TransactionalSystem};
 
 /// Configuration shared by the etcd and TiKV models.
 #[derive(Debug, Clone)]
@@ -25,6 +34,11 @@ pub struct EtcdConfig {
     pub nodes: usize,
     /// How many operations the leader batches into one Raft proposal.
     pub raft_batch: usize,
+    /// Fault schedule. Crashing the leader (node 0) stalls the replicated
+    /// write path until the crash heals plus `failover_us`.
+    pub faults: FaultPlan,
+    /// Leader re-election pause charged after a leader crash heals.
+    pub failover_us: u64,
     /// Network model.
     pub network: NetworkConfig,
     /// CPU cost model.
@@ -36,29 +50,52 @@ impl Default for EtcdConfig {
         EtcdConfig {
             nodes: 3,
             raft_batch: 32,
+            faults: FaultPlan::none(),
+            failover_us: 10_000,
             network: NetworkConfig::lan_1gbps(),
             costs: CostModel::calibrated(),
         }
     }
 }
 
+/// The Raft leader the fault plan can crash.
+const LEADER: NodeId = NodeId(0);
+
+/// Stage: a write finished its serial apply at the leader.
+const ST_APPLIED: u32 = 0;
+
+/// A write waiting for its `Applied` stage event.
+struct PendingWrite {
+    txn: Transaction,
+    arrival: Timestamp,
+    /// Raft-batch occupancy plus engine-write cost (the "apply" phase).
+    apply_us: u64,
+}
+
+/// Engine process handles, created at attach time.
+#[derive(Clone, Copy)]
+struct KvProcs {
+    /// The leader's serial apply loop.
+    apply: ProcessId,
+    /// Read-serving capacity (reads do not go through consensus).
+    readers: ProcessId,
+}
+
 /// Shared machinery for both storage-replicated KV systems.
 struct KvSystem<E: KvEngine> {
     config: EtcdConfig,
     raft: ReplicationProfile,
-    /// The leader's serial apply loop.
-    apply: Resource,
-    /// Read-serving capacity (reads do not go through consensus).
-    readers: MultiResource,
-    engine: E,
+    procs: Option<KvProcs>,
+    store: E,
     receipts: VecDeque<TxnReceipt>,
+    pending: TokenMap<PendingWrite>,
     /// Fixed per-operation apply cost beyond the engine write (grpc, fsync
     /// amortized across the raft batch).
     apply_overhead_us: u64,
 }
 
 impl<E: KvEngine> KvSystem<E> {
-    fn new(config: EtcdConfig, engine: E, apply_overhead_us: u64) -> Self {
+    fn new(config: EtcdConfig, store: E, apply_overhead_us: u64) -> Self {
         let raft = ReplicationProfile::new(
             ProtocolKind::Raft,
             config.nodes,
@@ -67,36 +104,53 @@ impl<E: KvEngine> KvSystem<E> {
         );
         KvSystem {
             raft,
-            apply: Resource::new(),
-            readers: MultiResource::new(config.nodes.max(1) * 4),
-            engine,
+            procs: None,
+            store,
             receipts: VecDeque::new(),
+            pending: TokenMap::new(),
             apply_overhead_us,
             config,
         }
     }
 
-    fn load(&mut self, records: &[(Key, Value)]) {
-        for (k, v) in records {
-            self.engine.put(k.clone(), v.clone());
+    fn attach(&mut self, engine: &mut Engine) {
+        self.procs = Some(KvProcs {
+            apply: engine.add_process("kv-apply", 1),
+            readers: engine.add_process("kv-readers", self.config.nodes.max(1) * 4),
+        });
+    }
+
+    fn procs(&self) -> KvProcs {
+        self.procs.expect("system not attached to an engine")
+    }
+
+    /// When a write wanting to start at `t` may actually enter the apply
+    /// pipeline: `None` while the leader is permanently down, `Some(t)` when
+    /// no crash interferes, otherwise the heal time plus the failover pause.
+    fn crash_release(&self, t: Timestamp) -> Option<Timestamp> {
+        match self.config.faults.crashed_until(LEADER, t) {
+            None => Some(t),
+            Some(Some(heal)) => Some(heal + self.config.failover_us),
+            Some(None) => None,
         }
     }
 
-    fn submit(&mut self, txn: Transaction, arrival: Timestamp) {
+    fn on_arrival(&mut self, txn: Transaction, engine: &mut Engine) {
+        let arrival = engine.now();
         let c = &self.config.costs;
         if txn.is_read_only() {
             let mut cost = 0;
             let mut reads = Vec::new();
             for op in txn.ops.iter().filter(|o| o.reads()) {
-                let value = self.engine.get(&op.key);
+                let value = self.store.get(&op.key);
                 // B+ tree / LSM probe cost scaled by structural depth.
                 cost += (c.storage_get_us(value.as_ref().map_or(64, Value::len)) / 4)
-                    * self.engine.read_amplification(&op.key).max(1) as u64
+                    * self.store.read_amplification(&op.key).max(1) as u64
                     / 2
                     + 20;
                 reads.push((op.key.clone(), value));
             }
-            let (_, done) = self.readers.schedule(arrival, cost.max(1));
+            let (_, done) = engine.service(self.procs().readers, arrival, cost.max(1));
             let finish = done + self.config.network.base_latency_us;
             let mut receipt = TxnReceipt::committed(txn.id, arrival, finish);
             receipt.reads = reads;
@@ -104,25 +158,74 @@ impl<E: KvEngine> KvSystem<E> {
             self.receipts.push_back(receipt);
             return;
         }
-        // Write path: the operation is appended to the Raft log (batched with
-        // its neighbours), then applied serially at the leader.
+        // Write path: the operation is proposed into the Raft log (batched
+        // with its neighbours) and queued on the leader's serial apply loop;
+        // the Applied stage fires when that completes. A crash window over
+        // the leader pushes the start past heal + failover — iterate because
+        // the queueing delay itself can land the start inside a crash. Fail
+        // closed: a fault plan that chains more crash windows than the
+        // iteration budget resolves is treated like an unavailable leader
+        // rather than silently committing inside a crash.
+        let mut start_at = arrival;
+        let mut settled = false;
+        for _ in 0..16 {
+            let predicted_start = start_at + engine.queue_delay(self.procs().apply, start_at);
+            match self.crash_release(predicted_start) {
+                None => break, // permanently down
+                Some(release) if release > predicted_start => start_at = release,
+                Some(_) => {
+                    settled = true;
+                    break;
+                }
+            }
+        }
+        if !settled {
+            // Leader permanently down (or crash windows beyond the budget):
+            // the request times out.
+            let finish = arrival + self.config.network.base_latency_us * 4;
+            self.receipts.push_back(TxnReceipt::aborted(
+                txn.id,
+                AbortReason::Overload,
+                arrival,
+                finish,
+            ));
+            return;
+        }
         let bytes = txn.payload_bytes();
         let batch = self.config.raft_batch.max(1);
         let occupancy = (self.raft.leader_occupancy_us(bytes * batch) / batch as u64).max(1);
-        let replication_latency = self.raft.commit_latency_us(bytes + 64);
         let mut apply_cost = self.apply_overhead_us;
         for op in txn.ops.iter().filter(|o| o.writes()) {
-            let value = op.value.clone().unwrap_or_else(|| Value::filler(1));
-            apply_cost += c.storage_put_us(value.len());
-            self.engine.put(op.key.clone(), value);
+            let len = op.value.as_ref().map_or(1, Value::len).max(1);
+            apply_cost += c.storage_put_us(len);
         }
-        let (_, applied) = self.apply.schedule(arrival, occupancy + apply_cost);
-        let finish = applied + replication_latency + self.config.network.base_latency_us;
+        let apply_us = occupancy + apply_cost;
+        let (_, applied) = engine.service(self.procs().apply, start_at, apply_us);
+        let token = self.pending.insert(PendingWrite {
+            txn,
+            arrival,
+            apply_us,
+        });
+        engine.schedule_at(applied, SysEvent::stage(ST_APPLIED, token));
+    }
+
+    fn on_stage(&mut self, event: StageEvent, engine: &mut Engine) {
+        debug_assert_eq!(event.stage, ST_APPLIED);
+        let PendingWrite {
+            txn,
+            arrival,
+            apply_us,
+        } = self.pending.remove(event.token);
+        // The apply is done: the write becomes visible, and the receipt pays
+        // the replication round trip on top.
+        for op in txn.ops.iter().filter(|o| o.writes()) {
+            let value = op.value.clone().unwrap_or_else(|| Value::filler(1));
+            self.store.put(op.key.clone(), value);
+        }
+        let replication_latency = self.raft.commit_latency_us(txn.payload_bytes() + 64);
+        let finish = engine.now() + replication_latency + self.config.network.base_latency_us;
         let mut receipt = TxnReceipt::committed(txn.id, arrival, finish);
-        receipt.phase_latencies = vec![
-            ("apply", occupancy + apply_cost),
-            ("replication", replication_latency),
-        ];
+        receipt.phase_latencies = vec![("apply", apply_us), ("replication", replication_latency)];
         self.receipts.push_back(receipt);
     }
 }
@@ -146,17 +249,24 @@ impl TransactionalSystem for Etcd {
         SystemKind::Etcd
     }
     fn load(&mut self, records: &[(Key, Value)]) {
-        self.inner.load(records);
+        for (k, v) in records {
+            self.inner.store.put(k.clone(), v.clone());
+        }
     }
-    fn submit(&mut self, txn: Transaction, arrival: Timestamp) {
-        self.inner.submit(txn, arrival);
+    fn attach(&mut self, engine: &mut Engine) {
+        self.inner.attach(engine);
     }
-    fn flush(&mut self, _now: Timestamp) {}
+    fn on_arrival(&mut self, txn: Transaction, engine: &mut Engine) {
+        self.inner.on_arrival(txn, engine);
+    }
+    fn on_stage(&mut self, event: StageEvent, engine: &mut Engine) {
+        self.inner.on_stage(event, engine);
+    }
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
         self.inner.receipts.drain(..).collect()
     }
     fn footprint(&self) -> StorageBreakdown {
-        self.inner.engine.footprint()
+        self.inner.store.footprint()
     }
     fn node_count(&self) -> usize {
         self.inner.config.nodes
@@ -183,17 +293,24 @@ impl TransactionalSystem for Tikv {
         SystemKind::Tikv
     }
     fn load(&mut self, records: &[(Key, Value)]) {
-        self.inner.load(records);
+        for (k, v) in records {
+            self.inner.store.put(k.clone(), v.clone());
+        }
     }
-    fn submit(&mut self, txn: Transaction, arrival: Timestamp) {
-        self.inner.submit(txn, arrival);
+    fn attach(&mut self, engine: &mut Engine) {
+        self.inner.attach(engine);
     }
-    fn flush(&mut self, _now: Timestamp) {}
+    fn on_arrival(&mut self, txn: Transaction, engine: &mut Engine) {
+        self.inner.on_arrival(txn, engine);
+    }
+    fn on_stage(&mut self, event: StageEvent, engine: &mut Engine) {
+        self.inner.on_stage(event, engine);
+    }
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
         self.inner.receipts.drain(..).collect()
     }
     fn footprint(&self) -> StorageBreakdown {
-        self.inner.engine.footprint()
+        self.inner.store.footprint()
     }
     fn node_count(&self) -> usize {
         self.inner.config.nodes
@@ -203,7 +320,9 @@ impl TransactionalSystem for Tikv {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::drive_arrivals;
     use dichotomy_common::{ClientId, Operation, TxnId};
+    use dichotomy_simnet::NodeFault;
 
     fn write(seq: u64, key: &str, size: usize) -> Transaction {
         Transaction::new(
@@ -222,10 +341,10 @@ mod tests {
     #[test]
     fn etcd_writes_commit_with_millisecond_latency() {
         let mut e = Etcd::new(EtcdConfig::default());
-        for seq in 0..100 {
-            e.submit(write(seq, &format!("k{seq}"), 1000), seq * 500);
-        }
-        let receipts = e.drain_receipts();
+        let receipts = drive_arrivals(
+            &mut e,
+            (0..100).map(|seq| (write(seq, &format!("k{seq}"), 1000), seq * 500)),
+        );
         assert_eq!(receipts.len(), 100);
         assert!(receipts.iter().all(|r| r.status.is_committed()));
         let mean: u64 = receipts.iter().map(TxnReceipt::latency_us).sum::<u64>() / 100;
@@ -236,8 +355,8 @@ mod tests {
     fn etcd_reads_are_sub_millisecond() {
         let mut e = Etcd::new(EtcdConfig::default());
         e.load(&[(Key::from_str("k"), Value::filler(1000))]);
-        e.submit(read(1, "k"), 0);
-        let r = &e.drain_receipts()[0];
+        let receipts = drive_arrivals(&mut e, vec![(read(1, "k"), 0)]);
+        let r = &receipts[0];
         assert!(r.latency_us() < 1_000, "latency {}", r.latency_us());
         assert_eq!(r.reads[0].1.as_ref().unwrap().len(), 1000);
     }
@@ -246,10 +365,10 @@ mod tests {
     fn etcd_outpaces_a_serial_blockchain_on_the_same_workload() {
         let n = 500u64;
         let mut e = Etcd::new(EtcdConfig::default());
-        for seq in 0..n {
-            e.submit(write(seq, &format!("k{}", seq % 100), 1000), seq * 20);
-        }
-        let receipts = e.drain_receipts();
+        let receipts = drive_arrivals(
+            &mut e,
+            (0..n).map(|seq| (write(seq, &format!("k{}", seq % 100), 1000), seq * 20)),
+        );
         let last = receipts.iter().map(|r| r.finish_time).max().unwrap();
         let etcd_tps = n as f64 / (last as f64 / 1e6);
         // The paper's Figure 4a: etcd ≈ 16.8 k tps vs Quorum ≈ 245 tps. Here
@@ -260,10 +379,10 @@ mod tests {
     #[test]
     fn tikv_behaves_like_etcd_but_with_lsm_storage() {
         let mut t = Tikv::new(EtcdConfig::default());
-        for seq in 0..50 {
-            t.submit(write(seq, &format!("k{seq}"), 1000), seq * 100);
-        }
-        let receipts = t.drain_receipts();
+        let receipts = drive_arrivals(
+            &mut t,
+            (0..50).map(|seq| (write(seq, &format!("k{seq}"), 1000), seq * 100)),
+        );
         assert!(receipts.iter().all(|r| r.status.is_committed()));
         assert_eq!(t.kind(), SystemKind::Tikv);
         assert!(t.footprint().payload_bytes > 0);
@@ -277,15 +396,65 @@ mod tests {
                 ..EtcdConfig::default()
             });
             let n = 1000u64;
-            for seq in 0..n {
-                e.submit(write(seq, &format!("k{}", seq % 100), 1000), seq * 10);
-            }
-            let receipts = e.drain_receipts();
+            let receipts = drive_arrivals(
+                &mut e,
+                (0..n).map(|seq| (write(seq, &format!("k{}", seq % 100), 1000), seq * 10)),
+            );
             let last = receipts.iter().map(|r| r.finish_time).max().unwrap();
             n as f64 / (last as f64 / 1e6)
         };
         let small = tput(3);
         let large = tput(19);
         assert!(small > large, "3 nodes {small:.0} vs 19 nodes {large:.0}");
+    }
+
+    #[test]
+    fn a_leader_crash_stalls_writes_until_heal_plus_failover() {
+        let mut faults = FaultPlan::none();
+        faults.add(NodeFault::crash_until(LEADER, 10_000, 60_000));
+        let mut e = Etcd::new(EtcdConfig {
+            faults,
+            failover_us: 5_000,
+            ..EtcdConfig::default()
+        });
+        // One write well before the crash, one inside the window.
+        let receipts = drive_arrivals(
+            &mut e,
+            vec![
+                (write(1, "a", 100), 1_000),
+                (write(2, "b", 100), 20_000),
+                (write(3, "c", 100), 120_000),
+            ],
+        );
+        assert!(receipts.iter().all(|r| r.status.is_committed()));
+        let by_seq = |seq: u64| {
+            receipts
+                .iter()
+                .find(|r| r.txn_id.seq == seq)
+                .expect("receipt")
+        };
+        assert!(by_seq(1).finish_time < 10_000, "pre-crash write unaffected");
+        // The mid-crash write cannot finish before heal (60 ms) + failover.
+        assert!(
+            by_seq(2).finish_time >= 65_000,
+            "stalled write finished at {}",
+            by_seq(2).finish_time
+        );
+        assert!(by_seq(3).latency_us() < 10_000, "post-heal write recovered");
+    }
+
+    #[test]
+    fn a_permanent_leader_crash_rejects_writes() {
+        let mut faults = FaultPlan::none();
+        faults.add(NodeFault::crash(LEADER, 5_000));
+        let mut e = Etcd::new(EtcdConfig {
+            faults,
+            ..EtcdConfig::default()
+        });
+        let receipts = drive_arrivals(&mut e, vec![(write(1, "a", 100), 10_000)]);
+        assert_eq!(
+            receipts[0].status,
+            dichotomy_common::TxnStatus::Aborted(AbortReason::Overload)
+        );
     }
 }

@@ -13,6 +13,15 @@
 //! and the block appended to the ledger. This serial validation is the
 //! saturation bottleneck the paper dissects in Figure 8a, and the
 //! all-endorsers policy is why more peers mean slower validation (Table 4).
+//!
+//! Event pipeline (`Endorsed → block cut → Ordered → Committed`): an
+//! arriving write books chaincode simulation on the endorser pool and
+//! schedules its `Endorsed` stage; endorsed transactions fill the orderer's
+//! block cutter (with a timeout timer event per open block); a cut block's
+//! `Ordered` stage runs MVCC validation on the serial validator process, and
+//! its `Committed` stage appends the ledger and emits the receipts. Backlog
+//! on the validator is therefore real queue depth on the engine — which is
+//! also what the endorsement-divergence probability reads.
 
 use std::collections::VecDeque;
 
@@ -20,11 +29,11 @@ use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
 use dichotomy_common::{AbortReason, Key, NodeId, Timestamp, Transaction, TxnReceipt, Value};
 use dichotomy_consensus::sharedlog::{SharedLog, SharedLogConfig};
 use dichotomy_ledger::{Ledger, TxnValidationFlag};
-use dichotomy_simnet::{CostModel, MultiResource, NetworkConfig, Resource};
+use dichotomy_simnet::{CostModel, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{KvEngine, LsmTree, MvccStore};
 use dichotomy_txn::OccExecutor;
 
-use crate::pipeline::{BlockCutter, SystemKind, TransactionalSystem};
+use crate::pipeline::{Engine, SysEvent, SystemKind, TimedCutter, TokenMap, TransactionalSystem};
 
 /// Configuration of a Fabric deployment.
 #[derive(Debug, Clone)]
@@ -66,16 +75,46 @@ impl Default for FabricConfig {
     }
 }
 
+/// Stage: a transaction's endorsement completed (token = pending-txn id).
+const ST_ENDORSED: u32 = 0;
+/// Stage: the orderer's block-timeout timer (token = cutter epoch).
+const ST_CUT_TIMER: u32 = 1;
+/// Stage: a cut block was appended to the shared log (token = block id).
+const ST_ORDERED: u32 = 2;
+/// Stage: the validated block commits at the peers (token = block id).
+const ST_COMMITTED: u32 = 3;
+
+/// A block between its `Ordered` and `Committed` stages.
+struct BlockInFlight {
+    /// (transaction, endorsement-completion time) pairs, in order.
+    batch: Vec<(Transaction, Timestamp)>,
+    ordered_at: Timestamp,
+    /// Per-txn validation flags/outcomes, filled at the `Ordered` stage.
+    flags: Vec<TxnValidationFlag>,
+    outcomes: Vec<Result<(), AbortReason>>,
+    commit_done: Timestamp,
+}
+
+/// Engine process handles, created at attach time.
+#[derive(Clone, Copy)]
+struct FabricProcs {
+    /// Concurrent chaincode simulation capacity on the endorsing peers.
+    endorsers: ProcessId,
+    /// The representative peer's serial validation/commit engine.
+    validator: ProcessId,
+}
+
 /// The Fabric system model.
 pub struct Fabric {
     config: FabricConfig,
-    /// Concurrent chaincode simulation capacity on the endorsing peers.
-    endorsers: MultiResource,
+    procs: Option<FabricProcs>,
     /// The ordering service.
     orderer: SharedLog,
-    cutter: BlockCutter,
-    /// The representative peer's serial validation/commit engine.
-    validator: Resource,
+    cutter: TimedCutter,
+    /// Writes awaiting their `Endorsed` stage, by token.
+    endorsing: TokenMap<Transaction>,
+    /// Blocks between `Ordered` and `Committed`, by block id.
+    in_flight: TokenMap<BlockInFlight>,
     /// Versioned world state (MVCC validation runs against this).
     state: MvccStore,
     /// State database (LevelDB/CouchDB role).
@@ -93,14 +132,15 @@ impl Fabric {
     /// Build a Fabric deployment.
     pub fn new(config: FabricConfig) -> Self {
         Fabric {
-            endorsers: MultiResource::new(config.peers.max(1) * 4),
+            procs: None,
             orderer: SharedLog::new(SharedLogConfig {
                 brokers: config.orderers,
                 network: config.network.clone(),
                 ..SharedLogConfig::default()
             }),
-            cutter: BlockCutter::new(config.max_block_txns, config.block_timeout_us),
-            validator: Resource::new(),
+            cutter: TimedCutter::new(config.max_block_txns, config.block_timeout_us, ST_CUT_TIMER),
+            endorsing: TokenMap::new(),
+            in_flight: TokenMap::new(),
             state: MvccStore::new(),
             state_db: LsmTree::new(),
             occ: OccExecutor::new(),
@@ -125,28 +165,45 @@ impl Fabric {
         (self.committed, self.aborted_rw, self.aborted_inconsistent)
     }
 
+    fn procs(&self) -> FabricProcs {
+        self.procs.expect("system not attached to an engine")
+    }
+
+    /// The client arrival a receipt should carry: the driver stamps it into
+    /// `submit_time`; transactions injected without one fall back to the
+    /// endorsement-completion time the cutter tracked.
+    fn client_arrival(txn: &Transaction, endorse_t: Timestamp) -> Timestamp {
+        if txn.submit_time > 0 {
+            txn.submit_time
+        } else {
+            endorse_t
+        }
+    }
+
     /// Endorsement phase: authentication, concurrent simulation on the
     /// peers, endorsement signatures and the client-side comparison of the
-    /// endorsements. Returns the time
-    /// the endorsed transaction is ready for ordering, or an abort.
+    /// endorsements. Returns the time the endorsed transaction is ready for
+    /// ordering, or an abort.
     fn endorse(
         &mut self,
         txn: &Transaction,
         arrival: Timestamp,
-    ) -> Result<(Timestamp, u64), AbortReason> {
+        engine: &mut Engine,
+    ) -> Result<Timestamp, AbortReason> {
         use dichotomy_common::rng::Rng;
         let c = &self.config.costs;
         let simulate = c.client_auth()
             + c.chaincode_exec_us(txn.op_count(), txn.payload_bytes())
             + c.sign_us();
-        let (_, sim_done) = self.endorsers.schedule(arrival, simulate);
+        let (_, sim_done) = engine.service(self.procs().endorsers, arrival, simulate);
         // One network round trip to the endorsers, then the client compares.
         let rtt = 2 * (self.config.network.base_latency_us + self.config.network.jitter_us / 2);
         let ready = sim_done + rtt;
         // The more peers must endorse and the more backlog the validator has,
         // the likelier two endorsers ran against different committed states.
-        let backlog_blocks =
-            (self.validator.queue_delay(ready) / self.config.block_timeout_us.max(1)) + 1;
+        let backlog_blocks = (engine.queue_delay(self.procs().validator, ready)
+            / self.config.block_timeout_us.max(1))
+            + 1;
         let divergence = self.config.endorsement_divergence
             * (self.config.peers.saturating_sub(1)) as f64
             * backlog_blocks as f64
@@ -154,29 +211,56 @@ impl Fabric {
         if self.rng.gen_bool(divergence.min(0.9)) {
             return Err(AbortReason::InconsistentRead);
         }
-        Ok((ready, ready - arrival))
+        Ok(ready)
     }
 
-    /// Validation + commit of one cut block at the peers (serial).
-    fn process_block(
+    /// A block was cut at the orderer: append it to the shared log and
+    /// schedule its `Ordered` stage at the append time.
+    fn launch_block(
         &mut self,
-        batch: Vec<(Transaction, Timestamp, Timestamp)>,
-        ordered_at: Timestamp,
+        batch: Vec<(Transaction, Timestamp)>,
+        cut_time: Timestamp,
+        engine: &mut Engine,
     ) {
         if batch.is_empty() {
             return;
         }
+        let batch_bytes: usize = batch.iter().map(|(t, _)| t.wire_bytes()).sum();
+        let record = self.orderer.append(cut_time, batch_bytes);
+        let id = self.in_flight.insert(BlockInFlight {
+            batch,
+            ordered_at: record.appended_at,
+            flags: Vec::new(),
+            outcomes: Vec::new(),
+            commit_done: 0,
+        });
+        engine.schedule_at(record.appended_at, SysEvent::stage(ST_ORDERED, id));
+    }
+
+    /// An endorsed transaction reaches the orderer: feed the cutter, cutting
+    /// on size and arming the timeout timer for newly opened blocks.
+    fn order(&mut self, txn: Transaction, endorse_done: Timestamp, engine: &mut Engine) {
+        if let Some((batch, cut_time)) = self.cutter.add(txn, endorse_done, engine) {
+            self.launch_block(batch, cut_time, engine);
+        }
+    }
+
+    /// Validation of one ordered block at the peers (serial): MVCC read-set
+    /// checks, signature verification, state writes.
+    fn validate_block(&mut self, id: u64, engine: &mut Engine) {
+        let mut block = self.in_flight.remove(id);
+        let ordered_at = block.ordered_at;
         // Simulate all transactions against the pre-block state (they were
         // endorsed before ordering), then validate in order.
-        let sims: Vec<_> = batch
+        let sims: Vec<_> = block
+            .batch
             .iter()
-            .map(|(txn, _, _)| self.occ.simulate(txn, &self.state))
+            .map(|(txn, _)| self.occ.simulate(txn, &self.state))
             .collect();
-
         let mut validation_cost = self.config.costs.block_header_check();
-        let mut flags = Vec::with_capacity(batch.len());
-        let mut outcomes = Vec::with_capacity(batch.len());
-        for ((txn, _, _), sim) in batch.iter().zip(&sims) {
+        let mut flags = Vec::with_capacity(block.batch.len());
+        let mut outcomes = Vec::with_capacity(block.batch.len());
+        for ((txn, _), sim) in block.batch.iter().zip(&sims) {
             // Verify the endorsement signatures of every peer (42 % of the
             // validation time when saturated, per Section 5.2.1).
             validation_cost += self
@@ -202,38 +286,65 @@ impl Fabric {
                 }
             }
         }
-        let (_, commit_done) = self.validator.schedule(ordered_at, validation_cost);
+        let (_, commit_done) = engine.service(self.procs().validator, ordered_at, validation_cost);
+        block.flags = flags;
+        block.outcomes = outcomes;
+        block.commit_done = commit_done;
+        self.in_flight.restore(id, block);
+        engine.schedule_at(commit_done, SysEvent::stage(ST_COMMITTED, id));
+    }
 
-        // Append the block (valid and invalid transactions alike).
-        let txns: Vec<Transaction> = batch.iter().map(|(t, _, _)| t.clone()).collect();
-        let block = dichotomy_common::Block::assemble(
+    /// Commit of a validated block: ledger append (valid and invalid
+    /// transactions alike) and receipt emission.
+    fn commit_block(&mut self, id: u64) {
+        let block = self.in_flight.remove(id);
+        // Keep (id, endorse-done) for the receipts before the transactions
+        // move into the chain block.
+        let receipt_meta: Vec<(dichotomy_common::TxnId, Timestamp, Timestamp)> = block
+            .batch
+            .iter()
+            .map(|(t, endorse_done)| {
+                (
+                    t.id,
+                    Fabric::client_arrival(t, *endorse_done),
+                    *endorse_done,
+                )
+            })
+            .collect();
+        let txns: Vec<Transaction> = block.batch.into_iter().map(|(t, _)| t).collect();
+        let chain_block = dichotomy_common::Block::assemble(
             self.ledger.tip_height() + 1,
             self.ledger.tip_hash(),
             txns,
             NodeId(0),
-            commit_done,
+            block.commit_done,
             None,
         );
         self.ledger
-            .append(block, flags, commit_done)
+            .append(chain_block, block.flags, block.commit_done)
             .expect("chain grows monotonically");
 
-        for ((txn, arrival, endorse_done), outcome) in batch.into_iter().zip(outcomes) {
-            let order_latency = ordered_at.saturating_sub(endorse_done);
+        for ((txn_id, arrival, endorse_done), outcome) in
+            receipt_meta.into_iter().zip(block.outcomes)
+        {
+            let order_latency = block.ordered_at.saturating_sub(endorse_done);
             let mut receipt = match outcome {
-                Ok(()) => TxnReceipt::committed(txn.id, arrival, commit_done),
-                Err(reason) => TxnReceipt::aborted(txn.id, reason, arrival, commit_done),
+                Ok(()) => TxnReceipt::committed(txn_id, arrival, block.commit_done),
+                Err(reason) => TxnReceipt::aborted(txn_id, reason, arrival, block.commit_done),
             };
             receipt.phase_latencies = vec![
                 ("execute", endorse_done.saturating_sub(arrival)),
                 ("order", order_latency),
-                ("validate", commit_done.saturating_sub(ordered_at)),
+                (
+                    "validate",
+                    block.commit_done.saturating_sub(block.ordered_at),
+                ),
             ];
             self.receipts.push_back(receipt);
         }
     }
 
-    fn serve_read(&mut self, txn: &Transaction, arrival: Timestamp) {
+    fn serve_read(&mut self, txn: &Transaction, arrival: Timestamp, engine: &mut Engine) {
         let c = &self.config.costs;
         // Figure 8b: authentication dominates, then simulation + endorsement.
         let mut cost = c.client_auth() + c.chaincode_exec_us(txn.op_count(), 128) + c.sign_us();
@@ -243,7 +354,7 @@ impl Fabric {
             cost += c.storage_get_us(value.as_ref().map_or(64, Value::len)) / 4;
             reads.push((op.key.clone(), value));
         }
-        let (_, finish) = self.endorsers.schedule(arrival, cost);
+        let (_, finish) = engine.service(self.procs().endorsers, arrival, cost);
         let mut receipt = TxnReceipt::committed(txn.id, arrival, finish);
         receipt.reads = reads;
         receipt.phase_latencies = vec![
@@ -268,12 +379,20 @@ impl TransactionalSystem for Fabric {
         }
     }
 
-    fn submit(&mut self, txn: Transaction, arrival: Timestamp) {
+    fn attach(&mut self, engine: &mut Engine) {
+        self.procs = Some(FabricProcs {
+            endorsers: engine.add_process("fabric-endorsers", self.config.peers.max(1) * 4),
+            validator: engine.add_process("fabric-validator", 1),
+        });
+    }
+
+    fn on_arrival(&mut self, txn: Transaction, engine: &mut Engine) {
+        let arrival = engine.now();
         if txn.is_read_only() {
-            self.serve_read(&txn, arrival);
+            self.serve_read(&txn, arrival, engine);
             return;
         }
-        match self.endorse(&txn, arrival) {
+        match self.endorse(&txn, arrival, engine) {
             Err(reason) => {
                 self.aborted_inconsistent += 1;
                 let finish = arrival
@@ -282,62 +401,36 @@ impl TransactionalSystem for Fabric {
                 self.receipts
                     .push_back(TxnReceipt::aborted(txn.id, reason, arrival, finish));
             }
-            Ok((endorse_done, _)) => {
-                // Send to the ordering service; the orderer assigns the block
-                // position when the block cuts.
-                let id = txn.id;
-                if let Some((raw_batch, cut_time)) = self.cutter.add(txn, endorse_done) {
-                    let batch_bytes: usize = raw_batch.iter().map(|(t, _)| t.wire_bytes()).sum();
-                    let record = self.orderer.append(cut_time, batch_bytes);
-                    let batch: Vec<(Transaction, Timestamp, Timestamp)> = raw_batch
-                        .into_iter()
-                        .map(|(t, endorse_t)| {
-                            // The arrival we tracked in the cutter is the
-                            // endorsement-completion time; reconstruct the
-                            // client arrival from the receipt bookkeeping by
-                            // keeping both timestamps together.
-                            (t, endorse_t, endorse_t)
-                        })
-                        .collect();
-                    // Re-attach true client arrivals: the cutter stored
-                    // endorsement completion as "arrival"; the submit-side
-                    // receipt uses endorse time for the execute phase and the
-                    // original arrival is recovered from the transaction's
-                    // submit_time field set by the driver.
-                    let batch: Vec<(Transaction, Timestamp, Timestamp)> = batch
-                        .into_iter()
-                        .map(|(t, endorse_t, _)| {
-                            let client_arrival = if t.submit_time > 0 {
-                                t.submit_time
-                            } else {
-                                endorse_t
-                            };
-                            (t, client_arrival, endorse_t)
-                        })
-                        .collect();
-                    self.process_block(batch, record.appended_at);
-                }
-                let _ = id;
+            Ok(endorse_done) => {
+                let token = self.endorsing.insert(txn);
+                engine.schedule_at(endorse_done, SysEvent::stage(ST_ENDORSED, token));
             }
         }
     }
 
-    fn flush(&mut self, now: Timestamp) {
-        if let Some((raw_batch, cut_time)) = self.cutter.cut(now) {
-            let batch_bytes: usize = raw_batch.iter().map(|(t, _)| t.wire_bytes()).sum();
-            let record = self.orderer.append(cut_time, batch_bytes);
-            let batch: Vec<(Transaction, Timestamp, Timestamp)> = raw_batch
-                .into_iter()
-                .map(|(t, endorse_t)| {
-                    let client_arrival = if t.submit_time > 0 {
-                        t.submit_time
-                    } else {
-                        endorse_t
-                    };
-                    (t, client_arrival, endorse_t)
-                })
-                .collect();
-            self.process_block(batch, record.appended_at);
+    fn on_stage(&mut self, event: StageEvent, engine: &mut Engine) {
+        match event.stage {
+            ST_ENDORSED => {
+                let txn = self.endorsing.remove(event.token);
+                let endorse_done = engine.now();
+                self.order(txn, endorse_done, engine);
+            }
+            ST_CUT_TIMER => {
+                if let Some((batch, cut_time)) = self.cutter.on_timer(event.token, engine.now()) {
+                    self.launch_block(batch, cut_time, engine);
+                }
+            }
+            ST_ORDERED => self.validate_block(event.token, engine),
+            ST_COMMITTED => self.commit_block(event.token),
+            _ => unreachable!("unknown Fabric stage {}", event.stage),
+        }
+    }
+
+    fn on_drain(&mut self, engine: &mut Engine) {
+        // Defensive: the per-block timeout timers normally leave nothing to
+        // flush by the time the queue runs dry.
+        if let Some((batch, cut_time)) = self.cutter.flush(engine.now()) {
+            self.launch_block(batch, cut_time, engine);
         }
     }
 
@@ -358,6 +451,7 @@ impl TransactionalSystem for Fabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::drive_arrivals;
     use dichotomy_common::{ClientId, Operation, TxnId};
 
     fn rmw(seq: u64, key: &str, size: usize, arrival: Timestamp) -> Transaction {
@@ -389,12 +483,13 @@ mod tests {
             ..FabricConfig::default()
         });
         seed_keys(&mut f, 50);
-        for seq in 0..20u64 {
-            let arrival = seq * 2_000;
-            f.submit(rmw(seq, &format!("k{seq}"), 100, arrival), arrival);
-        }
-        f.flush(10_000_000);
-        let receipts = f.drain_receipts();
+        let receipts = drive_arrivals(
+            &mut f,
+            (0..20u64).map(|seq| {
+                let arrival = seq * 2_000;
+                (rmw(seq, &format!("k{seq}"), 100, arrival), arrival)
+            }),
+        );
         assert_eq!(receipts.len(), 20);
         assert!(receipts.iter().all(|r| r.status.is_committed()));
         let phases: Vec<&str> = receipts[0]
@@ -416,12 +511,13 @@ mod tests {
         });
         seed_keys(&mut f, 5);
         // Everyone hammers the same key: only the first in each block commits.
-        for seq in 0..30u64 {
-            let arrival = seq * 500;
-            f.submit(rmw(seq, "k0", 100, arrival), arrival);
-        }
-        f.flush(10_000_000);
-        let receipts = f.drain_receipts();
+        let receipts = drive_arrivals(
+            &mut f,
+            (0..30u64).map(|seq| {
+                let arrival = seq * 500;
+                (rmw(seq, "k0", 100, arrival), arrival)
+            }),
+        );
         let committed = receipts.iter().filter(|r| r.status.is_committed()).count();
         let aborted = receipts
             .iter()
@@ -448,8 +544,7 @@ mod tests {
             vec![Operation::read(Key::from_str("k1"))],
         );
         t.submit_time = 100;
-        f.submit(t, 100);
-        let receipts = f.drain_receipts();
+        let receipts = drive_arrivals(&mut f, vec![(t, 100)]);
         let r = &receipts[0];
         let auth = r
             .phase_latencies
@@ -474,12 +569,13 @@ mod tests {
             });
             seed_keys(&mut f, 500);
             let n = 400u64;
-            for seq in 0..n {
-                let arrival = seq * 100;
-                f.submit(rmw(seq, &format!("k{}", seq % 500), 1000, arrival), arrival);
-            }
-            f.flush(60_000_000);
-            let receipts = f.drain_receipts();
+            let receipts = drive_arrivals(
+                &mut f,
+                (0..n).map(|seq| {
+                    let arrival = seq * 100;
+                    (rmw(seq, &format!("k{}", seq % 500), 1000, arrival), arrival)
+                }),
+            );
             let last = receipts.iter().map(|r| r.finish_time).max().unwrap();
             n as f64 / (last as f64 / 1e6)
         };
@@ -501,35 +597,28 @@ mod tests {
         seed_keys(&mut f, 2000);
         // Offer far more load than the serial validator can absorb.
         let n = 1500u64;
-        for seq in 0..n {
-            let arrival = seq * 50;
-            f.submit(
-                rmw(seq, &format!("k{}", seq % 2000), 1000, arrival),
-                arrival,
-            );
-        }
-        f.flush(120_000_000);
-        let receipts = f.drain_receipts();
-        let early: u64 = receipts[..50]
-            .iter()
-            .map(|r| {
-                r.phase_latencies
-                    .iter()
-                    .find(|(n, _)| *n == "validate")
-                    .unwrap()
-                    .1
-            })
-            .sum::<u64>()
-            / 50;
+        let mut receipts = drive_arrivals(
+            &mut f,
+            (0..n).map(|seq| {
+                let arrival = seq * 50;
+                (
+                    rmw(seq, &format!("k{}", seq % 2000), 1000, arrival),
+                    arrival,
+                )
+            }),
+        );
+        receipts.sort_by_key(|r| r.submit_time);
+        let validate_of = |r: &TxnReceipt| {
+            r.phase_latencies
+                .iter()
+                .find(|(n, _)| *n == "validate")
+                .unwrap()
+                .1
+        };
+        let early: u64 = receipts[..50].iter().map(validate_of).sum::<u64>() / 50;
         let late: u64 = receipts[receipts.len() - 50..]
             .iter()
-            .map(|r| {
-                r.phase_latencies
-                    .iter()
-                    .find(|(n, _)| *n == "validate")
-                    .unwrap()
-                    .1
-            })
+            .map(validate_of)
             .sum::<u64>()
             / 50;
         assert!(late > early * 3, "early {early} late {late}");

@@ -11,10 +11,14 @@
 //! | [`sharded::SpannerLike`] | Spanner | storage-based, Paxos per shard | pessimistic 2PL (wound-wait) + 2PC | LSM |
 //! | [`sharded::Ahl`] | AHL | txn-based, PBFT per shard | serial, BFT-2PC cross-shard | LSM + MBT + ledger |
 //!
-//! Every model implements [`TransactionalSystem`]: the driver in
-//! `dichotomy-core` feeds arrivals in simulated time and collects
-//! [`TxnReceipt`](dichotomy_common::TxnReceipt)s with per-phase latencies, so
-//! the same harness regenerates every figure.
+//! Every model implements the event-driven [`TransactionalSystem`] contract:
+//! the driver in `dichotomy-core` schedules open-loop arrivals on one shared
+//! [`SimEngine`](dichotomy_simnet::SimEngine) clock, models react by booking
+//! service time on their engine-registered processes and scheduling their own
+//! pipeline stage events, and [`TxnReceipt`](dichotomy_common::TxnReceipt)s
+//! with per-phase latencies fall out as stages complete — so the same harness
+//! regenerates every figure, with backlog and saturation emerging from real
+//! queueing.
 
 pub mod etcd;
 pub mod fabric;
@@ -26,7 +30,10 @@ pub mod tidb;
 
 pub use etcd::{Etcd, EtcdConfig, Tikv};
 pub use fabric::{Fabric, FabricConfig};
-pub use pipeline::{BlockCutter, SystemKind, TransactionalSystem};
+pub use pipeline::{
+    drive_arrivals, run_to_completion, run_to_completion_with, BlockCutter, Engine, SysEvent,
+    SystemKind, TimedCutter, TokenMap, TransactionalSystem,
+};
 pub use quorum::{Quorum, QuorumConfig};
 pub use sharded::{Ahl, AhlConfig, ShardedTiDb, SpannerLike, SpannerLikeConfig};
 pub use spec::{SystemBuilder, SystemRegistry, SystemSpec, TaxonomyPoint, UnknownSystem};

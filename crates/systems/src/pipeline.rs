@@ -1,7 +1,17 @@
 //! The shared system-model interface and batching helpers.
+//!
+//! Every system model is an event-driven process on the simulation engine:
+//! the driver schedules [`SysEvent::Arrival`]s, the model reacts by booking
+//! work on its engine-registered service [`Process`](dichotomy_simnet::Process)es
+//! and scheduling its own pipeline [`StageEvent`]s (endorse → order →
+//! validate → commit for Fabric, propose → replicate → apply for the
+//! databases, block-cut timers for the batching blockchains), and receipts
+//! fall out as stages complete. Nothing executes synchronously at submit
+//! time, so backlog, saturation and fault stalls emerge from the queues.
 
 use dichotomy_common::size::StorageBreakdown;
 use dichotomy_common::{Key, Timestamp, Transaction, TxnReceipt, Value};
+use dichotomy_simnet::{SimEngine, StageEvent};
 
 /// Which of the benchmarked systems a model stands for (used in reports and
 /// as the lookup key of the [`SystemRegistry`](crate::spec::SystemRegistry)).
@@ -42,7 +52,34 @@ impl SystemKind {
     }
 }
 
+/// The event vocabulary of the transaction-processing simulation: what the
+/// driver and the system models exchange through the engine's queue.
+#[derive(Debug, Clone)]
+pub enum SysEvent {
+    /// A client transaction arriving at the system boundary.
+    Arrival(Transaction),
+    /// A pipeline stage a model scheduled for itself firing.
+    Stage(StageEvent),
+}
+
+impl SysEvent {
+    /// A stage event for model-defined stage `stage` and payload `token`.
+    pub fn stage(stage: u32, token: u64) -> Self {
+        SysEvent::Stage(StageEvent::new(stage, token))
+    }
+}
+
+/// The concrete engine every system model runs on.
+pub type Engine = SimEngine<SysEvent>;
+
 /// The interface every system model exposes to the experiment driver.
+///
+/// Lifecycle: [`load`](Self::load) (untimed bulk load), then exactly one
+/// [`attach`](Self::attach) on a fresh engine, then any number of
+/// [`on_arrival`](Self::on_arrival) / [`on_stage`](Self::on_stage) callbacks
+/// in event order, then [`on_drain`](Self::on_drain) once the arrival stream
+/// has ended and the queue has run dry. Receipts accumulate internally and
+/// are collected with [`drain_receipts`](Self::drain_receipts).
 pub trait TransactionalSystem {
     /// Which system this is.
     fn kind(&self) -> SystemKind;
@@ -50,14 +87,30 @@ pub trait TransactionalSystem {
     /// Bulk-load the initial records (not timed).
     fn load(&mut self, records: &[(Key, Value)]);
 
-    /// Submit a transaction arriving at `arrival` (simulated µs). Read-write
-    /// transactions may be batched internally; their receipts appear from
-    /// [`drain_receipts`](Self::drain_receipts) after the batch commits.
-    fn submit(&mut self, txn: Transaction, arrival: Timestamp);
+    /// Register the model's service processes (pipeline-stage servers) on
+    /// the engine. Called once, before any event fires.
+    fn attach(&mut self, engine: &mut Engine) {
+        let _ = engine;
+    }
 
-    /// Force any partially filled batch to be processed (end of run, or a
-    /// block-interval tick with an empty arrival stream).
-    fn flush(&mut self, now: Timestamp);
+    /// A transaction arrives at `engine.now()`. The model books service time
+    /// on its processes and schedules the stage events that will carry the
+    /// transaction through its pipeline; receipts appear from
+    /// [`drain_receipts`](Self::drain_receipts) once the final stage fires.
+    fn on_arrival(&mut self, txn: Transaction, engine: &mut Engine);
+
+    /// A stage event previously scheduled by this model fires at
+    /// `engine.now()`.
+    fn on_stage(&mut self, event: StageEvent, engine: &mut Engine) {
+        let _ = (event, engine);
+    }
+
+    /// The arrival stream has ended and the event queue has drained: flush
+    /// any partially filled batch by scheduling its remaining stages (the
+    /// events are drained again afterwards).
+    fn on_drain(&mut self, engine: &mut Engine) {
+        let _ = engine;
+    }
 
     /// Receipts completed since the last drain.
     fn drain_receipts(&mut self) -> Vec<TxnReceipt>;
@@ -67,6 +120,219 @@ pub trait TransactionalSystem {
 
     /// Number of nodes in the deployment.
     fn node_count(&self) -> usize;
+}
+
+/// Pump the engine dry: dispatch every queued event to `system`, invoking
+/// `after_arrival` once per dispatched arrival (the open-loop driver uses it
+/// to schedule the next arrival), give the system an
+/// [`on_drain`](TransactionalSystem::on_drain), and keep going until no
+/// events remain (drain hooks may schedule follow-up stages).
+pub fn run_to_completion_with(
+    system: &mut dyn TransactionalSystem,
+    engine: &mut Engine,
+    mut after_arrival: impl FnMut(&mut Engine),
+) {
+    loop {
+        while let Some((_, event)) = engine.pop() {
+            match event {
+                SysEvent::Arrival(txn) => {
+                    system.on_arrival(txn, engine);
+                    after_arrival(engine);
+                }
+                SysEvent::Stage(stage) => system.on_stage(stage, engine),
+            }
+        }
+        system.on_drain(engine);
+        if engine.is_empty() {
+            break;
+        }
+    }
+}
+
+/// [`run_to_completion_with`] without a per-arrival hook.
+pub fn run_to_completion(system: &mut dyn TransactionalSystem, engine: &mut Engine) {
+    run_to_completion_with(system, engine, |_| {});
+}
+
+/// Drive a fixed arrival schedule through `system` on a fresh engine and
+/// return the receipts — the unit-test / bench counterpart of the open-loop
+/// driver in `dichotomy-core`. Each transaction's `submit_time` is stamped
+/// with its arrival when unset.
+///
+/// Reusing one system across calls is supported only when the later call's
+/// arrival timestamps continue *after* the previous run's finish times: the
+/// engine (and its clock) is fresh per call, but model state keyed to
+/// absolute time — contention hold windows, reconfiguration epochs, ordered
+/// commit clamps — survives in the system.
+pub fn drive_arrivals(
+    system: &mut dyn TransactionalSystem,
+    arrivals: impl IntoIterator<Item = (Transaction, Timestamp)>,
+) -> Vec<TxnReceipt> {
+    let mut engine = Engine::new();
+    system.attach(&mut engine);
+    for (mut txn, at) in arrivals {
+        if txn.submit_time == 0 {
+            txn.submit_time = at;
+        }
+        engine.schedule_at(at, SysEvent::Arrival(txn));
+    }
+    run_to_completion(system, &mut engine);
+    system.drain_receipts()
+}
+
+/// A token-keyed store for model state that is in flight between two stage
+/// events: `insert` hands out the token to embed in the [`StageEvent`],
+/// `remove` claims it back when the stage fires.
+#[derive(Debug)]
+pub struct TokenMap<T> {
+    entries: std::collections::HashMap<u64, T>,
+    next: u64,
+}
+
+impl<T> Default for TokenMap<T> {
+    fn default() -> Self {
+        TokenMap {
+            entries: std::collections::HashMap::new(),
+            next: 0,
+        }
+    }
+}
+
+impl<T> TokenMap<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        TokenMap::default()
+    }
+
+    /// Store `value` and return the token that retrieves it.
+    pub fn insert(&mut self, value: T) -> u64 {
+        let token = self.next;
+        self.next += 1;
+        self.entries.insert(token, value);
+        token
+    }
+
+    /// Claim the value behind `token`. Panics if the token was never issued
+    /// or was already claimed — a stage event fired twice.
+    pub fn remove(&mut self, token: u64) -> T {
+        self.entries.remove(&token).expect("stage token in flight")
+    }
+
+    /// Put a value back under a token previously claimed with
+    /// [`remove`](Self::remove) (the take/compute/put-back pattern models
+    /// use to work on an entry while keeping `&mut self` free).
+    pub fn restore(&mut self, token: u64, value: T) {
+        let prev = self.entries.insert(token, value);
+        debug_assert!(prev.is_none(), "token {token} restored while occupied");
+    }
+
+    /// Access the value behind `token` without claiming it.
+    pub fn get_mut(&mut self, token: u64) -> &mut T {
+        self.entries.get_mut(&token).expect("stage token in flight")
+    }
+
+    /// Number of entries in flight.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A [`BlockCutter`] driven by engine timer events: arms one timer stage
+/// event per open block (tagged with an epoch token so stale timers no-op),
+/// cuts on size from [`add`](Self::add) and on timeout from
+/// [`on_timer`](Self::on_timer). Both batching blockchains share this state
+/// machine instead of hand-rolling the epoch/re-arm invariants.
+#[derive(Debug)]
+pub struct TimedCutter {
+    cutter: BlockCutter,
+    timeout_us: u64,
+    /// Which stage id the timer events carry (model-defined).
+    timer_stage: u32,
+    /// Epoch of the currently open (uncut) block; timer tokens must match.
+    epoch: u64,
+}
+
+impl TimedCutter {
+    /// A cutter with the given limits whose timers fire as `timer_stage`
+    /// stage events.
+    pub fn new(max_txns: usize, timeout_us: u64, timer_stage: u32) -> Self {
+        TimedCutter {
+            cutter: BlockCutter::new(max_txns, timeout_us),
+            timeout_us: timeout_us.max(1),
+            timer_stage,
+            epoch: 0,
+        }
+    }
+
+    /// Number of transactions waiting in the open block.
+    pub fn pending_len(&self) -> usize {
+        self.cutter.pending_len()
+    }
+
+    fn arm_timer(&self, at: Timestamp, engine: &mut Engine) {
+        engine.schedule_at(
+            at + self.timeout_us,
+            SysEvent::stage(self.timer_stage, self.epoch),
+        );
+    }
+
+    /// Add a transaction at `at`, arming the timeout timer when this opens a
+    /// new block. Returns the cut batch if this arrival closed one.
+    #[allow(clippy::type_complexity)]
+    pub fn add(
+        &mut self,
+        txn: Transaction,
+        at: Timestamp,
+        engine: &mut Engine,
+    ) -> Option<(Vec<(Transaction, Timestamp)>, Timestamp)> {
+        if self.cutter.pending_len() == 0 {
+            self.arm_timer(at, engine);
+        }
+        let cut = self.cutter.add(txn, at);
+        if cut.is_some() {
+            self.epoch += 1;
+            if self.cutter.pending_len() > 0 {
+                // The cut left a fresh open block behind (a late-arrival
+                // cut): arm its timer too.
+                self.arm_timer(at, engine);
+            }
+        }
+        cut
+    }
+
+    /// A timer stage event fired with `token`: cut the open block if the
+    /// timer is current (stale epochs no-op).
+    #[allow(clippy::type_complexity)]
+    pub fn on_timer(
+        &mut self,
+        token: u64,
+        now: Timestamp,
+    ) -> Option<(Vec<(Transaction, Timestamp)>, Timestamp)> {
+        if token != self.epoch {
+            return None;
+        }
+        let cut = self.cutter.cut(now);
+        if cut.is_some() {
+            self.epoch += 1;
+        }
+        cut
+    }
+
+    /// Cut whatever is pending (drain hook). With timers armed for every
+    /// open block this is normally empty by the time the queue runs dry.
+    #[allow(clippy::type_complexity)]
+    pub fn flush(&mut self, now: Timestamp) -> Option<(Vec<(Transaction, Timestamp)>, Timestamp)> {
+        let cut = self.cutter.cut(now);
+        if cut.is_some() {
+            self.epoch += 1;
+        }
+        cut
+    }
 }
 
 /// Groups submitted transactions into blocks the way a blockchain's block
@@ -214,5 +480,67 @@ mod tests {
         assert_eq!(SystemKind::Quorum.name(), "Quorum");
         assert_eq!(SystemKind::TiDb.name(), "TiDB");
         assert_eq!(SystemKind::Ahl.name(), "AHL");
+    }
+
+    #[test]
+    fn token_map_issues_sequential_tokens_and_supports_put_back() {
+        let mut m: TokenMap<&str> = TokenMap::new();
+        assert!(m.is_empty());
+        let a = m.insert("a");
+        let b = m.insert("b");
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(m.len(), 2);
+        let taken = m.remove(a);
+        assert_eq!(taken, "a");
+        m.restore(a, "a2");
+        assert_eq!(*m.get_mut(a), "a2");
+        assert_eq!(m.remove(b), "b");
+        // Tokens keep increasing after removals (they are never reused).
+        assert_eq!(m.insert("c"), 2);
+    }
+
+    #[test]
+    fn timed_cutter_cuts_on_size_and_arms_one_timer_per_open_block() {
+        let mut engine = Engine::new();
+        let mut c = TimedCutter::new(2, 500, 7);
+        assert!(c.add(txn(1), 10, &mut engine).is_none());
+        // One timer armed for the block opened at t=10.
+        assert_eq!(engine.len(), 1);
+        assert_eq!(engine.peek_time(), Some(510));
+        let (batch, at) = c.add(txn(2), 20, &mut engine).expect("size cut");
+        assert_eq!((batch.len(), at), (2, 20));
+        // The size cut does not arm another timer (no open block remains).
+        assert_eq!(engine.len(), 1);
+        // The stale timer for the cut block no-ops.
+        let (_, ev) = engine.pop().unwrap();
+        let token = match ev {
+            SysEvent::Stage(se) => {
+                assert_eq!(se.stage, 7);
+                se.token
+            }
+            SysEvent::Arrival(_) => panic!("expected the timer stage event"),
+        };
+        assert!(c.on_timer(token, 510).is_none());
+    }
+
+    #[test]
+    fn timed_cutter_timer_cuts_the_open_block_and_flush_drains() {
+        let mut engine = Engine::new();
+        let mut c = TimedCutter::new(100, 500, 7);
+        c.add(txn(1), 10, &mut engine);
+        // The armed timer's token is current: it cuts at the timeout.
+        let (_, ev) = engine.pop().unwrap();
+        let token = match ev {
+            SysEvent::Stage(se) => se.token,
+            SysEvent::Arrival(_) => panic!("expected the timer stage event"),
+        };
+        let (batch, at) = c.on_timer(token, 510).expect("timeout cut");
+        assert_eq!((batch.len(), at), (1, 510));
+        // A re-fired stale timer no-ops; flush on an empty cutter no-ops.
+        assert!(c.on_timer(token, 600).is_none());
+        assert!(c.flush(1_000).is_none());
+        c.add(txn(2), 700, &mut engine);
+        let (batch, _) = c.flush(800).expect("drain flush");
+        assert_eq!(batch.len(), 1);
     }
 }

@@ -9,6 +9,12 @@
 //! size (Section 5.3.3). Read path: any node answers locally (EVM call +
 //! state read), with no consensus and no client-authentication overhead
 //! beyond signature checking.
+//!
+//! Event pipeline: arrivals fill the block cutter (a timer event cuts a
+//! partially filled block at the minting interval), and each cut block walks
+//! `Propose → Consensus → Commit` stage events across the proposer,
+//! consensus and committer processes — so block backlog queues up on the
+//! engine instead of being folded into a synchronous submit call.
 
 use std::collections::VecDeque;
 
@@ -17,10 +23,10 @@ use dichotomy_common::{Key, NodeId, Timestamp, Transaction, TxnReceipt, Value};
 use dichotomy_consensus::{ProtocolKind, ReplicationProfile};
 use dichotomy_ledger::Ledger;
 use dichotomy_merkle::MerklePatriciaTrie;
-use dichotomy_simnet::{CostModel, NetworkConfig, Resource};
+use dichotomy_simnet::{CostModel, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{KvEngine, LsmTree};
 
-use crate::pipeline::{BlockCutter, SystemKind, TransactionalSystem};
+use crate::pipeline::{Engine, SysEvent, SystemKind, TimedCutter, TokenMap, TransactionalSystem};
 
 /// Configuration of a Quorum deployment.
 #[derive(Debug, Clone)]
@@ -60,17 +66,47 @@ impl Default for QuorumConfig {
     }
 }
 
+/// Stage: the block-interval timer for the open block (token = epoch).
+const ST_CUT_TIMER: u32 = 0;
+/// Stage: the proposer starts pre-executing a cut block (token = block id).
+const ST_PROPOSE: u32 = 1;
+/// Stage: the block enters consensus (token = block id).
+const ST_CONSENSUS: u32 = 2;
+/// Stage: validators re-execute and commit the block (token = block id).
+const ST_COMMIT: u32 = 3;
+
+/// A block in flight between its `Propose` and `Commit` stages.
+struct BlockInFlight {
+    batch: Vec<(Transaction, Timestamp)>,
+    cut_time: Timestamp,
+    proposal_done: Timestamp,
+    consensus_done: Timestamp,
+}
+
+/// Engine process handles, created at attach time.
+#[derive(Clone, Copy)]
+struct QuorumProcs {
+    /// The proposer's serial pre-execution engine.
+    proposer: ProcessId,
+    /// The consensus leader's dissemination pipe.
+    consensus: ProcessId,
+    /// A representative validator's serial commit engine.
+    committer: ProcessId,
+}
+
 /// The Quorum system model.
 pub struct Quorum {
     config: QuorumConfig,
     profile: ReplicationProfile,
-    cutter: BlockCutter,
-    /// The proposer's serial pre-execution engine.
-    proposer: Resource,
-    /// The consensus leader's dissemination pipe.
-    consensus: Resource,
-    /// A representative validator's serial commit engine.
-    committer: Resource,
+    cutter: TimedCutter,
+    procs: Option<QuorumProcs>,
+    /// Blocks between cut and commit, by block id (= cut order).
+    in_flight: TokenMap<BlockInFlight>,
+    /// Latest scheduled `Commit` stage time: commits are clamped to be
+    /// non-decreasing in block order, so a small block whose consensus
+    /// round finishes early can never overtake an earlier, larger block
+    /// (the chain applies blocks in consensus order).
+    commit_sched_at: Timestamp,
     /// Authenticated world state.
     state_trie: MerklePatriciaTrie,
     /// State storage engine (LevelDB role).
@@ -90,11 +126,15 @@ impl Quorum {
             config.costs.clone(),
         );
         Quorum {
-            cutter: BlockCutter::new(config.max_block_txns, config.block_interval_us),
+            cutter: TimedCutter::new(
+                config.max_block_txns,
+                config.block_interval_us,
+                ST_CUT_TIMER,
+            ),
             profile,
-            proposer: Resource::new(),
-            consensus: Resource::new(),
-            committer: Resource::new(),
+            procs: None,
+            in_flight: TokenMap::new(),
+            commit_sched_at: 0,
             state_trie: MerklePatriciaTrie::new(),
             state_db: LsmTree::new(),
             ledger: Ledger::new(NodeId(0)),
@@ -106,6 +146,10 @@ impl Quorum {
     /// The configuration in use.
     pub fn config(&self) -> &QuorumConfig {
         &self.config
+    }
+
+    fn procs(&self) -> QuorumProcs {
+        self.procs.expect("system not attached to an engine")
     }
 
     /// Serial CPU cost of executing one transaction and committing its writes
@@ -140,50 +184,23 @@ impl Quorum {
         cost
     }
 
-    /// Process a cut block through proposal → consensus → commit.
-    fn process_block(&mut self, batch: Vec<(Transaction, Timestamp)>, cut_time: Timestamp) {
+    /// A block was cut: register it and schedule its `Propose` stage.
+    fn launch_block(
+        &mut self,
+        batch: Vec<(Transaction, Timestamp)>,
+        cut_time: Timestamp,
+        engine: &mut Engine,
+    ) {
         if batch.is_empty() {
             return;
         }
-        // Phase 1: proposer pre-executes serially (order-execute model).
-        let mut proposal_cost = 0u64;
-        for (txn, _) in &batch {
-            proposal_cost += self.config.costs.verify_signatures_us(1);
-            proposal_cost += self.execution_cost_us(txn, false);
-        }
-        let (_, proposal_done) = self.proposer.schedule(cut_time, proposal_cost);
-
-        // Phase 2: consensus over the serialized block.
-        let block_bytes: usize = batch.iter().map(|(t, _)| t.wire_bytes()).sum::<usize>() + 160;
-        let occupancy = self.profile.leader_occupancy_us(block_bytes);
-        let (_, dissemination_done) = self.consensus.schedule(proposal_done, occupancy);
-        let consensus_done = dissemination_done + self.profile.commit_latency_us(block_bytes);
-
-        // Phase 3: every validator re-executes serially and commits.
-        let mut commit_cost = self.config.costs.block_header_check();
-        let txns: Vec<Transaction> = batch.iter().map(|(t, _)| t.clone()).collect();
-        for txn in &txns {
-            commit_cost += self.execution_cost_us(&txn.clone(), true);
-        }
-        let (_, commit_done) = self.committer.schedule(consensus_done, commit_cost);
-
-        // Ledger append with the new state root.
-        let root = self.state_trie.root_hash();
-        self.ledger
-            .append_txns(txns, NodeId(0), commit_done, Some(root))
-            .expect("chain grows monotonically");
-
-        // Receipts: block-granular completion, per-txn phase breakdown.
-        for (txn, arrival) in batch {
-            let mut receipt = TxnReceipt::committed(txn.id, arrival, commit_done);
-            receipt.phase_latencies = vec![
-                ("proposal", proposal_done.saturating_sub(arrival)),
-                ("consensus", consensus_done.saturating_sub(proposal_done)),
-                ("commit", commit_done.saturating_sub(consensus_done)),
-            ];
-            receipt.commit_version = Some(self.ledger.tip_height());
-            self.receipts.push_back(receipt);
-        }
+        let id = self.in_flight.insert(BlockInFlight {
+            batch,
+            cut_time,
+            proposal_done: 0,
+            consensus_done: 0,
+        });
+        engine.schedule_at(cut_time, SysEvent::stage(ST_PROPOSE, id));
     }
 
     fn serve_read(&mut self, txn: &Transaction, arrival: Timestamp) {
@@ -215,19 +232,117 @@ impl TransactionalSystem for Quorum {
         }
     }
 
-    fn submit(&mut self, txn: Transaction, arrival: Timestamp) {
+    fn attach(&mut self, engine: &mut Engine) {
+        self.procs = Some(QuorumProcs {
+            proposer: engine.add_process("quorum-proposer", 1),
+            consensus: engine.add_process("quorum-consensus", 1),
+            committer: engine.add_process("quorum-committer", 1),
+        });
+    }
+
+    fn on_arrival(&mut self, txn: Transaction, engine: &mut Engine) {
+        let arrival = engine.now();
         if txn.is_read_only() {
             self.serve_read(&txn, arrival);
             return;
         }
-        if let Some((batch, cut_time)) = self.cutter.add(txn, arrival) {
-            self.process_block(batch, cut_time);
+        if let Some((batch, cut_time)) = self.cutter.add(txn, arrival, engine) {
+            self.launch_block(batch, cut_time, engine);
         }
     }
 
-    fn flush(&mut self, now: Timestamp) {
-        if let Some((batch, cut_time)) = self.cutter.cut(now) {
-            self.process_block(batch, cut_time);
+    fn on_stage(&mut self, event: StageEvent, engine: &mut Engine) {
+        match event.stage {
+            ST_CUT_TIMER => {
+                if let Some((batch, cut_time)) = self.cutter.on_timer(event.token, engine.now()) {
+                    self.launch_block(batch, cut_time, engine);
+                }
+            }
+            ST_PROPOSE => {
+                let id = event.token;
+                let mut block = self.in_flight.remove(id);
+                // Phase 1: proposer pre-executes serially (order-execute).
+                let mut proposal_cost = 0u64;
+                for (txn, _) in &block.batch {
+                    proposal_cost += self.config.costs.verify_signatures_us(1);
+                    proposal_cost += self.execution_cost_us(txn, false);
+                }
+                let (_, proposal_done) =
+                    engine.service(self.procs().proposer, block.cut_time, proposal_cost);
+                block.proposal_done = proposal_done;
+                self.in_flight.restore(id, block);
+                engine.schedule_at(proposal_done, SysEvent::stage(ST_CONSENSUS, id));
+            }
+            ST_CONSENSUS => {
+                let id = event.token;
+                let block = self.in_flight.get_mut(id);
+                // Phase 2: consensus over the serialized block.
+                let block_bytes: usize = block
+                    .batch
+                    .iter()
+                    .map(|(t, _)| t.wire_bytes())
+                    .sum::<usize>()
+                    + 160;
+                let occupancy = self.profile.leader_occupancy_us(block_bytes);
+                let now = engine.now();
+                let (_, dissemination_done) =
+                    engine.service(self.procs().consensus, now, occupancy);
+                let consensus_done =
+                    dissemination_done + self.profile.commit_latency_us(block_bytes);
+                self.in_flight.get_mut(id).consensus_done = consensus_done;
+                // Blocks apply in consensus order: a later block whose
+                // (size-dependent) commit latency ends earlier must not
+                // overtake an earlier block, so the Commit stage time is
+                // clamped to be non-decreasing in block order (ties break by
+                // insertion order, which follows block order).
+                let commit_at = consensus_done.max(self.commit_sched_at);
+                self.commit_sched_at = commit_at;
+                engine.schedule_at(commit_at, SysEvent::stage(ST_COMMIT, id));
+            }
+            ST_COMMIT => {
+                let block = self.in_flight.remove(event.token);
+                // Phase 3: every validator re-executes serially and commits.
+                let mut commit_cost = self.config.costs.block_header_check();
+                for (txn, _) in &block.batch {
+                    commit_cost += self.execution_cost_us(txn, true);
+                }
+                let (_, commit_done) =
+                    engine.service(self.procs().committer, block.consensus_done, commit_cost);
+
+                // Ledger append with the new state root; keep (id, arrival)
+                // for the receipts before the transactions move into it.
+                let ids: Vec<(dichotomy_common::TxnId, Timestamp)> =
+                    block.batch.iter().map(|(t, a)| (t.id, *a)).collect();
+                let txns: Vec<Transaction> = block.batch.into_iter().map(|(t, _)| t).collect();
+                let root = self.state_trie.root_hash();
+                self.ledger
+                    .append_txns(txns, NodeId(0), commit_done, Some(root))
+                    .expect("chain grows monotonically");
+
+                // Receipts: block-granular completion, per-txn phase breakdown.
+                for (txn_id, arrival) in ids {
+                    let mut receipt = TxnReceipt::committed(txn_id, arrival, commit_done);
+                    receipt.phase_latencies = vec![
+                        ("proposal", block.proposal_done.saturating_sub(arrival)),
+                        (
+                            "consensus",
+                            block.consensus_done.saturating_sub(block.proposal_done),
+                        ),
+                        ("commit", commit_done.saturating_sub(block.consensus_done)),
+                    ];
+                    receipt.commit_version = Some(self.ledger.tip_height());
+                    self.receipts.push_back(receipt);
+                }
+            }
+            _ => unreachable!("unknown Quorum stage {}", event.stage),
+        }
+    }
+
+    fn on_drain(&mut self, engine: &mut Engine) {
+        // Defensive: with minting timers armed for every open block, the
+        // cutter is normally empty by the time the queue runs dry.
+        if let Some((batch, cut_time)) = self.cutter.flush(engine.now()) {
+            self.launch_block(batch, cut_time, engine);
         }
     }
 
@@ -250,6 +365,7 @@ impl TransactionalSystem for Quorum {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::drive_arrivals;
     use dichotomy_common::{ClientId, Operation, TxnId};
 
     fn write_txn(seq: u64, key: &str, size: usize) -> Transaction {
@@ -272,11 +388,10 @@ mod tests {
             max_block_txns: 5,
             ..QuorumConfig::default()
         });
-        for seq in 0..10 {
-            q.submit(write_txn(seq, &format!("k{seq}"), 100), seq * 1000);
-        }
-        q.flush(1_000_000);
-        let receipts = q.drain_receipts();
+        let receipts = drive_arrivals(
+            &mut q,
+            (0..10).map(|seq| (write_txn(seq, &format!("k{seq}"), 100), seq * 1000)),
+        );
         assert_eq!(receipts.len(), 10);
         assert!(receipts.iter().all(|r| r.status.is_committed()));
         assert_eq!(q.ledger.txn_count(), 10);
@@ -291,11 +406,66 @@ mod tests {
     }
 
     #[test]
+    fn a_partial_block_is_cut_by_the_minting_timer() {
+        let mut q = Quorum::new(QuorumConfig {
+            max_block_txns: 100,
+            block_interval_us: 50_000,
+            ..QuorumConfig::default()
+        });
+        // Three transactions, never enough to size-cut: only the timer at
+        // first-arrival + interval can cut the block.
+        let receipts = drive_arrivals(
+            &mut q,
+            (0..3).map(|seq| (write_txn(seq, &format!("k{seq}"), 100), 1_000 + seq * 100)),
+        );
+        assert_eq!(receipts.len(), 3);
+        assert!(receipts.iter().all(|r| r.status.is_committed()));
+        // The block could not have committed before the timer fired.
+        assert!(receipts.iter().all(|r| r.finish_time >= 51_000));
+    }
+
+    #[test]
+    fn blocks_commit_in_consensus_order_even_when_a_small_block_finishes_early() {
+        let mut q = Quorum::new(QuorumConfig {
+            max_block_txns: 50,
+            block_interval_us: 1_000,
+            ..QuorumConfig::default()
+        });
+        // Block 1: 50 large writes to one key (size cut at ~490 µs). Block 2:
+        // a single tiny write to the same key, timer-cut shortly after. The
+        // small block's consensus round is far cheaper, so without the
+        // ordered-commit clamp it would overtake block 1 and lose the
+        // last-writer race on the shared key.
+        let mut arrivals: Vec<(Transaction, Timestamp)> = (0..50)
+            .map(|seq| (write_txn(seq, "shared", 5000), seq * 10))
+            .collect();
+        arrivals.push((write_txn(99, "shared", 10), 600));
+        let receipts = drive_arrivals(&mut q, arrivals);
+        assert_eq!(receipts.len(), 51);
+        assert!(receipts.iter().all(|r| r.status.is_committed()));
+        let late = receipts.iter().find(|r| r.txn_id.seq == 99).unwrap();
+        for r in receipts.iter().filter(|r| r.txn_id.seq != 99) {
+            assert!(
+                r.commit_version < late.commit_version,
+                "block 1 (height {:?}) must commit before block 2 (height {:?})",
+                r.commit_version,
+                late.commit_version
+            );
+            assert!(r.finish_time <= late.finish_time);
+        }
+        // The later block is the last writer of the shared key.
+        assert_eq!(
+            q.state_db.get(&Key::from_str("shared")).unwrap().len(),
+            10,
+            "block 2's write must win the last-writer race"
+        );
+    }
+
+    #[test]
     fn reads_bypass_consensus_and_are_fast() {
         let mut q = Quorum::new(QuorumConfig::default());
         q.load(&[(Key::from_str("hot"), Value::filler(1000))]);
-        q.submit(read_txn(1, "hot"), 50);
-        let receipts = q.drain_receipts();
+        let receipts = drive_arrivals(&mut q, vec![(read_txn(1, "hot"), 50)]);
         assert_eq!(receipts.len(), 1);
         let latency = receipts[0].latency_us();
         // Milliseconds-range read path (Figure 5b: ~4 ms), far below the
@@ -312,11 +482,10 @@ mod tests {
                 ..QuorumConfig::default()
             });
             let n = 200u64;
-            for seq in 0..n {
-                q.submit(write_txn(seq, &format!("k{seq}"), record), seq * 10);
-            }
-            q.flush(10_000_000);
-            let receipts = q.drain_receipts();
+            let receipts = drive_arrivals(
+                &mut q,
+                (0..n).map(|seq| (write_txn(seq, &format!("k{seq}"), record), seq * 10)),
+            );
             let last = receipts.iter().map(|r| r.finish_time).max().unwrap();
             n as f64 / (last as f64 / 1e6)
         };
@@ -336,11 +505,10 @@ mod tests {
                 nodes: 7,
                 ..QuorumConfig::default()
             });
-            for seq in 0..300u64 {
-                q.submit(write_txn(seq, &format!("k{}", seq % 50), 1000), seq * 100);
-            }
-            q.flush(60_000_000);
-            let receipts = q.drain_receipts();
+            let receipts = drive_arrivals(
+                &mut q,
+                (0..300u64).map(|seq| (write_txn(seq, &format!("k{}", seq % 50), 1000), seq * 100)),
+            );
             let last = receipts.iter().map(|r| r.finish_time).max().unwrap();
             300.0 / (last as f64 / 1e6)
         };
@@ -356,10 +524,11 @@ mod tests {
             max_block_txns: 10,
             ..QuorumConfig::default()
         });
-        for seq in 0..20 {
-            q.submit(write_txn(seq, &format!("k{seq}"), 500), seq * 10);
-        }
-        q.flush(1_000_000);
+        let receipts = drive_arrivals(
+            &mut q,
+            (0..20).map(|seq| (write_txn(seq, &format!("k{seq}"), 500), seq * 10)),
+        );
+        assert_eq!(receipts.len(), 20);
         let fp = q.footprint();
         assert!(fp.history_bytes > 20 * 500, "ledger history missing");
         assert!(fp.index_bytes > 20 * 100, "MPT index overhead missing");

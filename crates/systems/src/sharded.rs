@@ -4,19 +4,28 @@
 //! sharded permissioned blockchain (PBFT shards, trusted-hardware-reduced
 //! shard size, BFT-replicated 2PC coordinator shard, periodic
 //! reconfiguration).
+//!
+//! Event pipeline: conflict detection (lock acquisition or optimistic abort)
+//! happens at arrival, and the surviving transaction's `Execute` stage event
+//! carries it through the per-shard service processes, replication and 2PC,
+//! emitting the receipt when the decision lands.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
 use dichotomy_common::{AbortReason, Key, Timestamp, Transaction, TxnReceipt, Value};
 use dichotomy_consensus::{ProtocolKind, ReplicationProfile};
 use dichotomy_merkle::MerkleBucketTree;
 use dichotomy_sharding::{CoordinatorKind, Partitioner, ShardPlan, TwoPhaseCommit};
-use dichotomy_simnet::{CostModel, NetworkConfig, Resource};
+use dichotomy_simnet::{CostModel, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{KvEngine, LsmTree, MvccStore};
 use dichotomy_txn::locking::{LockManager, LockMode, LockOutcome};
 
-use crate::pipeline::{SystemKind, TransactionalSystem};
+use crate::pipeline::{Engine, SysEvent, SystemKind, TokenMap, TransactionalSystem};
+
+/// Stage: a decided transaction's receipt surfaces to the client at its
+/// commit time (token = in-flight id). Shared by all three sharded models.
+const ST_COMMITTED: u32 = 0;
 
 /// Configuration of the Spanner-like model.
 #[derive(Debug, Clone)]
@@ -49,18 +58,21 @@ impl Default for SpannerLikeConfig {
 /// Shared plumbing of the sharded database models.
 struct ShardedDb {
     partitioner: Partitioner,
-    /// One serial apply/commit resource per shard (the shard's Paxos/Raft
-    /// leader pipeline).
-    shard_pipes: Vec<Resource>,
+    shards: u32,
+    /// One serial apply/commit process per shard (the shard's Paxos/Raft
+    /// leader pipeline), registered at attach time.
+    shard_procs: Option<Vec<ProcessId>>,
     replication: ReplicationProfile,
     two_pc: TwoPhaseCommit,
     state: MvccStore,
-    engine: LsmTree,
+    engine_db: LsmTree,
     receipts: VecDeque<TxnReceipt>,
     /// Until when each key is held by an in-flight (not yet committed)
     /// transaction — the window in which a contending arrival either waits
     /// (pessimistic locking) or aborts (optimistic/TiDB).
-    busy_until: std::collections::HashMap<Key, Timestamp>,
+    busy_until: HashMap<Key, Timestamp>,
+    /// Receipts scheduled to surface at their finish time (token-keyed).
+    finishing: TokenMap<TxnReceipt>,
     committed: u64,
     aborted: u64,
 }
@@ -76,7 +88,8 @@ impl ShardedDb {
     ) -> Self {
         ShardedDb {
             partitioner: Partitioner::hash(shards),
-            shard_pipes: (0..shards.max(1)).map(|_| Resource::new()).collect(),
+            shards: shards.max(1),
+            shard_procs: None,
             replication: ReplicationProfile::new(
                 protocol,
                 nodes_per_shard,
@@ -85,12 +98,41 @@ impl ShardedDb {
             ),
             two_pc: TwoPhaseCommit::new(coordinator, network, costs),
             state: MvccStore::new(),
-            engine: LsmTree::new(),
+            engine_db: LsmTree::new(),
             receipts: VecDeque::new(),
-            busy_until: std::collections::HashMap::new(),
+            busy_until: HashMap::new(),
+            finishing: TokenMap::new(),
             committed: 0,
             aborted: 0,
         }
+    }
+
+    fn attach(&mut self, engine: &mut Engine) {
+        self.shard_procs = Some(
+            (0..self.shards)
+                .map(|_| engine.add_process("shard-pipe", 1))
+                .collect(),
+        );
+    }
+
+    fn shard_procs(&self) -> &[ProcessId] {
+        self.shard_procs
+            .as_deref()
+            .expect("system not attached to an engine")
+    }
+
+    /// Park a decided receipt and schedule the `Committed` stage event that
+    /// surfaces it at its finish time.
+    fn schedule_receipt(&mut self, receipt: TxnReceipt, engine: &mut Engine) {
+        let at = receipt.finish_time;
+        let token = self.finishing.insert(receipt);
+        engine.schedule_at(at, SysEvent::stage(ST_COMMITTED, token));
+    }
+
+    /// The `Committed` stage fired: hand the parked receipt to the client.
+    fn surface_receipt(&mut self, token: u64) {
+        let receipt = self.finishing.remove(token);
+        self.receipts.push_back(receipt);
     }
 
     /// Latest time at which any of `keys` is still held by an in-flight
@@ -106,7 +148,7 @@ impl ShardedDb {
         let version = self.state.begin_commit();
         for (k, v) in records {
             self.state.commit_write(k.clone(), version, Some(v.clone()));
-            self.engine.put(k.clone(), v.clone());
+            self.engine_db.put(k.clone(), v.clone());
         }
     }
 
@@ -117,14 +159,15 @@ impl ShardedDb {
         txn: &Transaction,
         start: Timestamp,
         shard_cost_us: u64,
+        engine: &mut Engine,
     ) -> Timestamp {
         let write_keys = txn.write_set();
         let shards = self.partitioner.shards_of(&write_keys);
         let mut slowest = start;
-        let pipe_count = self.shard_pipes.len();
+        let pipe_count = self.shard_procs().len();
         for shard in &shards {
-            let pipe = &mut self.shard_pipes[shard.0 as usize % pipe_count];
-            let (_, done) = pipe.schedule(start, shard_cost_us);
+            let pipe = self.shard_procs()[shard.0 as usize % pipe_count];
+            let (_, done) = engine.service(pipe, start, shard_cost_us);
             slowest = slowest.max(done);
         }
         let replication = self.replication.commit_latency_us(txn.payload_bytes() + 64);
@@ -138,7 +181,7 @@ impl ShardedDb {
             let value = op.value.clone().unwrap_or_else(|| Value::filler(1));
             self.state
                 .commit_write(op.key.clone(), version, Some(value.clone()));
-            self.engine.put(op.key.clone(), value);
+            self.engine_db.put(op.key.clone(), value);
             self.busy_until.insert(op.key.clone(), decided.decided_at);
         }
         decided.decided_at
@@ -187,7 +230,12 @@ impl TransactionalSystem for SpannerLike {
         self.db.load(records);
     }
 
-    fn submit(&mut self, txn: Transaction, arrival: Timestamp) {
+    fn attach(&mut self, engine: &mut Engine) {
+        self.db.attach(engine);
+    }
+
+    fn on_arrival(&mut self, txn: Transaction, engine: &mut Engine) {
+        let arrival = engine.now();
         let c = &self.config.costs;
         if txn.is_read_only() {
             let mut reads = Vec::new();
@@ -243,6 +291,13 @@ impl TransactionalSystem for SpannerLike {
             ));
             return;
         }
+        // The lock decision is made; the hold window itself is modelled by
+        // `busy_until` (set through commit), so the manager entry can go.
+        let _ = self.locks.finish(txn.id);
+        // Pessimistic locking reserves the keys *now*: book the shard work
+        // and the 2PC decision eagerly so later arrivals see the hold window,
+        // and surface the receipt through its `Execute→commit` stage event.
+        let c = &self.config.costs;
         let per_shard = c.sql_frontend_us()
             + txn
                 .ops
@@ -255,28 +310,29 @@ impl TransactionalSystem for SpannerLike {
                     }
                 })
                 .sum::<u64>();
-        let commit_at = self
-            .db
-            .replicate_and_commit(&txn, arrival + wait_us, per_shard);
-        let _ = self.locks.finish(txn.id);
+        let start = arrival + wait_us;
+        let commit_at = self.db.replicate_and_commit(&txn, start, per_shard, engine);
         self.db.committed += 1;
         let finish = commit_at + self.config.network.base_latency_us;
         let mut r = TxnReceipt::committed(txn.id, arrival, finish);
         r.phase_latencies = vec![
             ("locking", wait_us),
-            ("commit", commit_at.saturating_sub(arrival + wait_us)),
+            ("commit", commit_at.saturating_sub(start)),
         ];
-        self.db.receipts.push_back(r);
+        self.db.schedule_receipt(r, engine);
     }
 
-    fn flush(&mut self, _now: Timestamp) {}
+    fn on_stage(&mut self, event: StageEvent, _engine: &mut Engine) {
+        debug_assert_eq!(event.stage, ST_COMMITTED);
+        self.db.surface_receipt(event.token);
+    }
 
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
         self.db.receipts.drain(..).collect()
     }
 
     fn footprint(&self) -> StorageBreakdown {
-        self.db.engine.footprint()
+        self.db.engine_db.footprint()
     }
 
     fn node_count(&self) -> usize {
@@ -325,7 +381,12 @@ impl TransactionalSystem for ShardedTiDb {
         self.db.load(records);
     }
 
-    fn submit(&mut self, txn: Transaction, arrival: Timestamp) {
+    fn attach(&mut self, engine: &mut Engine) {
+        self.db.attach(engine);
+    }
+
+    fn on_arrival(&mut self, txn: Transaction, engine: &mut Engine) {
+        let arrival = engine.now();
         let c = &self.costs;
         // Optimistic conflict handling: if any written key is still held by
         // an in-flight transaction, abort immediately (TiDB "instantly aborts
@@ -356,27 +417,30 @@ impl TransactionalSystem for ShardedTiDb {
                     }
                 })
                 .sum::<u64>();
-        let commit_at = self.db.replicate_and_commit(&txn, arrival, per_shard);
+        let commit_at = self
+            .db
+            .replicate_and_commit(&txn, arrival, per_shard, engine);
         self.db.committed += 1;
-        self.db.receipts.push_back(TxnReceipt::committed(
-            txn.id,
-            arrival,
-            commit_at + self.network.base_latency_us,
-        ));
+        let receipt =
+            TxnReceipt::committed(txn.id, arrival, commit_at + self.network.base_latency_us);
+        self.db.schedule_receipt(receipt, engine);
     }
 
-    fn flush(&mut self, _now: Timestamp) {}
+    fn on_stage(&mut self, event: StageEvent, _engine: &mut Engine) {
+        debug_assert_eq!(event.stage, ST_COMMITTED);
+        self.db.surface_receipt(event.token);
+    }
 
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
         self.db.receipts.drain(..).collect()
     }
 
     fn footprint(&self) -> StorageBreakdown {
-        self.db.engine.footprint()
+        self.db.engine_db.footprint()
     }
 
     fn node_count(&self) -> usize {
-        self.db.shard_pipes.len() * 3
+        self.db.shards as usize * 3
     }
 }
 
@@ -474,15 +538,15 @@ impl Ahl {
     /// shard pipeline for the pause (state hand-off and re-attestation block
     /// transaction processing) and advance the epoch. Returns the total pause
     /// charged, for the receipt's phase breakdown.
-    fn reconfiguration_delay(&mut self, arrival: Timestamp) -> u64 {
+    fn reconfiguration_delay(&mut self, arrival: Timestamp, engine: &mut Engine) -> u64 {
         if !self.config.periodic_reconfiguration {
             return 0;
         }
         let mut paused = 0;
         while arrival >= self.next_reconfig_at {
             let boundary = self.next_reconfig_at;
-            for pipe in &mut self.db.shard_pipes {
-                pipe.schedule(boundary, self.config.reconfig_pause_us);
+            for pipe in self.db.shard_procs().to_vec() {
+                engine.service(pipe, boundary, self.config.reconfig_pause_us);
             }
             paused += self.config.reconfig_pause_us;
             self.next_reconfig_at += self.config.epoch_us;
@@ -504,10 +568,14 @@ impl TransactionalSystem for Ahl {
         }
     }
 
-    fn submit(&mut self, txn: Transaction, arrival: Timestamp) {
+    fn attach(&mut self, engine: &mut Engine) {
+        self.db.attach(engine);
+    }
+
+    fn on_arrival(&mut self, txn: Transaction, engine: &mut Engine) {
+        let arrival = engine.now();
         let c = self.config.costs.clone();
-        let reconfig = self.reconfiguration_delay(arrival);
-        let start = arrival;
+        let reconfig = self.reconfiguration_delay(arrival, engine);
         if txn.is_read_only() {
             let mut reads = Vec::new();
             let mut cost = c.client_auth();
@@ -516,7 +584,7 @@ impl TransactionalSystem for Ahl {
                 cost += c.storage_get_us(v.as_ref().map_or(64, Value::len));
                 reads.push((op.key.clone(), v));
             }
-            let mut r = TxnReceipt::committed(txn.id, arrival, start + cost);
+            let mut r = TxnReceipt::committed(txn.id, arrival, arrival + cost);
             r.reads = reads;
             self.db.receipts.push_back(r);
             return;
@@ -532,7 +600,9 @@ impl TransactionalSystem for Ahl {
             per_shard += c.adr_update_us(stats.nodes_touched, stats.leaf_bytes);
             per_shard += c.storage_put_us(value.len());
         }
-        let commit_at = self.db.replicate_and_commit(&txn, start, per_shard);
+        let commit_at = self
+            .db
+            .replicate_and_commit(&txn, arrival, per_shard, engine);
         self.db.committed += 1;
         let mut r = TxnReceipt::committed(
             txn.id,
@@ -541,19 +611,22 @@ impl TransactionalSystem for Ahl {
         );
         r.phase_latencies = vec![
             ("reconfiguration", reconfig),
-            ("shard-consensus", commit_at.saturating_sub(start)),
+            ("shard-consensus", commit_at.saturating_sub(arrival)),
         ];
-        self.db.receipts.push_back(r);
+        self.db.schedule_receipt(r, engine);
     }
 
-    fn flush(&mut self, _now: Timestamp) {}
+    fn on_stage(&mut self, event: StageEvent, _engine: &mut Engine) {
+        debug_assert_eq!(event.stage, ST_COMMITTED);
+        self.db.surface_receipt(event.token);
+    }
 
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
         self.db.receipts.drain(..).collect()
     }
 
     fn footprint(&self) -> StorageBreakdown {
-        self.db.engine.footprint().merged(&self.mbt.footprint())
+        self.db.engine_db.footprint().merged(&self.mbt.footprint())
     }
 
     fn node_count(&self) -> usize {
@@ -564,6 +637,7 @@ impl TransactionalSystem for Ahl {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::drive_arrivals;
     use dichotomy_common::{ClientId, Operation, TxnId};
 
     fn two_key_txn(seq: u64, a: &str, b: &str) -> Transaction {
@@ -585,13 +659,14 @@ mod tests {
     /// Skewed two-record transactions (the Figure 14 workload shape): keys
     /// drawn from a small hot set so in-flight transactions collide.
     fn throughput_skewed(sys: &mut dyn TransactionalSystem, n: u64, gap_us: u64, hot: u64) -> f64 {
-        for seq in 0..n {
-            let a = format!("k{:06}", seq % hot);
-            let b = format!("k{:06}", (seq * 7 + 13) % hot);
-            sys.submit(two_key_txn(seq, &a, &b), seq * gap_us);
-        }
-        sys.flush(n * gap_us + 60_000_000);
-        let receipts = sys.drain_receipts();
+        let arrivals: Vec<_> = (0..n)
+            .map(|seq| {
+                let a = format!("k{:06}", seq % hot);
+                let b = format!("k{:06}", (seq * 7 + 13) % hot);
+                (two_key_txn(seq, &a, &b), seq * gap_us)
+            })
+            .collect();
+        let receipts = drive_arrivals(sys, arrivals);
         let committed = receipts.iter().filter(|r| r.status.is_committed()).count();
         let last = receipts.iter().map(|r| r.finish_time).max().unwrap_or(1);
         committed as f64 / (last as f64 / 1e6)
@@ -663,11 +738,19 @@ mod tests {
         let mut s = SpannerLike::new(SpannerLikeConfig::default());
         s.load(&records(10));
         // Two transactions contending on the same key: the second waits.
-        s.submit(two_key_txn(1, "k000001", "k000002"), 0);
-        s.submit(two_key_txn(2, "k000001", "k000002"), 10);
-        let receipts = s.drain_receipts();
+        let receipts = drive_arrivals(
+            &mut s,
+            vec![
+                (two_key_txn(1, "k000001", "k000002"), 0),
+                (two_key_txn(2, "k000001", "k000002"), 10),
+            ],
+        );
         assert_eq!(receipts.len(), 2);
-        let lock_wait = receipts[1]
+        let second = receipts
+            .iter()
+            .find(|r| r.txn_id.seq == 2)
+            .expect("second receipt");
+        let lock_wait = second
             .phase_latencies
             .iter()
             .find(|(n, _)| *n == "locking")
@@ -688,7 +771,10 @@ mod tests {
         ahl.load(&records(10));
         let plan0 = ahl.shard_plan();
         // Force time past one epoch.
-        ahl.submit(two_key_txn(1, "k000001", "k000002"), 11_000_000);
+        let _ = drive_arrivals(
+            &mut ahl,
+            vec![(two_key_txn(1, "k000001", "k000002"), 11_000_000)],
+        );
         let plan1 = ahl.shard_plan();
         assert_ne!(plan0.assignment, plan1.assignment);
         assert_eq!(plan0.shard_count(), 4);

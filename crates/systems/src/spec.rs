@@ -22,7 +22,7 @@ use dichotomy_consensus::ProtocolKind;
 use dichotomy_hybrid::taxonomy::{
     ConcurrencyChoice, LedgerSupport, ReplicationModel, ShardingSupport, SystemProfile,
 };
-use dichotomy_simnet::{CostModel, NetworkConfig};
+use dichotomy_simnet::{CostModel, FaultPlan, NetworkConfig};
 
 use crate::etcd::{Etcd, EtcdConfig, Tikv};
 use crate::fabric::{Fabric, FabricConfig};
@@ -78,6 +78,11 @@ pub struct SystemSpec {
     pub network: Option<NetworkConfig>,
     /// CPU cost model (defaults to the calibrated profile).
     pub costs: Option<CostModel>,
+    /// Fault schedule (crashes, partitions) injected into the deployment,
+    /// making crash/partition experiments declarative plans. Currently
+    /// honoured by the Raft-backed storage models (etcd, TiKV), which stall
+    /// their replicated write path while the leader is down.
+    pub faults: Option<FaultPlan>,
     /// RNG seed for the model's stochastic choices.
     pub seed: Option<u64>,
 }
@@ -100,6 +105,7 @@ impl SystemSpec {
             reconfig_pause_us: None,
             network: None,
             costs: None,
+            faults: None,
             seed: None,
         }
     }
@@ -157,6 +163,12 @@ impl SystemSpec {
     pub fn with_reconfiguration(mut self, epoch_us: u64, pause_us: u64) -> Self {
         self.epoch_us = Some(epoch_us);
         self.reconfig_pause_us = Some(pause_us);
+        self
+    }
+
+    /// Set the fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -412,6 +424,7 @@ fn kv_config(spec: &SystemSpec) -> EtcdConfig {
     let d = EtcdConfig::default();
     EtcdConfig {
         nodes: spec.nodes.unwrap_or(d.nodes),
+        faults: spec.faults.clone().unwrap_or(d.faults),
         network: spec.network.clone().unwrap_or(d.network),
         costs: spec.costs.clone().unwrap_or(d.costs),
         ..d

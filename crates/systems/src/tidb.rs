@@ -9,18 +9,27 @@
 //! many SQL servers and many storage threads — there is no serial commit
 //! order — but under skew the Percolator primary-lock contention collapses
 //! throughput (Figure 9a), and multi-region transactions pay 2PC (Figure 10a).
+//!
+//! Event pipeline: the coordinator's concurrency-control decision — lock
+//! contention against in-flight holders, Percolator execution — happens at
+//! arrival (a conflict must be visible to the next arrival immediately, or
+//! the skew collapse of Figure 9a disappears); the SQL, storage, replication
+//! and 2PC latencies are booked on the engine's service processes, and the
+//! receipt surfaces through its `Committed` stage event at the decided
+//! finish time.
 
+use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
-use dichotomy_common::{Key, Timestamp, Transaction, TxnReceipt, Value};
+use dichotomy_common::{AbortReason, Key, Timestamp, Transaction, TxnReceipt, Value};
 use dichotomy_consensus::{ProtocolKind, ReplicationProfile};
 use dichotomy_sharding::{CoordinatorKind, Partitioner, TwoPhaseCommit};
-use dichotomy_simnet::{CostModel, MultiResource, NetworkConfig};
+use dichotomy_simnet::{CostModel, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{KvEngine, LsmTree, MvccStore};
 use dichotomy_txn::PercolatorExecutor;
 
-use crate::pipeline::{SystemKind, TransactionalSystem};
+use crate::pipeline::{Engine, SysEvent, SystemKind, TokenMap, TransactionalSystem};
 
 /// Configuration of a TiDB deployment.
 #[derive(Debug, Clone)]
@@ -58,24 +67,36 @@ impl Default for TiDbConfig {
     }
 }
 
+/// Stage: a transaction's decided receipt surfaces to the client
+/// (token = in-flight id).
+const ST_COMMITTED: u32 = 0;
+
+/// Engine process handles, created at attach time.
+#[derive(Clone, Copy)]
+struct TiDbProcs {
+    /// SQL-layer processing capacity (one server ≈ several worker threads).
+    sql: ProcessId,
+    /// TiKV storage/raft processing capacity.
+    storage: ProcessId,
+}
+
 /// The TiDB system model.
 pub struct TiDb {
     config: TiDbConfig,
-    /// SQL-layer processing capacity (one server ≈ several worker threads).
-    sql_servers: MultiResource,
-    /// TiKV storage/raft processing capacity.
-    storage: MultiResource,
+    procs: Option<TiDbProcs>,
     raft: ReplicationProfile,
     partitioner: Partitioner,
     two_pc: TwoPhaseCommit,
     executor: PercolatorExecutor,
     state: MvccStore,
-    engine: LsmTree,
+    engine_db: LsmTree,
     receipts: VecDeque<TxnReceipt>,
+    /// Receipts scheduled to surface at their finish time (token-keyed).
+    finishing: TokenMap<TxnReceipt>,
     /// Until when each key is held by an in-flight transaction; arrivals that
     /// hit a busy key pay contention-resolution rounds and may abort — the
     /// mechanism behind the skew collapse of Section 5.3.1.
-    busy_until: std::collections::HashMap<Key, Timestamp>,
+    busy_until: HashMap<Key, Timestamp>,
     committed: u64,
     aborted: u64,
 }
@@ -90,8 +111,7 @@ impl TiDb {
             config.costs.clone(),
         );
         TiDb {
-            sql_servers: MultiResource::new(config.tidb_servers.max(1)),
-            storage: MultiResource::new(config.tikv_nodes.max(1)),
+            procs: None,
             raft,
             partitioner: Partitioner::hash(config.regions.max(1)),
             two_pc: TwoPhaseCommit::new(
@@ -101,9 +121,10 @@ impl TiDb {
             ),
             executor: PercolatorExecutor::new(),
             state: MvccStore::new(),
-            engine: LsmTree::new(),
+            engine_db: LsmTree::new(),
             receipts: VecDeque::new(),
-            busy_until: std::collections::HashMap::new(),
+            finishing: TokenMap::new(),
+            busy_until: HashMap::new(),
             committed: 0,
             aborted: 0,
             config,
@@ -120,11 +141,15 @@ impl TiDb {
         (self.committed, self.aborted)
     }
 
+    fn procs(&self) -> TiDbProcs {
+        self.procs.expect("system not attached to an engine")
+    }
+
     fn read_cost(&self, bytes: usize) -> u64 {
         self.config.costs.sql_frontend_us() + self.config.costs.storage_get_us(bytes)
     }
 
-    fn serve_read(&mut self, txn: &Transaction, arrival: Timestamp) {
+    fn serve_read(&mut self, txn: &Transaction, arrival: Timestamp, engine: &mut Engine) {
         let mut cost = 0;
         let mut reads = Vec::new();
         for op in txn.ops.iter().filter(|o| o.reads()) {
@@ -132,7 +157,7 @@ impl TiDb {
             cost += self.read_cost(value.as_ref().map_or(64, Value::len));
             reads.push((op.key.clone(), value));
         }
-        let (_, sql_done) = self.sql_servers.schedule(arrival, cost);
+        let (_, sql_done) = engine.service(self.procs().sql, arrival, cost);
         let finish = sql_done + self.config.network.base_latency_us;
         let mut receipt = TxnReceipt::committed(txn.id, arrival, finish);
         receipt.reads = reads;
@@ -146,31 +171,21 @@ impl TiDb {
         ];
         self.receipts.push_back(receipt);
     }
-}
 
-impl TransactionalSystem for TiDb {
-    fn kind(&self) -> SystemKind {
-        SystemKind::TiDb
-    }
-
-    fn load(&mut self, records: &[(Key, Value)]) {
-        let version = self.state.begin_commit();
-        for (k, v) in records {
-            self.state.commit_write(k.clone(), version, Some(v.clone()));
-            self.engine.put(k.clone(), v.clone());
-        }
-    }
-
-    fn submit(&mut self, txn: Transaction, arrival: Timestamp) {
-        if txn.is_read_only() {
-            self.serve_read(&txn, arrival);
-            return;
-        }
-        let c = &self.config.costs;
+    /// Coordinate one write transaction: contention resolution, Percolator
+    /// execution, and the storage/replication/2PC bookings. Returns the
+    /// decided receipt, whose finish time schedules the `Committed` stage.
+    fn coordinate(
+        &mut self,
+        txn: Transaction,
+        arrival: Timestamp,
+        engine: &mut Engine,
+    ) -> TxnReceipt {
+        let c = self.config.costs.clone();
         // SQL layer: parse/compile each statement + coordinator bookkeeping.
         let frontend = (c.sql_frontend_us() + c.sql_coordinate_us.ceil() as u64)
             * txn.op_count().max(1) as u64;
-        let (_, sql_done) = self.sql_servers.schedule(arrival, frontend);
+        let (_, sql_done) = engine.service(self.procs().sql, arrival, frontend);
 
         // Contention against in-flight transactions on the same keys: the
         // coordinator burns contention-resolution rounds on the primary lock
@@ -184,18 +199,17 @@ impl TransactionalSystem for TiDb {
         if busy > arrival {
             let rounds = self.config.max_lock_retries.max(1) as u64;
             let penalty = rounds * self.config.lock_conflict_penalty_us;
-            let (_, contention_done) = self.sql_servers.schedule(sql_done, penalty);
+            let (_, contention_done) = engine.service(self.procs().sql, sql_done, penalty);
             if busy > sql_done + penalty {
                 // The holder is still in flight after every retry: abort.
                 self.aborted += 1;
                 let finish = contention_done + self.config.network.base_latency_us;
-                self.receipts.push_back(TxnReceipt::aborted(
+                return TxnReceipt::aborted(
                     txn.id,
-                    dichotomy_common::AbortReason::WriteWriteConflict,
+                    AbortReason::WriteWriteConflict,
                     arrival,
                     finish,
-                ));
-                return;
+                );
             }
         }
 
@@ -217,7 +231,7 @@ impl TransactionalSystem for TiDb {
                 storage_cost += self.raft.leader_occupancy_us(bytes + 64);
             }
         }
-        let (_, storage_done) = self.storage.schedule(sql_done, storage_cost);
+        let (_, storage_done) = engine.service(self.procs().storage, sql_done, storage_cost);
         // Replication latency of the slowest write (prewrite and commit each
         // take one Raft round).
         let max_write = txn
@@ -230,8 +244,9 @@ impl TransactionalSystem for TiDb {
         let replication_latency = 2 * self.raft.commit_latency_us(max_write + 64);
 
         // Cross-region 2PC for multi-region write sets.
-        let write_keys = txn.write_set();
-        let shards = self.partitioner.shards_of(&write_keys);
+        let shards = self
+            .partitioner
+            .shards_of(&write_keys.iter().collect::<Vec<_>>());
         let votes: Vec<_> = shards.iter().map(|&s| (s, true)).collect();
         let two_pc_out = self.two_pc.run(
             storage_done + replication_latency,
@@ -245,13 +260,13 @@ impl TransactionalSystem for TiDb {
                 let penalty =
                     outcome.lock_conflict_rounds as u64 * self.config.lock_conflict_penalty_us;
                 let finish = two_pc_out.decided_at + penalty + self.config.network.base_latency_us;
-                for (key, _) in txn.ops.iter().filter(|o| o.writes()).map(|o| (&o.key, ())) {
-                    if let Some(v) = self.state.get_latest(key) {
-                        self.engine.put(key.clone(), v);
+                for op in txn.ops.iter().filter(|o| o.writes()) {
+                    if let Some(v) = self.state.get_latest(&op.key) {
+                        self.engine_db.put(op.key.clone(), v);
                     }
                 }
                 for key in &write_keys {
-                    self.busy_until.insert((*key).clone(), finish);
+                    self.busy_until.insert(key.clone(), finish);
                 }
                 let mut receipt = TxnReceipt::committed(txn.id, arrival, finish);
                 receipt.reads = outcome.reads;
@@ -268,23 +283,57 @@ impl TransactionalSystem for TiDb {
                     ),
                 ];
                 self.committed += 1;
-                self.receipts.push_back(receipt);
+                receipt
             }
             Err((reason, rounds)) => {
                 // Failed transactions still burn coordinator time on
                 // contention resolution before reporting the abort.
                 let penalty = (rounds.max(1) as u64) * self.config.lock_conflict_penalty_us;
-                let (_, contention_done) = self.sql_servers.schedule(storage_done, penalty);
+                let (_, contention_done) = engine.service(self.procs().sql, storage_done, penalty);
                 let finish = contention_done + self.config.network.base_latency_us;
                 self.aborted += 1;
-                self.receipts
-                    .push_back(TxnReceipt::aborted(txn.id, reason, arrival, finish));
+                TxnReceipt::aborted(txn.id, reason, arrival, finish)
             }
         }
     }
+}
 
-    fn flush(&mut self, _now: Timestamp) {
-        // No batching: nothing to flush.
+impl TransactionalSystem for TiDb {
+    fn kind(&self) -> SystemKind {
+        SystemKind::TiDb
+    }
+
+    fn load(&mut self, records: &[(Key, Value)]) {
+        let version = self.state.begin_commit();
+        for (k, v) in records {
+            self.state.commit_write(k.clone(), version, Some(v.clone()));
+            self.engine_db.put(k.clone(), v.clone());
+        }
+    }
+
+    fn attach(&mut self, engine: &mut Engine) {
+        self.procs = Some(TiDbProcs {
+            sql: engine.add_process("tidb-sql", self.config.tidb_servers.max(1)),
+            storage: engine.add_process("tikv-storage", self.config.tikv_nodes.max(1)),
+        });
+    }
+
+    fn on_arrival(&mut self, txn: Transaction, engine: &mut Engine) {
+        let arrival = engine.now();
+        if txn.is_read_only() {
+            self.serve_read(&txn, arrival, engine);
+            return;
+        }
+        let receipt = self.coordinate(txn, arrival, engine);
+        let finish = receipt.finish_time;
+        let token = self.finishing.insert(receipt);
+        engine.schedule_at(finish, SysEvent::stage(ST_COMMITTED, token));
+    }
+
+    fn on_stage(&mut self, event: StageEvent, _engine: &mut Engine) {
+        debug_assert_eq!(event.stage, ST_COMMITTED);
+        let receipt = self.finishing.remove(event.token);
+        self.receipts.push_back(receipt);
     }
 
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
@@ -293,7 +342,7 @@ impl TransactionalSystem for TiDb {
 
     fn footprint(&self) -> StorageBreakdown {
         // No ledger, no authenticated index: engine + (bounded) MVCC history.
-        self.engine.footprint()
+        self.engine_db.footprint()
     }
 
     fn node_count(&self) -> usize {
@@ -304,6 +353,7 @@ impl TransactionalSystem for TiDb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::drive_arrivals;
     use dichotomy_common::{ClientId, Operation, TxnId};
 
     fn rmw(client: u64, seq: u64, key: &str, size: usize) -> Transaction {
@@ -328,14 +378,15 @@ mod tests {
     #[test]
     fn uniform_writes_commit_without_aborts() {
         let mut t = seeded(1000);
-        for seq in 0..200u64 {
-            t.submit(
-                rmw(seq % 8, seq, &format!("k{:05}", seq % 1000), 1000),
-                seq * 200,
-            );
-        }
-        t.flush(0);
-        let receipts = t.drain_receipts();
+        let receipts = drive_arrivals(
+            &mut t,
+            (0..200u64).map(|seq| {
+                (
+                    rmw(seq % 8, seq, &format!("k{:05}", seq % 1000), 1000),
+                    seq * 200,
+                )
+            }),
+        );
         assert_eq!(receipts.len(), 200);
         assert!(receipts.iter().all(|r| r.status.is_committed()));
         let (c, a) = t.outcome_counts();
@@ -346,10 +397,10 @@ mod tests {
     fn skewed_writes_abort_and_slow_down() {
         // All clients hammer one key with interleaved snapshots.
         let mut t = seeded(10);
-        for seq in 0..200u64 {
-            t.submit(rmw(seq % 8, seq, "k00000", 1000), seq * 50);
-        }
-        let receipts = t.drain_receipts();
+        let receipts = drive_arrivals(
+            &mut t,
+            (0..200u64).map(|seq| (rmw(seq % 8, seq, "k00000", 1000), seq * 50)),
+        );
         let aborted = receipts.iter().filter(|r| !r.status.is_committed()).count();
         // Sequential submission means snapshots are mostly fresh; aborts come
         // from lock conflicts held across the storage pipeline. The paper's
@@ -367,8 +418,7 @@ mod tests {
             TxnId::new(ClientId(1), 1),
             vec![Operation::read(Key::from_str("k00007"))],
         );
-        t.submit(read, 10);
-        let receipts = t.drain_receipts();
+        let receipts = drive_arrivals(&mut t, vec![(read, 10)]);
         let r = &receipts[0];
         assert!(r.status.is_committed());
         assert!(r.latency_us() < 2_000, "latency {}", r.latency_us());
@@ -392,8 +442,7 @@ mod tests {
                     })
                     .collect(),
             );
-            t.submit(txn, 0);
-            t.drain_receipts()[0].latency_us()
+            drive_arrivals(&mut t, vec![(txn, 0)])[0].latency_us()
         };
         assert!(latency(10) > latency(1));
     }
@@ -401,9 +450,11 @@ mod tests {
     #[test]
     fn writes_survive_into_the_engine_and_footprint_has_no_history() {
         let mut t = seeded(10);
-        t.submit(rmw(1, 1, "k00001", 500), 0);
-        let _ = t.drain_receipts();
-        assert_eq!(t.engine.get(&Key::from_str("k00001")).unwrap().len(), 500);
+        let _ = drive_arrivals(&mut t, vec![(rmw(1, 1, "k00001", 500), 0)]);
+        assert_eq!(
+            t.engine_db.get(&Key::from_str("k00001")).unwrap().len(),
+            500
+        );
         let fp = t.footprint();
         assert_eq!(fp.history_bytes, 0);
         assert_eq!(t.node_count(), 6);

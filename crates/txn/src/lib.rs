@@ -26,7 +26,7 @@ pub mod serial;
 
 pub use locking::LockManager;
 pub use occ::{OccExecutor, SimulationResult};
-pub use percolator::PercolatorExecutor;
+pub use percolator::{PercolatorExecutor, PercolatorOutcome};
 pub use serial::SerialExecutor;
 
 use dichotomy_common::{Key, Value};

@@ -20,12 +20,21 @@ cargo test -q
 
 echo "==> repro --json reproducibility (two seeded runs, byte-for-byte)"
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --json /tmp/ci_repro_a.json tab02 fig13 fig15 > /tmp/ci_repro_a.out
+    --quick --seed 7 --json /tmp/ci_repro_a.json tab02 fig13 fig15 fault01 > /tmp/ci_repro_a.out
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --json /tmp/ci_repro_b.json tab02 fig13 fig15 > /tmp/ci_repro_b.out
+    --quick --seed 7 --json /tmp/ci_repro_b.json tab02 fig13 fig15 fault01 > /tmp/ci_repro_b.out
 test -s /tmp/ci_repro_a.out
 test -s /tmp/ci_repro_a.json
 cmp /tmp/ci_repro_a.out /tmp/ci_repro_b.out
 cmp /tmp/ci_repro_a.json /tmp/ci_repro_b.json
+# The fault scenario's windowed series must be present in the JSON document.
+grep -q '"key":"fault01"' /tmp/ci_repro_a.json
+grep -q '"windows":\[{' /tmp/ci_repro_a.json
+
+echo "==> microbench --smoke (engine hot-path regression canary)"
+cargo run -p dichotomy-bench --release --bin microbench -- --smoke > /tmp/ci_microbench.out
+test -s /tmp/ci_microbench.out
+grep -q "event_queue_schedule_pop_10k" /tmp/ci_microbench.out
+grep -q "engine_loop_etcd_update_300" /tmp/ci_microbench.out
 
 echo "==> ci.sh: all checks passed"
