@@ -25,11 +25,16 @@ use dichotomy_core::common::{hash, ClientId, Key, Operation, Transaction, TxnId,
 use dichotomy_core::consensus::{ProtocolKind, ReplicationProfile};
 use dichotomy_core::driver::{run_workload, DriverConfig};
 use dichotomy_core::merkle::{MerkleBucketTree, MerklePatriciaTrie};
+use dichotomy_core::scenario::{
+    run_plan_with, ColumnSpec, ExecOptions, Metric, Scenario, Sweep, SystemEntry,
+};
 use dichotomy_core::simnet::{CostModel, EventQueue, NetworkConfig, SimEngine};
 use dichotomy_core::storage::{BPlusTree, KvEngine, LsmTree, MvccStore};
-use dichotomy_core::systems::{Etcd, EtcdConfig, Quorum, QuorumConfig};
+use dichotomy_core::systems::{
+    Etcd, EtcdConfig, Quorum, QuorumConfig, SystemKind, SystemRegistry, SystemSpec,
+};
 use dichotomy_core::txn::OccExecutor;
-use dichotomy_core::workload::{YcsbConfig, YcsbMix, YcsbWorkload};
+use dichotomy_core::workload::{WorkloadSpec, YcsbConfig, YcsbMix, YcsbWorkload};
 
 /// Whether `--smoke` was passed: scale iteration counts down for CI.
 static SMOKE: AtomicBool = AtomicBool::new(false);
@@ -200,6 +205,34 @@ fn bench_event_engine() {
     });
 }
 
+fn bench_plan_executor() {
+    // The plan executor end to end: an 8-probe etcd θ-sweep, sequentially
+    // (`jobs=1`) vs on the worker pool (`jobs=0` → all cores). Same seed,
+    // byte-identical reports; the delta is the pool's win on this machine.
+    let plan = Scenario {
+        id: "B",
+        title: "plan executor microbench",
+        systems: vec![SystemEntry {
+            spec: SystemSpec::new(SystemKind::Etcd),
+            columns: vec![ColumnSpec::new("tps", Metric::ThroughputTps)],
+        }],
+        workload: WorkloadSpec::ycsb(YcsbMix::UpdateOnly).with_records(500),
+        driver: DriverConfig::saturating(150),
+        sweep: Sweep::Theta(vec![0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 0.9, 1.0]),
+        row_labels: None,
+        faults: None,
+        seed: 7,
+    }
+    .plan();
+    let registry = SystemRegistry::with_builtins();
+    bench("plan_sequential_8probe_etcd", 6, || {
+        run_plan_with(&plan, &registry, &ExecOptions::with_jobs(1))
+    });
+    bench("plan_parallel_8probe_etcd", 6, || {
+        run_plan_with(&plan, &registry, &ExecOptions::default())
+    });
+}
+
 fn bench_end_to_end() {
     bench("end_to_end_quorum_update_200", 10, || {
         let mut system = Quorum::new(QuorumConfig {
@@ -240,6 +273,7 @@ fn main() {
         ("occ", bench_occ_validation),
         ("profile", bench_consensus_profiles),
         ("event_queue engine", bench_event_engine),
+        ("plan", bench_plan_executor),
         ("end_to_end", bench_end_to_end),
     ];
     for (keys, run) in groups {

@@ -6,6 +6,7 @@
 //! cargo run -p dichotomy-bench --release --bin repro -- --quick fig04 fig14
 //! cargo run -p dichotomy-bench --release --bin repro -- --list
 //! cargo run -p dichotomy-bench --release --bin repro -- --quick --seed 7 --json out.json all
+//! cargo run -p dichotomy-bench --release --bin repro -- --quick --jobs 8 --bench timings.json all
 //! ```
 //!
 //! Flags:
@@ -14,22 +15,37 @@
 //! * `--list` — print every experiment id with its report title and exit;
 //! * `--txns N` — override the per-experiment transaction/record count;
 //! * `--seed S` — reseed every run (same seed ⇒ bit-identical output);
+//! * `--jobs N` — worker threads for the probe pool (default: the
+//!   `DICHOTOMY_JOBS` environment variable, else all available cores).
+//!   Output is byte-identical whatever the worker count;
+//! * `--progress` — live per-probe status lines on stderr as probes finish;
 //! * `--json PATH` — additionally write all completed reports as JSON. Each
 //!   row of a driving experiment carries its windowed time series (`series`:
 //!   per-window tps, abort %, p50/p95/p99 latency) — see
-//!   `dichotomy_bench::json` for the schema.
+//!   `dichotomy_bench::json` for the schema;
+//! * `--bench PATH` — write per-experiment wall-clock timings as JSON (the
+//!   `BENCH_*.json` trajectory seed).
 //!
 //! Unknown experiment ids exit nonzero after printing the valid list. An
-//! `all` run continues past a panicking experiment and reports a
-//! per-experiment error summary at the end (exiting nonzero if anything
-//! failed), so one broken figure never hides the rest.
+//! `all` run continues past failures at *probe* granularity: a panicking
+//! probe reports NaN columns plus a failure line naming the experiment, row
+//! and probe, completed rows are kept, and the run exits nonzero at the end.
+//! A panic outside any probe (plan construction itself) is still caught per
+//! experiment.
 
-use dichotomy_bench::{json, list_experiments, run_report, RunOptions, EXPERIMENTS};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use dichotomy_bench::{json, list_experiments, run_report_with, RunOptions, EXPERIMENTS};
 use dichotomy_core::experiments::ExperimentReport;
+use dichotomy_core::scenario::{panic_text, ExecOptions, ProbeStatus};
 
 struct Cli {
     options: RunOptions,
     json_path: Option<String>,
+    bench_path: Option<String>,
+    jobs: usize,
+    progress: bool,
     list: bool,
     targets: Vec<String>,
 }
@@ -53,21 +69,65 @@ fn main() {
     let total = targets.len();
     let mut completed: Vec<(String, ExperimentReport)> = Vec::new();
     let mut failures: Vec<(&str, String)> = Vec::new();
+    let mut timings: Vec<json::BenchTiming> = Vec::new();
     for id in targets {
         let opts = cli.options.clone();
-        let outcome = std::panic::catch_unwind(move || run_report(id, &opts));
-        match outcome {
+        let progress = |s: &ProbeStatus| match &s.error {
+            Some(e) => eprintln!(
+                "[{id}] probe {}/{} '{}' / '{}': FAILED: {e}",
+                s.done, s.total, s.row, s.probe
+            ),
+            None => eprintln!(
+                "[{id}] probe {}/{} '{}' / '{}'",
+                s.done, s.total, s.row, s.probe
+            ),
+        };
+        let exec = ExecOptions {
+            jobs: cli.jobs,
+            progress: if cli.progress { Some(&progress) } else { None },
+        };
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_report_with(id, &opts, &exec)));
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let (rows, failed_probes, ok) = match outcome {
             Ok(Some(report)) => {
                 println!("{}", report.render());
+                // Per-probe failures: attributable even when many probes ran
+                // in parallel — every line names experiment, row and probe.
+                for f in &report.failures {
+                    failures.push((
+                        id,
+                        format!("row '{}' probe '{}': {}", f.row, f.probe, f.message),
+                    ));
+                }
+                let counts = (report.rows.len(), report.failures.len(), true);
                 completed.push((id.to_string(), report));
+                counts
             }
             // The dispatch table and EXPERIMENTS disagree — a bug, but one
             // `all` should survive like any other per-experiment failure.
-            Ok(None) => failures.push((id, "not in the dispatch table".to_string())),
-            Err(panic) => failures.push((id, panic_message(&panic))),
-        }
+            Ok(None) => {
+                failures.push((id, "not in the dispatch table".to_string()));
+                (0, 0, false)
+            }
+            Err(panic) => {
+                failures.push((id, panic_text(panic.as_ref())));
+                (0, 0, false)
+            }
+        };
+        timings.push(json::BenchTiming {
+            key: id.to_string(),
+            wall_ms,
+            rows,
+            failed_probes,
+            ok,
+        });
     }
 
+    // Write both output documents before deciding the exit code: a broken
+    // --json path must not swallow the --bench document or the failure
+    // summary (and vice versa).
+    let mut write_failed = false;
     if let Some(path) = &cli.json_path {
         let doc = json::document(
             cli.options.quick,
@@ -75,18 +135,46 @@ fn main() {
             cli.options.seed,
             &completed,
         );
-        if let Err(e) = std::fs::write(path, doc) {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
+        match std::fs::write(path, doc) {
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                write_failed = true;
+            }
+            Ok(()) => eprintln!("wrote {} report(s) to {path}", completed.len()),
         }
-        eprintln!("wrote {} report(s) to {path}", completed.len());
+    }
+
+    if let Some(path) = &cli.bench_path {
+        let doc = json::bench_document(
+            cli.options.quick,
+            cli.options.txns,
+            cli.options.seed,
+            ExecOptions::with_jobs(cli.jobs).effective_jobs(),
+            &timings,
+        );
+        match std::fs::write(path, doc) {
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                write_failed = true;
+            }
+            Ok(()) => eprintln!(
+                "wrote timings for {} experiment(s) to {path}",
+                timings.len()
+            ),
+        }
     }
 
     if !failures.is_empty() {
-        eprintln!("{} of {} experiments failed:", failures.len(), total);
+        eprintln!(
+            "{} failure(s) across {} experiments:",
+            failures.len(),
+            total
+        );
         for (id, msg) in &failures {
             eprintln!("  {id}: {msg}");
         }
+    }
+    if !failures.is_empty() || write_failed {
         std::process::exit(1);
     }
 }
@@ -95,6 +183,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
     let mut cli = Cli {
         options: RunOptions::default(),
         json_path: None,
+        bench_path: None,
+        jobs: 0,
+        progress: false,
         list: false,
         targets: Vec::new(),
     };
@@ -107,11 +198,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
             _ => (arg.clone(), None),
         };
         match flag.as_str() {
-            "--quick" | "--list" if inline_value.is_some() => {
+            "--quick" | "--list" | "--progress" if inline_value.is_some() => {
                 bad_usage.push(format!("flag '{flag}' takes no value"));
             }
             "--quick" => cli.options.quick = true,
             "--list" => cli.list = true,
+            "--progress" => cli.progress = true,
             "--txns" => {
                 if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
                     match v.parse::<u64>() {
@@ -128,9 +220,22 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
                     }
                 }
             }
+            "--jobs" => {
+                if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => cli.jobs = n,
+                        _ => bad_usage.push(format!("--jobs: '{v}' is not a worker count ≥ 1")),
+                    }
+                }
+            }
             "--json" => {
                 if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
                     cli.json_path = Some(v);
+                }
+            }
+            "--bench" => {
+                if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
+                    cli.bench_path = Some(v);
                 }
             }
             f if f.starts_with("--") => bad_usage.push(format!("unknown flag '{f}'")),
@@ -150,7 +255,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
         for msg in &bad_usage {
             eprintln!("{msg}");
         }
-        eprintln!("valid flags: --quick --list --txns N --seed S --json PATH");
+        eprintln!(
+            "valid flags: --quick --list --progress --txns N --seed S --jobs N --json PATH --bench PATH"
+        );
         eprintln!("valid experiments: all {}", EXPERIMENTS.join(" "));
         std::process::exit(2);
     }
@@ -172,15 +279,5 @@ fn value_of(
             bad_usage.push(format!("flag '{flag}' needs a value"));
             None
         }
-    }
-}
-
-fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = panic.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = panic.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "panicked (non-string payload)".to_string()
     }
 }

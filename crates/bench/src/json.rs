@@ -14,6 +14,22 @@
 
 use dichotomy_core::experiments::{ExperimentReport, RowSeries};
 
+/// One experiment's wall-clock timing, for the `repro --bench` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchTiming {
+    /// Experiment key (`fig04`, ...).
+    pub key: String,
+    /// Wall-clock milliseconds spent running the experiment.
+    pub wall_ms: f64,
+    /// Rows the report produced (0 when the whole experiment failed).
+    pub rows: usize,
+    /// Probes that panicked inside the run.
+    pub failed_probes: usize,
+    /// Whether the experiment completed (false: it panicked outright or was
+    /// missing from the dispatch table).
+    pub ok: bool,
+}
+
 /// Escape a string for a JSON string literal (quotes, backslashes, control
 /// characters).
 pub fn escape(s: &str) -> String {
@@ -80,6 +96,19 @@ pub fn report(key: &str, report: &ExperimentReport) -> String {
         }
         out.push_str("]}");
     }
+    out.push_str("],\"failures\":[");
+    for (i, f) in report.failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"row\":\"{}\",\"probe\":\"{}\",\"index\":{},\"message\":\"{}\"}}",
+            escape(&f.row),
+            escape(&f.probe),
+            f.index,
+            escape(&f.message)
+        ));
+    }
     out.push_str("],\"text\":");
     match &report.text {
         Some(text) => out.push_str(&format!("\"{}\"", escape(text))),
@@ -93,8 +122,9 @@ pub fn report(key: &str, report: &ExperimentReport) -> String {
 fn row_series(s: &RowSeries) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\"name\":\"{}\",\"window_us\":{},\"warmup_us\":{},\"windows\":[",
+        "{{\"name\":\"{}\",\"events_clamped\":{},\"window_us\":{},\"warmup_us\":{},\"windows\":[",
         escape(&s.name),
+        s.events_clamped,
         s.series.window_us,
         s.series.warmup_us
     ));
@@ -145,6 +175,45 @@ pub fn document(
     out
 }
 
+/// Serialize a `repro --bench` run: the options and worker count used, the
+/// total wall clock, and one timing entry per experiment. This document is
+/// the seed of the repo's `BENCH_*.json` trajectory — `scripts/ci.sh`
+/// archives a `--jobs 1` vs `--jobs N` pair as `BENCH_parallel.json`.
+pub fn bench_document(
+    quick: bool,
+    txns: Option<u64>,
+    seed: u64,
+    jobs: usize,
+    timings: &[BenchTiming],
+) -> String {
+    let total_wall_ms: f64 = timings.iter().map(|t| t.wall_ms).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"generator\":\"repro-bench\",\"quick\":{quick},\"txns\":{},\"seed\":{seed},\
+         \"jobs\":{jobs},\"total_wall_ms\":{},\"experiments\":[",
+        match txns {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        },
+        number(total_wall_ms)
+    ));
+    for (i, t) in timings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"key\":\"{}\",\"wall_ms\":{},\"rows\":{},\"failed_probes\":{},\"ok\":{}}}",
+            escape(&t.key),
+            number(t.wall_ms),
+            t.rows,
+            t.failed_probes,
+            t.ok
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +229,7 @@ mod tests {
                 values: vec![("tps".into(), 12.5), ("missing".into(), f64::NAN)],
                 series: Vec::new(),
             }],
+            failures: Vec::new(),
             text: None,
         }
     }
@@ -168,6 +238,7 @@ mod tests {
         let mut report = sample();
         report.rows[0].series.push(RowSeries {
             name: "etcd".into(),
+            events_clamped: 0,
             series: TimeSeries {
                 window_us: 1_000,
                 warmup_us: 0,
@@ -211,14 +282,33 @@ mod tests {
         assert!(json.contains("{\"column\":\"tps\",\"value\":12.5}"));
         assert!(json.contains("{\"column\":\"missing\",\"value\":null}"));
         assert!(json.contains("\"series\":[]"));
+        assert!(json.contains("\"failures\":[]"));
         assert!(json.ends_with("\"text\":null}"));
+    }
+
+    #[test]
+    fn probe_failures_serialize_with_their_labels() {
+        let mut rep = sample();
+        rep.failures
+            .push(dichotomy_core::experiments::ProbeFailure {
+                row: "θ=1".into(),
+                probe: "TiKV".into(),
+                index: 1,
+                message: "cannot build \"TiKV\"".into(),
+            });
+        let json = report("fig00", &rep);
+        assert!(json.contains(
+            "\"failures\":[{\"row\":\"θ=1\",\"probe\":\"TiKV\",\"index\":1,\
+             \"message\":\"cannot build \\\"TiKV\\\"\"}]"
+        ));
     }
 
     #[test]
     fn time_series_serialize_per_row() {
         let json = report("fig00", &sample_with_series());
         assert!(json.contains(
-            "\"series\":[{\"name\":\"etcd\",\"window_us\":1000,\"warmup_us\":0,\"windows\":["
+            "\"series\":[{\"name\":\"etcd\",\"events_clamped\":0,\"window_us\":1000,\
+             \"warmup_us\":0,\"windows\":["
         ));
         assert!(json.contains(
             "{\"start_us\":0,\"end_us\":1000,\"committed\":3,\"aborted\":1,\"tps\":3000,\
@@ -236,5 +326,39 @@ mod tests {
         let doc_default = document(false, None, 7, &[]);
         assert!(doc_default.contains("\"txns\":null"));
         assert!(doc_default.contains("\"experiments\":[]"));
+    }
+
+    #[test]
+    fn bench_documents_carry_jobs_and_per_experiment_wall_clock() {
+        let timings = vec![
+            BenchTiming {
+                key: "fig04".into(),
+                wall_ms: 12.5,
+                rows: 5,
+                failed_probes: 0,
+                ok: true,
+            },
+            BenchTiming {
+                key: "fig09".into(),
+                wall_ms: 7.5,
+                rows: 0,
+                failed_probes: 1,
+                ok: false,
+            },
+        ];
+        let doc = bench_document(true, None, 7, 4, &timings);
+        assert!(doc.starts_with(
+            "{\"generator\":\"repro-bench\",\"quick\":true,\"txns\":null,\"seed\":7,\
+             \"jobs\":4,\"total_wall_ms\":20,\"experiments\":["
+        ));
+        assert!(doc.contains(
+            "{\"key\":\"fig04\",\"wall_ms\":12.5,\"rows\":5,\"failed_probes\":0,\"ok\":true}"
+        ));
+        assert!(doc.contains(
+            "{\"key\":\"fig09\",\"wall_ms\":7.5,\"rows\":0,\"failed_probes\":1,\"ok\":false}"
+        ));
+        assert!(doc.ends_with("]}"));
+        let empty = bench_document(false, Some(42), 1, 1, &[]);
+        assert!(empty.contains("\"txns\":42") && empty.contains("\"experiments\":[]"));
     }
 }

@@ -18,7 +18,8 @@
 pub mod json;
 
 use dichotomy_core::experiments::{self as exp, ExperimentReport};
-use dichotomy_core::scenario::{run_plan, ExperimentPlan};
+use dichotomy_core::scenario::{run_plan, run_plan_with, ExecOptions, ExperimentPlan};
+use dichotomy_core::systems::SystemRegistry;
 
 /// Every experiment the harness can run, with its identifier.
 pub const EXPERIMENTS: &[&str] = &[
@@ -102,6 +103,16 @@ pub fn plan_for(id: &str, opts: &RunOptions) -> Option<ExperimentPlan> {
 /// Run one experiment by id and return its structured report.
 pub fn run_report(id: &str, opts: &RunOptions) -> Option<ExperimentReport> {
     plan_for(id, opts).map(|plan| run_plan(&plan))
+}
+
+/// Run one experiment by id under explicit execution options (worker count,
+/// progress callback) — what `repro --jobs/--progress` goes through.
+pub fn run_report_with(
+    id: &str,
+    opts: &RunOptions,
+    exec: &ExecOptions,
+) -> Option<ExperimentReport> {
+    plan_for(id, opts).map(|plan| run_plan_with(&plan, &SystemRegistry::with_builtins(), exec))
 }
 
 /// Run one experiment by id and return its printable report. `quick` scales

@@ -4,7 +4,8 @@
 //! reproducible, and the `--json` document must be valid JSON covering every
 //! experiment.
 
-use dichotomy_bench::{json, run_experiment, run_report, RunOptions, EXPERIMENTS};
+use dichotomy_bench::{json, run_experiment, run_report, run_report_with, RunOptions, EXPERIMENTS};
+use dichotomy_core::scenario::ExecOptions;
 
 #[test]
 fn every_experiment_produces_a_nonempty_quick_report() {
@@ -45,6 +46,49 @@ fn seeded_reports_differ_across_seeds_but_not_within_one() {
 #[test]
 fn unknown_ids_are_rejected() {
     assert!(run_experiment("fig99", true).is_none());
+}
+
+#[test]
+fn worker_count_does_not_change_a_seeded_report() {
+    // The harness-level view of the determinism guarantee: one simulation-
+    // backed experiment and the fault scenario, byte-for-byte across worker
+    // counts (the exhaustive per-system-kind check lives in dichotomy-core).
+    let opts = RunOptions::quick();
+    for id in ["tab05", "fault01"] {
+        let sequential = run_report_with(id, &opts, &ExecOptions::with_jobs(1)).unwrap();
+        let parallel = run_report_with(id, &opts, &ExecOptions::with_jobs(8)).unwrap();
+        assert_eq!(sequential, parallel, "{id}");
+        assert_eq!(
+            json::report(id, &sequential),
+            json::report(id, &parallel),
+            "{id}"
+        );
+    }
+}
+
+#[test]
+fn a_zero_row_plan_serializes_to_a_valid_empty_document() {
+    // Regression: an empty sweep expands to a zero-row plan; run_plan must
+    // return an empty report and `repro --json` must still emit a document
+    // that parses.
+    use dichotomy_core::scenario::{run_plan, ExperimentPlan};
+    let plan = ExperimentPlan {
+        id: "Empty",
+        title: "zero rows",
+        rows: Vec::new(),
+        text: None,
+    };
+    let report = run_plan(&plan);
+    assert!(report.rows.is_empty() && report.failures.is_empty());
+    let doc = json::document(true, None, 7, &[("empty".to_string(), report)]);
+    let value = parse_json(&doc).expect("zero-row reports must serialize to valid JSON");
+    let experiments = value.get("experiments").and_then(Json::as_array).unwrap();
+    assert_eq!(experiments.len(), 1);
+    assert!(experiments[0]
+        .get("rows")
+        .and_then(Json::as_array)
+        .unwrap()
+        .is_empty());
 }
 
 #[test]

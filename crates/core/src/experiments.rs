@@ -50,8 +50,28 @@ pub struct Row {
 pub struct RowSeries {
     /// Which probe produced it (the system label).
     pub name: String,
+    /// Events the probe's engine clamped to its clock (scheduled into the
+    /// past). Healthy runs report 0; surfacing the counter here makes report
+    /// equality — including the `jobs=1` vs `jobs=N` determinism check —
+    /// cover it.
+    pub events_clamped: u64,
     /// The windowed throughput/latency/abort data.
     pub series: crate::metrics::TimeSeries,
+}
+
+/// One probe that panicked during [`crate::scenario::run_plan`]: which row it
+/// backed, which probe it was, and the panic message. The probe's columns
+/// render as NaN (`null` in JSON); the rest of the experiment survives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeFailure {
+    /// Label of the row the probe contributed to.
+    pub row: String,
+    /// The probe's label (the system under test, or the probe kind).
+    pub probe: String,
+    /// Plan-order probe index (stable across worker counts).
+    pub index: usize,
+    /// The panic message.
+    pub message: String,
 }
 
 /// A structured experiment result.
@@ -63,6 +83,8 @@ pub struct ExperimentReport {
     pub title: &'static str,
     /// The measured rows.
     pub rows: Vec<Row>,
+    /// Probes that panicked, in plan order (empty on a clean run).
+    pub failures: Vec<ProbeFailure>,
     /// Pre-rendered text for qualitative experiments (Table 2's taxonomy);
     /// rendered verbatim instead of the row grid when present.
     pub text: Option<String>,
@@ -77,20 +99,26 @@ impl ExperimentReport {
         }
         let mut out = String::new();
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
-        if self.rows.is_empty() {
-            return out;
-        }
-        let _ = write!(out, "{:<28}", "");
-        for (name, _) in &self.rows[0].values {
-            let _ = write!(out, "{name:>16}");
-        }
-        let _ = writeln!(out);
-        for row in &self.rows {
-            let _ = write!(out, "{:<28}", row.label);
-            for (_, v) in &row.values {
-                let _ = write!(out, "{v:>16.1}");
+        if !self.rows.is_empty() {
+            let _ = write!(out, "{:<28}", "");
+            for (name, _) in &self.rows[0].values {
+                let _ = write!(out, "{name:>16}");
             }
             let _ = writeln!(out);
+            for row in &self.rows {
+                let _ = write!(out, "{:<28}", row.label);
+                for (_, v) in &row.values {
+                    let _ = write!(out, "{v:>16.1}");
+                }
+                let _ = writeln!(out);
+            }
+        }
+        for f in &self.failures {
+            let _ = writeln!(
+                out,
+                "!! probe '{}' on row '{}' failed: {}",
+                f.probe, f.row, f.message
+            );
         }
         out
     }

@@ -25,7 +25,7 @@ pub mod scenario;
 
 pub use driver::{run_workload, DriverConfig, RunStats};
 pub use metrics::{LatencySummary, Metrics, TimeSeries, TimeWindow};
-pub use scenario::{run_plan, ExperimentPlan, Scenario, Sweep};
+pub use scenario::{run_plan, run_plan_with, ExecOptions, ExperimentPlan, Scenario, Sweep};
 
 // Re-export the building blocks so downstream users need only this crate.
 pub use dichotomy_common as common;

@@ -34,7 +34,11 @@ impl LatencySummary {
         }
         latencies.sort_unstable();
         let n = latencies.len();
-        let pct = |p: f64| latencies[((n as f64 - 1.0) * p) as usize];
+        // Nearest-rank percentile: the ⌈q·n⌉-th smallest sample (1-based),
+        // i.e. index ⌈q·n⌉−1. The old floor((n−1)·q) rounding sat one rank
+        // low whenever q·n was fractional — on n=10 it reported the 9th
+        // sample as p99.
+        let pct = |q: f64| latencies[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
         LatencySummary {
             mean_us: latencies.iter().sum::<u64>() as f64 / n as f64,
             p50_us: pct(0.50),
@@ -304,6 +308,8 @@ mod tests {
 
     #[test]
     fn percentiles_are_order_statistics() {
+        // n=100, latencies 10..=1000 step 10: nearest rank ⌈q·n⌉−1 picks
+        // index 49 / 94 / 98.
         let receipts: Vec<TxnReceipt> = (1..=100)
             .map(|i| TxnReceipt::committed(id(i), 0, i * 10))
             .collect();
@@ -312,6 +318,16 @@ mod tests {
         assert_eq!(m.latency.p95_us, 950);
         assert_eq!(m.latency.p99_us, 990);
         assert_eq!(m.latency.max_us, 1000);
+        // n=10, latencies 10..=100: ⌈0.99·10⌉−1 = 9, so p99 is the maximum
+        // (the old floor((n−1)·q) rounding reported index 8, i.e. 90).
+        let m = Metrics::from_receipts(
+            &(1..=10)
+                .map(|i| TxnReceipt::committed(id(i), 0, i * 10))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(m.latency.p50_us, 50);
+        assert_eq!(m.latency.p95_us, 100);
+        assert_eq!(m.latency.p99_us, 100);
     }
 
     #[test]
@@ -401,18 +417,19 @@ mod tests {
         let s = TimeSeries::from_receipts(&receipts, 1_000, 0);
         assert_eq!(s.windows.len(), 2);
         let w0 = &s.windows[0];
-        // By the order-statistic rule index = floor((n-1) * p):
-        // n=10 → p50 at index 4 (50), p95 at index 8 (90), p99 at index 8.
+        // Nearest rank, index = ⌈q·n⌉−1: n=10 → p50 at index 4 (50),
+        // p95 at index ⌈9.5⌉−1 = 9 (100), p99 at index ⌈9.9⌉−1 = 9 (100).
         assert_eq!(w0.latency.p50_us, 50);
-        assert_eq!(w0.latency.p95_us, 90);
-        assert_eq!(w0.latency.p99_us, 90);
+        assert_eq!(w0.latency.p95_us, 100);
+        assert_eq!(w0.latency.p99_us, 100);
         assert_eq!(w0.latency.max_us, 100);
         assert_eq!(w0.latency.mean_us, 55.0);
         let w1 = &s.windows[1];
-        // n=2 → p50 at index 0 (200), p95/p99 at index 0 (200), max 400.
+        // n=2 → p50 at index ⌈1⌉−1 = 0 (200), p95/p99 at index ⌈1.9⌉−1 = 1
+        // (400), max 400.
         assert_eq!(w1.latency.p50_us, 200);
-        assert_eq!(w1.latency.p95_us, 200);
-        assert_eq!(w1.latency.p99_us, 200);
+        assert_eq!(w1.latency.p95_us, 400);
+        assert_eq!(w1.latency.p99_us, 400);
         assert_eq!(w1.latency.max_us, 400);
         assert_eq!(w1.latency.mean_us, 300.0);
     }

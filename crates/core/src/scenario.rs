@@ -44,6 +44,9 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
 use dichotomy_common::{AbortReason, Hash, Key, Value};
@@ -54,7 +57,7 @@ use dichotomy_systems::{SystemRegistry, SystemSpec};
 use dichotomy_workload::WorkloadSpec;
 
 use crate::driver::{run_workload, DriverConfig};
-use crate::experiments::{ExperimentReport, Row, RowSeries};
+use crate::experiments::{ExperimentReport, ProbeFailure, Row, RowSeries};
 use crate::metrics::Metrics;
 
 /// What one column reads off an executed probe.
@@ -132,6 +135,17 @@ pub enum Probe {
         /// Profile name as it appears in `dichotomy_hybrid::all_systems`.
         profile: &'static str,
     },
+}
+
+impl Probe {
+    /// Short label identifying the probe in progress lines and failures.
+    pub fn label(&self) -> String {
+        match self {
+            Probe::Drive { system, .. } => system.label(),
+            Probe::AdrOverhead { .. } => "adr-overhead".to_string(),
+            Probe::Forecast { profile } => format!("forecast {profile}"),
+        }
+    }
 }
 
 /// A probe plus the columns it contributes to its row.
@@ -301,9 +315,15 @@ pub struct Scenario {
 
 impl Scenario {
     /// Expand into the fully elaborated grid.
+    ///
+    /// [`Sweep::None`] means "no axis": one row per system. A sweep *with an
+    /// axis but zero points* (e.g. `Sweep::Theta(vec![])`) means "measure at
+    /// zero points" and legitimately expands to a zero-row plan, which
+    /// [`run_plan`] executes into an empty report instead of panicking.
     pub fn plan(&self) -> ExperimentPlan {
+        let sweepless = matches!(self.sweep, Sweep::None);
         if let Some(labels) = &self.row_labels {
-            let expected = if self.sweep.is_empty() {
+            let expected = if sweepless {
                 self.systems.len()
             } else {
                 self.sweep.len()
@@ -329,7 +349,7 @@ impl Scenario {
             }
             spec
         };
-        let rows = if self.sweep.is_empty() {
+        let rows = if sweepless {
             // One row per system.
             self.systems
                 .iter()
@@ -395,26 +415,231 @@ struct Observation {
     series: Option<RowSeries>,
 }
 
-/// Execute a plan with the built-in system registry.
-pub fn run_plan(plan: &ExperimentPlan) -> ExperimentReport {
-    run_plan_with(plan, &SystemRegistry::with_builtins())
+/// How [`run_plan_with`] executes a plan's probes.
+///
+/// Every probe is an isolated engine + system pair, so probes run on a
+/// worker pool: results are reassembled in plan order and the report is
+/// byte-identical to sequential execution for the same seed, whatever the
+/// worker count.
+#[derive(Clone, Copy, Default)]
+pub struct ExecOptions<'a> {
+    /// Worker threads. `0` (the default) resolves the `DICHOTOMY_JOBS`
+    /// environment variable, falling back to
+    /// [`std::thread::available_parallelism`]; `1` runs probes inline with
+    /// no pool.
+    pub jobs: usize,
+    /// Invoked once per finished probe, in completion order, from the thread
+    /// that called [`run_plan_with`] — live per-probe status for a CLI.
+    pub progress: Option<&'a (dyn Fn(&ProbeStatus) + Sync)>,
 }
 
-/// Execute a plan, building systems through `registry`.
+impl ExecOptions<'_> {
+    /// Options with an explicit worker count and no progress callback.
+    pub fn with_jobs(jobs: usize) -> Self {
+        ExecOptions {
+            jobs,
+            progress: None,
+        }
+    }
+
+    /// The worker count this configuration resolves to.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            return self.jobs;
+        }
+        std::env::var("DICHOTOMY_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&j| j > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    }
+}
+
+/// Live status of one finished probe, delivered to [`ExecOptions::progress`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeStatus {
+    /// Plan-order index of the probe (stable across worker counts).
+    pub index: usize,
+    /// Total probes in the plan.
+    pub total: usize,
+    /// Probes finished so far, including this one (completion order).
+    pub done: usize,
+    /// Label of the row the probe contributes to.
+    pub row: String,
+    /// The probe's label.
+    pub probe: String,
+    /// The panic message, if the probe failed.
+    pub error: Option<String>,
+}
+
+/// Best-effort text of a panic payload: `&str` and `String` payloads carry
+/// their message through; anything else keeps a fixed marker (the caller
+/// supplies the attribution — probe label, row, experiment id).
+pub fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+// Plans cross thread boundaries wholesale (workers borrow them), so
+// everything a plan carries must be Send + Sync. Compile-time audit; the
+// system *models* themselves are exempt — each worker builds its own from
+// the spec and never ships it anywhere.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<ExperimentPlan>();
+    _assert_send_sync::<Probe>();
+    _assert_send_sync::<SystemRegistry>();
+};
+
+/// Execute a plan with the built-in system registry and default execution
+/// options (worker count from `DICHOTOMY_JOBS` / available parallelism).
+pub fn run_plan(plan: &ExperimentPlan) -> ExperimentReport {
+    run_plan_with(
+        plan,
+        &SystemRegistry::with_builtins(),
+        &ExecOptions::default(),
+    )
+}
+
+/// One probe's result, before reassembly into rows.
+struct ProbeOutcome {
+    values: Vec<(String, f64)>,
+    series: Option<RowSeries>,
+    error: Option<String>,
+}
+
+/// A probe flattened out of the row grid, with the labels that attribute it.
+struct FlatProbe<'p> {
+    run: &'p PlannedRun,
+    row_label: &'p str,
+    probe_label: String,
+}
+
+/// Execute a plan, building systems through `registry`, on a worker pool of
+/// `options.effective_jobs()` threads (a channel-fed queue of probe indexes;
+/// rows are reassembled in plan order, so output does not depend on the
+/// worker count).
 ///
-/// Panics if a spec's kind has no registered builder — the `repro` binary
-/// turns per-experiment panics into a failure summary.
-pub fn run_plan_with(plan: &ExperimentPlan, registry: &SystemRegistry) -> ExperimentReport {
+/// Each probe runs under its own panic boundary: a panicking probe — unknown
+/// profile, unregistered builder, a model bug — reports NaN for its columns
+/// plus a labelled [`ProbeFailure`], and every other probe still completes.
+pub fn run_plan_with(
+    plan: &ExperimentPlan,
+    registry: &SystemRegistry,
+    options: &ExecOptions,
+) -> ExperimentReport {
+    let flat: Vec<FlatProbe> = plan
+        .rows
+        .iter()
+        .flat_map(|row| {
+            row.runs.iter().map(move |run| FlatProbe {
+                run,
+                row_label: &row.label,
+                probe_label: run.probe.label(),
+            })
+        })
+        .collect();
+    let total = flat.len();
+    let jobs = options.effective_jobs().min(total.max(1));
+
+    let mut done = 0usize;
+    let mut outcomes: Vec<Option<ProbeOutcome>> = (0..total).map(|_| None).collect();
+    {
+        let mut notify = |index: usize, outcome: &ProbeOutcome| {
+            done += 1;
+            if let Some(progress) = options.progress {
+                progress(&ProbeStatus {
+                    index,
+                    total,
+                    done,
+                    row: flat[index].row_label.to_string(),
+                    probe: flat[index].probe_label.clone(),
+                    error: outcome.error.clone(),
+                });
+            }
+        };
+        if jobs <= 1 {
+            for (index, probe) in flat.iter().enumerate() {
+                let outcome = execute_probe(probe.run, registry);
+                notify(index, &outcome);
+                outcomes[index] = Some(outcome);
+            }
+        } else {
+            // The work queue: probe indexes, fully enqueued up front, shared
+            // through a mutex so idle workers pull the next probe as they
+            // finish. Results come back over a second channel and are slotted
+            // by index; the collector runs the progress callback.
+            let (job_tx, job_rx) = mpsc::channel::<usize>();
+            for index in 0..total {
+                let _ = job_tx.send(index);
+            }
+            drop(job_tx);
+            let job_rx = Arc::new(Mutex::new(job_rx));
+            let (result_tx, result_rx) = mpsc::channel::<(usize, ProbeOutcome)>();
+            let flat_ref = &flat;
+            std::thread::scope(|scope| {
+                for _ in 0..jobs {
+                    let job_rx = Arc::clone(&job_rx);
+                    let result_tx = result_tx.clone();
+                    scope.spawn(move || loop {
+                        // Probes unwind-catch their panics, so the lock can
+                        // only be poisoned by a bug in this loop itself; a
+                        // worker that finds it poisoned stops cleanly rather
+                        // than panicking outside the catch_unwind boundary
+                        // (which would abort the whole scope).
+                        let Ok(queue) = job_rx.lock() else { break };
+                        let next = queue.recv();
+                        drop(queue);
+                        let Ok(index) = next else { break };
+                        let outcome = execute_probe(flat_ref[index].run, registry);
+                        if result_tx.send((index, outcome)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(result_tx);
+                while let Ok((index, outcome)) = result_rx.recv() {
+                    notify(index, &outcome);
+                    outcomes[index] = Some(outcome);
+                }
+            });
+        }
+    }
+
+    let mut outcomes = outcomes.into_iter();
+    let mut failures = Vec::new();
+    let mut index = 0usize;
     let rows = plan
         .rows
         .iter()
         .map(|row| {
             let mut values = Vec::new();
             let mut series = Vec::new();
-            for run in &row.runs {
-                let (run_values, run_series) = execute(run, registry);
-                values.extend(run_values);
-                series.extend(run_series);
+            for _ in &row.runs {
+                let outcome = outcomes
+                    .next()
+                    .flatten()
+                    .expect("every scheduled probe reports an outcome");
+                values.extend(outcome.values);
+                series.extend(outcome.series);
+                if let Some(message) = outcome.error {
+                    failures.push(ProbeFailure {
+                        row: row.label.clone(),
+                        probe: flat[index].probe_label.clone(),
+                        index,
+                        message,
+                    });
+                }
+                index += 1;
             }
             Row {
                 label: row.label.clone(),
@@ -427,7 +652,30 @@ pub fn run_plan_with(plan: &ExperimentPlan, registry: &SystemRegistry) -> Experi
         id: plan.id,
         title: plan.title,
         rows,
+        failures,
         text: plan.text.clone(),
+    }
+}
+
+/// Run one probe under its own panic boundary.
+fn execute_probe(run: &PlannedRun, registry: &SystemRegistry) -> ProbeOutcome {
+    match catch_unwind(AssertUnwindSafe(|| execute(run, registry))) {
+        Ok((values, series)) => ProbeOutcome {
+            values,
+            series,
+            error: None,
+        },
+        Err(payload) => ProbeOutcome {
+            // Keep the row's shape: every column the probe owed reads NaN
+            // (JSON null), so sibling probes' columns stay aligned.
+            values: run
+                .columns
+                .iter()
+                .map(|c| (c.name.clone(), f64::NAN))
+                .collect(),
+            series: None,
+            error: Some(panic_text(payload.as_ref())),
+        },
     }
 }
 
@@ -460,6 +708,7 @@ fn observe(probe: &Probe, registry: &SystemRegistry) -> Observation {
                 extras: BTreeMap::new(),
                 series: Some(RowSeries {
                     name: system.label(),
+                    events_clamped: stats.events_clamped,
                     series: stats.series,
                 }),
             }
@@ -680,5 +929,146 @@ mod tests {
         let mbt = report.value("100 B", "MBT_B/rec").unwrap();
         let mpt = report.value("100 B", "MPT_B/rec").unwrap();
         assert!(mpt > mbt);
+    }
+
+    fn kind_scenario(kind: SystemKind) -> Scenario {
+        Scenario {
+            id: "P",
+            title: "parallel determinism",
+            systems: vec![SystemEntry {
+                spec: SystemSpec::new(kind),
+                columns: vec![
+                    ColumnSpec::new("tps", Metric::ThroughputTps),
+                    ColumnSpec::new("abort_%", Metric::AbortPercent),
+                    ColumnSpec::new("lat_ms", Metric::LatencyMeanMs),
+                ],
+            }],
+            workload: WorkloadSpec::ycsb(YcsbMix::UpdateOnly).with_records(500),
+            driver: DriverConfig::saturating(120),
+            sweep: Sweep::Theta(vec![0.0, 0.8]),
+            row_labels: None,
+            faults: None,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential_for_every_kind_and_fault01() {
+        // The acceptance bar for the worker pool: for a fixed seed, jobs=1
+        // and jobs=8 produce identical reports — values, windowed series and
+        // the per-probe clamp counters (all covered by ExperimentReport's
+        // PartialEq) — across one experiment per system kind plus the fault
+        // scenario.
+        let registry = SystemRegistry::with_builtins();
+        let mut plans: Vec<ExperimentPlan> = SystemKind::ALL
+            .iter()
+            .map(|&kind| kind_scenario(kind).plan())
+            .collect();
+        plans.push(crate::experiments::fault01_plan(120, 7));
+        for plan in &plans {
+            let sequential = run_plan_with(plan, &registry, &ExecOptions::with_jobs(1));
+            let parallel = run_plan_with(plan, &registry, &ExecOptions::with_jobs(8));
+            assert_eq!(sequential, parallel, "{}", plan.id);
+            assert!(sequential.failures.is_empty(), "{}", plan.id);
+            for row in &sequential.rows {
+                for s in &row.series {
+                    assert_eq!(s.events_clamped, 0, "{} {}", plan.id, row.label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_panicking_probe_is_isolated_and_labelled() {
+        fn bomb(_spec: &SystemSpec) -> Box<dyn dichotomy_systems::TransactionalSystem> {
+            // A non-string payload: the failure must still be attributable.
+            std::panic::panic_any(42u32)
+        }
+        let mut registry = SystemRegistry::with_builtins();
+        registry.register(SystemKind::Tikv, bomb);
+        let scenario = Scenario {
+            systems: vec![
+                SystemEntry {
+                    spec: SystemSpec::new(SystemKind::Etcd),
+                    columns: vec![ColumnSpec::new("tps", Metric::ThroughputTps)],
+                },
+                SystemEntry {
+                    spec: SystemSpec::new(SystemKind::Tikv),
+                    columns: vec![ColumnSpec::new("tps", Metric::ThroughputTps)],
+                },
+            ],
+            ..tiny_scenario(1)
+        };
+        for jobs in [1, 4] {
+            let report = run_plan_with(&scenario.plan(), &registry, &ExecOptions::with_jobs(jobs));
+            // The sibling probe still completes...
+            assert!(report.value("etcd", "tps").unwrap() > 0.0, "jobs={jobs}");
+            // ...the failed probe keeps its column shape (NaN → JSON null)...
+            assert!(report.value("TiKV", "tps").unwrap().is_nan(), "jobs={jobs}");
+            // ...and the failure is labelled with row and probe.
+            assert_eq!(report.failures.len(), 1, "jobs={jobs}");
+            let failure = &report.failures[0];
+            assert_eq!(failure.row, "TiKV");
+            assert_eq!(failure.probe, "TiKV");
+            assert_eq!(failure.index, 1);
+            assert_eq!(failure.message, "panicked (non-string payload)");
+            let rendered = report.render();
+            assert!(rendered.contains("!! probe 'TiKV' on row 'TiKV' failed"));
+        }
+    }
+
+    #[test]
+    fn progress_reports_every_probe_in_completion_order() {
+        let mut scenario = tiny_scenario(1);
+        scenario.sweep = Sweep::Theta(vec![0.0, 0.5, 1.0]);
+        let plan = scenario.plan();
+        for jobs in [1, 4] {
+            let statuses: Mutex<Vec<ProbeStatus>> = Mutex::new(Vec::new());
+            let record = |s: &ProbeStatus| statuses.lock().unwrap().push(s.clone());
+            let options = ExecOptions {
+                jobs,
+                progress: Some(&record),
+            };
+            run_plan_with(&plan, &SystemRegistry::with_builtins(), &options);
+            let statuses = statuses.into_inner().unwrap();
+            assert_eq!(statuses.len(), 3, "jobs={jobs}");
+            // `done` counts completions 1..=total; indexes cover the plan.
+            assert_eq!(
+                statuses.iter().map(|s| s.done).collect::<Vec<_>>(),
+                vec![1, 2, 3]
+            );
+            let mut indexes: Vec<usize> = statuses.iter().map(|s| s.index).collect();
+            indexes.sort_unstable();
+            assert_eq!(indexes, vec![0, 1, 2]);
+            assert!(statuses.iter().all(|s| s.total == 3 && s.error.is_none()));
+            assert!(statuses.iter().all(|s| s.probe == "etcd"));
+        }
+    }
+
+    #[test]
+    fn an_empty_sweep_or_empty_plan_yields_an_empty_report() {
+        // An axis with zero points expands to zero rows (regression: this
+        // used to fall back to the sweepless one-row-per-system grid).
+        let mut scenario = tiny_scenario(1);
+        scenario.sweep = Sweep::Theta(Vec::new());
+        let plan = scenario.plan();
+        assert_eq!(plan.rows.len(), 0);
+        assert_eq!(plan.probe_count(), 0);
+        let report = run_plan(&plan);
+        assert!(report.rows.is_empty() && report.failures.is_empty());
+        assert!(report.render().starts_with("== T"));
+        // A scenario with no systems behaves the same way.
+        let mut empty = tiny_scenario(1);
+        empty.systems.clear();
+        let report = run_plan(&empty.plan());
+        assert!(report.rows.is_empty());
+    }
+
+    #[test]
+    fn effective_jobs_prefers_explicit_over_env_and_detects_by_default() {
+        assert_eq!(ExecOptions::with_jobs(3).effective_jobs(), 3);
+        // jobs=0 resolves DICHOTOMY_JOBS or available parallelism — either
+        // way, at least one worker.
+        assert!(ExecOptions::default().effective_jobs() >= 1);
     }
 }

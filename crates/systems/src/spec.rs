@@ -310,6 +310,19 @@ impl std::error::Error for UnknownSystem {}
 /// A builder function: spec in, boxed system model out.
 pub type SystemBuilder = fn(&SystemSpec) -> Box<dyn TransactionalSystem>;
 
+// The parallel plan executor shares specs and registries across worker
+// threads (each worker *builds* its own model from the spec, so the boxed
+// `TransactionalSystem` itself never crosses threads and needs no `Send`).
+// Audit the thread-crossing types at compile time: a future knob that drags
+// in an `Rc`/`RefCell` should fail here, not in a scheduler backtrace.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<SystemKind>();
+    _assert_send_sync::<SystemSpec>();
+    _assert_send_sync::<SystemBuilder>();
+    _assert_send_sync::<SystemRegistry>();
+};
+
 /// Maps [`SystemSpec`]s onto concrete models.
 ///
 /// The registry replaces the closed per-system `match` the experiments used

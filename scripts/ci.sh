@@ -18,23 +18,52 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> repro --json reproducibility (two seeded runs, byte-for-byte)"
+# Worker count for the parallel runs: every core, but at least 4 so the
+# pool (channel queue, out-of-order completion, reassembly) is exercised
+# even on small CI machines.
+CORES="$(nproc 2>/dev/null || echo 1)"
+JOBS="$CORES"
+[ "$JOBS" -lt 4 ] && JOBS=4
+
+echo "==> repro --json reproducibility (seeded, byte-for-byte, --jobs 1 vs --jobs $JOBS)"
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --json /tmp/ci_repro_a.json tab02 fig13 fig15 fault01 > /tmp/ci_repro_a.out
+    --quick --seed 7 --jobs 1 --json /tmp/ci_repro_a.json tab02 fig13 fig15 fault01 > /tmp/ci_repro_a.out
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --json /tmp/ci_repro_b.json tab02 fig13 fig15 fault01 > /tmp/ci_repro_b.out
+    --quick --seed 7 --jobs "$JOBS" --json /tmp/ci_repro_b.json tab02 fig13 fig15 fault01 > /tmp/ci_repro_b.out
 test -s /tmp/ci_repro_a.out
 test -s /tmp/ci_repro_a.json
 cmp /tmp/ci_repro_a.out /tmp/ci_repro_b.out
 cmp /tmp/ci_repro_a.json /tmp/ci_repro_b.json
-# The fault scenario's windowed series must be present in the JSON document.
+# The fault scenario's windowed series must be present in the JSON document,
+# and no probe anywhere in it may clamp events or fail (inverted greps: any
+# nonzero clamp counter or nonempty failure list anywhere trips the gate).
 grep -q '"key":"fault01"' /tmp/ci_repro_a.json
 grep -q '"windows":\[{' /tmp/ci_repro_a.json
+grep -q '"events_clamped":' /tmp/ci_repro_a.json
+# (`! grep` alone is exempt from `set -e`, so fail explicitly.)
+if grep -qE '"events_clamped":[1-9]' /tmp/ci_repro_a.json; then
+    echo "ci.sh: a probe clamped events (causality bug in a model)" >&2
+    exit 1
+fi
+if grep -q '"failures":\[{' /tmp/ci_repro_a.json; then
+    echo "ci.sh: a probe failed during the reproducibility run" >&2
+    exit 1
+fi
+
+echo "==> BENCH_parallel.json (repro --quick all wall clock, --jobs 1 vs --jobs $JOBS)"
+cargo run -p dichotomy-bench --release --bin repro -- \
+    --quick --seed 7 --jobs 1 --bench /tmp/ci_bench_seq.json all > /dev/null
+cargo run -p dichotomy-bench --release --bin repro -- \
+    --quick --seed 7 --jobs "$JOBS" --bench /tmp/ci_bench_par.json all > /dev/null
+printf '{"cores":%s,"sequential":%s,"parallel":%s}\n' \
+    "$CORES" "$(cat /tmp/ci_bench_seq.json)" "$(cat /tmp/ci_bench_par.json)" > BENCH_parallel.json
+grep -q '"generator":"repro-bench"' BENCH_parallel.json
 
 echo "==> microbench --smoke (engine hot-path regression canary)"
 cargo run -p dichotomy-bench --release --bin microbench -- --smoke > /tmp/ci_microbench.out
 test -s /tmp/ci_microbench.out
 grep -q "event_queue_schedule_pop_10k" /tmp/ci_microbench.out
 grep -q "engine_loop_etcd_update_300" /tmp/ci_microbench.out
+grep -q "plan_parallel_8probe_etcd" /tmp/ci_microbench.out
 
 echo "==> ci.sh: all checks passed"
