@@ -6,7 +6,9 @@
 //! cargo run -p dichotomy-bench --release --bin repro -- --quick fig04 fig14
 //! cargo run -p dichotomy-bench --release --bin repro -- --list
 //! cargo run -p dichotomy-bench --release --bin repro -- --quick --seed 7 --json out.json all
-//! cargo run -p dichotomy-bench --release --bin repro -- --quick --jobs 8 --bench timings.json all
+//! cargo run -p dichotomy-bench --release --bin repro -- --quick --jobs 8 \
+//!     --bench BENCH_history.json --bench-key "$(git describe --always)" all
+//! cargo run -p dichotomy-bench --release --bin repro -- --arrival closed --think-us 500 fig04
 //! ```
 //!
 //! Flags:
@@ -16,15 +18,28 @@
 //! * `--txns N` — override the per-experiment transaction/record count;
 //! * `--seed S` — reseed every run (same seed ⇒ bit-identical output);
 //! * `--jobs N` — worker threads for the probe pool (default: the
-//!   `DICHOTOMY_JOBS` environment variable, else all available cores).
-//!   Output is byte-identical whatever the worker count;
+//!   `DICHOTOMY_JOBS` environment variable, else all available cores). One
+//!   pool is shared across *all* requested experiments, so workers stay busy
+//!   over experiment boundaries. Output is byte-identical whatever the
+//!   worker count;
 //! * `--progress` — live per-probe status lines on stderr as probes finish;
+//! * `--fail-fast` — stop scheduling probes after the first failure (queued
+//!   probes report a labelled "skipped" failure instead of running);
+//! * `--arrival open|closed` — override every driving probe's arrival
+//!   process: `open` forces the open-loop default, `closed` a closed loop
+//!   with each probe's configured client count;
+//! * `--think-us N` / `--outstanding N` — the closed-loop override's mean
+//!   think time (default 1000 µs) and outstanding cap (default 1); only
+//!   valid with `--arrival closed`;
 //! * `--json PATH` — additionally write all completed reports as JSON. Each
 //!   row of a driving experiment carries its windowed time series (`series`:
-//!   per-window tps, abort %, p50/p95/p99 latency) — see
+//!   per-window offered/achieved tps, abort %, p50/p95/p99 latency) — see
 //!   `dichotomy_bench::json` for the schema;
-//! * `--bench PATH` — write per-experiment wall-clock timings as JSON (the
-//!   `BENCH_*.json` trajectory seed).
+//! * `--bench PATH` — **append** per-experiment worker-time timings to the
+//!   bench-trajectory history at PATH (created if missing; refuses documents
+//!   that are not a `repro-bench-history`);
+//! * `--bench-key KEY` — the label of the appended history entry (pass
+//!   `git describe`/a date; the run never reads the wall clock for it).
 //!
 //! Unknown experiment ids exit nonzero after printing the valid list. An
 //! `all` run continues past failures at *probe* granularity: a panicking
@@ -34,20 +49,30 @@
 //! experiment.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
 
-use dichotomy_bench::{json, list_experiments, run_report_with, RunOptions, EXPERIMENTS};
+use dichotomy_bench::{json, list_experiments, plan_for, ArrivalOverride, RunOptions, EXPERIMENTS};
 use dichotomy_core::experiments::ExperimentReport;
-use dichotomy_core::scenario::{panic_text, ExecOptions, ProbeStatus};
+use dichotomy_core::scenario::{
+    panic_text, run_plans_with, ExecOptions, ExperimentPlan, ProbeStatus,
+};
+use dichotomy_core::systems::SystemRegistry;
 
 struct Cli {
     options: RunOptions,
     json_path: Option<String>,
     bench_path: Option<String>,
+    bench_key: String,
     jobs: usize,
     progress: bool,
+    fail_fast: bool,
     list: bool,
     targets: Vec<String>,
+}
+
+/// One requested experiment: its plan, or why it has none.
+enum Planned {
+    Ready(ExperimentPlan),
+    Failed(String),
 }
 
 fn main() {
@@ -65,14 +90,33 @@ fn main() {
     } else {
         cli.targets.iter().map(String::as_str).collect()
     };
-
     let total = targets.len();
-    let mut completed: Vec<(String, ExperimentReport)> = Vec::new();
-    let mut failures: Vec<(&str, String)> = Vec::new();
-    let mut timings: Vec<json::BenchTiming> = Vec::new();
-    for id in targets {
-        let opts = cli.options.clone();
-        let progress = |s: &ProbeStatus| match &s.error {
+
+    // Expand every plan first (plan construction can panic — e.g. malformed
+    // sweeps — and must not take the other experiments down), then run all
+    // ready plans on ONE shared worker pool.
+    let planned: Vec<(&str, Planned)> = targets
+        .iter()
+        .map(|&id| {
+            let plan = match catch_unwind(AssertUnwindSafe(|| plan_for(id, &cli.options))) {
+                Ok(Some(plan)) => Planned::Ready(plan),
+                Ok(None) => Planned::Failed("not in the dispatch table".to_string()),
+                Err(panic) => Planned::Failed(panic_text(panic.as_ref())),
+            };
+            (id, plan)
+        })
+        .collect();
+    let ready: Vec<(&str, &ExperimentPlan)> = planned
+        .iter()
+        .filter_map(|(id, p)| match p {
+            Planned::Ready(plan) => Some((*id, plan)),
+            Planned::Failed(_) => None,
+        })
+        .collect();
+
+    let progress = |s: &ProbeStatus| {
+        let id = ready.get(s.plan).map(|(id, _)| *id).unwrap_or("?");
+        match &s.error {
             Some(e) => eprintln!(
                 "[{id}] probe {}/{} '{}' / '{}': FAILED: {e}",
                 s.done, s.total, s.row, s.probe
@@ -81,16 +125,24 @@ fn main() {
                 "[{id}] probe {}/{} '{}' / '{}'",
                 s.done, s.total, s.row, s.probe
             ),
-        };
-        let exec = ExecOptions {
-            jobs: cli.jobs,
-            progress: if cli.progress { Some(&progress) } else { None },
-        };
-        let started = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_report_with(id, &opts, &exec)));
-        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-        let (rows, failed_probes, ok) = match outcome {
-            Ok(Some(report)) => {
+        }
+    };
+    let exec = ExecOptions {
+        jobs: cli.jobs,
+        progress: if cli.progress { Some(&progress) } else { None },
+        fail_fast: cli.fail_fast,
+    };
+    let plans: Vec<&ExperimentPlan> = ready.iter().map(|(_, plan)| *plan).collect();
+    let mut outcomes = run_plans_with(&plans, &SystemRegistry::with_builtins(), &exec).into_iter();
+
+    let mut completed: Vec<(String, ExperimentReport)> = Vec::new();
+    let mut failures: Vec<(&str, String)> = Vec::new();
+    let mut timings: Vec<json::BenchTiming> = Vec::new();
+    for (id, plan) in planned {
+        match plan {
+            Planned::Ready(_) => {
+                let outcome = outcomes.next().expect("one outcome per ready plan");
+                let report = outcome.report;
                 println!("{}", report.render());
                 // Per-probe failures: attributable even when many probes ran
                 // in parallel — every line names experiment, row and probe.
@@ -100,28 +152,26 @@ fn main() {
                         format!("row '{}' probe '{}': {}", f.row, f.probe, f.message),
                     ));
                 }
-                let counts = (report.rows.len(), report.failures.len(), true);
+                timings.push(json::BenchTiming {
+                    key: id.to_string(),
+                    wall_ms: outcome.probe_wall_ms,
+                    rows: report.rows.len(),
+                    failed_probes: report.failures.len(),
+                    ok: true,
+                });
                 completed.push((id.to_string(), report));
-                counts
             }
-            // The dispatch table and EXPERIMENTS disagree — a bug, but one
-            // `all` should survive like any other per-experiment failure.
-            Ok(None) => {
-                failures.push((id, "not in the dispatch table".to_string()));
-                (0, 0, false)
+            Planned::Failed(message) => {
+                failures.push((id, message));
+                timings.push(json::BenchTiming {
+                    key: id.to_string(),
+                    wall_ms: 0.0,
+                    rows: 0,
+                    failed_probes: 0,
+                    ok: false,
+                });
             }
-            Err(panic) => {
-                failures.push((id, panic_text(panic.as_ref())));
-                (0, 0, false)
-            }
-        };
-        timings.push(json::BenchTiming {
-            key: id.to_string(),
-            wall_ms,
-            rows,
-            failed_probes,
-            ok,
-        });
+        }
     }
 
     // Write both output documents before deciding the exit code: a broken
@@ -145,20 +195,26 @@ fn main() {
     }
 
     if let Some(path) = &cli.bench_path {
-        let doc = json::bench_document(
+        let entry = json::bench_document(
+            &cli.bench_key,
             cli.options.quick,
             cli.options.txns,
             cli.options.seed,
             ExecOptions::with_jobs(cli.jobs).effective_jobs(),
             &timings,
         );
-        match std::fs::write(path, doc) {
+        let existing = std::fs::read_to_string(path).ok();
+        match json::append_history(existing.as_deref(), &entry)
+            .map_err(|e| e.to_string())
+            .and_then(|doc| std::fs::write(path, doc).map_err(|e| e.to_string()))
+        {
             Err(e) => {
-                eprintln!("cannot write {path}: {e}");
+                eprintln!("cannot append bench history to {path}: {e}");
                 write_failed = true;
             }
             Ok(()) => eprintln!(
-                "wrote timings for {} experiment(s) to {path}",
+                "appended '{}' ({} experiment timings) to {path}",
+                cli.bench_key,
                 timings.len()
             ),
         }
@@ -184,13 +240,18 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
         options: RunOptions::default(),
         json_path: None,
         bench_path: None,
+        bench_key: "unkeyed".to_string(),
         jobs: 0,
         progress: false,
+        fail_fast: false,
         list: false,
         targets: Vec::new(),
     };
     let mut args = args.peekable();
     let mut bad_usage = Vec::new();
+    let mut think_us: Option<u64> = None;
+    let mut outstanding: Option<u64> = None;
+    let mut arrival: Option<String> = None;
     while let Some(arg) = args.next() {
         // Accept both `--flag value` and `--flag=value`.
         let (flag, inline_value) = match arg.split_once('=') {
@@ -198,12 +259,13 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
             _ => (arg.clone(), None),
         };
         match flag.as_str() {
-            "--quick" | "--list" | "--progress" if inline_value.is_some() => {
+            "--quick" | "--list" | "--progress" | "--fail-fast" if inline_value.is_some() => {
                 bad_usage.push(format!("flag '{flag}' takes no value"));
             }
             "--quick" => cli.options.quick = true,
             "--list" => cli.list = true,
             "--progress" => cli.progress = true,
+            "--fail-fast" => cli.fail_fast = true,
             "--txns" => {
                 if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
                     match v.parse::<u64>() {
@@ -228,6 +290,30 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
                     }
                 }
             }
+            "--arrival" => {
+                if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
+                    match v.as_str() {
+                        "open" | "closed" => arrival = Some(v),
+                        _ => bad_usage.push(format!("--arrival: '{v}' is not open|closed")),
+                    }
+                }
+            }
+            "--think-us" => {
+                if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
+                    match v.parse::<u64>() {
+                        Ok(n) => think_us = Some(n),
+                        Err(_) => bad_usage.push(format!("--think-us: '{v}' is not µs")),
+                    }
+                }
+            }
+            "--outstanding" => {
+                if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
+                    match v.parse::<u64>() {
+                        Ok(n) if n >= 1 => outstanding = Some(n),
+                        _ => bad_usage.push(format!("--outstanding: '{v}' is not a cap ≥ 1")),
+                    }
+                }
+            }
             "--json" => {
                 if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
                     cli.json_path = Some(v);
@@ -238,10 +324,34 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
                     cli.bench_path = Some(v);
                 }
             }
+            "--bench-key" => {
+                if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
+                    cli.bench_key = v;
+                }
+            }
             f if f.starts_with("--") => bad_usage.push(format!("unknown flag '{f}'")),
             _ => cli.targets.push(arg),
         }
     }
+
+    cli.options.arrival = match arrival.as_deref() {
+        None => {
+            if think_us.is_some() || outstanding.is_some() {
+                bad_usage.push("--think-us/--outstanding need --arrival closed".to_string());
+            }
+            None
+        }
+        Some("open") => {
+            if think_us.is_some() || outstanding.is_some() {
+                bad_usage.push("--think-us/--outstanding need --arrival closed".to_string());
+            }
+            Some(ArrivalOverride::Open)
+        }
+        Some(_) => Some(ArrivalOverride::Closed {
+            think_time_us: think_us.unwrap_or(1_000),
+            max_outstanding: outstanding.unwrap_or(1),
+        }),
+    };
 
     let unknown: Vec<&String> = cli
         .targets
@@ -256,7 +366,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
             eprintln!("{msg}");
         }
         eprintln!(
-            "valid flags: --quick --list --progress --txns N --seed S --jobs N --json PATH --bench PATH"
+            "valid flags: --quick --list --progress --fail-fast --txns N --seed S --jobs N \
+             --arrival open|closed --think-us N --outstanding N --json PATH --bench PATH \
+             --bench-key KEY"
         );
         eprintln!("valid experiments: all {}", EXPERIMENTS.join(" "));
         std::process::exit(2);

@@ -9,8 +9,10 @@
 //!
 //! Each row additionally carries `series`: one windowed time series per
 //! driving probe (`{"name", "window_us", "warmup_us", "windows": [{
-//! "start_us", "end_us", "committed", "aborted", "tps", "abort_pct",
-//! "p50_us", "p95_us", "p99_us"}]}`) — empty for non-driving probes.
+//! "start_us", "end_us", "submitted", "committed", "aborted", "offered_tps",
+//! "tps", "abort_pct", "p50_us", "p95_us", "p99_us"}]}`) — empty for
+//! non-driving probes. `submitted`/`offered_tps` are the offered side of the
+//! window (bucketed by submit time); `committed`/`tps` the achieved side.
 
 use dichotomy_core::experiments::{ExperimentReport, RowSeries};
 
@@ -133,12 +135,15 @@ fn row_series(s: &RowSeries) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"start_us\":{},\"end_us\":{},\"committed\":{},\"aborted\":{},\"tps\":{},\
-             \"abort_pct\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            "{{\"start_us\":{},\"end_us\":{},\"submitted\":{},\"committed\":{},\"aborted\":{},\
+             \"offered_tps\":{},\"tps\":{},\"abort_pct\":{},\"p50_us\":{},\"p95_us\":{},\
+             \"p99_us\":{}}}",
             w.start_us,
             w.end_us,
+            w.submitted,
             w.committed,
             w.aborted,
+            number(w.offered_tps),
             number(w.throughput_tps),
             number(w.abort_rate_percent),
             w.latency.p50_us,
@@ -175,11 +180,14 @@ pub fn document(
     out
 }
 
-/// Serialize a `repro --bench` run: the options and worker count used, the
-/// total wall clock, and one timing entry per experiment. This document is
-/// the seed of the repo's `BENCH_*.json` trajectory — `scripts/ci.sh`
-/// archives a `--jobs 1` vs `--jobs N` pair as `BENCH_parallel.json`.
+/// Serialize one `repro --bench` run: the label (`--bench-key`, typically a
+/// `git describe`/date tag so the trajectory is keyed per PR), the options
+/// and worker count used, the total worker time, and one timing entry per
+/// experiment. Entries accumulate in a history document (see
+/// [`append_history`]) — `scripts/ci.sh` appends a `--jobs 1` / `--jobs N`
+/// pair to `BENCH_history.json` on every run.
 pub fn bench_document(
+    label: &str,
     quick: bool,
     txns: Option<u64>,
     seed: u64,
@@ -189,8 +197,9 @@ pub fn bench_document(
     let total_wall_ms: f64 = timings.iter().map(|t| t.wall_ms).sum();
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\"generator\":\"repro-bench\",\"quick\":{quick},\"txns\":{},\"seed\":{seed},\
-         \"jobs\":{jobs},\"total_wall_ms\":{},\"experiments\":[",
+        "{{\"generator\":\"repro-bench\",\"label\":\"{}\",\"quick\":{quick},\"txns\":{},\
+         \"seed\":{seed},\"jobs\":{jobs},\"total_wall_ms\":{},\"experiments\":[",
+        escape(label),
         match txns {
             Some(n) => n.to_string(),
             None => "null".to_string(),
@@ -212,6 +221,34 @@ pub fn bench_document(
     }
     out.push_str("]}");
     out
+}
+
+/// The fixed head of a bench-history document.
+const HISTORY_PREFIX: &str = "{\"generator\":\"repro-bench-history\",\"entries\":[";
+
+/// Append one [`bench_document`] entry to a bench-history document,
+/// returning the new document. `existing` is the current file content
+/// (`None` or empty starts a fresh history). The history format is fixed —
+/// `{"generator":"repro-bench-history","entries":[…]}` — and a file that
+/// does not match it is refused rather than silently overwritten.
+pub fn append_history(existing: Option<&str>, entry: &str) -> Result<String, String> {
+    let fresh = || format!("{HISTORY_PREFIX}{entry}]}}");
+    match existing.map(str::trim) {
+        None | Some("") => Ok(fresh()),
+        Some(doc) => {
+            let entries = doc
+                .strip_prefix(HISTORY_PREFIX)
+                .and_then(|body| body.strip_suffix("]}"))
+                .ok_or_else(|| {
+                    "not a repro-bench-history document (refusing to overwrite)".to_string()
+                })?;
+            if entries.is_empty() {
+                Ok(fresh())
+            } else {
+                Ok(format!("{HISTORY_PREFIX}{entries},{entry}]}}"))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -245,8 +282,10 @@ mod tests {
                 windows: vec![TimeWindow {
                     start_us: 0,
                     end_us: 1_000,
+                    submitted: 4,
                     committed: 3,
                     aborted: 1,
+                    offered_tps: 4_000.0,
                     throughput_tps: 3_000.0,
                     abort_rate_percent: 25.0,
                     latency: LatencySummary {
@@ -311,8 +350,9 @@ mod tests {
              \"warmup_us\":0,\"windows\":["
         ));
         assert!(json.contains(
-            "{\"start_us\":0,\"end_us\":1000,\"committed\":3,\"aborted\":1,\"tps\":3000,\
-             \"abort_pct\":25,\"p50_us\":10,\"p95_us\":12,\"p99_us\":12}"
+            "{\"start_us\":0,\"end_us\":1000,\"submitted\":4,\"committed\":3,\"aborted\":1,\
+             \"offered_tps\":4000,\"tps\":3000,\"abort_pct\":25,\"p50_us\":10,\"p95_us\":12,\
+             \"p99_us\":12}"
         ));
     }
 
@@ -346,10 +386,10 @@ mod tests {
                 ok: false,
             },
         ];
-        let doc = bench_document(true, None, 7, 4, &timings);
+        let doc = bench_document("pr5-jobs4", true, None, 7, 4, &timings);
         assert!(doc.starts_with(
-            "{\"generator\":\"repro-bench\",\"quick\":true,\"txns\":null,\"seed\":7,\
-             \"jobs\":4,\"total_wall_ms\":20,\"experiments\":["
+            "{\"generator\":\"repro-bench\",\"label\":\"pr5-jobs4\",\"quick\":true,\
+             \"txns\":null,\"seed\":7,\"jobs\":4,\"total_wall_ms\":20,\"experiments\":["
         ));
         assert!(doc.contains(
             "{\"key\":\"fig04\",\"wall_ms\":12.5,\"rows\":5,\"failed_probes\":0,\"ok\":true}"
@@ -358,7 +398,32 @@ mod tests {
             "{\"key\":\"fig09\",\"wall_ms\":7.5,\"rows\":0,\"failed_probes\":1,\"ok\":false}"
         ));
         assert!(doc.ends_with("]}"));
-        let empty = bench_document(false, Some(42), 1, 1, &[]);
+        let empty = bench_document("x", false, Some(42), 1, 1, &[]);
         assert!(empty.contains("\"txns\":42") && empty.contains("\"experiments\":[]"));
+    }
+
+    #[test]
+    fn bench_history_accumulates_entries_across_appends() {
+        let entry = |label: &str| bench_document(label, true, None, 7, 1, &[]);
+        // A fresh history wraps the first entry.
+        let first = append_history(None, &entry("pr5-jobs1")).unwrap();
+        assert!(first.starts_with("{\"generator\":\"repro-bench-history\",\"entries\":["));
+        assert!(first.ends_with("]}"));
+        assert_eq!(first.matches("\"generator\":\"repro-bench\"").count(), 1);
+        // Appending keeps earlier entries; whitespace around the document is
+        // tolerated (editors add trailing newlines).
+        let second = append_history(Some(&format!("{first}\n")), &entry("pr6-jobs1")).unwrap();
+        assert_eq!(second.matches("\"generator\":\"repro-bench\"").count(), 2);
+        assert!(second.contains("\"label\":\"pr5-jobs1\""));
+        assert!(second.contains("\"label\":\"pr6-jobs1\""));
+        let third = append_history(Some(&second), &entry("pr7-jobs4")).unwrap();
+        assert_eq!(third.matches("\"label\":").count(), 3);
+        // An empty file behaves like a missing one; an alien document is
+        // refused, never clobbered.
+        assert_eq!(append_history(Some("  \n"), &entry("a")).unwrap(), {
+            append_history(None, &entry("a")).unwrap()
+        });
+        assert!(append_history(Some("{\"generator\":\"repro\"}"), &entry("a")).is_err());
+        assert!(append_history(Some("garbage"), &entry("a")).is_err());
     }
 }

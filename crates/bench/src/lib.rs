@@ -17,15 +17,33 @@
 
 pub mod json;
 
+use dichotomy_core::driver::ArrivalSpec;
 use dichotomy_core::experiments::{self as exp, ExperimentReport};
-use dichotomy_core::scenario::{run_plan, run_plan_with, ExecOptions, ExperimentPlan};
+use dichotomy_core::scenario::{run_plan, run_plan_with, ExecOptions, ExperimentPlan, Probe};
 use dichotomy_core::systems::SystemRegistry;
 
 /// Every experiment the harness can run, with its identifier.
 pub const EXPERIMENTS: &[&str] = &[
     "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "tab02", "tab04", "tab05", "fault01",
+    "fig14", "fig15", "tab02", "tab04", "tab05", "fault01", "closed01", "ramp01",
 ];
+
+/// A repro-level override of the arrival process of every driving probe in
+/// a plan (`repro --arrival/--think-us/--outstanding`): probe any existing
+/// experiment under a different client model without writing a new plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalOverride {
+    /// Force the open-loop default at each probe's configured offered rate.
+    Open,
+    /// Force a closed loop: the client count comes from each probe's driver
+    /// config (`clients`), think time and outstanding cap from the flags.
+    Closed {
+        /// Mean think time (µs).
+        think_time_us: u64,
+        /// Per-client outstanding-request cap.
+        max_outstanding: u64,
+    },
+}
 
 /// How to scale and seed a run.
 #[derive(Debug, Clone)]
@@ -36,6 +54,8 @@ pub struct RunOptions {
     pub txns: Option<u64>,
     /// RNG seed threaded through systems, workloads and the driver.
     pub seed: u64,
+    /// Replace the arrival process of every driving probe.
+    pub arrival: Option<ArrivalOverride>,
 }
 
 impl Default for RunOptions {
@@ -44,6 +64,7 @@ impl Default for RunOptions {
             quick: false,
             txns: None,
             seed: dichotomy_core::common::rng::DEFAULT_SEED,
+            arrival: None,
         }
     }
 }
@@ -95,9 +116,38 @@ pub fn plan_for(id: &str, opts: &RunOptions) -> Option<ExperimentPlan> {
         "tab04" => exp::tab04_plan(n, &[3, 7, 11, 15, 19], seed),
         "tab05" => exp::tab05_plan(n / 2, &[3, 7, 11], seed),
         "fault01" => exp::fault01_plan(n, seed),
+        "closed01" => exp::closed01_plan(n, seed),
+        "ramp01" => exp::ramp01_plan(n, seed),
         _ => return None,
     };
-    Some(plan)
+    Some(apply_arrival_override(plan, opts.arrival))
+}
+
+/// Rewrite every driving probe's arrival spec per the override (no-op
+/// without one).
+fn apply_arrival_override(
+    mut plan: ExperimentPlan,
+    over: Option<ArrivalOverride>,
+) -> ExperimentPlan {
+    let Some(over) = over else { return plan };
+    for row in &mut plan.rows {
+        for run in &mut row.runs {
+            if let Probe::Drive { driver, .. } = &mut run.probe {
+                driver.arrival = match over {
+                    ArrivalOverride::Open => None,
+                    ArrivalOverride::Closed {
+                        think_time_us,
+                        max_outstanding,
+                    } => Some(ArrivalSpec::ClosedLoop {
+                        clients: driver.clients,
+                        think_time_us,
+                        max_outstanding,
+                    }),
+                };
+            }
+        }
+    }
+    plan
 }
 
 /// Run one experiment by id and return its structured report.
@@ -149,7 +199,63 @@ mod tests {
             assert!(!out.is_empty());
         }
         assert!(run_experiment("nope", true).is_none());
-        assert_eq!(EXPERIMENTS.len(), 16);
+        assert_eq!(EXPERIMENTS.len(), 18);
+    }
+
+    #[test]
+    fn arrival_override_rewrites_every_driving_probe() {
+        let closed = RunOptions {
+            arrival: Some(ArrivalOverride::Closed {
+                think_time_us: 750,
+                max_outstanding: 2,
+            }),
+            ..RunOptions::quick()
+        };
+        let plan = plan_for("fig06", &closed).unwrap();
+        for row in &plan.rows {
+            for run in &row.runs {
+                match &run.probe {
+                    Probe::Drive { driver, .. } => {
+                        assert_eq!(
+                            driver.arrival,
+                            Some(ArrivalSpec::ClosedLoop {
+                                clients: driver.clients,
+                                think_time_us: 750,
+                                max_outstanding: 2,
+                            })
+                        );
+                    }
+                    _ => panic!("fig06 only drives"),
+                }
+            }
+        }
+        // `--arrival open` strips even an experiment's own closed-loop spec.
+        let open = RunOptions {
+            arrival: Some(ArrivalOverride::Open),
+            ..RunOptions::quick()
+        };
+        let plan = plan_for("closed01", &open).unwrap();
+        match &plan.rows[0].runs[0].probe {
+            Probe::Drive { driver, .. } => assert_eq!(driver.arrival, None),
+            _ => panic!("closed01 drives"),
+        }
+        // A closed-loop override still runs end to end.
+        let report = run_report("fig13", &closed).expect("non-driving plans are untouched");
+        assert!(!report.rows.is_empty());
+    }
+
+    #[test]
+    fn closed01_and_ramp01_are_dispatchable_and_windowed() {
+        let closed = run_report("closed01", &RunOptions::quick()).unwrap();
+        assert_eq!(closed.rows.len(), 7);
+        assert!(closed.failures.is_empty());
+        let ramp = run_report("ramp01", &RunOptions::quick()).unwrap();
+        assert_eq!(ramp.rows.len(), 1);
+        assert!(ramp.failures.is_empty());
+        let series = &ramp.rows[0].series[0].series;
+        assert!(!series.is_empty());
+        // The offered side of the windows carries the ramp.
+        assert!(series.windows.iter().any(|w| w.submitted > 0));
     }
 
     #[test]

@@ -1,32 +1,564 @@
 //! The benchmark driver: plays the role YCSB, OLTPBench and Caliper play in
 //! the paper's setup (Section 4.2).
 //!
-//! The driver is an event loop on the shared simulation engine. Open-loop
-//! arrivals (exponential inter-arrival gaps at the offered load) are
+//! The driver is an event loop on the shared simulation engine. Arrivals are
 //! scheduled as events and interleave, on one clock, with the stage events
 //! the system model schedules for itself — block cut timers, validation
 //! completions, replication rounds. Backlog and saturation therefore emerge
 //! from queueing on the model's service processes rather than from post-hoc
-//! arithmetic: offering far more load than the system can absorb measures
-//! saturated (peak) throughput; offering a trickle measures unsaturated
-//! latency — the two regimes Section 5.2.1 distinguishes.
+//! arithmetic.
+//!
+//! *How* arrivals are generated is data: an [`ArrivalSpec`] carried by
+//! [`DriverConfig`] (mirroring how `SystemSpec`/`WorkloadSpec` describe the
+//! system and the workload). The default is the paper's Section 5 open loop —
+//! exponential inter-arrival gaps at a fixed offered rate — but closed-loop
+//! client populations (think time + outstanding-request caps, fed by the
+//! incremental completion channel every `TransactionalSystem` exposes),
+//! phased load (ramps, steps, bursts) and mixed populations compose from the
+//! same four variants. Every variant is seed-deterministic and emits
+//! globally unique, hence strictly monotonically delivered, arrival times.
+
+use std::collections::{HashMap, HashSet};
 
 use dichotomy_common::rng::{self, Rng};
 use dichotomy_common::{ClientId, Timestamp};
-use dichotomy_systems::{run_to_completion_with, Engine, SysEvent, TransactionalSystem};
+use dichotomy_systems::{Engine, SysEvent, TransactionalSystem};
 use dichotomy_workload::Workload;
 
 use crate::metrics::{Metrics, TimeSeries};
+
+/// How the driver turns the clock into client submissions.
+///
+/// The spec is plan data (like `SystemSpec` and `WorkloadSpec`): cloneable,
+/// comparable, and expanded into a [`ClientModel`] only inside
+/// [`run_workload`]. Composition nests — a phase can hold a mixed
+/// population, a population can be phased.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalSpec {
+    /// Open loop: Poisson arrivals at `offered_tps`, round-robin across the
+    /// driver's `clients`, regardless of how the system keeps up. This is
+    /// the historical driver behaviour, byte-identical for equal seeds.
+    OpenLoop {
+        /// Offered load in transactions per second of simulated time.
+        offered_tps: f64,
+    },
+    /// Closed loop: `clients` independent clients, each keeping at most
+    /// `max_outstanding` requests in flight and pausing an exponentially
+    /// distributed think time (mean `think_time_us`, 0 = none) after each
+    /// completion before submitting its next request. Throughput obeys
+    /// Little's law: `tps ≈ clients / (think_time + mean latency)`.
+    ClosedLoop {
+        /// Number of closed-loop clients.
+        clients: u64,
+        /// Mean think time between a completion and the next submission (µs).
+        think_time_us: u64,
+        /// Maximum requests each client keeps in flight.
+        max_outstanding: u64,
+    },
+    /// Load phases: each `(duration_us, spec)` runs in sequence (ramps,
+    /// steps, bursts). The final phase is open-ended — it runs until the
+    /// transaction budget is exhausted. An arrival a phase generates past
+    /// its end is dropped and hands the timeline to the next phase at the
+    /// boundary.
+    Phased {
+        /// The phases, in order.
+        phases: Vec<(u64, ArrivalSpec)>,
+    },
+    /// Concurrent populations with disjoint client-id ranges. The weights
+    /// apportion the run's transaction budget across the populations
+    /// (largest-remainder rounding, ties to the earlier population).
+    Mixed {
+        /// `(weight, spec)` per population.
+        populations: Vec<(f64, ArrivalSpec)>,
+    },
+}
+
+impl ArrivalSpec {
+    /// How many client ids the spec's populations occupy. Open loops draw
+    /// on the driver-level `clients` knob; closed loops carry their own
+    /// count; mixes stack their populations' ranges side by side.
+    pub fn client_span(&self, driver_clients: u64) -> u64 {
+        match self {
+            ArrivalSpec::OpenLoop { .. } => driver_clients.max(1),
+            ArrivalSpec::ClosedLoop { clients, .. } => (*clients).max(1),
+            ArrivalSpec::Phased { phases } => phases
+                .iter()
+                .map(|(_, spec)| spec.client_span(driver_clients))
+                .max()
+                .unwrap_or(1),
+            ArrivalSpec::Mixed { populations } => populations
+                .iter()
+                .map(|(_, spec)| spec.client_span(driver_clients))
+                .sum::<u64>()
+                .max(1),
+        }
+    }
+
+    /// Expand the spec into its client model. `seed` is already
+    /// driver-derived; children derive further (`phaseN` / `popN`) so
+    /// sibling populations draw independent streams.
+    fn build(&self, seed: u64, driver_clients: u64, budget: u64) -> Box<dyn ClientModel> {
+        match self {
+            ArrivalSpec::OpenLoop { offered_tps } => {
+                Box::new(OpenLoopModel::new(seed, *offered_tps, driver_clients))
+            }
+            ArrivalSpec::ClosedLoop {
+                clients,
+                think_time_us,
+                max_outstanding,
+            } => Box::new(ClosedLoopModel::new(
+                seed,
+                *clients,
+                *think_time_us,
+                *max_outstanding,
+            )),
+            ArrivalSpec::Phased { phases } => {
+                assert!(!phases.is_empty(), "Phased arrival spec with no phases");
+                let mut cumulative: Timestamp = 0;
+                let built = phases
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (duration_us, spec))| {
+                        cumulative = cumulative.saturating_add((*duration_us).max(1));
+                        // The final phase runs until the budget is spent.
+                        let end = if i + 1 == phases.len() {
+                            Timestamp::MAX
+                        } else {
+                            cumulative
+                        };
+                        let child_seed = rng::derive_seed(seed, &format!("phase{i}"));
+                        (end, spec.build(child_seed, driver_clients, budget))
+                    })
+                    .collect();
+                Box::new(PhasedModel {
+                    phases: built,
+                    active: 0,
+                    active_start: 0,
+                })
+            }
+            ArrivalSpec::Mixed { populations } => {
+                assert!(
+                    !populations.is_empty(),
+                    "Mixed arrival spec with no populations"
+                );
+                // Largest-remainder apportionment: floor every quota, then
+                // hand the leftover units to the largest fractional parts
+                // (ties to the earlier population).
+                let weight_sum: f64 = populations.iter().map(|(w, _)| w.max(0.0)).sum();
+                let quotas: Vec<f64> = populations
+                    .iter()
+                    .map(|(w, _)| {
+                        let w = if weight_sum > 0.0 {
+                            w.max(0.0) / weight_sum
+                        } else {
+                            1.0 / populations.len() as f64
+                        };
+                        w * budget as f64
+                    })
+                    .collect();
+                let mut shares: Vec<u64> = quotas.iter().map(|q| q.floor() as u64).collect();
+                let mut by_fraction: Vec<usize> = (0..quotas.len()).collect();
+                by_fraction.sort_by(|&a, &b| {
+                    let (fa, fb) = (quotas[a].fract(), quotas[b].fract());
+                    fb.partial_cmp(&fa)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                let mut remainder = budget.saturating_sub(shares.iter().sum());
+                for &i in &by_fraction {
+                    if remainder == 0 {
+                        break;
+                    }
+                    shares[i] += 1;
+                    remainder -= 1;
+                }
+                let mut base = 0u64;
+                let pops = populations
+                    .iter()
+                    .zip(shares)
+                    .enumerate()
+                    .map(|(i, ((_, spec), share))| {
+                        let span = spec.client_span(driver_clients);
+                        let child_seed = rng::derive_seed(seed, &format!("pop{i}"));
+                        let pop = Population {
+                            model: spec.build(child_seed, driver_clients, share),
+                            base,
+                            span,
+                            remaining: share,
+                        };
+                        base += span;
+                        pop
+                    })
+                    .collect();
+                Box::new(MixedModel { pops })
+            }
+        }
+    }
+}
+
+/// The client-side half of the simulation: decides *when* each client
+/// submits. Implementations emit `(client, timestamp)` pairs through the
+/// `emit` sink; the driver turns each into a workload transaction, makes the
+/// timestamp globally unique, and schedules the arrival event (dropping
+/// emissions once the run's transaction budget is spent).
+pub trait ClientModel {
+    /// The run (or, under [`ArrivalSpec::Phased`], this model's phase)
+    /// begins at `at`: emit the initial arrivals. An open loop emits its
+    /// first arrival; a closed loop emits one arrival per client slot.
+    fn start(&mut self, at: Timestamp, emit: &mut dyn FnMut(ClientId, Timestamp));
+
+    /// The arrival previously emitted for `client` at `at` was dispatched
+    /// into the system. Open-loop models emit the next arrival here.
+    fn on_dispatch(
+        &mut self,
+        client: ClientId,
+        at: Timestamp,
+        emit: &mut dyn FnMut(ClientId, Timestamp),
+    ) {
+        let _ = (client, at, emit);
+    }
+
+    /// One of `client`'s transactions, submitted at `submitted`, finished —
+    /// committed or aborted — at simulated time `finish`. Closed-loop models
+    /// emit the next arrival at `finish + think_time` here; phased models
+    /// use `submitted` to drop completions belonging to an earlier phase's
+    /// population.
+    fn on_completion(
+        &mut self,
+        client: ClientId,
+        submitted: Timestamp,
+        finish: Timestamp,
+        emit: &mut dyn FnMut(ClientId, Timestamp),
+    ) {
+        let _ = (client, submitted, finish, emit);
+    }
+}
+
+/// The open-loop arrival process: exponential inter-arrival gaps at the
+/// offered rate, round-robin across clients, with a small per-arrival
+/// jitter. Arrival timestamps are strictly monotonic — per client and across
+/// clients — so event order never depends on heap tie-breaking.
+struct OpenLoopModel {
+    rng: rng::StdRng,
+    mean_gap_us: f64,
+    clients: u64,
+    issued: u64,
+    base: Timestamp,
+    last_arrival: Timestamp,
+}
+
+impl OpenLoopModel {
+    fn new(seed: u64, offered_tps: f64, clients: u64) -> Self {
+        OpenLoopModel {
+            rng: rng::seeded(seed),
+            mean_gap_us: 1e6 / offered_tps.max(1e-6),
+            clients: clients.max(1),
+            issued: 0,
+            base: 0,
+            last_arrival: 0,
+        }
+    }
+
+    fn next(&mut self) -> (ClientId, Timestamp) {
+        let client_idx = self.issued % self.clients;
+        self.issued += 1;
+        // Exponential inter-arrival times approximate an open-loop Poisson
+        // arrival process at the offered rate.
+        self.base += rng::exp_delay_us(&mut self.rng, self.mean_gap_us).max(1);
+        // Small per-arrival jitter so clients do not submit in lockstep. The
+        // jitter does not accumulate into the base clock (it would bias the
+        // offered rate), and the result is bumped past the previous arrival
+        // so timestamps never tie — across clients included.
+        let jitter = self.rng.gen_range(0..2u64);
+        let at = (self.base + jitter).max(self.last_arrival + 1);
+        self.last_arrival = at;
+        (ClientId(client_idx), at)
+    }
+}
+
+impl ClientModel for OpenLoopModel {
+    fn start(&mut self, at: Timestamp, emit: &mut dyn FnMut(ClientId, Timestamp)) {
+        self.base = at;
+        self.last_arrival = at;
+        let (client, t) = self.next();
+        emit(client, t);
+    }
+
+    fn on_dispatch(
+        &mut self,
+        _client: ClientId,
+        _at: Timestamp,
+        emit: &mut dyn FnMut(ClientId, Timestamp),
+    ) {
+        // One arrival is scheduled ahead at a time; the driver drops
+        // emissions beyond the transaction budget.
+        let (client, t) = self.next();
+        emit(client, t);
+    }
+}
+
+/// The closed-loop client population: every completion of one of this
+/// population's requests frees exactly one slot, which the owning client
+/// reoccupies `think` later — so the per-client in-flight count never
+/// exceeds `max_outstanding`. Think times are exponentially distributed
+/// (mean `think_mean_us`); a zero mean submits immediately at the finish
+/// time.
+struct ClosedLoopModel {
+    rng: rng::StdRng,
+    clients: u64,
+    think_mean_us: u64,
+    max_outstanding: u64,
+    /// Requests in flight per client: incremented per emission, decremented
+    /// per completion. A completion that finds a client idle is foreign
+    /// (not emitted by this population — its owner already dropped it) and
+    /// must not trigger a submission.
+    in_flight: Vec<u64>,
+}
+
+impl ClosedLoopModel {
+    fn new(seed: u64, clients: u64, think_time_us: u64, max_outstanding: u64) -> Self {
+        let clients = clients.max(1);
+        ClosedLoopModel {
+            rng: rng::seeded(seed),
+            clients,
+            think_mean_us: think_time_us,
+            max_outstanding: max_outstanding.max(1),
+            in_flight: vec![0; clients as usize],
+        }
+    }
+
+    fn think(&mut self) -> u64 {
+        if self.think_mean_us == 0 {
+            0
+        } else {
+            rng::exp_delay_us(&mut self.rng, self.think_mean_us as f64)
+        }
+    }
+}
+
+impl ClientModel for ClosedLoopModel {
+    fn start(&mut self, at: Timestamp, emit: &mut dyn FnMut(ClientId, Timestamp)) {
+        // Fill every client's window: each slot opens after its own think
+        // pause, so clients do not stampede the first microsecond.
+        for _slot in 0..self.max_outstanding {
+            for client in 0..self.clients {
+                let t = at + self.think().max(1);
+                self.in_flight[client as usize] += 1;
+                emit(ClientId(client), t);
+            }
+        }
+    }
+
+    fn on_completion(
+        &mut self,
+        client: ClientId,
+        _submitted: Timestamp,
+        finish: Timestamp,
+        emit: &mut dyn FnMut(ClientId, Timestamp),
+    ) {
+        match self.in_flight.get(client.0 as usize) {
+            // Foreign completion (outside this population, or a client with
+            // nothing of ours in flight): no slot frees up.
+            None | Some(0) => return,
+            Some(_) => {}
+        }
+        // The freed slot is reoccupied after the think pause, so the
+        // in-flight count holds at its cap. Provenance filtering upstream —
+        // client ranges in `Mixed`, submit-time in `Phased` — keeps other
+        // populations' completions from ever reaching this point.
+        let t = finish + self.think();
+        emit(client, t);
+    }
+}
+
+/// Sequential load phases. All child emissions funnel through
+/// [`forward`](Self::forward): an emission that lands past the active
+/// phase's end is dropped, and the next phase takes over at the boundary.
+/// Each phase is its own population: completions of transactions submitted
+/// before the active phase began (the previous population's backlog
+/// draining) are dropped, never routed into the active model — otherwise a
+/// closed-loop phase would mistake the leftovers for its own requests.
+struct PhasedModel {
+    /// `(exclusive end, model)` per phase; the final end is `Timestamp::MAX`.
+    phases: Vec<(Timestamp, Box<dyn ClientModel>)>,
+    active: usize,
+    /// Inclusive start of the active phase (the previous phase's end, or
+    /// the run start for phase 0).
+    active_start: Timestamp,
+}
+
+impl PhasedModel {
+    /// Forward buffered child emissions, advancing phases as emissions cross
+    /// the active boundary (a hand-over calls the next phase's
+    /// [`ClientModel::start`] at the boundary, whose own emissions join the
+    /// queue — short phases may chain several hand-overs).
+    fn forward(
+        &mut self,
+        buffered: Vec<(ClientId, Timestamp)>,
+        emit: &mut dyn FnMut(ClientId, Timestamp),
+    ) {
+        let mut queue = std::collections::VecDeque::from(buffered);
+        while let Some((client, t)) = queue.pop_front() {
+            let end = self.phases[self.active].0;
+            if t < end {
+                emit(client, t);
+                continue;
+            }
+            // Crossed the boundary: this emission is dropped, the next
+            // phase starts where the active one ends.
+            self.active += 1;
+            self.active_start = end;
+            let mut buf = Vec::new();
+            self.phases[self.active]
+                .1
+                .start(end, &mut |c, t| buf.push((c, t)));
+            queue.extend(buf);
+        }
+    }
+
+    fn with_active(
+        &mut self,
+        f: impl FnOnce(&mut dyn ClientModel, &mut dyn FnMut(ClientId, Timestamp)),
+        emit: &mut dyn FnMut(ClientId, Timestamp),
+    ) {
+        let mut buf = Vec::new();
+        f(self.phases[self.active].1.as_mut(), &mut |c, t| {
+            buf.push((c, t))
+        });
+        self.forward(buf, emit);
+    }
+}
+
+impl ClientModel for PhasedModel {
+    fn start(&mut self, at: Timestamp, emit: &mut dyn FnMut(ClientId, Timestamp)) {
+        self.active_start = at;
+        self.with_active(|model, sink| model.start(at, sink), emit);
+    }
+
+    fn on_dispatch(
+        &mut self,
+        client: ClientId,
+        at: Timestamp,
+        emit: &mut dyn FnMut(ClientId, Timestamp),
+    ) {
+        self.with_active(|model, sink| model.on_dispatch(client, at, sink), emit);
+    }
+
+    fn on_completion(
+        &mut self,
+        client: ClientId,
+        submitted: Timestamp,
+        finish: Timestamp,
+        emit: &mut dyn FnMut(ClientId, Timestamp),
+    ) {
+        if submitted < self.active_start {
+            // A previous phase's transaction draining: its population
+            // retired at the boundary.
+            return;
+        }
+        self.with_active(
+            |model, sink| model.on_completion(client, submitted, finish, sink),
+            emit,
+        );
+    }
+}
+
+/// One population of a [`MixedModel`]: the child model plus its client-id
+/// window and its share of the transaction budget.
+struct Population {
+    model: Box<dyn ClientModel>,
+    base: u64,
+    span: u64,
+    remaining: u64,
+}
+
+/// Concurrent populations over disjoint client-id ranges. Dispatch and
+/// completion callbacks route to the owning population (translated into its
+/// local id space); emissions translate back and stop once the population's
+/// budget share is spent.
+struct MixedModel {
+    pops: Vec<Population>,
+}
+
+impl MixedModel {
+    fn route(&self, client: ClientId) -> Option<usize> {
+        self.pops
+            .iter()
+            .position(|p| client.0 >= p.base && client.0 < p.base + p.span)
+    }
+
+    fn forward(
+        &mut self,
+        k: usize,
+        buffered: Vec<(ClientId, Timestamp)>,
+        emit: &mut dyn FnMut(ClientId, Timestamp),
+    ) {
+        let pop = &mut self.pops[k];
+        for (client, t) in buffered {
+            if pop.remaining == 0 {
+                break;
+            }
+            pop.remaining -= 1;
+            emit(ClientId(pop.base + client.0), t);
+        }
+    }
+}
+
+impl ClientModel for MixedModel {
+    fn start(&mut self, at: Timestamp, emit: &mut dyn FnMut(ClientId, Timestamp)) {
+        for k in 0..self.pops.len() {
+            let mut buf = Vec::new();
+            self.pops[k].model.start(at, &mut |c, t| buf.push((c, t)));
+            self.forward(k, buf, emit);
+        }
+    }
+
+    fn on_dispatch(
+        &mut self,
+        client: ClientId,
+        at: Timestamp,
+        emit: &mut dyn FnMut(ClientId, Timestamp),
+    ) {
+        let Some(k) = self.route(client) else { return };
+        let local = ClientId(client.0 - self.pops[k].base);
+        let mut buf = Vec::new();
+        self.pops[k]
+            .model
+            .on_dispatch(local, at, &mut |c, t| buf.push((c, t)));
+        self.forward(k, buf, emit);
+    }
+
+    fn on_completion(
+        &mut self,
+        client: ClientId,
+        submitted: Timestamp,
+        finish: Timestamp,
+        emit: &mut dyn FnMut(ClientId, Timestamp),
+    ) {
+        let Some(k) = self.route(client) else { return };
+        let local = ClientId(client.0 - self.pops[k].base);
+        let mut buf = Vec::new();
+        self.pops[k]
+            .model
+            .on_completion(local, submitted, finish, &mut |c, t| buf.push((c, t)));
+        self.forward(k, buf, emit);
+    }
+}
 
 /// Driver configuration.
 #[derive(Debug, Clone)]
 pub struct DriverConfig {
     /// Number of transactions to issue.
     pub transactions: u64,
-    /// Offered load in transactions per second of simulated time.
+    /// Offered load in transactions per second of simulated time (the
+    /// open-loop default; an explicit [`arrival`](Self::arrival) spec takes
+    /// precedence).
     pub offered_tps: f64,
-    /// Number of simulated clients (arrivals are spread across them).
+    /// Number of simulated clients the open loop spreads arrivals across.
     pub clients: u64,
+    /// The arrival process. `None` is the historical open loop at
+    /// [`offered_tps`](Self::offered_tps).
+    pub arrival: Option<ArrivalSpec>,
     /// Whether to pre-load the workload's initial records (Figure 4/5 do;
     /// storage-size experiments load their own data).
     pub preload: bool,
@@ -36,7 +568,7 @@ pub struct DriverConfig {
     /// Receipts finishing before this simulated time are trimmed from the
     /// time series (warm-up).
     pub warmup_us: Timestamp,
-    /// RNG seed for arrival jitter.
+    /// RNG seed for arrival jitter and think times.
     pub seed: u64,
 }
 
@@ -46,6 +578,7 @@ impl Default for DriverConfig {
             transactions: 2_000,
             offered_tps: 50_000.0,
             clients: 32,
+            arrival: None,
             preload: true,
             window_us: None,
             warmup_us: 0,
@@ -88,6 +621,20 @@ impl DriverConfig {
         self.window_us = Some(window_us);
         self
     }
+
+    /// Replace the arrival process.
+    pub fn with_arrival(mut self, arrival: ArrivalSpec) -> Self {
+        self.arrival = Some(arrival);
+        self
+    }
+
+    /// The effective arrival spec: the explicit one, or the open-loop
+    /// default at [`offered_tps`](Self::offered_tps).
+    pub fn arrival_spec(&self) -> ArrivalSpec {
+        self.arrival.clone().unwrap_or(ArrivalSpec::OpenLoop {
+            offered_tps: self.offered_tps,
+        })
+    }
 }
 
 /// The result of one driver run.
@@ -95,13 +642,18 @@ impl DriverConfig {
 pub struct RunStats {
     /// Aggregated metrics.
     pub metrics: Metrics,
-    /// Windowed time series of the same receipts (throughput, latency
-    /// percentiles and abort rate per simulated-time window).
+    /// Windowed time series of the same receipts (offered vs. achieved
+    /// throughput, latency percentiles and abort rate per simulated-time
+    /// window).
     pub series: TimeSeries,
     /// Simulated time of the last completion.
     pub makespan_us: Timestamp,
-    /// Offered load used.
+    /// Offered load used (open-loop configurations; closed loops offer
+    /// whatever the completion stream sustains).
     pub offered_tps: f64,
+    /// Arrivals the driver actually issued (equals the configured
+    /// transaction count unless a closed loop starved before the budget).
+    pub arrivals_issued: u64,
     /// Events the engine delivered during the run (arrivals + stages).
     pub events_delivered: u64,
     /// Events that were scheduled in the past and clamped to the engine
@@ -110,58 +662,63 @@ pub struct RunStats {
     pub events_clamped: u64,
 }
 
-/// Generates the open-loop arrival schedule: exponential inter-arrival gaps
-/// at the offered rate, round-robin across clients, with a small per-arrival
-/// jitter. Arrival timestamps are strictly monotonic — per client and across
-/// clients — so event order never depends on heap tie-breaking.
-struct ArrivalProcess {
-    rng: rng::StdRng,
-    mean_gap_us: f64,
-    clients: u64,
-    seqs: Vec<u64>,
+/// The driver-side bookkeeping around a [`ClientModel`]: enforces the
+/// transaction budget, assigns per-client sequence numbers, makes arrival
+/// timestamps globally unique (bumping collisions forward by a microsecond),
+/// and schedules the arrival events.
+struct ArrivalBook {
+    budget: u64,
     issued: u64,
-    base: Timestamp,
-    last_arrival: Timestamp,
+    seqs: HashMap<u64, u64>,
+    used: HashSet<Timestamp>,
 }
 
-impl ArrivalProcess {
-    fn new(config: &DriverConfig) -> Self {
-        ArrivalProcess {
-            rng: rng::seeded(rng::derive_seed(config.seed, "driver")),
-            mean_gap_us: 1e6 / config.offered_tps.max(1e-6),
-            clients: config.clients.max(1),
-            seqs: vec![0u64; config.clients.max(1) as usize],
+impl ArrivalBook {
+    fn new(budget: u64) -> Self {
+        ArrivalBook {
+            budget,
             issued: 0,
-            base: 0,
-            last_arrival: 0,
+            seqs: HashMap::new(),
+            used: HashSet::new(),
         }
     }
 
-    /// The next arrival: `(client, per-client seq, timestamp)`.
-    fn next(&mut self) -> (ClientId, u64, Timestamp) {
-        let client_idx = (self.issued % self.clients) as usize;
+    fn emit(
+        &mut self,
+        client: ClientId,
+        at: Timestamp,
+        engine: &mut Engine,
+        workload: &mut dyn Workload,
+    ) {
+        if self.issued >= self.budget {
+            return;
+        }
         self.issued += 1;
-        self.seqs[client_idx] += 1;
-        // Exponential inter-arrival times approximate an open-loop Poisson
-        // arrival process at the offered rate.
-        self.base += rng::exp_delay_us(&mut self.rng, self.mean_gap_us).max(1);
-        // Small per-arrival jitter so clients do not submit in lockstep. The
-        // jitter does not accumulate into the base clock (it would bias the
-        // offered rate), and the result is bumped past the previous arrival
-        // so timestamps never tie — across clients included.
-        let jitter = self.rng.gen_range(0..2u64);
-        let at = (self.base + jitter).max(self.last_arrival + 1);
-        self.last_arrival = at;
-        (ClientId(client_idx as u64), self.seqs[client_idx], at)
+        // Unique timestamps make delivery order strictly monotonic in time:
+        // no arrival interleaving is ever left to heap tie-breaking.
+        let mut t = at;
+        while !self.used.insert(t) {
+            t += 1;
+        }
+        let seq = {
+            let seq = self.seqs.entry(client.0).or_insert(0);
+            *seq += 1;
+            *seq
+        };
+        let mut txn = workload.next_transaction(client, seq);
+        txn.submit_time = t;
+        engine.schedule_at(t, SysEvent::Arrival(txn));
     }
 }
 
 /// Run `workload` against `system` under the given driver configuration.
 ///
-/// The event loop: schedule an arrival, dispatch events in `(time, seq)`
-/// order — handing arrivals to the system and stage events back to it —
-/// scheduling the next arrival as each one fires, then drain the queue and
-/// aggregate the receipts.
+/// The event loop: the client model seeds its initial arrivals, events
+/// dispatch in `(time, seq)` order — arrivals and stage events to the
+/// system — and after every event the system's incremental completion
+/// channel is polled so the model can react (open loops schedule their next
+/// arrival per dispatch; closed loops per completion). The queue then
+/// drains and the receipts aggregate.
 pub fn run_workload(
     system: &mut dyn TransactionalSystem,
     workload: &mut dyn Workload,
@@ -174,22 +731,48 @@ pub fn run_workload(
     let mut engine = Engine::new();
     system.attach(&mut engine);
 
-    let mut arrivals = ArrivalProcess::new(config);
-    let schedule_next =
-        |engine: &mut Engine, arrivals: &mut ArrivalProcess, workload: &mut dyn Workload| {
-            let (client, seq, at) = arrivals.next();
-            let mut txn = workload.next_transaction(client, seq);
-            txn.submit_time = at;
-            engine.schedule_at(at, SysEvent::Arrival(txn));
-        };
-    if config.transactions > 0 {
-        schedule_next(&mut engine, &mut arrivals, workload);
-    }
-    run_to_completion_with(system, &mut engine, |engine| {
-        if arrivals.issued < config.transactions {
-            schedule_next(engine, &mut arrivals, workload);
+    let mut model = config.arrival_spec().build(
+        rng::derive_seed(config.seed, "driver"),
+        config.clients.max(1),
+        config.transactions,
+    );
+    let mut book = ArrivalBook::new(config.transactions);
+    model.start(0, &mut |c, t| book.emit(c, t, &mut engine, workload));
+    loop {
+        while let Some((_, event)) = engine.pop() {
+            match event {
+                SysEvent::Arrival(txn) => {
+                    let client = txn.id.client;
+                    let at = txn.submit_time;
+                    system.on_arrival(txn, &mut engine);
+                    model.on_dispatch(client, at, &mut |c, t| {
+                        book.emit(c, t, &mut engine, workload)
+                    });
+                }
+                SysEvent::Stage(stage) => system.on_stage(stage, &mut engine),
+            }
+            for completion in system.take_completions() {
+                model.on_completion(
+                    completion.client,
+                    completion.submitted,
+                    completion.finish,
+                    &mut |c, t| book.emit(c, t, &mut engine, workload),
+                );
+            }
         }
-    });
+        system.on_drain(&mut engine);
+        for completion in system.take_completions() {
+            model.on_completion(
+                completion.client,
+                completion.submitted,
+                completion.finish,
+                &mut |c, t| book.emit(c, t, &mut engine, workload),
+            );
+        }
+        if engine.is_empty() {
+            break;
+        }
+    }
 
     let receipts = system.drain_receipts();
     let metrics = Metrics::from_receipts(&receipts);
@@ -205,6 +788,7 @@ pub fn run_workload(
         series,
         makespan_us,
         offered_tps: config.offered_tps,
+        arrivals_issued: book.issued,
         events_delivered: engine.delivered(),
         events_clamped: engine.clamped(),
     }
@@ -213,7 +797,8 @@ pub fn run_workload(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dichotomy_systems::{Etcd, EtcdConfig, Quorum, QuorumConfig};
+    use dichotomy_common::TxnReceipt;
+    use dichotomy_systems::{Completion, Etcd, EtcdConfig, Quorum, QuorumConfig, ReceiptLog};
     use dichotomy_workload::{YcsbConfig, YcsbWorkload};
 
     fn small_ycsb(theta: f64) -> YcsbWorkload {
@@ -231,6 +816,7 @@ mod tests {
         let mut workload = small_ycsb(0.0);
         let stats = run_workload(&mut system, &mut workload, &DriverConfig::saturating(500));
         assert_eq!(stats.metrics.committed, 500);
+        assert_eq!(stats.arrivals_issued, 500);
         assert!(stats.metrics.throughput_tps > 100.0);
         assert!(stats.metrics.latency.p95_us > 0);
         assert!(stats.makespan_us > 0);
@@ -321,13 +907,25 @@ mod tests {
         );
     }
 
-    /// Records what the driver submits, committing everything instantly:
-    /// makes the open-loop arrival process itself observable.
-    #[derive(Default)]
+    /// Records what the driver submits, completing everything `latency_us`
+    /// later through the real completion channel: makes every arrival
+    /// process directly observable.
     struct ArrivalRecorder {
         arrivals: Vec<Timestamp>,
         clients: Vec<u64>,
-        receipts: Vec<dichotomy_common::TxnReceipt>,
+        latency_us: u64,
+        receipts: ReceiptLog,
+    }
+
+    impl Default for ArrivalRecorder {
+        fn default() -> Self {
+            ArrivalRecorder {
+                arrivals: Vec::new(),
+                clients: Vec::new(),
+                latency_us: 1,
+                receipts: ReceiptLog::new(),
+            }
+        }
     }
 
     impl TransactionalSystem for ArrivalRecorder {
@@ -339,14 +937,18 @@ mod tests {
             let arrival = engine.now();
             self.arrivals.push(arrival);
             self.clients.push(txn.id.client.0);
-            self.receipts.push(dichotomy_common::TxnReceipt::committed(
-                txn.id,
-                arrival,
-                arrival + 1,
-            ));
+            self.receipts
+                .push_back(dichotomy_common::TxnReceipt::committed(
+                    txn.id,
+                    arrival,
+                    arrival + self.latency_us,
+                ));
         }
-        fn drain_receipts(&mut self) -> Vec<dichotomy_common::TxnReceipt> {
-            std::mem::take(&mut self.receipts)
+        fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
+            self.receipts.drain()
+        }
+        fn take_completions(&mut self) -> Vec<Completion> {
+            self.receipts.take_completions()
         }
         fn footprint(&self) -> dichotomy_common::size::StorageBreakdown {
             dichotomy_common::size::StorageBreakdown::default()
@@ -476,5 +1078,450 @@ mod tests {
         assert_eq!(a.makespan_us, b.makespan_us);
         assert_eq!(a.events_delivered, b.events_delivered);
         assert_eq!(a.series, b.series);
+    }
+
+    #[test]
+    fn open_loop_spec_matches_the_legacy_arrival_process_exactly() {
+        // Three-way byte-identity pin for the refactor: (a) the implicit
+        // open-loop default, (b) an explicit `ArrivalSpec::OpenLoop`, and
+        // (c) an inline replay of the pre-refactor arrival arithmetic must
+        // produce the same schedule, microsecond for microsecond.
+        let config = DriverConfig {
+            transactions: 1_000,
+            offered_tps: 30_000.0,
+            seed: 99,
+            ..DriverConfig::default()
+        };
+        let implicit = record_arrivals(&config);
+        let explicit = record_arrivals(&config.clone().with_arrival(ArrivalSpec::OpenLoop {
+            offered_tps: 30_000.0,
+        }));
+        assert_eq!(implicit.arrivals, explicit.arrivals);
+        assert_eq!(implicit.clients, explicit.clients);
+
+        // The legacy `ArrivalProcess` arithmetic, replayed inline.
+        let mut rng = rng::seeded(rng::derive_seed(config.seed, "driver"));
+        let mean_gap_us = 1e6 / config.offered_tps;
+        let (mut base, mut last) = (0u64, 0u64);
+        let legacy: Vec<Timestamp> = (0..config.transactions)
+            .map(|_| {
+                base += rng::exp_delay_us(&mut rng, mean_gap_us).max(1);
+                let jitter = rng.gen_range(0..2u64);
+                let at = (base + jitter).max(last + 1);
+                last = at;
+                at
+            })
+            .collect();
+        assert_eq!(implicit.arrivals, legacy);
+    }
+
+    #[test]
+    fn closed_loop_waits_for_completion_plus_think_time() {
+        // One request in flight per client and a fixed service latency: each
+        // client's next arrival cannot predate its previous completion.
+        let latency_us = 700u64;
+        let mut recorder = ArrivalRecorder {
+            latency_us,
+            ..ArrivalRecorder::default()
+        };
+        let config = DriverConfig {
+            transactions: 400,
+            arrival: Some(ArrivalSpec::ClosedLoop {
+                clients: 4,
+                think_time_us: 300,
+                max_outstanding: 1,
+            }),
+            ..DriverConfig::default()
+        };
+        run_workload(&mut recorder, &mut small_ycsb(0.0), &config);
+        assert_eq!(recorder.arrivals.len(), 400, "budget fully issued");
+        for client in 0..4u64 {
+            let per_client: Vec<_> = recorder
+                .arrivals
+                .iter()
+                .zip(&recorder.clients)
+                .filter(|(_, c)| **c == client)
+                .map(|(t, _)| *t)
+                .collect();
+            assert!(per_client.len() > 50, "client {client} starved");
+            for pair in per_client.windows(2) {
+                assert!(
+                    pair[1] >= pair[0] + latency_us,
+                    "client {client}: arrival {} predates completion of {}",
+                    pair[1],
+                    pair[0]
+                );
+            }
+        }
+    }
+
+    /// Completes each transaction through a stage event `service_us` after
+    /// arrival, so in-flight windows are real intervals on the engine clock.
+    struct StagedRecorder {
+        service_us: u64,
+        /// (client, arrival, finish) per transaction, finish filled at the
+        /// completion stage.
+        spans: Vec<(u64, Timestamp, Timestamp)>,
+        receipts: ReceiptLog,
+        pending: Vec<dichotomy_common::TxnId>,
+    }
+
+    impl TransactionalSystem for StagedRecorder {
+        fn kind(&self) -> dichotomy_systems::SystemKind {
+            dichotomy_systems::SystemKind::Etcd
+        }
+        fn load(&mut self, _records: &[(dichotomy_common::Key, dichotomy_common::Value)]) {}
+        fn on_arrival(&mut self, txn: dichotomy_common::Transaction, engine: &mut Engine) {
+            let token = self.pending.len() as u64;
+            self.spans.push((txn.id.client.0, engine.now(), 0));
+            self.pending.push(txn.id);
+            engine.schedule_at(engine.now() + self.service_us, SysEvent::stage(0, token));
+        }
+        fn on_stage(&mut self, event: dichotomy_simnet::StageEvent, engine: &mut Engine) {
+            let id = self.pending[event.token as usize];
+            let span = &mut self.spans[event.token as usize];
+            span.2 = engine.now();
+            self.receipts
+                .push_back(TxnReceipt::committed(id, span.1, engine.now()));
+        }
+        fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
+            self.receipts.drain()
+        }
+        fn take_completions(&mut self) -> Vec<Completion> {
+            self.receipts.take_completions()
+        }
+        fn footprint(&self) -> dichotomy_common::size::StorageBreakdown {
+            dichotomy_common::size::StorageBreakdown::default()
+        }
+        fn node_count(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn closed_loop_outstanding_cap_is_never_exceeded_and_is_reached() {
+        let (clients, cap) = (3u64, 4u64);
+        let mut recorder = StagedRecorder {
+            service_us: 5_000,
+            spans: Vec::new(),
+            receipts: ReceiptLog::new(),
+            pending: Vec::new(),
+        };
+        let config = DriverConfig {
+            transactions: 600,
+            arrival: Some(ArrivalSpec::ClosedLoop {
+                clients,
+                think_time_us: 200,
+                max_outstanding: cap,
+            }),
+            ..DriverConfig::default()
+        };
+        run_workload(&mut recorder, &mut small_ycsb(0.0), &config);
+        assert_eq!(recorder.spans.len(), 600);
+        assert!(recorder.spans.iter().all(|(_, _, f)| *f > 0));
+        // Recorder-based cap check: per client, count overlapping
+        // [arrival, finish) spans at every arrival instant.
+        let mut overall_max = 0u64;
+        for client in 0..clients {
+            let spans: Vec<_> = recorder
+                .spans
+                .iter()
+                .filter(|(c, _, _)| *c == client)
+                .map(|(_, a, f)| (*a, *f))
+                .collect();
+            let max_in_flight = spans
+                .iter()
+                .map(|(a, _)| spans.iter().filter(|(a2, f2)| a2 <= a && a < f2).count() as u64)
+                .max()
+                .unwrap_or(0);
+            assert!(
+                max_in_flight <= cap,
+                "client {client} had {max_in_flight} > cap {cap} in flight"
+            );
+            overall_max = overall_max.max(max_in_flight);
+        }
+        assert_eq!(
+            overall_max, cap,
+            "with service ≫ think the cap should bind for some client"
+        );
+    }
+
+    fn variant_specs() -> Vec<(&'static str, ArrivalSpec)> {
+        vec![
+            (
+                "open",
+                ArrivalSpec::OpenLoop {
+                    offered_tps: 20_000.0,
+                },
+            ),
+            (
+                "closed",
+                ArrivalSpec::ClosedLoop {
+                    clients: 6,
+                    think_time_us: 400,
+                    max_outstanding: 2,
+                },
+            ),
+            (
+                "phased",
+                ArrivalSpec::Phased {
+                    phases: vec![
+                        (
+                            30_000,
+                            ArrivalSpec::OpenLoop {
+                                offered_tps: 2_000.0,
+                            },
+                        ),
+                        (
+                            30_000,
+                            ArrivalSpec::OpenLoop {
+                                offered_tps: 20_000.0,
+                            },
+                        ),
+                    ],
+                },
+            ),
+            (
+                "mixed",
+                ArrivalSpec::Mixed {
+                    populations: vec![
+                        (
+                            3.0,
+                            ArrivalSpec::OpenLoop {
+                                offered_tps: 10_000.0,
+                            },
+                        ),
+                        (
+                            1.0,
+                            ArrivalSpec::ClosedLoop {
+                                clients: 2,
+                                think_time_us: 250,
+                                max_outstanding: 1,
+                            },
+                        ),
+                    ],
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_variant_is_seed_deterministic_and_seed_sensitive() {
+        for (name, spec) in variant_specs() {
+            let run = |seed: u64| {
+                let config = DriverConfig {
+                    transactions: 600,
+                    seed,
+                    arrival: Some(spec.clone()),
+                    ..DriverConfig::default()
+                };
+                let r = record_arrivals(&config);
+                (r.arrivals, r.clients)
+            };
+            assert_eq!(run(7), run(7), "{name}: same seed must reproduce");
+            assert_ne!(run(7), run(8), "{name}: different seed must differ");
+        }
+    }
+
+    #[test]
+    fn every_variant_delivers_strictly_monotonic_unique_arrivals() {
+        for (name, spec) in variant_specs() {
+            let config = DriverConfig {
+                transactions: 600,
+                arrival: Some(spec),
+                ..DriverConfig::default()
+            };
+            let r = record_arrivals(&config);
+            assert_eq!(r.arrivals.len(), 600, "{name}: full budget issued");
+            assert!(
+                r.arrivals.windows(2).all(|w| w[0] < w[1]),
+                "{name}: delivery-order arrival times must strictly increase"
+            );
+        }
+    }
+
+    #[test]
+    fn phased_ramp_shifts_the_offered_rate_at_the_boundary() {
+        let boundary = 100_000u64;
+        let config = DriverConfig {
+            transactions: 1_100,
+            arrival: Some(ArrivalSpec::Phased {
+                phases: vec![
+                    (
+                        boundary,
+                        ArrivalSpec::OpenLoop {
+                            offered_tps: 1_000.0,
+                        },
+                    ),
+                    (
+                        boundary,
+                        ArrivalSpec::OpenLoop {
+                            offered_tps: 10_000.0,
+                        },
+                    ),
+                ],
+            }),
+            ..DriverConfig::default()
+        };
+        let r = record_arrivals(&config);
+        let phase1 = r.arrivals.iter().filter(|t| **t < boundary).count();
+        let phase2 = r
+            .arrivals
+            .iter()
+            .filter(|t| **t >= boundary && **t < 2 * boundary)
+            .count();
+        // ≈ 100 arrivals in the slow phase, ≈ 1 000 in the fast one.
+        assert!(
+            (60..=140).contains(&phase1),
+            "phase 1 carried {phase1} arrivals"
+        );
+        assert!(phase2 >= 700, "phase 2 carried {phase2} arrivals");
+        assert!(
+            phase2 > phase1 * 5,
+            "the ramp must be visible: {phase1} vs {phase2}"
+        );
+    }
+
+    #[test]
+    fn a_closed_loop_phase_ignores_the_previous_phases_draining_backlog() {
+        // Regression: an open-loop burst phase hands over to a closed-loop
+        // phase while the slow system still holds the burst's backlog. The
+        // backlog's completions were submitted before the closed phase began
+        // and belong to a retired population — they must not trigger
+        // closed-loop submissions, or the outstanding cap breaks.
+        let boundary = 20_000u64;
+        let (clients, cap) = (2u64, 1u64);
+        let mut recorder = StagedRecorder {
+            service_us: 50_000,
+            spans: Vec::new(),
+            receipts: ReceiptLog::new(),
+            pending: Vec::new(),
+        };
+        let config = DriverConfig {
+            transactions: 150,
+            arrival: Some(ArrivalSpec::Phased {
+                phases: vec![
+                    (
+                        boundary,
+                        ArrivalSpec::OpenLoop {
+                            offered_tps: 5_000.0,
+                        },
+                    ),
+                    (
+                        boundary,
+                        ArrivalSpec::ClosedLoop {
+                            clients,
+                            think_time_us: 0,
+                            max_outstanding: cap,
+                        },
+                    ),
+                ],
+            }),
+            ..DriverConfig::default()
+        };
+        run_workload(&mut recorder, &mut small_ycsb(0.0), &config);
+        // Everything submitted from the boundary on comes from the closed
+        // population: its two clients only, never more than `cap` in flight.
+        let phase2: Vec<_> = recorder
+            .spans
+            .iter()
+            .filter(|(_, a, _)| *a >= boundary)
+            .collect();
+        assert!(phase2.len() > 10, "the closed phase must actually run");
+        for (client, _, _) in &phase2 {
+            assert!(
+                *client < clients,
+                "client {client} outside the closed population"
+            );
+        }
+        for client in 0..clients {
+            let spans: Vec<_> = phase2
+                .iter()
+                .filter(|(c, _, _)| *c == client)
+                .map(|(_, a, f)| (*a, *f))
+                .collect();
+            let max_in_flight = spans
+                .iter()
+                .map(|(a, _)| spans.iter().filter(|(a2, f2)| a2 <= a && a < f2).count() as u64)
+                .max()
+                .unwrap_or(0);
+            assert!(
+                max_in_flight <= cap,
+                "client {client}: the burst backlog inflated the closed loop \
+                 to {max_in_flight} > cap {cap} in flight"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_budget_shares_use_largest_remainder_rounding() {
+        // Weights 1:2 over a 4-transaction budget: quotas 1.33 / 2.67 floor
+        // to [1, 2]; the leftover unit goes to the LARGER fraction → [1, 3]
+        // (first-come rounding would mis-apportion it as [2, 2]).
+        let config = DriverConfig {
+            transactions: 4,
+            clients: 4,
+            arrival: Some(ArrivalSpec::Mixed {
+                populations: vec![
+                    (
+                        1.0,
+                        ArrivalSpec::OpenLoop {
+                            offered_tps: 10_000.0,
+                        },
+                    ),
+                    (
+                        2.0,
+                        ArrivalSpec::OpenLoop {
+                            offered_tps: 10_000.0,
+                        },
+                    ),
+                ],
+            }),
+            ..DriverConfig::default()
+        };
+        let r = record_arrivals(&config);
+        let pop0 = r.clients.iter().filter(|c| **c < 4).count();
+        let pop1 = r.clients.iter().filter(|c| **c >= 4).count();
+        assert_eq!((pop0, pop1), (1, 3), "largest remainder wins the leftover");
+    }
+
+    #[test]
+    fn mixed_populations_split_budget_by_weight_over_disjoint_client_ranges() {
+        let driver_clients = 8u64;
+        let config = DriverConfig {
+            transactions: 400,
+            clients: driver_clients,
+            arrival: Some(ArrivalSpec::Mixed {
+                populations: vec![
+                    (
+                        3.0,
+                        ArrivalSpec::OpenLoop {
+                            offered_tps: 50_000.0,
+                        },
+                    ),
+                    (
+                        1.0,
+                        ArrivalSpec::ClosedLoop {
+                            clients: 2,
+                            think_time_us: 100,
+                            max_outstanding: 1,
+                        },
+                    ),
+                ],
+            }),
+            ..DriverConfig::default()
+        };
+        let r = record_arrivals(&config);
+        // Population 0 (open loop) owns clients [0, 8); population 1 (closed
+        // loop) owns [8, 10).
+        let open = r.clients.iter().filter(|c| **c < driver_clients).count();
+        let closed = r
+            .clients
+            .iter()
+            .filter(|c| (driver_clients..driver_clients + 2).contains(*c))
+            .count();
+        assert_eq!(open + closed, 400, "no clients outside the two ranges");
+        assert_eq!(open, 300, "3:1 weights over a 400-txn budget");
+        assert_eq!(closed, 100);
     }
 }

@@ -26,7 +26,7 @@ use dichotomy_simnet::{FaultPlan, NodeFault};
 use dichotomy_systems::{SystemKind, SystemSpec};
 use dichotomy_workload::{SmallbankConfig, WorkloadSpec, YcsbConfig, YcsbMix};
 
-use crate::driver::DriverConfig;
+use crate::driver::{ArrivalSpec, DriverConfig};
 use crate::scenario::{
     run_plan, ColumnSpec, ExperimentPlan, Metric, PlannedRow, PlannedRun, Probe, Scenario, Sweep,
     SystemEntry,
@@ -894,6 +894,109 @@ pub fn fault01_crash_recovery(txns: u64) -> ExperimentReport {
     run_plan(&fault01_plan(txns, DEFAULT_SEED))
 }
 
+/// The think time of the closed-loop experiment (µs).
+pub const CLOSED01_THINK_US: u64 = 500;
+
+/// The client counts the closed-loop experiment sweeps.
+pub const CLOSED01_CLIENTS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Closed 1 plan: the closed-loop latency/throughput knee on etcd. Each row
+/// adds clients (one request in flight each, 500 µs mean think time):
+/// throughput first scales with the population — Little's law,
+/// `tps ≈ clients / (think + latency)` — then the apply pipeline saturates
+/// and extra clients only add queueing latency. The `lat_ms` column is the
+/// knee's witness; `cycle_ms` (think + latency) makes the Little's-law check
+/// a one-division affair on the report.
+pub fn closed01_plan(txns: u64, seed: u64) -> ExperimentPlan {
+    let scenario = Scenario {
+        id: "Closed 1",
+        title: "etcd closed-loop knee: throughput and latency vs clients",
+        systems: vec![SystemEntry {
+            spec: SystemSpec::new(SystemKind::Etcd),
+            columns: vec![
+                col("tps", Metric::ThroughputTps),
+                col("lat_ms", Metric::LatencyMeanMs),
+            ],
+        }],
+        workload: ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1),
+        driver: DriverConfig {
+            transactions: txns,
+            arrival: Some(ArrivalSpec::ClosedLoop {
+                clients: 1,
+                think_time_us: CLOSED01_THINK_US,
+                max_outstanding: 1,
+            }),
+            ..DriverConfig::default()
+        },
+        sweep: Sweep::ClosedClients(CLOSED01_CLIENTS.to_vec()),
+        row_labels: None,
+        faults: None,
+        seed,
+    };
+    scenario.plan()
+}
+
+/// Closed 1: the closed-loop knee on etcd.
+pub fn closed01_knee(txns: u64) -> ExperimentReport {
+    run_plan(&closed01_plan(txns, DEFAULT_SEED))
+}
+
+/// The offered rates of the ramp experiment's three phases (tps).
+pub const RAMP01_RATES: [f64; 3] = [200.0, 1_000.0, 8_000.0];
+
+/// The per-phase duration (µs) that spends `txns` across the three ramp
+/// phases at [`RAMP01_RATES`].
+pub fn ramp01_phase_us(txns: u64) -> u64 {
+    let total_rate: f64 = RAMP01_RATES.iter().sum();
+    ((txns as f64 * 1e6) / total_rate).max(3.0) as u64
+}
+
+/// Ramp 1 plan: a phased open-loop ramp through Quorum's saturation point.
+/// Three equal-duration phases step the offered rate 200 → 1 000 → 8 000 tps
+/// against a fast-cutting small-block Quorum deployment (10 ms blocks, so
+/// pipeline latency stays well inside a phase): the windowed series shows
+/// offered and achieved load tracking each other in the first phase, then
+/// diverging as the final phase saturates the pipeline and the windowed
+/// latency inflects upward.
+pub fn ramp01_plan(txns: u64, seed: u64) -> ExperimentPlan {
+    let phase_us = ramp01_phase_us(txns);
+    let scenario = Scenario {
+        id: "Ramp 1",
+        title: "Quorum under a phased open-loop ramp through saturation",
+        systems: vec![SystemEntry {
+            spec: SystemSpec::new(SystemKind::Quorum).with_blocks(25, 10_000),
+            columns: vec![
+                col("tps", Metric::ThroughputTps),
+                col("lat_ms", Metric::LatencyMeanMs),
+            ],
+        }],
+        workload: ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1),
+        driver: DriverConfig {
+            transactions: txns,
+            arrival: Some(ArrivalSpec::Phased {
+                phases: RAMP01_RATES
+                    .iter()
+                    .map(|&offered_tps| (phase_us, ArrivalSpec::OpenLoop { offered_tps }))
+                    .collect(),
+            }),
+            // Four windows per phase, so the saturation inflection is
+            // visible inside the series, not just across runs.
+            window_us: Some((phase_us / 4).max(1)),
+            ..DriverConfig::default()
+        },
+        sweep: Sweep::None,
+        row_labels: None,
+        faults: None,
+        seed,
+    };
+    scenario.plan()
+}
+
+/// Ramp 1: the phased open-loop ramp on Quorum.
+pub fn ramp01_ramp(txns: u64) -> ExperimentReport {
+    run_plan(&ramp01_plan(txns, DEFAULT_SEED))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1046,5 +1149,121 @@ mod tests {
         assert_eq!(fig09_plan(10, &[0.0, 1.0], 1).probe_count(), 8); // 2 thetas × 4 systems
         assert_eq!(tab04_plan(10, &[3, 7], 1).probe_count(), 8); // 4 systems × 2 node counts
         assert_eq!(tab02_plan().probe_count(), 0);
+        assert_eq!(closed01_plan(10, 1).probe_count(), CLOSED01_CLIENTS.len());
+        assert_eq!(ramp01_plan(10, 1).probe_count(), 1);
+    }
+
+    #[test]
+    fn closed01_obeys_littles_law_and_shows_the_latency_knee() {
+        let report = closed01_knee(1_200);
+        let think_s = CLOSED01_THINK_US as f64 / 1e6;
+        for clients in CLOSED01_CLIENTS {
+            let row = format!("{clients} clients");
+            let tps = report.value(&row, "tps").unwrap();
+            let latency_s = report.value(&row, "lat_ms").unwrap() / 1e3;
+            // Little's law for a closed system: the measured throughput must
+            // match clients / (think + latency). Finite-run transients (the
+            // first think pause, the final drain) bound the tolerance.
+            let predicted = clients as f64 / (think_s + latency_s);
+            let ratio = tps / predicted;
+            assert!(
+                (0.75..=1.25).contains(&ratio),
+                "{row}: tps {tps:.0} vs Little's-law {predicted:.0} (ratio {ratio:.2})"
+            );
+        }
+        // The knee: throughput keeps (weakly) growing with the population...
+        let tps_at = |c: u64| report.value(&format!("{c} clients"), "tps").unwrap();
+        let lat_at = |c: u64| report.value(&format!("{c} clients"), "lat_ms").unwrap();
+        for pair in CLOSED01_CLIENTS.windows(2) {
+            assert!(
+                tps_at(pair[1]) > tps_at(pair[0]) * 0.9,
+                "throughput collapsed between {} and {} clients",
+                pair[0],
+                pair[1]
+            );
+        }
+        // ...but saturation makes the largest population pay visibly more
+        // latency than a lone client, and its per-client rate collapses.
+        assert!(
+            lat_at(64) > lat_at(1) * 2.0,
+            "no knee: lat(64)={} vs lat(1)={}",
+            lat_at(64),
+            lat_at(1)
+        );
+        assert!(
+            tps_at(64) < 64.0 * tps_at(1) * 0.7,
+            "64 clients should be past the linear-scaling regime"
+        );
+    }
+
+    #[test]
+    fn ramp01_crosses_saturation_inside_the_windowed_series() {
+        let txns = 600;
+        let report = ramp01_ramp(txns);
+        assert_eq!(report.rows.len(), 1);
+        assert!(report.failures.is_empty());
+        let series = &report.rows[0].series[0].series;
+        let phase_us = ramp01_phase_us(txns);
+        // Offered load tracks the configured phase rates: the mid-window of
+        // each phase must carry roughly its rate.
+        let offered_mid = |phase: u64| {
+            series
+                .window_at(phase * phase_us + phase_us / 2)
+                .map(|w| w.offered_tps)
+                .unwrap_or(0.0)
+        };
+        assert!(
+            offered_mid(2) > offered_mid(0) * 5.0,
+            "the ramp must be visible in the offered series: {} vs {}",
+            offered_mid(0),
+            offered_mid(2)
+        );
+        // Phase 1 is unsaturated: achieved ≈ offered over the whole phase.
+        let phase_totals = |phase: u64| {
+            let (from, to) = (phase * phase_us, (phase + 1) * phase_us);
+            series
+                .windows
+                .iter()
+                .filter(|w| w.start_us >= from && w.end_us <= to)
+                .fold((0u64, 0u64), |(s, c), w| (s + w.submitted, c + w.committed))
+        };
+        let (submitted_1, committed_1) = phase_totals(0);
+        assert!(submitted_1 > 0);
+        assert!(
+            committed_1 as f64 >= submitted_1 as f64 * 0.5,
+            "phase 1 should keep up: {committed_1}/{submitted_1}"
+        );
+        // Phase 3 saturates: offered outruns achieved while arrivals flow.
+        let (submitted_3, committed_3) = phase_totals(2);
+        assert!(
+            submitted_3 > committed_3 * 2,
+            "phase 3 should backlog: {committed_3}/{submitted_3}"
+        );
+        // The latency inflection: windowed p50 late in the ramp dwarfs the
+        // unsaturated start.
+        let early_p50 = series
+            .windows
+            .iter()
+            .filter(|w| w.end_us <= phase_us && w.committed > 0)
+            .map(|w| w.latency.p50_us)
+            .max()
+            .unwrap_or(0);
+        let late_p50 = series
+            .windows
+            .iter()
+            .filter(|w| w.start_us >= 2 * phase_us && w.committed > 0)
+            .map(|w| w.latency.p50_us)
+            .max()
+            .unwrap_or(0);
+        assert!(early_p50 > 0, "phase 1 must commit inside its windows");
+        assert!(
+            late_p50 > early_p50 * 3,
+            "saturation must inflect the windowed latency: {early_p50} → {late_p50}"
+        );
+        // The scalar columns exist too.
+        assert!(report.rows[0]
+            .values
+            .iter()
+            .any(|(c, v)| c == "tps" && *v > 0.0));
     }
 }

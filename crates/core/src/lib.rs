@@ -23,9 +23,12 @@ pub mod experiments;
 pub mod metrics;
 pub mod scenario;
 
-pub use driver::{run_workload, DriverConfig, RunStats};
+pub use driver::{run_workload, ArrivalSpec, ClientModel, DriverConfig, RunStats};
 pub use metrics::{LatencySummary, Metrics, TimeSeries, TimeWindow};
-pub use scenario::{run_plan, run_plan_with, ExecOptions, ExperimentPlan, Scenario, Sweep};
+pub use scenario::{
+    run_plan, run_plan_with, run_plans_with, ExecOptions, ExperimentPlan, PlanOutcome, Scenario,
+    Sweep,
+};
 
 // Re-export the building blocks so downstream users need only this crate.
 pub use dichotomy_common as common;

@@ -146,11 +146,20 @@ pub struct TimeWindow {
     pub start_us: Timestamp,
     /// Window end (exclusive, simulated µs).
     pub end_us: Timestamp,
+    /// Transactions *submitted* inside the window (bucketed by submit time)
+    /// — the offered side of the offered-vs-achieved comparison. Under
+    /// saturation, `submitted` outruns `committed`; in a closed loop the two
+    /// track each other.
+    pub submitted: u64,
     /// Transactions that committed (finished) inside the window.
     pub committed: u64,
     /// Transactions that aborted inside the window.
     pub aborted: u64,
-    /// Committed transactions per second over the window width.
+    /// Submitted transactions per second over the window width (offered
+    /// load as actually generated, open or closed loop alike).
+    pub offered_tps: f64,
+    /// Committed transactions per second over the window width (achieved
+    /// load).
     pub throughput_tps: f64,
     /// Aborts as a percentage of the window's finished transactions.
     pub abort_rate_percent: f64,
@@ -189,10 +198,17 @@ impl TimeSeries {
             };
         };
         let count = ((last_finish - warmup_us) / window_us + 1) as usize;
+        let mut submitted = vec![0u64; count];
         let mut committed = vec![0u64; count];
         let mut aborted = vec![0u64; count];
         let mut latencies: Vec<Vec<u64>> = vec![Vec::new(); count];
         for r in kept {
+            // The offered side: bucket by submit time (a receipt's submit
+            // can land windows before its finish). Submits before the
+            // warm-up origin are trimmed like early finishes.
+            if r.submit_time >= warmup_us {
+                submitted[((r.submit_time - warmup_us) / window_us) as usize] += 1;
+            }
             let idx = ((r.finish_time - warmup_us) / window_us) as usize;
             match r.status {
                 TxnStatus::Committed => {
@@ -209,8 +225,10 @@ impl TimeSeries {
                 TimeWindow {
                     start_us,
                     end_us: start_us + window_us,
+                    submitted: submitted[i],
                     committed: committed[i],
                     aborted: aborted[i],
+                    offered_tps: submitted[i] as f64 / (window_us as f64 / 1e6),
                     throughput_tps: committed[i] as f64 / (window_us as f64 / 1e6),
                     abort_rate_percent: if finished == 0 {
                         0.0
@@ -382,6 +400,13 @@ mod tests {
             s.windows.iter().map(|w| w.committed).collect::<Vec<_>>(),
             vec![1, 1, 0, 1]
         );
+        // The offered side buckets by submit time: submits at 0, 1000, 1000
+        // and 3000.
+        assert_eq!(
+            s.windows.iter().map(|w| w.submitted).collect::<Vec<_>>(),
+            vec![1, 2, 0, 1]
+        );
+        assert_eq!(s.windows[1].offered_tps, 2_000.0);
         assert_eq!(s.windows[1].aborted, 1);
         assert_eq!(s.windows[1].abort_rate_percent, 50.0);
         assert_eq!(s.windows[2].throughput_tps, 0.0);
@@ -389,6 +414,32 @@ mod tests {
         assert_eq!(s.windows[0].throughput_tps, 1_000.0);
         assert_eq!(s.window_at(3_200).unwrap().start_us, 3_000);
         assert_eq!(s.windows[0].end_us, 1_000);
+    }
+
+    #[test]
+    fn offered_load_outruns_achieved_load_in_a_backlogged_series() {
+        // 10 submissions inside the first millisecond, but the pipeline only
+        // finishes one per millisecond: offered ≫ achieved early, and the
+        // backlog drains across later windows with zero offered load.
+        let receipts: Vec<TxnReceipt> = (0..10)
+            .map(|i| TxnReceipt::committed(id(i), i * 100, (i + 1) * 1_000))
+            .collect();
+        let s = TimeSeries::from_receipts(&receipts, 1_000, 0);
+        assert_eq!(s.windows[0].submitted, 10);
+        assert_eq!(s.windows[0].committed, 0);
+        assert!(s.windows[0].offered_tps > s.windows[0].throughput_tps);
+        let tail = s.windows.last().unwrap();
+        assert_eq!(tail.submitted, 0);
+        assert_eq!(tail.committed, 1);
+        // Submits before the warm-up origin are trimmed from the offered
+        // side just like early finishes.
+        let trimmed = TimeSeries::from_receipts(&receipts, 1_000, 1_000);
+        assert_eq!(trimmed.windows[0].start_us, 1_000);
+        assert_eq!(
+            trimmed.windows.iter().map(|w| w.submitted).sum::<u64>(),
+            0,
+            "all submits (0–900 µs) predate the warm-up origin"
+        );
     }
 
     #[test]

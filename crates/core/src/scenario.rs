@@ -56,7 +56,7 @@ use dichotomy_simnet::{CostModel, FaultPlan, NetworkConfig};
 use dichotomy_systems::{SystemRegistry, SystemSpec};
 use dichotomy_workload::WorkloadSpec;
 
-use crate::driver::{run_workload, DriverConfig};
+use crate::driver::{run_workload, ArrivalSpec, DriverConfig};
 use crate::experiments::{ExperimentReport, ProbeFailure, Row, RowSeries};
 use crate::metrics::Metrics;
 
@@ -211,6 +211,15 @@ pub enum Sweep {
     Shards(Vec<u32>),
     /// Offered load in transactions per second.
     OfferedTps(Vec<f64>),
+    /// Closed-loop client count (the driver's arrival spec must be
+    /// [`ArrivalSpec::ClosedLoop`]).
+    ClosedClients(Vec<u64>),
+    /// Closed-loop mean think time in µs (the driver's arrival spec must be
+    /// [`ArrivalSpec::ClosedLoop`]).
+    ThinkTimeUs(Vec<u64>),
+    /// Closed-loop outstanding-request cap (the driver's arrival spec must
+    /// be [`ArrivalSpec::ClosedLoop`]).
+    MaxOutstanding(Vec<u64>),
 }
 
 impl Sweep {
@@ -224,6 +233,9 @@ impl Sweep {
             Sweep::RecordSize(v) => v.len(),
             Sweep::Shards(v) => v.len(),
             Sweep::OfferedTps(v) => v.len(),
+            Sweep::ClosedClients(v) => v.len(),
+            Sweep::ThinkTimeUs(v) => v.len(),
+            Sweep::MaxOutstanding(v) => v.len(),
         }
     }
 
@@ -242,6 +254,9 @@ impl Sweep {
             Sweep::RecordSize(v) => format!("{} B", v[i]),
             Sweep::Shards(v) => format!("{} shards", v[i]),
             Sweep::OfferedTps(v) => format!("{} tps", v[i]),
+            Sweep::ClosedClients(v) => format!("{} clients", v[i]),
+            Sweep::ThinkTimeUs(v) => format!("think={} µs", v[i]),
+            Sweep::MaxOutstanding(v) => format!("outstanding={}", v[i]),
         }
     }
 
@@ -269,7 +284,34 @@ impl Sweep {
             }
             Sweep::RecordSize(v) => *workload = workload.clone().with_record_size(v[i]),
             Sweep::Shards(v) => spec.shards = Some(v[i]),
-            Sweep::OfferedTps(v) => driver.offered_tps = v[i],
+            Sweep::OfferedTps(v) => {
+                driver.offered_tps = v[i];
+                // An explicit open-loop spec tracks the sweep too; other
+                // specs keep their own arrival parameters.
+                if let Some(ArrivalSpec::OpenLoop { offered_tps }) = &mut driver.arrival {
+                    *offered_tps = v[i];
+                }
+            }
+            Sweep::ClosedClients(v) => match &mut driver.arrival {
+                Some(ArrivalSpec::ClosedLoop { clients, .. }) => *clients = v[i],
+                other => {
+                    panic!("Sweep::ClosedClients needs a ClosedLoop arrival spec, got {other:?}")
+                }
+            },
+            Sweep::ThinkTimeUs(v) => match &mut driver.arrival {
+                Some(ArrivalSpec::ClosedLoop { think_time_us, .. }) => *think_time_us = v[i],
+                other => {
+                    panic!("Sweep::ThinkTimeUs needs a ClosedLoop arrival spec, got {other:?}")
+                }
+            },
+            Sweep::MaxOutstanding(v) => match &mut driver.arrival {
+                Some(ArrivalSpec::ClosedLoop {
+                    max_outstanding, ..
+                }) => *max_outstanding = v[i],
+                other => {
+                    panic!("Sweep::MaxOutstanding needs a ClosedLoop arrival spec, got {other:?}")
+                }
+            },
         }
     }
 }
@@ -431,6 +473,12 @@ pub struct ExecOptions<'a> {
     /// Invoked once per finished probe, in completion order, from the thread
     /// that called [`run_plan_with`] — live per-probe status for a CLI.
     pub progress: Option<&'a (dyn Fn(&ProbeStatus) + Sync)>,
+    /// Stop scheduling new probes once one fails: probes already in flight
+    /// finish, everything still queued reports a labelled "skipped" failure
+    /// with NaN columns instead of running. With more than one worker the
+    /// skipped set depends on timing; `jobs = 1` skips everything after the
+    /// first failure deterministically.
+    pub fail_fast: bool,
 }
 
 impl ExecOptions<'_> {
@@ -439,6 +487,7 @@ impl ExecOptions<'_> {
         ExecOptions {
             jobs,
             progress: None,
+            fail_fast: false,
         }
     }
 
@@ -462,11 +511,17 @@ impl ExecOptions<'_> {
 /// Live status of one finished probe, delivered to [`ExecOptions::progress`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProbeStatus {
-    /// Plan-order index of the probe (stable across worker counts).
+    /// Index of the plan the probe belongs to in the executed batch (always
+    /// 0 for single-plan runs; [`run_plans_with`] batches share one pool
+    /// across experiments).
+    pub plan: usize,
+    /// Plan-order index of the probe within its plan (stable across worker
+    /// counts).
     pub index: usize,
-    /// Total probes in the plan.
+    /// Total probes across the whole batch.
     pub total: usize,
-    /// Probes finished so far, including this one (completion order).
+    /// Probes finished so far across the batch, including this one
+    /// (completion order).
     pub done: usize,
     /// Label of the row the probe contributes to.
     pub row: String,
@@ -515,13 +570,32 @@ struct ProbeOutcome {
     values: Vec<(String, f64)>,
     series: Option<RowSeries>,
     error: Option<String>,
+    /// Wall-clock milliseconds spent executing the probe (0 for skipped
+    /// probes). Feeds the per-experiment bench trajectory; never part of the
+    /// deterministic report itself.
+    wall_ms: f64,
 }
 
 /// A probe flattened out of the row grid, with the labels that attribute it.
 struct FlatProbe<'p> {
+    /// Index of the owning plan in the executed batch.
+    plan: usize,
+    /// Plan-order probe index within that plan.
+    index: usize,
     run: &'p PlannedRun,
     row_label: &'p str,
     probe_label: String,
+}
+
+/// One plan's result from a (possibly batched) execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanOutcome {
+    /// The deterministic report.
+    pub report: ExperimentReport,
+    /// Summed wall-clock milliseconds the pool's workers spent inside this
+    /// plan's probes (probes of different plans overlap on a shared pool, so
+    /// this is worker time, not elapsed time).
+    pub probe_wall_ms: f64,
 }
 
 /// Execute a plan, building systems through `registry`, on a worker pool of
@@ -537,41 +611,79 @@ pub fn run_plan_with(
     registry: &SystemRegistry,
     options: &ExecOptions,
 ) -> ExperimentReport {
-    let flat: Vec<FlatProbe> = plan
-        .rows
+    run_plans_with(&[plan], registry, options)
+        .pop()
+        .expect("one plan in, one report out")
+        .report
+}
+
+/// Execute several plans on **one shared worker pool**: the probes of every
+/// plan go into a single queue, so workers stay busy across experiment
+/// boundaries instead of draining at each experiment's tail (`repro all`
+/// goes through this). Reports come back in plan order and are byte-identical
+/// to running each plan alone with the same seed, whatever the worker count.
+pub fn run_plans_with(
+    plans: &[&ExperimentPlan],
+    registry: &SystemRegistry,
+    options: &ExecOptions,
+) -> Vec<PlanOutcome> {
+    let flat: Vec<FlatProbe> = plans
         .iter()
-        .flat_map(|row| {
-            row.runs.iter().map(move |run| FlatProbe {
-                run,
-                row_label: &row.label,
-                probe_label: run.probe.label(),
-            })
+        .enumerate()
+        .flat_map(|(plan_idx, plan)| {
+            plan.rows
+                .iter()
+                .flat_map(|row| row.runs.iter().map(move |run| (run, row.label.as_str())))
+                .enumerate()
+                .map(move |(index, (run, row_label))| FlatProbe {
+                    plan: plan_idx,
+                    index,
+                    run,
+                    row_label,
+                    probe_label: run.probe.label(),
+                })
         })
         .collect();
     let total = flat.len();
     let jobs = options.effective_jobs().min(total.max(1));
+    let abort = std::sync::atomic::AtomicBool::new(false);
+
+    let execute = |probe: &FlatProbe| -> ProbeOutcome {
+        if options.fail_fast && abort.load(std::sync::atomic::Ordering::Relaxed) {
+            return skipped_outcome(probe.run);
+        }
+        let started = std::time::Instant::now();
+        let mut outcome = execute_probe(probe.run, registry);
+        outcome.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        if outcome.error.is_some() {
+            abort.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        outcome
+    };
 
     let mut done = 0usize;
     let mut outcomes: Vec<Option<ProbeOutcome>> = (0..total).map(|_| None).collect();
     {
-        let mut notify = |index: usize, outcome: &ProbeOutcome| {
+        let mut notify = |flat_index: usize, outcome: &ProbeOutcome| {
             done += 1;
             if let Some(progress) = options.progress {
+                let probe = &flat[flat_index];
                 progress(&ProbeStatus {
-                    index,
+                    plan: probe.plan,
+                    index: probe.index,
                     total,
                     done,
-                    row: flat[index].row_label.to_string(),
-                    probe: flat[index].probe_label.clone(),
+                    row: probe.row_label.to_string(),
+                    probe: probe.probe_label.clone(),
                     error: outcome.error.clone(),
                 });
             }
         };
         if jobs <= 1 {
-            for (index, probe) in flat.iter().enumerate() {
-                let outcome = execute_probe(probe.run, registry);
-                notify(index, &outcome);
-                outcomes[index] = Some(outcome);
+            for (flat_index, probe) in flat.iter().enumerate() {
+                let outcome = execute(probe);
+                notify(flat_index, &outcome);
+                outcomes[flat_index] = Some(outcome);
             }
         } else {
             // The work queue: probe indexes, fully enqueued up front, shared
@@ -586,6 +698,7 @@ pub fn run_plan_with(
             let job_rx = Arc::new(Mutex::new(job_rx));
             let (result_tx, result_rx) = mpsc::channel::<(usize, ProbeOutcome)>();
             let flat_ref = &flat;
+            let execute_ref = &execute;
             std::thread::scope(|scope| {
                 for _ in 0..jobs {
                     let job_rx = Arc::clone(&job_rx);
@@ -600,7 +713,7 @@ pub fn run_plan_with(
                         let next = queue.recv();
                         drop(queue);
                         let Ok(index) = next else { break };
-                        let outcome = execute_probe(flat_ref[index].run, registry);
+                        let outcome = execute_ref(&flat_ref[index]);
                         if result_tx.send((index, outcome)).is_err() {
                             break;
                         }
@@ -616,44 +729,70 @@ pub fn run_plan_with(
     }
 
     let mut outcomes = outcomes.into_iter();
-    let mut failures = Vec::new();
-    let mut index = 0usize;
-    let rows = plan
-        .rows
+    plans
         .iter()
-        .map(|row| {
-            let mut values = Vec::new();
-            let mut series = Vec::new();
-            for _ in &row.runs {
-                let outcome = outcomes
-                    .next()
-                    .flatten()
-                    .expect("every scheduled probe reports an outcome");
-                values.extend(outcome.values);
-                series.extend(outcome.series);
-                if let Some(message) = outcome.error {
-                    failures.push(ProbeFailure {
-                        row: row.label.clone(),
-                        probe: flat[index].probe_label.clone(),
-                        index,
-                        message,
-                    });
-                }
-                index += 1;
-            }
-            Row {
-                label: row.label.clone(),
-                values,
-                series,
+        .map(|plan| {
+            let mut failures = Vec::new();
+            let mut probe_wall_ms = 0.0;
+            let mut index = 0usize;
+            let rows = plan
+                .rows
+                .iter()
+                .map(|row| {
+                    let mut values = Vec::new();
+                    let mut series = Vec::new();
+                    for run in &row.runs {
+                        let outcome = outcomes
+                            .next()
+                            .flatten()
+                            .expect("every scheduled probe reports an outcome");
+                        values.extend(outcome.values);
+                        series.extend(outcome.series);
+                        probe_wall_ms += outcome.wall_ms;
+                        if let Some(message) = outcome.error {
+                            failures.push(ProbeFailure {
+                                row: row.label.clone(),
+                                probe: run.probe.label(),
+                                index,
+                                message,
+                            });
+                        }
+                        index += 1;
+                    }
+                    Row {
+                        label: row.label.clone(),
+                        values,
+                        series,
+                    }
+                })
+                .collect();
+            PlanOutcome {
+                report: ExperimentReport {
+                    id: plan.id,
+                    title: plan.title,
+                    rows,
+                    failures,
+                    text: plan.text.clone(),
+                },
+                probe_wall_ms,
             }
         })
-        .collect();
-    ExperimentReport {
-        id: plan.id,
-        title: plan.title,
-        rows,
-        failures,
-        text: plan.text.clone(),
+        .collect()
+}
+
+/// The outcome of a probe that never ran because `fail_fast` drained the
+/// queue: NaN columns (JSON `null`) plus a failure message that names the
+/// skip, so it is distinguishable from the probe that actually failed.
+fn skipped_outcome(run: &PlannedRun) -> ProbeOutcome {
+    ProbeOutcome {
+        values: run
+            .columns
+            .iter()
+            .map(|c| (c.name.clone(), f64::NAN))
+            .collect(),
+        series: None,
+        error: Some("skipped: an earlier probe failed (fail-fast)".to_string()),
+        wall_ms: 0.0,
     }
 }
 
@@ -664,6 +803,7 @@ fn execute_probe(run: &PlannedRun, registry: &SystemRegistry) -> ProbeOutcome {
             values,
             series,
             error: None,
+            wall_ms: 0.0,
         },
         Err(payload) => ProbeOutcome {
             // Keep the row's shape: every column the probe owed reads NaN
@@ -675,6 +815,7 @@ fn execute_probe(run: &PlannedRun, registry: &SystemRegistry) -> ProbeOutcome {
                 .collect(),
             series: None,
             error: Some(panic_text(payload.as_ref())),
+            wall_ms: 0.0,
         },
     }
 }
@@ -1028,6 +1169,7 @@ mod tests {
             let options = ExecOptions {
                 jobs,
                 progress: Some(&record),
+                ..ExecOptions::default()
             };
             run_plan_with(&plan, &SystemRegistry::with_builtins(), &options);
             let statuses = statuses.into_inner().unwrap();
@@ -1070,5 +1212,109 @@ mod tests {
         // jobs=0 resolves DICHOTOMY_JOBS or available parallelism — either
         // way, at least one worker.
         assert!(ExecOptions::default().effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn a_shared_pool_batch_matches_per_plan_execution_exactly() {
+        // The cross-experiment pool: running several plans through one
+        // run_plans_with batch must reproduce the per-plan reports byte for
+        // byte (values, series, failures), sequentially and in parallel, and
+        // attribute every probe to its plan in the progress stream.
+        let registry = SystemRegistry::with_builtins();
+        let mut sweep_scenario = tiny_scenario(5);
+        sweep_scenario.sweep = Sweep::Theta(vec![0.0, 0.9]);
+        let plans = [
+            tiny_scenario(5).plan(),
+            sweep_scenario.plan(),
+            crate::experiments::fault01_plan(80, 5),
+        ];
+        let refs: Vec<&ExperimentPlan> = plans.iter().collect();
+        let solo: Vec<ExperimentReport> = plans
+            .iter()
+            .map(|p| run_plan_with(p, &registry, &ExecOptions::with_jobs(1)))
+            .collect();
+        for jobs in [1, 4] {
+            let statuses: Mutex<Vec<ProbeStatus>> = Mutex::new(Vec::new());
+            let record = |s: &ProbeStatus| statuses.lock().unwrap().push(s.clone());
+            let options = ExecOptions {
+                jobs,
+                progress: Some(&record),
+                ..ExecOptions::default()
+            };
+            let batch = run_plans_with(&refs, &registry, &options);
+            assert_eq!(batch.len(), 3, "jobs={jobs}");
+            for (outcome, expected) in batch.iter().zip(&solo) {
+                assert_eq!(&outcome.report, expected, "jobs={jobs}");
+                assert!(outcome.probe_wall_ms >= 0.0);
+            }
+            let statuses = statuses.into_inner().unwrap();
+            let total = plans.iter().map(|p| p.probe_count()).sum::<usize>();
+            assert_eq!(statuses.len(), total, "jobs={jobs}");
+            // Every status names its plan; `done` counts the whole batch.
+            let mut per_plan = vec![0usize; plans.len()];
+            for s in &statuses {
+                assert_eq!(s.total, total);
+                per_plan[s.plan] += 1;
+            }
+            assert_eq!(
+                per_plan,
+                plans.iter().map(|p| p.probe_count()).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                statuses.iter().map(|s| s.done).collect::<Vec<_>>(),
+                (1..=total).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn fail_fast_drains_the_queue_after_the_first_failure() {
+        fn bomb(_spec: &SystemSpec) -> Box<dyn dichotomy_systems::TransactionalSystem> {
+            panic!("intentional probe failure")
+        }
+        let mut registry = SystemRegistry::with_builtins();
+        registry.register(SystemKind::Tikv, bomb);
+        // Three rows: etcd (ok), TiKV (bomb), etcd (would be ok). With
+        // fail_fast and one worker the third probe must be skipped, with a
+        // distinguishable failure message and NaN columns.
+        let scenario = Scenario {
+            systems: vec![
+                SystemEntry {
+                    spec: SystemSpec::new(SystemKind::Etcd),
+                    columns: vec![ColumnSpec::new("tps", Metric::ThroughputTps)],
+                },
+                SystemEntry {
+                    spec: SystemSpec::new(SystemKind::Tikv),
+                    columns: vec![ColumnSpec::new("tps", Metric::ThroughputTps)],
+                },
+                SystemEntry {
+                    spec: SystemSpec::new(SystemKind::Etcd).with_label("etcd-5"),
+                    columns: vec![ColumnSpec::new("tps", Metric::ThroughputTps)],
+                },
+            ],
+            ..tiny_scenario(1)
+        };
+        let options = ExecOptions {
+            jobs: 1,
+            fail_fast: true,
+            ..ExecOptions::default()
+        };
+        let report = run_plan_with(&scenario.plan(), &registry, &options);
+        assert!(
+            report.value("etcd", "tps").unwrap() > 0.0,
+            "ran before the failure"
+        );
+        assert!(report.value("TiKV", "tps").unwrap().is_nan());
+        assert!(report.value("etcd-5", "tps").unwrap().is_nan());
+        assert_eq!(report.failures.len(), 2);
+        assert_eq!(report.failures[0].message, "intentional probe failure");
+        assert_eq!(
+            report.failures[1].message,
+            "skipped: an earlier probe failed (fail-fast)"
+        );
+        // Without fail_fast the trailing probe still runs.
+        let report = run_plan_with(&scenario.plan(), &registry, &ExecOptions::with_jobs(1));
+        assert!(report.value("etcd-5", "tps").unwrap() > 0.0);
+        assert_eq!(report.failures.len(), 1);
     }
 }

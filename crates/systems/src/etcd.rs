@@ -17,15 +17,15 @@
 //! crash window stall until the crash heals plus a failover pause, which is
 //! what the crash-and-recover scenario measures.
 
-use std::collections::VecDeque;
-
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
 use dichotomy_common::{AbortReason, Key, NodeId, Timestamp, Transaction, TxnReceipt, Value};
 use dichotomy_consensus::{ProtocolKind, ReplicationProfile};
 use dichotomy_simnet::{CostModel, FaultPlan, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{BPlusTree, KvEngine, LsmTree};
 
-use crate::pipeline::{Engine, SysEvent, SystemKind, TokenMap, TransactionalSystem};
+use crate::pipeline::{
+    Completion, Engine, ReceiptLog, SysEvent, SystemKind, TokenMap, TransactionalSystem,
+};
 
 /// Configuration shared by the etcd and TiKV models.
 #[derive(Debug, Clone)]
@@ -87,7 +87,7 @@ struct KvSystem<E: KvEngine> {
     raft: ReplicationProfile,
     procs: Option<KvProcs>,
     store: E,
-    receipts: VecDeque<TxnReceipt>,
+    receipts: ReceiptLog,
     pending: TokenMap<PendingWrite>,
     /// Fixed per-operation apply cost beyond the engine write (grpc, fsync
     /// amortized across the raft batch).
@@ -106,7 +106,7 @@ impl<E: KvEngine> KvSystem<E> {
             raft,
             procs: None,
             store,
-            receipts: VecDeque::new(),
+            receipts: ReceiptLog::new(),
             pending: TokenMap::new(),
             apply_overhead_us,
             config,
@@ -263,7 +263,10 @@ impl TransactionalSystem for Etcd {
         self.inner.on_stage(event, engine);
     }
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
-        self.inner.receipts.drain(..).collect()
+        self.inner.receipts.drain()
+    }
+    fn take_completions(&mut self) -> Vec<Completion> {
+        self.inner.receipts.take_completions()
     }
     fn footprint(&self) -> StorageBreakdown {
         self.inner.store.footprint()
@@ -307,7 +310,10 @@ impl TransactionalSystem for Tikv {
         self.inner.on_stage(event, engine);
     }
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
-        self.inner.receipts.drain(..).collect()
+        self.inner.receipts.drain()
+    }
+    fn take_completions(&mut self) -> Vec<Completion> {
+        self.inner.receipts.take_completions()
     }
     fn footprint(&self) -> StorageBreakdown {
         self.inner.store.footprint()

@@ -23,8 +23,6 @@
 //! on the validator is therefore real queue depth on the engine — which is
 //! also what the endorsement-divergence probability reads.
 
-use std::collections::VecDeque;
-
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
 use dichotomy_common::{AbortReason, Key, NodeId, Timestamp, Transaction, TxnReceipt, Value};
 use dichotomy_consensus::sharedlog::{SharedLog, SharedLogConfig};
@@ -33,7 +31,10 @@ use dichotomy_simnet::{CostModel, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{KvEngine, LsmTree, MvccStore};
 use dichotomy_txn::OccExecutor;
 
-use crate::pipeline::{Engine, SysEvent, SystemKind, TimedCutter, TokenMap, TransactionalSystem};
+use crate::pipeline::{
+    Completion, Engine, ReceiptLog, SysEvent, SystemKind, TimedCutter, TokenMap,
+    TransactionalSystem,
+};
 
 /// Configuration of a Fabric deployment.
 #[derive(Debug, Clone)]
@@ -121,7 +122,7 @@ pub struct Fabric {
     state_db: LsmTree,
     occ: OccExecutor,
     ledger: Ledger,
-    receipts: VecDeque<TxnReceipt>,
+    receipts: ReceiptLog,
     rng: dichotomy_common::rng::StdRng,
     committed: u64,
     aborted_rw: u64,
@@ -145,7 +146,7 @@ impl Fabric {
             state_db: LsmTree::new(),
             occ: OccExecutor::new(),
             ledger: Ledger::new(NodeId(0)),
-            receipts: VecDeque::new(),
+            receipts: ReceiptLog::new(),
             rng: dichotomy_common::rng::seeded(config.seed),
             committed: 0,
             aborted_rw: 0,
@@ -435,7 +436,11 @@ impl TransactionalSystem for Fabric {
     }
 
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
-        self.receipts.drain(..).collect()
+        self.receipts.drain()
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        self.receipts.take_completions()
     }
 
     fn footprint(&self) -> StorageBreakdown {

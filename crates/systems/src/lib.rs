@@ -31,8 +31,8 @@ pub mod tidb;
 pub use etcd::{Etcd, EtcdConfig, Tikv};
 pub use fabric::{Fabric, FabricConfig};
 pub use pipeline::{
-    drive_arrivals, run_to_completion, run_to_completion_with, BlockCutter, Engine, SysEvent,
-    SystemKind, TimedCutter, TokenMap, TransactionalSystem,
+    drive_arrivals, run_to_completion, run_to_completion_with, BlockCutter, Completion, Engine,
+    ReceiptLog, SysEvent, SystemKind, TimedCutter, TokenMap, TransactionalSystem,
 };
 pub use quorum::{Quorum, QuorumConfig};
 pub use sharded::{Ahl, AhlConfig, ShardedTiDb, SpannerLike, SpannerLikeConfig};

@@ -10,7 +10,7 @@
 //! time, so backlog, saturation and fault stalls emerge from the queues.
 
 use dichotomy_common::size::StorageBreakdown;
-use dichotomy_common::{Key, Timestamp, Transaction, TxnReceipt, Value};
+use dichotomy_common::{ClientId, Key, Timestamp, Transaction, TxnReceipt, Value};
 use dichotomy_simnet::{SimEngine, StageEvent};
 
 /// Which of the benchmarked systems a model stands for (used in reports and
@@ -72,6 +72,80 @@ impl SysEvent {
 /// The concrete engine every system model runs on.
 pub type Engine = SimEngine<SysEvent>;
 
+/// An incremental completion notification: one transaction finished
+/// (committed *or* aborted) for `client` at simulated time `finish`.
+///
+/// The driver polls these through
+/// [`take_completions`](TransactionalSystem::take_completions) after every
+/// dispatched event, which is what lets closed-loop clients schedule their
+/// next submission at `finish + think_time` while the run is still going.
+/// `finish` may lie ahead of the engine clock: models stamp receipts with
+/// tail latencies (replication round trips, network hops) that need no
+/// further events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The submitting client.
+    pub client: ClientId,
+    /// The simulated submit time of the transaction (client models use it
+    /// to attribute a completion to the population that emitted it — e.g. a
+    /// load phase ignores completions submitted before it began).
+    pub submitted: Timestamp,
+    /// The simulated finish time of the transaction.
+    pub finish: Timestamp,
+}
+
+/// The outcome buffer every system model records receipts into: a receipt
+/// log that doubles as the incremental completion channel.
+///
+/// [`push_back`](Self::push_back) records the receipt *and* its
+/// [`Completion`]; [`drain`](Self::drain) hands the receipts out once at the
+/// end of a run (unchanged semantics), while
+/// [`take_completions`](Self::take_completions) surfaces the completion
+/// stream incrementally for the driver's closed-loop clients.
+#[derive(Debug, Default)]
+pub struct ReceiptLog {
+    receipts: Vec<TxnReceipt>,
+    completions: Vec<Completion>,
+}
+
+impl ReceiptLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ReceiptLog::default()
+    }
+
+    /// Record a finished transaction (commit or abort).
+    pub fn push_back(&mut self, receipt: TxnReceipt) {
+        self.completions.push(Completion {
+            client: receipt.txn_id.client,
+            submitted: receipt.submit_time,
+            finish: receipt.finish_time,
+        });
+        self.receipts.push(receipt);
+    }
+
+    /// Take every receipt recorded so far, in recording order.
+    pub fn drain(&mut self) -> Vec<TxnReceipt> {
+        std::mem::take(&mut self.receipts)
+    }
+
+    /// Take the completions recorded since the last call, in recording
+    /// order.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Number of receipts currently held.
+    pub fn len(&self) -> usize {
+        self.receipts.len()
+    }
+
+    /// Whether no receipts are held.
+    pub fn is_empty(&self) -> bool {
+        self.receipts.is_empty()
+    }
+}
+
 /// The interface every system model exposes to the experiment driver.
 ///
 /// Lifecycle: [`load`](Self::load) (untimed bulk load), then exactly one
@@ -114,6 +188,15 @@ pub trait TransactionalSystem {
 
     /// Receipts completed since the last drain.
     fn drain_receipts(&mut self) -> Vec<TxnReceipt>;
+
+    /// Completions recorded since the last call, in recording order. The
+    /// driver polls this after every dispatched event so closed-loop client
+    /// models can react to finishes while the run is live; the receipts
+    /// themselves still drain once, at the end, through
+    /// [`drain_receipts`](Self::drain_receipts). Models that buffer their
+    /// outcomes in a [`ReceiptLog`] implement this as
+    /// `self.receipts.take_completions()`.
+    fn take_completions(&mut self) -> Vec<Completion>;
 
     /// Current storage footprint across state, indexes and ledger/history.
     fn footprint(&self) -> StorageBreakdown;

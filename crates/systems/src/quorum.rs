@@ -16,8 +16,6 @@
 //! consensus and committer processes — so block backlog queues up on the
 //! engine instead of being folded into a synchronous submit call.
 
-use std::collections::VecDeque;
-
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
 use dichotomy_common::{Key, NodeId, Timestamp, Transaction, TxnReceipt, Value};
 use dichotomy_consensus::{ProtocolKind, ReplicationProfile};
@@ -26,7 +24,10 @@ use dichotomy_merkle::MerklePatriciaTrie;
 use dichotomy_simnet::{CostModel, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{KvEngine, LsmTree};
 
-use crate::pipeline::{Engine, SysEvent, SystemKind, TimedCutter, TokenMap, TransactionalSystem};
+use crate::pipeline::{
+    Completion, Engine, ReceiptLog, SysEvent, SystemKind, TimedCutter, TokenMap,
+    TransactionalSystem,
+};
 
 /// Configuration of a Quorum deployment.
 #[derive(Debug, Clone)]
@@ -113,7 +114,7 @@ pub struct Quorum {
     state_db: LsmTree,
     /// The chain.
     ledger: Ledger,
-    receipts: VecDeque<TxnReceipt>,
+    receipts: ReceiptLog,
 }
 
 impl Quorum {
@@ -138,7 +139,7 @@ impl Quorum {
             state_trie: MerklePatriciaTrie::new(),
             state_db: LsmTree::new(),
             ledger: Ledger::new(NodeId(0)),
-            receipts: VecDeque::new(),
+            receipts: ReceiptLog::new(),
             config,
         }
     }
@@ -347,7 +348,11 @@ impl TransactionalSystem for Quorum {
     }
 
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
-        self.receipts.drain(..).collect()
+        self.receipts.drain()
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        self.receipts.take_completions()
     }
 
     fn footprint(&self) -> StorageBreakdown {

@@ -10,7 +10,7 @@
 //! carries it through the per-shard service processes, replication and 2PC,
 //! emitting the receipt when the decision lands.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
 use dichotomy_common::{AbortReason, Key, Timestamp, Transaction, TxnReceipt, Value};
@@ -21,7 +21,9 @@ use dichotomy_simnet::{CostModel, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{KvEngine, LsmTree, MvccStore};
 use dichotomy_txn::locking::{LockManager, LockMode, LockOutcome};
 
-use crate::pipeline::{Engine, SysEvent, SystemKind, TokenMap, TransactionalSystem};
+use crate::pipeline::{
+    Completion, Engine, ReceiptLog, SysEvent, SystemKind, TokenMap, TransactionalSystem,
+};
 
 /// Stage: a decided transaction's receipt surfaces to the client at its
 /// commit time (token = in-flight id). Shared by all three sharded models.
@@ -66,7 +68,7 @@ struct ShardedDb {
     two_pc: TwoPhaseCommit,
     state: MvccStore,
     engine_db: LsmTree,
-    receipts: VecDeque<TxnReceipt>,
+    receipts: ReceiptLog,
     /// Until when each key is held by an in-flight (not yet committed)
     /// transaction — the window in which a contending arrival either waits
     /// (pessimistic locking) or aborts (optimistic/TiDB).
@@ -99,7 +101,7 @@ impl ShardedDb {
             two_pc: TwoPhaseCommit::new(coordinator, network, costs),
             state: MvccStore::new(),
             engine_db: LsmTree::new(),
-            receipts: VecDeque::new(),
+            receipts: ReceiptLog::new(),
             busy_until: HashMap::new(),
             finishing: TokenMap::new(),
             committed: 0,
@@ -328,7 +330,11 @@ impl TransactionalSystem for SpannerLike {
     }
 
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
-        self.db.receipts.drain(..).collect()
+        self.db.receipts.drain()
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        self.db.receipts.take_completions()
     }
 
     fn footprint(&self) -> StorageBreakdown {
@@ -432,7 +438,11 @@ impl TransactionalSystem for ShardedTiDb {
     }
 
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
-        self.db.receipts.drain(..).collect()
+        self.db.receipts.drain()
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        self.db.receipts.take_completions()
     }
 
     fn footprint(&self) -> StorageBreakdown {
@@ -622,7 +632,11 @@ impl TransactionalSystem for Ahl {
     }
 
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
-        self.db.receipts.drain(..).collect()
+        self.db.receipts.drain()
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        self.db.receipts.take_completions()
     }
 
     fn footprint(&self) -> StorageBreakdown {

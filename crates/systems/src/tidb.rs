@@ -19,7 +19,6 @@
 //! finish time.
 
 use std::collections::HashMap;
-use std::collections::VecDeque;
 
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
 use dichotomy_common::{AbortReason, Key, Timestamp, Transaction, TxnReceipt, Value};
@@ -29,7 +28,9 @@ use dichotomy_simnet::{CostModel, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{KvEngine, LsmTree, MvccStore};
 use dichotomy_txn::PercolatorExecutor;
 
-use crate::pipeline::{Engine, SysEvent, SystemKind, TokenMap, TransactionalSystem};
+use crate::pipeline::{
+    Completion, Engine, ReceiptLog, SysEvent, SystemKind, TokenMap, TransactionalSystem,
+};
 
 /// Configuration of a TiDB deployment.
 #[derive(Debug, Clone)]
@@ -90,7 +91,7 @@ pub struct TiDb {
     executor: PercolatorExecutor,
     state: MvccStore,
     engine_db: LsmTree,
-    receipts: VecDeque<TxnReceipt>,
+    receipts: ReceiptLog,
     /// Receipts scheduled to surface at their finish time (token-keyed).
     finishing: TokenMap<TxnReceipt>,
     /// Until when each key is held by an in-flight transaction; arrivals that
@@ -122,7 +123,7 @@ impl TiDb {
             executor: PercolatorExecutor::new(),
             state: MvccStore::new(),
             engine_db: LsmTree::new(),
-            receipts: VecDeque::new(),
+            receipts: ReceiptLog::new(),
             finishing: TokenMap::new(),
             busy_until: HashMap::new(),
             committed: 0,
@@ -337,7 +338,11 @@ impl TransactionalSystem for TiDb {
     }
 
     fn drain_receipts(&mut self) -> Vec<TxnReceipt> {
-        self.receipts.drain(..).collect()
+        self.receipts.drain()
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        self.receipts.take_completions()
     }
 
     fn footprint(&self) -> StorageBreakdown {

@@ -26,20 +26,25 @@ JOBS="$CORES"
 [ "$JOBS" -lt 4 ] && JOBS=4
 
 echo "==> repro --json reproducibility (seeded, byte-for-byte, --jobs 1 vs --jobs $JOBS)"
+CI_EXPERIMENTS="tab02 fig13 fig15 fault01 closed01 ramp01"
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --jobs 1 --json /tmp/ci_repro_a.json tab02 fig13 fig15 fault01 > /tmp/ci_repro_a.out
+    --quick --seed 7 --jobs 1 --json /tmp/ci_repro_a.json $CI_EXPERIMENTS > /tmp/ci_repro_a.out
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --jobs "$JOBS" --json /tmp/ci_repro_b.json tab02 fig13 fig15 fault01 > /tmp/ci_repro_b.out
+    --quick --seed 7 --jobs "$JOBS" --json /tmp/ci_repro_b.json $CI_EXPERIMENTS > /tmp/ci_repro_b.out
 test -s /tmp/ci_repro_a.out
 test -s /tmp/ci_repro_a.json
 cmp /tmp/ci_repro_a.out /tmp/ci_repro_b.out
 cmp /tmp/ci_repro_a.json /tmp/ci_repro_b.json
-# The fault scenario's windowed series must be present in the JSON document,
-# and no probe anywhere in it may clamp events or fail (inverted greps: any
-# nonzero clamp counter or nonempty failure list anywhere trips the gate).
+# The fault, closed-loop and ramp scenarios' windowed series must be present
+# in the JSON document, and no probe anywhere in it may clamp events or fail
+# (inverted greps: any nonzero clamp counter or nonempty failure list
+# anywhere trips the gate).
 grep -q '"key":"fault01"' /tmp/ci_repro_a.json
+grep -q '"key":"closed01"' /tmp/ci_repro_a.json
+grep -q '"key":"ramp01"' /tmp/ci_repro_a.json
 grep -q '"windows":\[{' /tmp/ci_repro_a.json
 grep -q '"events_clamped":' /tmp/ci_repro_a.json
+grep -q '"offered_tps":' /tmp/ci_repro_a.json
 # (`! grep` alone is exempt from `set -e`, so fail explicitly.)
 if grep -qE '"events_clamped":[1-9]' /tmp/ci_repro_a.json; then
     echo "ci.sh: a probe clamped events (causality bug in a model)" >&2
@@ -50,14 +55,17 @@ if grep -q '"failures":\[{' /tmp/ci_repro_a.json; then
     exit 1
 fi
 
-echo "==> BENCH_parallel.json (repro --quick all wall clock, --jobs 1 vs --jobs $JOBS)"
+echo "==> BENCH_history.json (bench trajectory: append --jobs 1 and --jobs $JOBS entries)"
+BENCH_KEY="$(git describe --always 2>/dev/null || echo untagged)"
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --jobs 1 --bench /tmp/ci_bench_seq.json all > /dev/null
+    --quick --seed 7 --jobs 1 --bench BENCH_history.json \
+    --bench-key "${BENCH_KEY}-jobs1" all > /dev/null
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --jobs "$JOBS" --bench /tmp/ci_bench_par.json all > /dev/null
-printf '{"cores":%s,"sequential":%s,"parallel":%s}\n' \
-    "$CORES" "$(cat /tmp/ci_bench_seq.json)" "$(cat /tmp/ci_bench_par.json)" > BENCH_parallel.json
-grep -q '"generator":"repro-bench"' BENCH_parallel.json
+    --quick --seed 7 --jobs "$JOBS" --bench BENCH_history.json \
+    --bench-key "${BENCH_KEY}-jobs${JOBS}" all > /dev/null
+grep -q '"generator":"repro-bench-history"' BENCH_history.json
+grep -q "\"label\":\"${BENCH_KEY}-jobs1\"" BENCH_history.json
+grep -q "\"label\":\"${BENCH_KEY}-jobs${JOBS}\"" BENCH_history.json
 
 echo "==> microbench --smoke (engine hot-path regression canary)"
 cargo run -p dichotomy-bench --release --bin microbench -- --smoke > /tmp/ci_microbench.out
