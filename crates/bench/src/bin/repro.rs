@@ -31,6 +31,11 @@
 //! * `--think-us N` / `--outstanding N` — the closed-loop override's mean
 //!   think time (default 1000 µs) and outstanding cap (default 1); only
 //!   valid with `--arrival closed`;
+//! * `--metrics exact|streaming` — override every driving probe's metrics
+//!   mode: `exact` retains receipts and computes order-statistic
+//!   percentiles (the default of every experiment except `scale01`),
+//!   `streaming` folds receipts into per-window P² sketches in O(windows)
+//!   memory;
 //! * `--json PATH` — additionally write all completed reports as JSON. Each
 //!   row of a driving experiment carries its windowed time series (`series`:
 //!   per-window offered/achieved tps, abort %, p50/p95/p99 latency) — see
@@ -40,6 +45,9 @@
 //!   that are not a `repro-bench-history`);
 //! * `--bench-key KEY` — the label of the appended history entry (pass
 //!   `git describe`/a date; the run never reads the wall clock for it).
+//!   Without the flag the entry is keyed by a stable digest of the run's
+//!   own parameters (quick/txns/seed/jobs), so history stays comparable
+//!   even where `git describe` is unavailable.
 //!
 //! Unknown experiment ids exit nonzero after printing the valid list. An
 //! `all` run continues past failures at *probe* granularity: a panicking
@@ -52,6 +60,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use dichotomy_bench::{json, list_experiments, plan_for, ArrivalOverride, RunOptions, EXPERIMENTS};
 use dichotomy_core::experiments::ExperimentReport;
+use dichotomy_core::metrics::MetricsMode;
 use dichotomy_core::scenario::{
     panic_text, run_plans_with, ExecOptions, ExperimentPlan, ProbeStatus,
 };
@@ -61,7 +70,7 @@ struct Cli {
     options: RunOptions,
     json_path: Option<String>,
     bench_path: Option<String>,
-    bench_key: String,
+    bench_key: Option<String>,
     jobs: usize,
     progress: bool,
     fail_fast: bool,
@@ -195,8 +204,19 @@ fn main() {
     }
 
     if let Some(path) = &cli.bench_path {
+        // No explicit key: derive a stable one from the run's own
+        // parameters, so trajectories stay comparable where `git describe`
+        // is unavailable (tarball checkouts, CI containers without tags).
+        let bench_key = cli.bench_key.clone().unwrap_or_else(|| {
+            json::stable_bench_key(
+                cli.options.quick,
+                cli.options.txns,
+                cli.options.seed,
+                ExecOptions::with_jobs(cli.jobs).effective_jobs(),
+            )
+        });
         let entry = json::bench_document(
-            &cli.bench_key,
+            &bench_key,
             cli.options.quick,
             cli.options.txns,
             cli.options.seed,
@@ -213,8 +233,7 @@ fn main() {
                 write_failed = true;
             }
             Ok(()) => eprintln!(
-                "appended '{}' ({} experiment timings) to {path}",
-                cli.bench_key,
+                "appended '{bench_key}' ({} experiment timings) to {path}",
                 timings.len()
             ),
         }
@@ -240,7 +259,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
         options: RunOptions::default(),
         json_path: None,
         bench_path: None,
-        bench_key: "unkeyed".to_string(),
+        bench_key: None,
         jobs: 0,
         progress: false,
         fail_fast: false,
@@ -326,7 +345,16 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
             }
             "--bench-key" => {
                 if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
-                    cli.bench_key = v;
+                    cli.bench_key = Some(v);
+                }
+            }
+            "--metrics" => {
+                if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
+                    match v.as_str() {
+                        "exact" => cli.options.metrics = Some(MetricsMode::Exact),
+                        "streaming" => cli.options.metrics = Some(MetricsMode::Streaming),
+                        _ => bad_usage.push(format!("--metrics: '{v}' is not exact|streaming")),
+                    }
                 }
             }
             f if f.starts_with("--") => bad_usage.push(format!("unknown flag '{f}'")),
@@ -367,8 +395,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
         }
         eprintln!(
             "valid flags: --quick --list --progress --fail-fast --txns N --seed S --jobs N \
-             --arrival open|closed --think-us N --outstanding N --json PATH --bench PATH \
-             --bench-key KEY"
+             --arrival open|closed --think-us N --outstanding N --metrics exact|streaming \
+             --json PATH --bench PATH --bench-key KEY"
         );
         eprintln!("valid experiments: all {}", EXPERIMENTS.join(" "));
         std::process::exit(2);

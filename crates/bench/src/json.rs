@@ -226,11 +226,43 @@ pub fn bench_document(
 /// The fixed head of a bench-history document.
 const HISTORY_PREFIX: &str = "{\"generator\":\"repro-bench-history\",\"entries\":[";
 
+/// A stable fallback `--bench-key`: a digest of the run's own parameters,
+/// for environments where `git describe` has nothing to say (tarball
+/// checkouts, shallow CI clones). Identical run configurations map to the
+/// same key, so trailing-entry comparisons in the trajectory still line up;
+/// the wall clock is never consulted.
+pub fn stable_bench_key(quick: bool, txns: Option<u64>, seed: u64, jobs: usize) -> String {
+    // FNV-1a over the canonical parameter string: tiny, stable, no deps.
+    let params = format!(
+        "quick={quick};txns={};seed={seed};jobs={jobs}",
+        match txns {
+            Some(n) => n.to_string(),
+            None => "default".to_string(),
+        }
+    );
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in params.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!(
+        "run-{}{}-j{jobs}-{hash:08x}",
+        if quick { "quick" } else { "full" },
+        match txns {
+            Some(n) => format!("-t{n}"),
+            None => String::new(),
+        }
+    )
+}
+
 /// Append one [`bench_document`] entry to a bench-history document,
 /// returning the new document. `existing` is the current file content
 /// (`None` or empty starts a fresh history). The history format is fixed —
 /// `{"generator":"repro-bench-history","entries":[…]}` — and a file that
-/// does not match it is refused rather than silently overwritten.
+/// does not match it is refused rather than silently overwritten. An entry
+/// that is byte-identical to one already recorded (same key *and* payload —
+/// e.g. a re-run script appending the same document twice) leaves the
+/// history unchanged instead of duplicating it.
 pub fn append_history(existing: Option<&str>, entry: &str) -> Result<String, String> {
     let fresh = || format!("{HISTORY_PREFIX}{entry}]}}");
     match existing.map(str::trim) {
@@ -244,6 +276,13 @@ pub fn append_history(existing: Option<&str>, entry: &str) -> Result<String, Str
                 })?;
             if entries.is_empty() {
                 Ok(fresh())
+            } else if entries == entry
+                || entries.starts_with(&format!("{entry},"))
+                || entries.ends_with(&format!(",{entry}"))
+                || entries.contains(&format!(",{entry},"))
+            {
+                // Exact duplicate (key and payload): keep the history as-is.
+                Ok(doc.to_string())
             } else {
                 Ok(format!("{HISTORY_PREFIX}{entries},{entry}]}}"))
             }
@@ -425,5 +464,39 @@ mod tests {
         });
         assert!(append_history(Some("{\"generator\":\"repro\"}"), &entry("a")).is_err());
         assert!(append_history(Some("garbage"), &entry("a")).is_err());
+    }
+
+    #[test]
+    fn bench_history_dedupes_byte_identical_entries() {
+        let entry = bench_document("same", true, None, 7, 1, &[]);
+        let other = bench_document("other", true, None, 7, 1, &[]);
+        // Re-appending the identical entry leaves the history unchanged,
+        // wherever in the entry list it already sits.
+        let first = append_history(None, &entry).unwrap();
+        assert_eq!(append_history(Some(&first), &entry).unwrap(), first);
+        let two = append_history(Some(&first), &other).unwrap();
+        assert_eq!(append_history(Some(&two), &entry).unwrap(), two);
+        assert_eq!(append_history(Some(&two), &other).unwrap(), two);
+        // A same-key entry with a *different* payload still appends: re-runs
+        // with new numbers are trajectory, not duplication.
+        let rerun = bench_document("same", true, None, 9, 1, &[]);
+        let three = append_history(Some(&two), &rerun).unwrap();
+        assert_eq!(three.matches("\"label\":\"same\"").count(), 2);
+    }
+
+    #[test]
+    fn stable_bench_key_is_deterministic_and_parameter_sensitive() {
+        let key = stable_bench_key(true, None, 7, 1);
+        assert_eq!(key, stable_bench_key(true, None, 7, 1));
+        assert!(key.starts_with("run-quick-j1-"));
+        // Every parameter reaches the digest.
+        for different in [
+            stable_bench_key(false, None, 7, 1),
+            stable_bench_key(true, Some(42), 7, 1),
+            stable_bench_key(true, None, 8, 1),
+            stable_bench_key(true, None, 7, 2),
+        ] {
+            assert_ne!(key, different);
+        }
     }
 }

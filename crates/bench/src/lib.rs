@@ -19,13 +19,14 @@ pub mod json;
 
 use dichotomy_core::driver::ArrivalSpec;
 use dichotomy_core::experiments::{self as exp, ExperimentReport};
+use dichotomy_core::metrics::MetricsMode;
 use dichotomy_core::scenario::{run_plan, run_plan_with, ExecOptions, ExperimentPlan, Probe};
 use dichotomy_core::systems::SystemRegistry;
 
 /// Every experiment the harness can run, with its identifier.
 pub const EXPERIMENTS: &[&str] = &[
     "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "tab02", "tab04", "tab05", "fault01", "closed01", "ramp01",
+    "fig14", "fig15", "tab02", "tab04", "tab05", "fault01", "closed01", "ramp01", "scale01",
 ];
 
 /// A repro-level override of the arrival process of every driving probe in
@@ -56,6 +57,10 @@ pub struct RunOptions {
     pub seed: u64,
     /// Replace the arrival process of every driving probe.
     pub arrival: Option<ArrivalOverride>,
+    /// Replace the metrics mode of every driving probe
+    /// (`repro --metrics exact|streaming`). `None` keeps each plan's own
+    /// choice: Exact everywhere except `scale01`.
+    pub metrics: Option<MetricsMode>,
 }
 
 impl Default for RunOptions {
@@ -65,6 +70,7 @@ impl Default for RunOptions {
             txns: None,
             seed: dichotomy_core::common::rng::DEFAULT_SEED,
             arrival: None,
+            metrics: None,
         }
     }
 }
@@ -92,6 +98,24 @@ impl RunOptions {
     fn adr_records(&self) -> u64 {
         self.txns.unwrap_or(if self.quick { 2_000 } else { 10_000 })
     }
+
+    /// The per-row transaction budget of the engine-scale experiment
+    /// (scale01): large enough in full mode that every one of the million
+    /// top-row clients issues at least one transaction.
+    fn scale_txns(&self) -> u64 {
+        self.txns
+            .unwrap_or(if self.quick { 4_000 } else { 1_200_000 })
+    }
+
+    /// The client populations scale01 sweeps: the full million-client ladder,
+    /// or a three-row miniature with the same knee shape for smoke runs.
+    fn scale_clients(&self) -> Vec<u64> {
+        if self.quick {
+            vec![8, 64, 2_000]
+        } else {
+            exp::SCALE01_CLIENTS.to_vec()
+        }
+    }
 }
 
 /// Build the plan for one experiment id under the given options. Returns
@@ -118,9 +142,11 @@ pub fn plan_for(id: &str, opts: &RunOptions) -> Option<ExperimentPlan> {
         "fault01" => exp::fault01_plan(n, seed),
         "closed01" => exp::closed01_plan(n, seed),
         "ramp01" => exp::ramp01_plan(n, seed),
+        "scale01" => exp::scale01_plan(opts.scale_txns(), &opts.scale_clients(), seed),
         _ => return None,
     };
-    Some(apply_arrival_override(plan, opts.arrival))
+    let plan = apply_arrival_override(plan, opts.arrival);
+    Some(apply_metrics_override(plan, opts.metrics))
 }
 
 /// Rewrite every driving probe's arrival spec per the override (no-op
@@ -144,6 +170,20 @@ fn apply_arrival_override(
                         max_outstanding,
                     }),
                 };
+            }
+        }
+    }
+    plan
+}
+
+/// Rewrite every driving probe's metrics mode per the override (no-op
+/// without one).
+fn apply_metrics_override(mut plan: ExperimentPlan, over: Option<MetricsMode>) -> ExperimentPlan {
+    let Some(mode) = over else { return plan };
+    for row in &mut plan.rows {
+        for run in &mut row.runs {
+            if let Probe::Drive { driver, .. } = &mut run.probe {
+                driver.metrics = mode;
             }
         }
     }
@@ -199,7 +239,34 @@ mod tests {
             assert!(!out.is_empty());
         }
         assert!(run_experiment("nope", true).is_none());
-        assert_eq!(EXPERIMENTS.len(), 18);
+        assert_eq!(EXPERIMENTS.len(), 19);
+    }
+
+    #[test]
+    fn scale01_quick_run_shows_the_littles_law_knee() {
+        // The miniature ladder (8 / 64 / 2000 clients at one-second think
+        // times): the unsaturated rows track Little's law — tps scales with
+        // the population — and the top row saturates, so throughput stops
+        // scaling linearly while latency inflects upward.
+        let report = run_report("scale01", &RunOptions::quick()).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.failures.is_empty());
+        let tps: Vec<f64> = [8u64, 64, 2_000]
+            .iter()
+            .map(|c| report.value(&format!("{c} clients"), "tps").unwrap())
+            .collect();
+        assert!(
+            tps[1] > tps[0] * 4.0,
+            "unsaturated rows scale with clients: {tps:?}"
+        );
+        assert!(
+            tps[2] > tps[1],
+            "the top row still adds throughput: {tps:?}"
+        );
+        assert!(
+            tps[2] < tps[1] * (2_000.0 / 64.0) * 0.8,
+            "the top row is past the knee, well off linear scaling: {tps:?}"
+        );
     }
 
     #[test]

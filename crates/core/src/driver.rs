@@ -18,14 +18,14 @@
 //! same four variants. Every variant is seed-deterministic and emits
 //! globally unique, hence strictly monotonically delivered, arrival times.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeMap;
 
 use dichotomy_common::rng::{self, Rng};
 use dichotomy_common::{ClientId, Timestamp};
 use dichotomy_systems::{Engine, SysEvent, TransactionalSystem};
 use dichotomy_workload::Workload;
 
-use crate::metrics::{Metrics, TimeSeries};
+use crate::metrics::{Metrics, MetricsMode, StreamingAggregator, TimeSeries};
 
 /// How the driver turns the clock into client submissions.
 ///
@@ -570,6 +570,12 @@ pub struct DriverConfig {
     pub warmup_us: Timestamp,
     /// RNG seed for arrival jitter and think times.
     pub seed: u64,
+    /// How receipts aggregate into metrics. [`MetricsMode::Exact`] (the
+    /// default) retains every receipt and is byte-identical to the
+    /// historical behaviour; [`MetricsMode::Streaming`] folds receipts into
+    /// per-window sketches as they complete, making memory O(windows)
+    /// instead of O(transactions).
+    pub metrics: MetricsMode,
 }
 
 impl Default for DriverConfig {
@@ -583,6 +589,7 @@ impl Default for DriverConfig {
             window_us: None,
             warmup_us: 0,
             seed: rng::DEFAULT_SEED,
+            metrics: MetricsMode::Exact,
         }
     }
 }
@@ -669,17 +676,71 @@ pub struct RunStats {
 struct ArrivalBook {
     budget: u64,
     issued: u64,
-    seqs: HashMap<u64, u64>,
-    used: HashSet<Timestamp>,
+    /// Per-client sequence counters as a flat slab indexed by client id. The
+    /// spec's client span is known up front, so a million closed-loop
+    /// clients cost one 8 MB vector instead of a million hash entries.
+    seqs: Vec<u64>,
+    used: TimestampLedger,
+}
+
+/// The set of already-claimed arrival timestamps, kept as coalesced
+/// inclusive runs `[start, last]` rather than one hash entry per
+/// microsecond. Arrival streams are dense (collisions bump forward one tick
+/// at a time), so the runs merge aggressively: memory is O(gaps in the
+/// schedule), not O(transactions).
+#[derive(Default)]
+struct TimestampLedger {
+    runs: BTreeMap<Timestamp, Timestamp>,
+}
+
+impl TimestampLedger {
+    /// Claim the first free microsecond at or after `at` and mark it used —
+    /// exactly the `while !used.insert(t) { t += 1 }` bump the driver has
+    /// always performed, resolved in one range lookup.
+    fn claim(&mut self, at: Timestamp) -> Timestamp {
+        let mut t = at;
+        // The run at or before `at` decides where the claim lands: inside it
+        // (first free tick is just past its end) or immediately after it
+        // (extend). Runs are never adjacent, so `last + 1` is always free.
+        let mut grow_left = None;
+        if let Some((&start, &last)) = self.runs.range(..=at).next_back() {
+            if at <= last {
+                t = last + 1;
+                grow_left = Some(start);
+            } else if last + 1 == at {
+                grow_left = Some(start);
+            }
+        }
+        let grow_right = t
+            .checked_add(1)
+            .and_then(|next| self.runs.get(&next).copied());
+        match (grow_left, grow_right) {
+            (Some(start), Some(right_last)) => {
+                self.runs.remove(&(t + 1));
+                self.runs.insert(start, right_last);
+            }
+            (Some(start), None) => {
+                self.runs.insert(start, t);
+            }
+            (None, Some(right_last)) => {
+                self.runs.remove(&(t + 1));
+                self.runs.insert(t, right_last);
+            }
+            (None, None) => {
+                self.runs.insert(t, t);
+            }
+        }
+        t
+    }
 }
 
 impl ArrivalBook {
-    fn new(budget: u64) -> Self {
+    fn new(budget: u64, client_span: u64) -> Self {
         ArrivalBook {
             budget,
             issued: 0,
-            seqs: HashMap::new(),
-            used: HashSet::new(),
+            seqs: vec![0; client_span as usize],
+            used: TimestampLedger::default(),
         }
     }
 
@@ -696,15 +757,15 @@ impl ArrivalBook {
         self.issued += 1;
         // Unique timestamps make delivery order strictly monotonic in time:
         // no arrival interleaving is ever left to heap tie-breaking.
-        let mut t = at;
-        while !self.used.insert(t) {
-            t += 1;
+        let t = self.used.claim(at);
+        let slot = client.0 as usize;
+        if slot >= self.seqs.len() {
+            // Client ids normally stay inside the spec's span; tolerate
+            // models that hand out wider ids rather than indexing blind.
+            self.seqs.resize(slot + 1, 0);
         }
-        let seq = {
-            let seq = self.seqs.entry(client.0).or_insert(0);
-            *seq += 1;
-            *seq
-        };
+        self.seqs[slot] += 1;
+        let seq = self.seqs[slot];
         let mut txn = workload.next_transaction(client, seq);
         txn.submit_time = t;
         engine.schedule_at(t, SysEvent::Arrival(txn));
@@ -736,8 +797,26 @@ pub fn run_workload(
         config.clients.max(1),
         config.transactions,
     );
-    let mut book = ArrivalBook::new(config.transactions);
+    let mut book = ArrivalBook::new(
+        config.transactions,
+        config.arrival_spec().client_span(config.clients.max(1)),
+    );
     model.start(0, &mut |c, t| book.emit(c, t, &mut engine, workload));
+    // One completions buffer for the whole run: each poll swap-drains the
+    // system's internal vector into it (and hands the drained allocation
+    // back), so the hot loop never allocates per event.
+    let mut completions = Vec::new();
+    // Streaming mode folds receipts into the aggregator as they complete,
+    // through one reused receipt buffer, so the system never accumulates an
+    // O(transactions) receipt vector. `window_us` cannot be derived from the
+    // makespan up front, so an unset width defaults to one simulated second.
+    let mut streaming = match config.metrics {
+        MetricsMode::Exact => None,
+        MetricsMode::Streaming => Some((
+            StreamingAggregator::new(config.window_us.unwrap_or(1_000_000), config.warmup_us),
+            Vec::new(),
+        )),
+    };
     loop {
         while let Some((_, event)) = engine.pop() {
             match event {
@@ -751,7 +830,8 @@ pub fn run_workload(
                 }
                 SysEvent::Stage(stage) => system.on_stage(stage, &mut engine),
             }
-            for completion in system.take_completions() {
+            system.drain_completions(&mut completions);
+            for completion in completions.drain(..) {
                 model.on_completion(
                     completion.client,
                     completion.submitted,
@@ -759,9 +839,16 @@ pub fn run_workload(
                     &mut |c, t| book.emit(c, t, &mut engine, workload),
                 );
             }
+            if let Some((agg, rbuf)) = streaming.as_mut() {
+                system.drain_receipts_into(rbuf);
+                for r in rbuf.drain(..) {
+                    agg.observe(&r);
+                }
+            }
         }
         system.on_drain(&mut engine);
-        for completion in system.take_completions() {
+        system.drain_completions(&mut completions);
+        for completion in completions.drain(..) {
             model.on_completion(
                 completion.client,
                 completion.submitted,
@@ -774,15 +861,27 @@ pub fn run_workload(
         }
     }
 
-    let receipts = system.drain_receipts();
-    let metrics = Metrics::from_receipts(&receipts);
-    let makespan_us = receipts
-        .iter()
-        .map(|r| r.finish_time)
-        .max()
-        .unwrap_or(engine.now());
-    let window_us = config.window_us.unwrap_or((makespan_us / 20).max(1));
-    let series = TimeSeries::from_receipts(&receipts, window_us, config.warmup_us);
+    let (metrics, series, makespan_us) = match streaming {
+        Some((mut agg, mut rbuf)) => {
+            system.drain_receipts_into(&mut rbuf);
+            for r in rbuf.drain(..) {
+                agg.observe(&r);
+            }
+            agg.finish(engine.now())
+        }
+        None => {
+            let receipts = system.drain_receipts();
+            let metrics = Metrics::from_receipts(&receipts);
+            let makespan_us = receipts
+                .iter()
+                .map(|r| r.finish_time)
+                .max()
+                .unwrap_or(engine.now());
+            let window_us = config.window_us.unwrap_or((makespan_us / 20).max(1));
+            let series = TimeSeries::from_receipts(&receipts, window_us, config.warmup_us);
+            (metrics, series, makespan_us)
+        }
+    };
     RunStats {
         metrics,
         series,
@@ -1062,6 +1161,55 @@ mod tests {
             |seed: u64| record_arrivals(&DriverConfig::saturating(500).with_seed(seed)).arrivals;
         assert_eq!(arrivals(7), arrivals(7));
         assert_ne!(arrivals(7), arrivals(8));
+    }
+
+    #[test]
+    fn streaming_metrics_mode_matches_exact_counts_and_shape() {
+        // The same seeded run under both metrics modes: the simulation is
+        // identical (arrivals, events, makespan), exact-valued aggregates
+        // (counts, means, maxima, window boundaries) agree exactly, and the
+        // sketched percentiles land within the documented bounds.
+        let run = |metrics| {
+            let mut system = Etcd::new(EtcdConfig::default());
+            let mut workload = small_ycsb(0.6);
+            let config = DriverConfig {
+                window_us: Some(20_000),
+                metrics,
+                ..DriverConfig::saturating(300)
+            };
+            run_workload(&mut system, &mut workload, &config)
+        };
+        let exact = run(MetricsMode::Exact);
+        let streamed = run(MetricsMode::Streaming);
+        assert_eq!(streamed.arrivals_issued, exact.arrivals_issued);
+        assert_eq!(streamed.events_delivered, exact.events_delivered);
+        assert_eq!(streamed.makespan_us, exact.makespan_us);
+        assert_eq!(streamed.metrics.committed, exact.metrics.committed);
+        assert_eq!(streamed.metrics.aborts, exact.metrics.aborts);
+        assert_eq!(streamed.metrics.duration_us, exact.metrics.duration_us);
+        assert_eq!(
+            streamed.metrics.latency.max_us,
+            exact.metrics.latency.max_us
+        );
+        assert!(
+            (streamed.metrics.latency.mean_us - exact.metrics.latency.mean_us).abs() < 1e-6,
+            "means are exact in both modes"
+        );
+        let (p50s, p50e) = (
+            streamed.metrics.latency.p50_us as f64,
+            exact.metrics.latency.p50_us as f64,
+        );
+        assert!(
+            (p50s - p50e).abs() <= (0.10 * p50e).max(1.0),
+            "sketched p50 {p50s} strays from exact {p50e}"
+        );
+        assert_eq!(streamed.series.windows.len(), exact.series.windows.len());
+        for (s, e) in streamed.series.windows.iter().zip(&exact.series.windows) {
+            assert_eq!((s.start_us, s.end_us), (e.start_us, e.end_us));
+            assert_eq!(s.submitted, e.submitted);
+            assert_eq!(s.committed, e.committed);
+            assert_eq!(s.aborted, e.aborted);
+        }
     }
 
     #[test]

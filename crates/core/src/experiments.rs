@@ -27,6 +27,7 @@ use dichotomy_systems::{SystemKind, SystemSpec};
 use dichotomy_workload::{SmallbankConfig, WorkloadSpec, YcsbConfig, YcsbMix};
 
 use crate::driver::{ArrivalSpec, DriverConfig};
+use crate::metrics::MetricsMode;
 use crate::scenario::{
     run_plan, ColumnSpec, ExperimentPlan, Metric, PlannedRow, PlannedRun, Probe, Scenario, Sweep,
     SystemEntry,
@@ -939,6 +940,63 @@ pub fn closed01_plan(txns: u64, seed: u64) -> ExperimentPlan {
 /// Closed 1: the closed-loop knee on etcd.
 pub fn closed01_knee(txns: u64) -> ExperimentReport {
     run_plan(&closed01_plan(txns, DEFAULT_SEED))
+}
+
+/// The think time of the engine-scale experiment (µs): one simulated second
+/// per client, so each client offers ~1 tps and the Little's-law knee sits
+/// between the middle and top rows of [`SCALE01_CLIENTS`].
+pub const SCALE01_THINK_US: u64 = 1_000_000;
+
+/// The window width of the engine-scale experiment's streaming series (µs).
+pub const SCALE01_WINDOW_US: u64 = 250_000;
+
+/// The client populations the engine-scale experiment sweeps in full mode.
+/// The top row is the point of the experiment: one million concurrent
+/// closed-loop clients on a single event wheel.
+pub const SCALE01_CLIENTS: [u64; 3] = [64, 8_192, 1_000_000];
+
+/// Scale 1 plan: the closed-loop knee at engine scale. The same Little's-law
+/// shape as Closed 1 — `tps ≈ clients / (think + latency)` until the apply
+/// pipeline saturates — but driven across populations up to a million
+/// clients with one-second think times, which only fits because the driver
+/// runs [`MetricsMode::Streaming`]: receipts fold into per-window sketches
+/// as they complete instead of accumulating O(transactions) vectors. Small
+/// 64-byte records keep the in-flight arrival events lean at the top row.
+pub fn scale01_plan(txns: u64, clients: &[u64], seed: u64) -> ExperimentPlan {
+    let scenario = Scenario {
+        id: "Scale 1",
+        title: "etcd at engine scale: a million closed-loop clients, streaming metrics",
+        systems: vec![SystemEntry {
+            spec: SystemSpec::new(SystemKind::Etcd),
+            columns: vec![
+                col("tps", Metric::ThroughputTps),
+                col("lat_ms", Metric::LatencyMeanMs),
+            ],
+        }],
+        workload: ycsb(YcsbMix::UpdateOnly, 64, 0.0, 1),
+        driver: DriverConfig {
+            transactions: txns,
+            arrival: Some(ArrivalSpec::ClosedLoop {
+                clients: 1,
+                think_time_us: SCALE01_THINK_US,
+                max_outstanding: 1,
+            }),
+            window_us: Some(SCALE01_WINDOW_US),
+            metrics: MetricsMode::Streaming,
+            ..DriverConfig::default()
+        },
+        sweep: Sweep::ClosedClients(clients.to_vec()),
+        row_labels: None,
+        faults: None,
+        seed,
+    };
+    scenario.plan()
+}
+
+/// Scale 1: the engine-scale closed-loop knee on etcd at the full client
+/// populations.
+pub fn scale01_knee(txns: u64) -> ExperimentReport {
+    run_plan(&scale01_plan(txns, &SCALE01_CLIENTS, DEFAULT_SEED))
 }
 
 /// The offered rates of the ramp experiment's three phases (tps).

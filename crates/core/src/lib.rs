@@ -24,7 +24,10 @@ pub mod metrics;
 pub mod scenario;
 
 pub use driver::{run_workload, ArrivalSpec, ClientModel, DriverConfig, RunStats};
-pub use metrics::{LatencySummary, Metrics, TimeSeries, TimeWindow};
+pub use metrics::{
+    LatencySummary, Metrics, MetricsMode, P2Quantile, StreamingAggregator, StreamingLatency,
+    TimeSeries, TimeWindow,
+};
 pub use scenario::{
     run_plan, run_plan_with, run_plans_with, ExecOptions, ExperimentPlan, PlanOutcome, Scenario,
     Sweep,

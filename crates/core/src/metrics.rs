@@ -49,6 +49,202 @@ impl LatencySummary {
     }
 }
 
+/// How the driver aggregates receipts into [`Metrics`] and a [`TimeSeries`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsMode {
+    /// Retain every receipt and compute exact order-statistic percentiles at
+    /// the end of the run. Byte-identical to the historical behaviour; the
+    /// default. Memory is O(transactions).
+    #[default]
+    Exact,
+    /// Fold receipts into per-window [`P2Quantile`] sketches as they
+    /// complete and drop them. Percentiles are P²-estimated (exact up to 5
+    /// samples; within a few percent beyond — see the sketch docs); counts,
+    /// means and maxima stay exact. Memory is O(windows), which is what
+    /// makes million-client runs fit.
+    Streaming,
+}
+
+/// Streaming quantile estimator: the P² (piecewise-parabolic) algorithm of
+/// Jain & Chlamtac (1985). Five markers track the running estimate of one
+/// quantile in O(1) memory and O(1) time per observation.
+///
+/// The first five samples are kept exactly, so small populations report the
+/// same nearest-rank order statistics as [`LatencySummary::of`]. Beyond
+/// that the estimate is approximate: on smooth unimodal distributions the
+/// mid-quantiles land within ~1–2 % of the exact value and tail quantiles
+/// (p95/p99) within ~5 %; heavily multi-modal data can err further. The
+/// tests at the bottom of this module pin those bounds.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights: running estimates of the 0, q/2, q, (1+q)/2 and 1
+    /// quantiles.
+    heights: [f64; 5],
+    /// Actual marker positions (1-based ranks into the stream so far).
+    positions: [f64; 5],
+    /// The first five observations, kept exact for small-n queries and for
+    /// seeding the markers.
+    initial: [u64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// A sketch for quantile `q` (in `(0, 1)`; e.g. `0.99` for p99).
+    pub fn new(q: f64) -> Self {
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            initial: [0; 5],
+            count: 0,
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold one observation into the sketch.
+    pub fn observe(&mut self, value: u64) {
+        if self.count < 5 {
+            self.initial[self.count as usize] = value;
+            self.count += 1;
+            if self.count == 5 {
+                self.initial.sort_unstable();
+                for (h, &v) in self.heights.iter_mut().zip(&self.initial) {
+                    *h = v as f64;
+                }
+            }
+            return;
+        }
+        self.count += 1;
+        let x = value as f64;
+        // Which cell the observation falls into; the extreme markers track
+        // the running min and max exactly.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x.max(self.heights[4]);
+            3
+        } else {
+            (1..4).find(|&i| x < self.heights[i]).unwrap_or(4) - 1
+        };
+        for pos in &mut self.positions[k + 1..] {
+            *pos += 1.0;
+        }
+        // Nudge the three interior markers towards their desired ranks,
+        // adjusting heights parabolically (linearly when the parabola would
+        // break monotonicity).
+        let dn = [0.0, self.q / 2.0, self.q, (1.0 + self.q) / 2.0, 1.0];
+        let n = (self.count - 1) as f64;
+        // Indexing i-1/i/i+1 across three parallel arrays: a range loop
+        // reads better than zipped iterators here.
+        #[allow(clippy::needless_range_loop)]
+        for i in 1..4 {
+            let desired = 1.0 + n * dn[i];
+            let d = desired - self.positions[i];
+            if (d >= 1.0 && self.positions[i + 1] - self.positions[i] > 1.0)
+                || (d <= -1.0 && self.positions[i - 1] - self.positions[i] < -1.0)
+            {
+                let ds = d.signum();
+                let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+                let (pm, p, pp) = (
+                    self.positions[i - 1],
+                    self.positions[i],
+                    self.positions[i + 1],
+                );
+                let parabolic = h + ds / (pp - pm)
+                    * ((p - pm + ds) * (hp - h) / (pp - p) + (pp - p - ds) * (h - hm) / (p - pm));
+                self.heights[i] = if hm < parabolic && parabolic < hp {
+                    parabolic
+                } else if ds > 0.0 {
+                    h + (hp - h) / (pp - p)
+                } else {
+                    h - (hm - h) / (pm - p)
+                };
+                self.positions[i] += ds;
+            }
+        }
+    }
+
+    /// The current estimate, rounded to a microsecond. Exact (nearest-rank)
+    /// for five or fewer observations; zero before any.
+    pub fn estimate(&self) -> u64 {
+        let n = self.count as usize;
+        if n == 0 {
+            return 0;
+        }
+        if n <= 5 {
+            let mut sorted = self.initial;
+            let sorted = &mut sorted[..n];
+            sorted.sort_unstable();
+            return sorted[((self.q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        }
+        self.heights[2].round().max(0.0) as u64
+    }
+}
+
+/// Streaming replacement for collecting a `Vec<u64>` of latencies: exact
+/// count / mean / max plus P² sketches for p50, p95 and p99, in O(1) memory.
+#[derive(Debug, Clone)]
+pub struct StreamingLatency {
+    count: u64,
+    sum: u128,
+    max: u64,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl Default for StreamingLatency {
+    fn default() -> Self {
+        StreamingLatency {
+            count: 0,
+            sum: 0,
+            max: 0,
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+}
+
+impl StreamingLatency {
+    /// Fold one latency into the accumulator.
+    pub fn observe(&mut self, latency_us: u64) {
+        self.count += 1;
+        self.sum += latency_us as u128;
+        self.max = self.max.max(latency_us);
+        self.p50.observe(latency_us);
+        self.p95.observe(latency_us);
+        self.p99.observe(latency_us);
+    }
+
+    /// Number of latencies observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The summary: mean and max exact, percentiles estimated (exact for
+    /// five or fewer samples). Matches `LatencySummary::default()` when
+    /// nothing was observed, like [`LatencySummary::of`] on empty input.
+    pub fn summary(&self) -> LatencySummary {
+        if self.count == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            mean_us: self.sum as f64 / self.count as f64,
+            p50_us: self.p50.estimate(),
+            p95_us: self.p95.estimate(),
+            p99_us: self.p99.estimate(),
+            max_us: self.max,
+        }
+    }
+}
+
 /// Aggregated metrics for one run.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -261,13 +457,426 @@ impl TimeSeries {
     }
 }
 
+/// Per-window accumulator of the [`StreamingAggregator`]: exact counts plus
+/// a [`StreamingLatency`] sketch instead of a latency vector.
+#[derive(Debug, Clone, Default)]
+struct WindowAccum {
+    submitted: u64,
+    committed: u64,
+    aborted: u64,
+    latency: StreamingLatency,
+}
+
+/// Incremental receipt aggregation for [`MetricsMode::Streaming`]: receipts
+/// fold in one at a time (in any order) and are dropped, producing the same
+/// [`Metrics`] / [`TimeSeries`] shapes as the exact path with percentiles
+/// P²-estimated. Memory is O(windows), independent of transaction count.
+///
+/// The two sides mirror the exact pipeline: run-level metrics consume every
+/// receipt (no warm-up trimming, like [`Metrics::from_receipts`]); the
+/// window side drops receipts finishing before `warmup_us` and buckets by
+/// finish time (submit-side counts by submit time), like
+/// [`TimeSeries::from_receipts`].
+#[derive(Debug, Clone)]
+pub struct StreamingAggregator {
+    window_us: u64,
+    warmup_us: Timestamp,
+    // Run-level (unfiltered) side.
+    committed: u64,
+    aborts: BTreeMap<AbortReason, u64>,
+    latency: StreamingLatency,
+    phase_sums: BTreeMap<&'static str, (f64, u64)>,
+    span: Option<(Timestamp, Timestamp)>,
+    // Window (warm-up-trimmed) side, gap-filled on demand.
+    windows: Vec<WindowAccum>,
+}
+
+impl StreamingAggregator {
+    /// An aggregator bucketing into `window_us`-wide windows (clamped to
+    /// ≥ 1 µs) after `warmup_us` of warm-up trimming.
+    pub fn new(window_us: u64, warmup_us: Timestamp) -> Self {
+        StreamingAggregator {
+            window_us: window_us.max(1),
+            warmup_us,
+            committed: 0,
+            aborts: BTreeMap::new(),
+            latency: StreamingLatency::default(),
+            phase_sums: BTreeMap::new(),
+            span: None,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Fold one receipt in; the caller can drop it afterwards.
+    pub fn observe(&mut self, r: &TxnReceipt) {
+        // Run-level side: every receipt counts, as in `Metrics::from_receipts`.
+        self.span = Some(match self.span {
+            None => (r.submit_time, r.finish_time),
+            Some((s, e)) => (s.min(r.submit_time), e.max(r.finish_time)),
+        });
+        match r.status {
+            TxnStatus::Committed => {
+                self.committed += 1;
+                self.latency.observe(r.latency_us());
+                for (name, us) in &r.phase_latencies {
+                    let entry = self.phase_sums.entry(name).or_insert((0.0, 0));
+                    entry.0 += *us as f64;
+                    entry.1 += 1;
+                }
+            }
+            TxnStatus::Aborted(reason) => {
+                *self.aborts.entry(reason).or_insert(0) += 1;
+            }
+        }
+        // Window side: receipts finishing inside the warm-up are dropped
+        // entirely (submit side included), as in `TimeSeries::from_receipts`.
+        if r.finish_time < self.warmup_us {
+            return;
+        }
+        let idx = ((r.finish_time - self.warmup_us) / self.window_us) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize_with(idx + 1, WindowAccum::default);
+        }
+        if r.submit_time >= self.warmup_us {
+            let sub = ((r.submit_time - self.warmup_us) / self.window_us) as usize;
+            self.windows[sub].submitted += 1;
+        }
+        let w = &mut self.windows[idx];
+        match r.status {
+            TxnStatus::Committed => {
+                w.committed += 1;
+                w.latency.observe(r.latency_us());
+            }
+            TxnStatus::Aborted(_) => w.aborted += 1,
+        }
+    }
+
+    /// Close the aggregation: the run [`Metrics`], the [`TimeSeries`] and
+    /// the makespan (latest finish observed, or `fallback_now` when no
+    /// receipt ever arrived).
+    pub fn finish(self, fallback_now: Timestamp) -> (Metrics, TimeSeries, Timestamp) {
+        let (start, end) = self.span.unwrap_or((0, 0));
+        let duration_us = end.saturating_sub(start).max(1);
+        let metrics = if self.span.is_none() {
+            Metrics::default()
+        } else {
+            Metrics {
+                committed: self.committed,
+                aborts: self.aborts,
+                throughput_tps: self.committed as f64 / (duration_us as f64 / 1e6),
+                latency: self.latency.summary(),
+                phase_means_us: self
+                    .phase_sums
+                    .into_iter()
+                    .map(|(name, (sum, count))| (name, sum / count.max(1) as f64))
+                    .collect(),
+                duration_us,
+            }
+        };
+        let window_us = self.window_us;
+        let warmup_us = self.warmup_us;
+        let windows = self
+            .windows
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let start_us = warmup_us + i as u64 * window_us;
+                let finished = w.committed + w.aborted;
+                TimeWindow {
+                    start_us,
+                    end_us: start_us + window_us,
+                    submitted: w.submitted,
+                    committed: w.committed,
+                    aborted: w.aborted,
+                    offered_tps: w.submitted as f64 / (window_us as f64 / 1e6),
+                    throughput_tps: w.committed as f64 / (window_us as f64 / 1e6),
+                    abort_rate_percent: if finished == 0 {
+                        0.0
+                    } else {
+                        100.0 * w.aborted as f64 / finished as f64
+                    },
+                    latency: w.latency.summary(),
+                }
+            })
+            .collect();
+        let series = TimeSeries {
+            window_us,
+            warmup_us,
+            windows,
+        };
+        let makespan = match self.span {
+            Some((_, last_finish)) => last_finish,
+            None => fallback_now,
+        };
+        (metrics, series, makespan)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dichotomy_common::rng::{self, Rng};
     use dichotomy_common::{ClientId, TxnId};
 
     fn id(seq: u64) -> TxnId {
         TxnId::new(ClientId(1), seq)
+    }
+
+    /// `sketch` within `tol` relative error of `exact` (absolute floor of
+    /// one microsecond so tiny exact values don't demand impossible
+    /// precision).
+    fn close(sketch: u64, exact: u64, tol: f64) -> bool {
+        (sketch as f64 - exact as f64).abs() <= (tol * exact as f64).max(1.0)
+    }
+
+    /// Feed `samples` through a [`StreamingLatency`] and compare against the
+    /// exact summary, asserting the documented accuracy bounds: mean and
+    /// max exact, p50 within `tol_mid`, p95/p99 within `tol_tail`.
+    fn assert_sketch_tracks_exact(samples: Vec<u64>, tol_mid: f64, tol_tail: f64, label: &str) {
+        let mut sketch = StreamingLatency::default();
+        for &s in &samples {
+            sketch.observe(s);
+        }
+        let exact = LatencySummary::of(samples);
+        let est = sketch.summary();
+        assert!(
+            (est.mean_us - exact.mean_us).abs() <= 1e-6 * exact.mean_us.max(1.0),
+            "{label}: mean {} vs exact {}",
+            est.mean_us,
+            exact.mean_us
+        );
+        assert_eq!(est.max_us, exact.max_us, "{label}: max is tracked exactly");
+        assert!(
+            close(est.p50_us, exact.p50_us, tol_mid),
+            "{label}: p50 {} vs exact {}",
+            est.p50_us,
+            exact.p50_us
+        );
+        assert!(
+            close(est.p95_us, exact.p95_us, tol_tail),
+            "{label}: p95 {} vs exact {}",
+            est.p95_us,
+            exact.p95_us
+        );
+        assert!(
+            close(est.p99_us, exact.p99_us, tol_tail),
+            "{label}: p99 {} vs exact {}",
+            est.p99_us,
+            exact.p99_us
+        );
+    }
+
+    #[test]
+    fn sketch_tracks_exact_percentiles_on_uniform_data() {
+        for case in 0..5u64 {
+            let mut r = rng::seeded(rng::derive_seed(0x5EED, &format!("uniform{case}")));
+            let samples: Vec<u64> = (0..20_000).map(|_| r.gen_range(1..100_000u64)).collect();
+            // Uniform is P²'s best case: a few percent everywhere.
+            assert_sketch_tracks_exact(samples, 0.05, 0.05, "uniform");
+        }
+    }
+
+    #[test]
+    fn sketch_tracks_exact_percentiles_on_heavy_tailed_data() {
+        // Pareto-shaped (Zipf-like tail): x = scale · u^(−1/α), α = 1.2.
+        // The tail stretches across four orders of magnitude; the sketch is
+        // documented to hold mid-quantiles to a few percent and tails to
+        // ~10 % here.
+        for case in 0..5u64 {
+            let mut r = rng::seeded(rng::derive_seed(0x21F, &format!("zipf{case}")));
+            let samples: Vec<u64> = (0..20_000)
+                .map(|_| {
+                    let u: f64 = r.gen::<f64>().max(1e-9);
+                    (100.0 * u.powf(-1.0 / 1.2)).min(1e9) as u64
+                })
+                .collect();
+            assert_sketch_tracks_exact(samples, 0.05, 0.10, "pareto");
+        }
+    }
+
+    #[test]
+    fn sketch_is_exact_on_constant_data() {
+        let mut sketch = StreamingLatency::default();
+        for _ in 0..10_000 {
+            sketch.observe(777);
+        }
+        let est = sketch.summary();
+        assert_eq!(est.p50_us, 777);
+        assert_eq!(est.p95_us, 777);
+        assert_eq!(est.p99_us, 777);
+        assert_eq!(est.max_us, 777);
+        assert_eq!(est.mean_us, 777.0);
+    }
+
+    #[test]
+    fn sketch_tracks_bimodal_data_within_documented_bounds() {
+        // Two tight modes three orders of magnitude apart — the adversarial
+        // case for P². The upper-tail quantiles sit inside the slow mode and
+        // stay within ~10 %; the median may land between the modes, so the
+        // documented bound for p50 is only "inside the sampled range".
+        for case in 0..5u64 {
+            let mut r = rng::seeded(rng::derive_seed(0xB1D0, &format!("bimodal{case}")));
+            let samples: Vec<u64> = (0..20_000)
+                .map(|_| {
+                    if r.gen_bool(0.5) {
+                        r.gen_range(900..1_100u64)
+                    } else {
+                        r.gen_range(90_000..110_000u64)
+                    }
+                })
+                .collect();
+            let mut sketch = StreamingLatency::default();
+            for &s in &samples {
+                sketch.observe(s);
+            }
+            let exact = LatencySummary::of(samples);
+            let est = sketch.summary();
+            assert_eq!(est.max_us, exact.max_us);
+            assert!(
+                est.p50_us >= 900 && est.p50_us <= 110_000,
+                "p50 {} outside the sampled range",
+                est.p50_us
+            );
+            assert!(
+                close(est.p95_us, exact.p95_us, 0.10),
+                "p95 {} vs exact {}",
+                est.p95_us,
+                exact.p95_us
+            );
+            assert!(
+                close(est.p99_us, exact.p99_us, 0.10),
+                "p99 {} vs exact {}",
+                est.p99_us,
+                exact.p99_us
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_edges_match_exact_for_empty_and_tiny_populations() {
+        // Empty: the zero default, like `LatencySummary::of(vec![])`.
+        assert_eq!(
+            StreamingLatency::default().summary(),
+            LatencySummary::default()
+        );
+        // Up to five samples the sketch holds the population exactly and
+        // reports the same nearest-rank order statistics.
+        for n in 1..=5usize {
+            let samples: Vec<u64> = (1..=n as u64).map(|i| i * 30).rev().collect();
+            let mut sketch = StreamingLatency::default();
+            for &s in &samples {
+                sketch.observe(s);
+            }
+            assert_eq!(
+                sketch.summary(),
+                LatencySummary::of(samples),
+                "n = {n} should be exact"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_aggregator_mirrors_the_exact_pipeline() {
+        // A mixed run: commits and aborts, latencies spread across windows,
+        // some receipts inside the warm-up. Counts, boundaries, rates and
+        // means must match the exact pipeline exactly; percentiles within
+        // the sketch bounds.
+        let mut r = rng::seeded(rng::derive_seed(0xA66, "aggregator"));
+        let receipts: Vec<TxnReceipt> = (0..4_000u64)
+            .map(|i| {
+                let submit = i * 37;
+                let latency = r.gen_range(50..5_000u64);
+                if i % 7 == 0 {
+                    TxnReceipt::aborted(id(i), AbortReason::Overload, submit, submit + latency)
+                } else {
+                    TxnReceipt::committed(id(i), submit, submit + latency)
+                }
+            })
+            .collect();
+        let (window_us, warmup_us) = (10_000, 5_000);
+
+        let mut agg = StreamingAggregator::new(window_us, warmup_us);
+        for r in &receipts {
+            agg.observe(r);
+        }
+        let (metrics, series, makespan) = agg.finish(0);
+
+        let exact_metrics = Metrics::from_receipts(&receipts);
+        let exact_series = TimeSeries::from_receipts(&receipts, window_us, warmup_us);
+        assert_eq!(metrics.committed, exact_metrics.committed);
+        assert_eq!(metrics.aborts, exact_metrics.aborts);
+        assert_eq!(metrics.duration_us, exact_metrics.duration_us);
+        assert_eq!(metrics.throughput_tps, exact_metrics.throughput_tps);
+        assert_eq!(metrics.latency.max_us, exact_metrics.latency.max_us);
+        assert!(close(
+            metrics.latency.p50_us,
+            exact_metrics.latency.p50_us,
+            0.05
+        ));
+        assert!(close(
+            metrics.latency.p99_us,
+            exact_metrics.latency.p99_us,
+            0.10
+        ));
+        assert_eq!(
+            makespan,
+            receipts.iter().map(|r| r.finish_time).max().unwrap()
+        );
+
+        assert_eq!(series.windows.len(), exact_series.windows.len());
+        for (w, e) in series.windows.iter().zip(&exact_series.windows) {
+            assert_eq!((w.start_us, w.end_us), (e.start_us, e.end_us));
+            assert_eq!(w.submitted, e.submitted);
+            assert_eq!(w.committed, e.committed);
+            assert_eq!(w.aborted, e.aborted);
+            assert_eq!(w.offered_tps, e.offered_tps);
+            assert_eq!(w.throughput_tps, e.throughput_tps);
+            assert_eq!(w.abort_rate_percent, e.abort_rate_percent);
+            assert_eq!(w.latency.max_us, e.latency.max_us);
+            assert!(
+                close(w.latency.p50_us, e.latency.p50_us, 0.10),
+                "window at {}: p50 {} vs {}",
+                w.start_us,
+                w.latency.p50_us,
+                e.latency.p50_us
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_aggregator_handles_empty_and_gap_shapes() {
+        // No receipts: default metrics, empty series, fallback makespan.
+        let (m, s, makespan) = StreamingAggregator::new(1_000, 0).finish(42);
+        assert_eq!(m.committed, 0);
+        assert!(s.is_empty());
+        assert_eq!(makespan, 42);
+        // A gap between finishes materializes as an all-zero window, exactly
+        // like the exact pipeline's dip shape.
+        let receipts = vec![
+            TxnReceipt::committed(id(1), 0, 500),
+            TxnReceipt::committed(id(2), 3_000, 3_500),
+        ];
+        let mut agg = StreamingAggregator::new(1_000, 0);
+        for r in &receipts {
+            agg.observe(r);
+        }
+        let (_, series, _) = agg.finish(0);
+        let exact = TimeSeries::from_receipts(&receipts, 1_000, 0);
+        assert_eq!(series.windows.len(), 4);
+        assert_eq!(
+            series
+                .windows
+                .iter()
+                .map(|w| w.committed)
+                .collect::<Vec<_>>(),
+            exact
+                .windows
+                .iter()
+                .map(|w| w.committed)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(series.windows[1].committed, 0);
+        assert_eq!(series.windows[1].latency, LatencySummary::default());
     }
 
     #[test]

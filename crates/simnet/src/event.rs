@@ -3,6 +3,19 @@
 //! Events are ordered by `(time, insertion sequence)`: ties on simulated time
 //! are broken by insertion order, which makes every run reproducible
 //! regardless of the payload type.
+//!
+//! Two implementations share the same contract:
+//!
+//! * [`EventQueue`] — a hierarchical timer wheel (calendar queue). Scheduling
+//!   and popping are O(1) amortized: an event is filed into one of 11 levels
+//!   of 64 slots by the highest 6-bit group in which its time differs from
+//!   the wheel's base, and cascades down at most once per level as the clock
+//!   reaches it. This is the queue the engine runs on.
+//! * [`HeapEventQueue`] — the original `BinaryHeap` implementation, O(log n)
+//!   per operation. Kept as the reference baseline: the differential tests
+//!   pop identical randomized schedules through both and assert identical
+//!   `(time, seq)` streams, and `microbench` pins the wheel-vs-heap
+//!   events/sec ratio.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -43,15 +56,42 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
-/// A discrete-event queue with a built-in simulated clock.
+/// Bits per wheel level: 64 slots each.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Mask extracting a slot index from a shifted timestamp.
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+/// Levels needed to cover a full 64-bit microsecond timeline (⌈64/6⌉).
+const LEVELS: usize = 11;
+
+/// A discrete-event queue with a built-in simulated clock, implemented as a
+/// hierarchical timer wheel.
 ///
 /// The clock only moves forward: popping an event advances `now()` to the
 /// event's timestamp. Scheduling an event in the past is clamped to `now()`
 /// (this can only happen through arithmetic underflow in a caller and would
 /// otherwise silently reorder causality).
+///
+/// Wheel invariants: `start` (the indexing base) never exceeds any pending
+/// event's time; an event is filed at the level of the highest 6-bit group
+/// in which its time differs from `start` (level 0 when equal). A level-0
+/// slot therefore holds events of exactly one microsecond tick, so popping
+/// the minimum-`seq` entry of the earliest occupied slot reproduces the
+/// `(time, seq)` total order exactly. Popping from a higher level first
+/// cascades that slot's events down (each event re-files at a strictly
+/// lower level), which is where the O(1)-amortized bound comes from: an
+/// event cascades at most `LEVELS − 1` times in its lifetime.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    /// `LEVELS × SLOTS` buckets, flattened (`level * SLOTS + slot`).
+    slots: Vec<Vec<ScheduledEvent<E>>>,
+    /// Per-level occupancy bitmaps (bit `s` set ⇔ `slots[l*SLOTS+s]` nonempty).
+    occupied: [u64; LEVELS],
+    /// Indexing base: ≤ every pending event's time.
+    start: Timestamp,
+    /// Number of events waiting.
+    pending: usize,
     now: Timestamp,
     next_seq: u64,
     popped: u64,
@@ -68,6 +108,181 @@ impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            start: 0,
+            pending: 0,
+            now: 0,
+            next_seq: 0,
+            popped: 0,
+            clamped: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of events waiting.
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// Whether no events are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events that were scheduled in the past and silently clamped
+    /// to `now()`. A nonzero count usually points at arithmetic underflow in
+    /// a caller; assertions on this keep causality bugs from hiding.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Level of the highest 6-bit group in which `time` differs from the
+    /// wheel base (0 when equal: the event is due on the current tick group).
+    fn level_of(&self, time: Timestamp) -> usize {
+        let differing = time ^ self.start;
+        if differing == 0 {
+            0
+        } else {
+            ((63 - differing.leading_zeros()) / LEVEL_BITS) as usize
+        }
+    }
+
+    fn file(&mut self, ev: ScheduledEvent<E>) {
+        let level = self.level_of(ev.time);
+        let slot = ((ev.time >> (LEVEL_BITS * level as u32)) & SLOT_MASK) as usize;
+        self.slots[level * SLOTS + slot].push(ev);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Schedule `event` to fire at absolute time `at` (clamped to `now()`;
+    /// clamps are counted, see [`clamped`](Self::clamped)).
+    pub fn schedule_at(&mut self, at: Timestamp, event: E) {
+        if at < self.now {
+            self.clamped += 1;
+        }
+        let time = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.file(ScheduledEvent { time, seq, event });
+        self.pending += 1;
+    }
+
+    /// Schedule `event` to fire `delay` microseconds from now.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// The earliest occupied `(level, slot)`, or `None` when empty. Lower
+    /// levels strictly precede higher ones (their events share more leading
+    /// groups with `start`), and within a level the smallest occupied slot
+    /// is earliest, so two `trailing_zeros` scans find the global minimum.
+    fn earliest_bucket(&self) -> Option<(usize, usize)> {
+        (0..LEVELS)
+            .find(|&l| self.occupied[l] != 0)
+            .map(|l| (l, self.occupied[l].trailing_zeros() as usize))
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Timestamp, E)> {
+        if self.pending == 0 {
+            return None;
+        }
+        loop {
+            let (level, slot) = self.earliest_bucket().expect("pending > 0");
+            if level == 0 {
+                // A level-0 slot holds exactly one tick: deliver its events
+                // in seq order (they may have arrived out of order through
+                // direct filing and cascades).
+                let bucket = &mut self.slots[slot];
+                let at = bucket
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.seq)
+                    .map(|(i, _)| i)
+                    .expect("occupied bit set on an empty slot");
+                let ev = bucket.swap_remove(at);
+                if bucket.is_empty() {
+                    self.occupied[0] &= !(1 << slot);
+                }
+                self.pending -= 1;
+                debug_assert!(ev.time >= self.now, "event queue moved backwards");
+                self.now = ev.time;
+                self.start = ev.time;
+                self.popped += 1;
+                return Some((ev.time, ev.event));
+            }
+            // Cascade: advance the base to this slot's group boundary and
+            // re-file its events; each lands at a strictly lower level.
+            let shift = LEVEL_BITS * level as u32;
+            let above = match shift + LEVEL_BITS {
+                64.. => 0,
+                bits => !0u64 << bits,
+            };
+            self.start = (self.start & above) | ((slot as u64) << shift);
+            self.occupied[level] &= !(1 << slot);
+            let bucket = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+            for ev in bucket {
+                debug_assert!(self.level_of(ev.time) < level, "cascade must descend");
+                self.file(ev);
+            }
+        }
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        let (level, slot) = self.earliest_bucket()?;
+        if level == 0 {
+            Some((self.start & !SLOT_MASK) | slot as u64)
+        } else {
+            // The earliest bucket of a higher level spans a time range; its
+            // earliest member is the global minimum.
+            self.slots[level * SLOTS + slot]
+                .iter()
+                .map(|e| e.time)
+                .min()
+        }
+    }
+
+    /// Advance the clock directly (used by drivers that mix event-driven and
+    /// batch processing). Never moves backwards.
+    pub fn advance_to(&mut self, t: Timestamp) {
+        self.now = self.now.max(t);
+    }
+}
+
+/// The original `BinaryHeap`-backed queue: same contract as [`EventQueue`],
+/// O(log n) per operation. Retained as the reference implementation for the
+/// wheel's differential tests and as the microbench baseline — production
+/// code should use [`EventQueue`].
+#[derive(Debug)]
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    now: Timestamp,
+    next_seq: u64,
+    popped: u64,
+    clamped: u64,
+}
+
+impl<E> Default for HeapEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapEventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             now: 0,
             next_seq: 0,
@@ -96,15 +311,12 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
-    /// Number of events that were scheduled in the past and silently clamped
-    /// to `now()`. A nonzero count usually points at arithmetic underflow in
-    /// a caller; assertions on this keep causality bugs from hiding.
+    /// Number of clamped (scheduled-in-the-past) events.
     pub fn clamped(&self) -> u64 {
         self.clamped
     }
 
-    /// Schedule `event` to fire at absolute time `at` (clamped to `now()`;
-    /// clamps are counted, see [`clamped`](Self::clamped)).
+    /// Schedule `event` at absolute time `at` (clamped to `now()`).
     pub fn schedule_at(&mut self, at: Timestamp, event: E) {
         if at < self.now {
             self.clamped += 1;
@@ -134,8 +346,7 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
-    /// Advance the clock directly (used by drivers that mix event-driven and
-    /// batch processing). Never moves backwards.
+    /// Advance the clock directly (never backwards).
     pub fn advance_to(&mut self, t: Timestamp) {
         self.now = self.now.max(t);
     }
@@ -238,5 +449,50 @@ mod tests {
         assert_eq!(q.now(), 0);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_reports_the_minimum_inside_a_coarse_wheel_bucket() {
+        // Two events land in the same high-level slot (times 1_000_000 and
+        // 1_000_005 share every 6-bit group above level 0 relative to base
+        // 0 except the top differing one); peek must still report the
+        // smaller time, not the bucket's lower bound.
+        let mut q = EventQueue::new();
+        q.schedule_at(1_000_005, "later");
+        q.schedule_at(1_000_000, "sooner");
+        assert_eq!(q.peek_time(), Some(1_000_000));
+        assert_eq!(q.pop(), Some((1_000_000, "sooner")));
+        assert_eq!(q.peek_time(), Some(1_000_005));
+    }
+
+    #[test]
+    fn far_future_events_survive_every_wheel_level() {
+        let mut q = EventQueue::new();
+        q.schedule_at(u64::MAX, "heat death");
+        q.schedule_at(u64::MAX - 1, "almost");
+        q.schedule_at(1, "tomorrow");
+        assert_eq!(q.pop(), Some((1, "tomorrow")));
+        assert_eq!(q.peek_time(), Some(u64::MAX - 1));
+        assert_eq!(q.pop(), Some((u64::MAX - 1, "almost")));
+        assert_eq!(q.pop(), Some((u64::MAX, "heat death")));
+        // Saturating relative scheduling at the end of time still fires.
+        q.schedule_in(u64::MAX, "beyond");
+        assert_eq!(q.pop(), Some((u64::MAX, "beyond")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn heap_reference_queue_matches_the_contract() {
+        let mut q = HeapEventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.peek_time(), Some(10));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!((q.now(), q.delivered(), q.clamped()), (30, 3, 0));
+        q.schedule_at(5, "late");
+        assert_eq!(q.clamped(), 1);
+        assert_eq!(q.pop(), Some((30, "late")));
     }
 }

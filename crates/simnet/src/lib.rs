@@ -26,7 +26,7 @@ pub mod resource;
 
 pub use costs::CostModel;
 pub use engine::{Process, ProcessId, SimEngine, StageEvent};
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{EventQueue, HeapEventQueue, ScheduledEvent};
 pub use fault::{FaultPlan, NodeFault};
 pub use network::{NetworkConfig, NetworkModel};
 pub use resource::{MultiResource, Resource};

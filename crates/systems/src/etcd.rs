@@ -268,6 +268,12 @@ impl TransactionalSystem for Etcd {
     fn take_completions(&mut self) -> Vec<Completion> {
         self.inner.receipts.take_completions()
     }
+    fn drain_completions(&mut self, buf: &mut Vec<Completion>) {
+        self.inner.receipts.swap_completions(buf)
+    }
+    fn drain_receipts_into(&mut self, buf: &mut Vec<TxnReceipt>) {
+        self.inner.receipts.swap_receipts(buf)
+    }
     fn footprint(&self) -> StorageBreakdown {
         self.inner.store.footprint()
     }
@@ -314,6 +320,12 @@ impl TransactionalSystem for Tikv {
     }
     fn take_completions(&mut self) -> Vec<Completion> {
         self.inner.receipts.take_completions()
+    }
+    fn drain_completions(&mut self, buf: &mut Vec<Completion>) {
+        self.inner.receipts.swap_completions(buf)
+    }
+    fn drain_receipts_into(&mut self, buf: &mut Vec<TxnReceipt>) {
+        self.inner.receipts.swap_receipts(buf)
     }
     fn footprint(&self) -> StorageBreakdown {
         self.inner.store.footprint()

@@ -443,6 +443,14 @@ impl TransactionalSystem for Fabric {
         self.receipts.take_completions()
     }
 
+    fn drain_completions(&mut self, buf: &mut Vec<Completion>) {
+        self.receipts.swap_completions(buf)
+    }
+
+    fn drain_receipts_into(&mut self, buf: &mut Vec<TxnReceipt>) {
+        self.receipts.swap_receipts(buf)
+    }
+
     fn footprint(&self) -> StorageBreakdown {
         // Fabric ≥ v1 has no authenticated state index: state DB + ledger.
         self.state_db.footprint().merged(&self.ledger.footprint())

@@ -135,6 +135,24 @@ impl ReceiptLog {
         std::mem::take(&mut self.completions)
     }
 
+    /// Swap-drain the completions recorded since the last call: clears
+    /// `buf`, then exchanges it with the internal completion vector. The
+    /// caller reads the batch out of `buf` and hands the same buffer back on
+    /// the next call, so the two allocations ping-pong between the log and
+    /// the driver's event loop — no per-event `Vec` allocation.
+    pub fn swap_completions(&mut self, buf: &mut Vec<Completion>) {
+        buf.clear();
+        std::mem::swap(&mut self.completions, buf);
+    }
+
+    /// Swap-drain the receipts recorded since the last drain, with the same
+    /// buffer-reuse protocol as [`swap_completions`](Self::swap_completions)
+    /// (the streaming-metrics path consumes receipts incrementally).
+    pub fn swap_receipts(&mut self, buf: &mut Vec<TxnReceipt>) {
+        buf.clear();
+        std::mem::swap(&mut self.receipts, buf);
+    }
+
     /// Number of receipts currently held.
     pub fn len(&self) -> usize {
         self.receipts.len()
@@ -197,6 +215,30 @@ pub trait TransactionalSystem {
     /// outcomes in a [`ReceiptLog`] implement this as
     /// `self.receipts.take_completions()`.
     fn take_completions(&mut self) -> Vec<Completion>;
+
+    /// Swap-drain the completions recorded since the last call into `buf`
+    /// (cleared first). This is the allocation-free variant of
+    /// [`take_completions`](Self::take_completions): the driver's event loop
+    /// hands the same buffer back every call, so models backed by a
+    /// [`ReceiptLog`] ping-pong two vectors via
+    /// [`ReceiptLog::swap_completions`] instead of allocating per event. The
+    /// default delegates to `take_completions` for implementations that
+    /// don't buffer in a `ReceiptLog`.
+    fn drain_completions(&mut self, buf: &mut Vec<Completion>) {
+        buf.clear();
+        buf.append(&mut self.take_completions());
+    }
+
+    /// Swap-drain the receipts completed since the last drain into `buf`
+    /// (cleared first). Streaming-metrics runs consume receipts
+    /// incrementally through this instead of retaining the run's full
+    /// receipt vector; models backed by a [`ReceiptLog`] implement it as
+    /// [`ReceiptLog::swap_receipts`]. The default delegates to
+    /// [`drain_receipts`](Self::drain_receipts).
+    fn drain_receipts_into(&mut self, buf: &mut Vec<TxnReceipt>) {
+        buf.clear();
+        buf.append(&mut self.drain_receipts());
+    }
 
     /// Current storage footprint across state, indexes and ledger/history.
     fn footprint(&self) -> StorageBreakdown;

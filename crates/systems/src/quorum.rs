@@ -355,6 +355,14 @@ impl TransactionalSystem for Quorum {
         self.receipts.take_completions()
     }
 
+    fn drain_completions(&mut self, buf: &mut Vec<Completion>) {
+        self.receipts.swap_completions(buf)
+    }
+
+    fn drain_receipts_into(&mut self, buf: &mut Vec<TxnReceipt>) {
+        self.receipts.swap_receipts(buf)
+    }
+
     fn footprint(&self) -> StorageBreakdown {
         self.state_trie
             .footprint()

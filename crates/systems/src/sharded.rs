@@ -337,6 +337,14 @@ impl TransactionalSystem for SpannerLike {
         self.db.receipts.take_completions()
     }
 
+    fn drain_completions(&mut self, buf: &mut Vec<Completion>) {
+        self.db.receipts.swap_completions(buf)
+    }
+
+    fn drain_receipts_into(&mut self, buf: &mut Vec<TxnReceipt>) {
+        self.db.receipts.swap_receipts(buf)
+    }
+
     fn footprint(&self) -> StorageBreakdown {
         self.db.engine_db.footprint()
     }
@@ -443,6 +451,14 @@ impl TransactionalSystem for ShardedTiDb {
 
     fn take_completions(&mut self) -> Vec<Completion> {
         self.db.receipts.take_completions()
+    }
+
+    fn drain_completions(&mut self, buf: &mut Vec<Completion>) {
+        self.db.receipts.swap_completions(buf)
+    }
+
+    fn drain_receipts_into(&mut self, buf: &mut Vec<TxnReceipt>) {
+        self.db.receipts.swap_receipts(buf)
     }
 
     fn footprint(&self) -> StorageBreakdown {
@@ -637,6 +653,14 @@ impl TransactionalSystem for Ahl {
 
     fn take_completions(&mut self) -> Vec<Completion> {
         self.db.receipts.take_completions()
+    }
+
+    fn drain_completions(&mut self, buf: &mut Vec<Completion>) {
+        self.db.receipts.swap_completions(buf)
+    }
+
+    fn drain_receipts_into(&mut self, buf: &mut Vec<TxnReceipt>) {
+        self.db.receipts.swap_receipts(buf)
     }
 
     fn footprint(&self) -> StorageBreakdown {

@@ -345,6 +345,14 @@ impl TransactionalSystem for TiDb {
         self.receipts.take_completions()
     }
 
+    fn drain_completions(&mut self, buf: &mut Vec<Completion>) {
+        self.receipts.swap_completions(buf)
+    }
+
+    fn drain_receipts_into(&mut self, buf: &mut Vec<TxnReceipt>) {
+        self.receipts.swap_receipts(buf)
+    }
+
     fn footprint(&self) -> StorageBreakdown {
         // No ledger, no authenticated index: engine + (bounded) MVCC history.
         self.engine_db.footprint()

@@ -26,7 +26,12 @@ JOBS="$CORES"
 [ "$JOBS" -lt 4 ] && JOBS=4
 
 echo "==> repro --json reproducibility (seeded, byte-for-byte, --jobs 1 vs --jobs $JOBS)"
-CI_EXPERIMENTS="tab02 fig13 fig15 fault01 closed01 ramp01"
+# Every pre-existing experiment, pinned in Exact metrics mode: the scheduler
+# (timer wheel), the arena driver state, and the worker pool must all be
+# invisible in the seeded JSON. scale01 is excluded here (it defaults to
+# streaming metrics and a 1M-client population) and smoked separately below.
+CI_EXPERIMENTS="fig04 fig05 fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 \
+fig14 fig15 tab02 tab04 tab05 fault01 closed01 ramp01"
 cargo run -p dichotomy-bench --release --bin repro -- \
     --quick --seed 7 --jobs 1 --json /tmp/ci_repro_a.json $CI_EXPERIMENTS > /tmp/ci_repro_a.out
 cargo run -p dichotomy-bench --release --bin repro -- \
@@ -55,6 +60,23 @@ if grep -q '"failures":\[{' /tmp/ci_repro_a.json; then
     exit 1
 fi
 
+echo "==> repro scale01 --quick (million-client engine path, streaming metrics)"
+# The quick variant (8 / 64 / 2000 closed-loop clients) exercises the same
+# wheel + arena + streaming-sketch path as the full 1M-client run, and must
+# show the Little's-law knee: throughput grows with the population, then
+# saturates. Seeded determinism holds in streaming mode too.
+cargo run -p dichotomy-bench --release --bin repro -- \
+    --quick --seed 7 --jobs 1 --json /tmp/ci_scale_a.json scale01 > /tmp/ci_scale_a.out
+cargo run -p dichotomy-bench --release --bin repro -- \
+    --quick --seed 7 --jobs 1 --json /tmp/ci_scale_b.json scale01 > /dev/null
+cmp /tmp/ci_scale_a.json /tmp/ci_scale_b.json
+grep -q '"key":"scale01"' /tmp/ci_scale_a.json
+grep -q "2000 clients" /tmp/ci_scale_a.out
+if grep -q '"failures":\[{' /tmp/ci_scale_a.json; then
+    echo "ci.sh: a probe failed during the scale01 smoke run" >&2
+    exit 1
+fi
+
 echo "==> BENCH_history.json (bench trajectory: append --jobs 1 and --jobs $JOBS entries)"
 BENCH_KEY="$(git describe --always 2>/dev/null || echo untagged)"
 cargo run -p dichotomy-bench --release --bin repro -- \
@@ -68,10 +90,21 @@ grep -q "\"label\":\"${BENCH_KEY}-jobs1\"" BENCH_history.json
 grep -q "\"label\":\"${BENCH_KEY}-jobs${JOBS}\"" BENCH_history.json
 
 echo "==> microbench --smoke (engine hot-path regression canary)"
-cargo run -p dichotomy-bench --release --bin microbench -- --smoke > /tmp/ci_microbench.out
+cargo run -p dichotomy-bench --release --bin microbench -- --smoke \
+    --bench BENCH_history.json --bench-key "${BENCH_KEY}-micro" > /tmp/ci_microbench.out
 test -s /tmp/ci_microbench.out
 grep -q "event_queue_schedule_pop_10k" /tmp/ci_microbench.out
 grep -q "engine_loop_etcd_update_300" /tmp/ci_microbench.out
 grep -q "plan_parallel_8probe_etcd" /tmp/ci_microbench.out
+# The wheel-vs-heap and sketch-vs-exact cases pin this PR's two hot paths;
+# their timings ride the bench trajectory alongside the experiment runs.
+grep -q "event_queue_heap_churn_256k" /tmp/ci_microbench.out
+grep -q "latency_sketch_stream_100k" /tmp/ci_microbench.out
+grep -q "\"label\":\"${BENCH_KEY}-micro\"" BENCH_history.json
+grep -q '"key":"event_queue_heap_churn_256k"' BENCH_history.json
+grep -q '"key":"latency_sketch_stream_100k"' BENCH_history.json
+
+echo "==> bench_gate (wall-clock trajectory regression gate)"
+scripts/bench_gate BENCH_history.json
 
 echo "==> ci.sh: all checks passed"
