@@ -15,6 +15,8 @@
 //!
 //! * `--quick` — scale transaction counts down for smoke runs;
 //! * `--list` — print every experiment id with its report title and exit;
+//!   experiments whose probes carry a declarative fault schedule are marked
+//!   `[faults]`;
 //! * `--txns N` — override the per-experiment transaction/record count;
 //! * `--seed S` — reseed every run (same seed ⇒ bit-identical output);
 //! * `--jobs N` — worker threads for the probe pool (default: the
@@ -88,8 +90,9 @@ fn main() {
     let cli = parse_args(std::env::args().skip(1));
 
     if cli.list {
-        for (key, id, title) in list_experiments() {
-            println!("{key:<8} {id:<10} {title}");
+        for (key, id, title, has_faults) in list_experiments() {
+            let marker = if has_faults { " [faults]" } else { "" };
+            println!("{key:<8} {id:<10} {title}{marker}");
         }
         return;
     }

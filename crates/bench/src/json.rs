@@ -8,11 +8,15 @@
 //! document standard-conforming.
 //!
 //! Each row additionally carries `series`: one windowed time series per
-//! driving probe (`{"name", "window_us", "warmup_us", "windows": [{
-//! "start_us", "end_us", "submitted", "committed", "aborted", "offered_tps",
-//! "tps", "abort_pct", "p50_us", "p95_us", "p99_us"}]}`) — empty for
-//! non-driving probes. `submitted`/`offered_tps` are the offered side of the
-//! window (bucketed by submit time); `committed`/`tps` the achieved side.
+//! driving probe (`{"name", "events_clamped", "oracles", "window_us",
+//! "warmup_us", "windows": [{"start_us", "end_us", "submitted", "committed",
+//! "aborted", "offered_tps", "tps", "abort_pct", "p50_us", "p95_us",
+//! "p99_us"}]}`) — empty for non-driving probes. `submitted`/`offered_tps`
+//! are the offered side of the window (bucketed by submit time);
+//! `committed`/`tps` the achieved side. `oracles` is the invariant-oracle
+//! report for the probe's run: `[{"name", "violation"}]` with `violation`
+//! `null` on a pass (probes reaching the report always pass — a violation
+//! becomes a labelled entry in `failures` instead).
 
 use dichotomy_core::experiments::{ExperimentReport, RowSeries};
 
@@ -124,11 +128,26 @@ pub fn report(key: &str, report: &ExperimentReport) -> String {
 fn row_series(s: &RowSeries) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\"name\":\"{}\",\"events_clamped\":{},\"window_us\":{},\"warmup_us\":{},\"windows\":[",
+        "{{\"name\":\"{}\",\"events_clamped\":{},\"oracles\":[",
         escape(&s.name),
         s.events_clamped,
-        s.series.window_us,
-        s.series.warmup_us
+    ));
+    for (i, o) in s.oracles.outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"violation\":{}}}",
+            escape(o.name),
+            match &o.violation {
+                Some(v) => format!("\"{}\"", escape(v)),
+                None => "null".to_string(),
+            }
+        ));
+    }
+    out.push_str(&format!(
+        "],\"window_us\":{},\"warmup_us\":{},\"windows\":[",
+        s.series.window_us, s.series.warmup_us
     ));
     for (i, w) in s.series.windows.iter().enumerate() {
         if i > 0 {
@@ -293,6 +312,7 @@ pub fn append_history(existing: Option<&str>, entry: &str) -> Result<String, Str
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dichotomy_core::chaos::{OracleOutcome, OracleReport};
     use dichotomy_core::experiments::Row;
     use dichotomy_core::metrics::{LatencySummary, TimeSeries, TimeWindow};
 
@@ -315,6 +335,18 @@ mod tests {
         report.rows[0].series.push(RowSeries {
             name: "etcd".into(),
             events_clamped: 0,
+            oracles: OracleReport {
+                outcomes: vec![
+                    OracleOutcome {
+                        name: "receipt-conservation",
+                        violation: None,
+                    },
+                    OracleOutcome {
+                        name: "no-duplicate-receipt",
+                        violation: Some("transaction receipted \"twice\"".into()),
+                    },
+                ],
+            },
             series: TimeSeries {
                 window_us: 1_000,
                 warmup_us: 0,
@@ -385,7 +417,10 @@ mod tests {
     fn time_series_serialize_per_row() {
         let json = report("fig00", &sample_with_series());
         assert!(json.contains(
-            "\"series\":[{\"name\":\"etcd\",\"events_clamped\":0,\"window_us\":1000,\
+            "\"series\":[{\"name\":\"etcd\",\"events_clamped\":0,\"oracles\":[\
+             {\"name\":\"receipt-conservation\",\"violation\":null},\
+             {\"name\":\"no-duplicate-receipt\",\"violation\":\
+             \"transaction receipted \\\"twice\\\"\"}],\"window_us\":1000,\
              \"warmup_us\":0,\"windows\":["
         ));
         assert!(json.contains(

@@ -27,6 +27,7 @@ use dichotomy_core::systems::SystemRegistry;
 pub const EXPERIMENTS: &[&str] = &[
     "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
     "fig14", "fig15", "tab02", "tab04", "tab05", "fault01", "closed01", "ramp01", "scale01",
+    "chaos01",
 ];
 
 /// A repro-level override of the arrival process of every driving probe in
@@ -143,6 +144,10 @@ pub fn plan_for(id: &str, opts: &RunOptions) -> Option<ExperimentPlan> {
         "closed01" => exp::closed01_plan(n, seed),
         "ramp01" => exp::ramp01_plan(n, seed),
         "scale01" => exp::scale01_plan(opts.scale_txns(), &opts.scale_clients(), seed),
+        // The fault schedules derive from the plan's arrival span, which
+        // derives from `n` — so `--quick` (and `--txns`) rescale the fault
+        // timestamps together with the shortened run.
+        "chaos01" => exp::chaos01_plan(n, seed),
         _ => return None,
     };
     let plan = apply_arrival_override(plan, opts.arrival);
@@ -216,12 +221,26 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
     run_report(id, &opts).map(|report| report.render())
 }
 
-/// (id, report id, title) for every experiment, for `repro --list`.
-pub fn list_experiments() -> Vec<(&'static str, &'static str, &'static str)> {
+/// Whether any driving probe of the plan carries a non-empty fault schedule
+/// (the `repro --list` `[faults]` marker).
+pub fn plan_has_faults(plan: &ExperimentPlan) -> bool {
+    plan.rows.iter().any(|row| {
+        row.runs.iter().any(|run| match &run.probe {
+            Probe::Drive { system, .. } => system.faults.as_ref().is_some_and(|f| !f.is_empty()),
+            _ => false,
+        })
+    })
+}
+
+/// (id, report id, title, carries faults) for every experiment, for
+/// `repro --list`.
+pub fn list_experiments() -> Vec<(&'static str, &'static str, &'static str, bool)> {
     let opts = RunOptions::quick();
     EXPERIMENTS
         .iter()
-        .filter_map(|id| plan_for(id, &opts).map(|plan| (*id, plan.id, plan.title)))
+        .filter_map(|id| {
+            plan_for(id, &opts).map(|plan| (*id, plan.id, plan.title, plan_has_faults(&plan)))
+        })
         .collect()
 }
 
@@ -239,7 +258,7 @@ mod tests {
             assert!(!out.is_empty());
         }
         assert!(run_experiment("nope", true).is_none());
-        assert_eq!(EXPERIMENTS.len(), 19);
+        assert_eq!(EXPERIMENTS.len(), 20);
     }
 
     #[test]
@@ -340,10 +359,64 @@ mod tests {
     fn every_experiment_has_a_plan_and_a_listing() {
         let listed = list_experiments();
         assert_eq!(listed.len(), EXPERIMENTS.len());
-        for (key, id, title) in listed {
-            assert!(EXPERIMENTS.contains(&key));
+        for (key, id, title, _) in &listed {
+            assert!(EXPERIMENTS.contains(key));
             assert!(!id.is_empty() && !title.is_empty());
         }
+        // The fault marker: schedules-carrying experiments flag it, the
+        // fault-free grids don't.
+        let has_faults = |key: &str| {
+            listed
+                .iter()
+                .find(|(k, ..)| *k == key)
+                .map(|&(.., f)| f)
+                .unwrap()
+        };
+        assert!(has_faults("fault01"));
+        assert!(has_faults("chaos01"));
+        assert!(!has_faults("fig04"));
+        assert!(!has_faults("scale01"));
+    }
+
+    #[test]
+    fn chaos01_quick_mode_scales_the_fault_timestamps_with_the_run() {
+        // Satellite check: under --quick the arrival span shrinks, and the
+        // crash window must shrink with it instead of outrunning the run.
+        let quick = plan_for("chaos01", &RunOptions::quick()).unwrap();
+        let span = dichotomy_core::experiments::chaos01_span_us(RunOptions::quick().txns());
+        let crash_row = quick
+            .rows
+            .iter()
+            .find(|r| r.label == "primary-crash")
+            .unwrap();
+        for run in &crash_row.runs {
+            let Probe::Drive { system, .. } = &run.probe else {
+                panic!("chaos01 drives");
+            };
+            let faults = system.faults.as_ref().unwrap();
+            assert_eq!(faults.faults().len(), 1);
+            assert_eq!(faults.faults()[0].from, span / 3);
+            assert!(faults.max_time() <= span);
+        }
+        // A txns override rescales the schedule the same way.
+        let opts = RunOptions {
+            txns: Some(60),
+            ..RunOptions::quick()
+        };
+        let tiny = plan_for("chaos01", &opts).unwrap();
+        let tiny_span = dichotomy_core::experiments::chaos01_span_us(60);
+        let row = tiny
+            .rows
+            .iter()
+            .find(|r| r.label == "primary-crash")
+            .unwrap();
+        let Probe::Drive { system, .. } = &row.runs[0].probe else {
+            panic!("chaos01 drives");
+        };
+        assert_eq!(
+            system.faults.as_ref().unwrap().faults()[0].from,
+            tiny_span / 3
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ use dichotomy_common::{ClientId, Timestamp};
 use dichotomy_systems::{Engine, SysEvent, TransactionalSystem};
 use dichotomy_workload::Workload;
 
+use crate::chaos::{OracleContext, OracleReport, OracleSet};
 use crate::metrics::{Metrics, MetricsMode, StreamingAggregator, TimeSeries};
 
 /// How the driver turns the clock into client submissions.
@@ -667,6 +668,9 @@ pub struct RunStats {
     /// clock. Nonzero values point at causality bugs in a system model
     /// (timestamp underflow); normal runs report 0.
     pub events_clamped: u64,
+    /// Verdicts of the invariant oracles ([`crate::chaos`]) fed with every
+    /// receipt the run surfaced.
+    pub oracles: OracleReport,
 }
 
 /// The driver-side bookkeeping around a [`ClientModel`]: enforces the
@@ -817,6 +821,9 @@ pub fn run_workload(
             Vec::new(),
         )),
     };
+    // The invariant oracles see every receipt the run surfaces, in surfacing
+    // order, regardless of metrics mode.
+    let mut oracles = OracleSet::standard();
     loop {
         while let Some((_, event)) = engine.pop() {
             match event {
@@ -842,6 +849,7 @@ pub fn run_workload(
             if let Some((agg, rbuf)) = streaming.as_mut() {
                 system.drain_receipts_into(rbuf);
                 for r in rbuf.drain(..) {
+                    oracles.observe(&r);
                     agg.observe(&r);
                 }
             }
@@ -865,12 +873,14 @@ pub fn run_workload(
         Some((mut agg, mut rbuf)) => {
             system.drain_receipts_into(&mut rbuf);
             for r in rbuf.drain(..) {
+                oracles.observe(&r);
                 agg.observe(&r);
             }
             agg.finish(engine.now())
         }
         None => {
             let receipts = system.drain_receipts();
+            oracles.observe_all(&receipts);
             let metrics = Metrics::from_receipts(&receipts);
             let makespan_us = receipts
                 .iter()
@@ -882,6 +892,10 @@ pub fn run_workload(
             (metrics, series, makespan_us)
         }
     };
+    let oracles = oracles.finish(OracleContext {
+        arrivals_issued: book.issued,
+        events_clamped: engine.clamped(),
+    });
     RunStats {
         metrics,
         series,
@@ -890,6 +904,7 @@ pub fn run_workload(
         arrivals_issued: book.issued,
         events_delivered: engine.delivered(),
         events_clamped: engine.clamped(),
+        oracles,
     }
 }
 

@@ -56,6 +56,11 @@ pub struct RowSeries {
     /// equality — including the `jobs=1` vs `jobs=N` determinism check —
     /// cover it.
     pub events_clamped: u64,
+    /// The invariant-oracle verdicts for the probe's run ([`crate::chaos`]).
+    /// Probes that reach the report always show passing outcomes — a
+    /// violated oracle panics the probe into a labelled [`ProbeFailure`]
+    /// instead — so this is the positive witness `repro --json` renders.
+    pub oracles: crate::chaos::OracleReport,
     /// The windowed throughput/latency/abort data.
     pub series: crate::metrics::TimeSeries,
 }
@@ -895,6 +900,90 @@ pub fn fault01_crash_recovery(txns: u64) -> ExperimentReport {
     run_plan(&fault01_plan(txns, DEFAULT_SEED))
 }
 
+/// The arrival span (µs) of the chaos grid's runs: `txns` arrivals at the
+/// 1 000 tps the plan offers.
+pub fn chaos01_span_us(txns: u64) -> u64 {
+    txns.saturating_mul(1_000).max(12)
+}
+
+/// The labelled fault schedules of the chaos grid, one per row, over an
+/// arrival span of `span` µs. Together they exercise every class of the
+/// fault algebra: node crash (primary and shard leader), coordinator
+/// failover, network partition, and an epoch-pause reconfiguration with
+/// membership churn.
+pub fn chaos01_fault_rows(span: u64) -> Vec<(String, FaultPlan)> {
+    let (from, until) = (span / 3, 2 * span / 3);
+    let mut primary_crash = FaultPlan::none();
+    primary_crash.add(NodeFault::crash_until(NodeId(0), from, until));
+    let mut shard_crash = FaultPlan::none();
+    shard_crash.add(NodeFault::crash_until(NodeId(1), from, until));
+    let mut failover = FaultPlan::none();
+    failover.add_failover(from, span / 6);
+    let mut partition = FaultPlan::none();
+    partition.add_partition(vec![NodeId(0)], from, Some(until));
+    let mut reconfig = FaultPlan::none();
+    reconfig.add_reconfiguration(from, span / 6, true);
+    vec![
+        ("baseline".to_string(), FaultPlan::none()),
+        ("primary-crash".to_string(), primary_crash),
+        ("shard-crash".to_string(), shard_crash),
+        ("failover".to_string(), failover),
+        ("partition".to_string(), partition),
+        ("reconfig".to_string(), reconfig),
+    ]
+}
+
+/// The chaos grid's deployment of each model: defaults everywhere, except
+/// the blockchains cut small fast blocks (25 txns / 10 ms) so pipeline
+/// latency stays well inside the dip-detection windows.
+fn chaos_spec(kind: SystemKind) -> SystemSpec {
+    let spec = SystemSpec::new(kind);
+    match kind {
+        SystemKind::Fabric | SystemKind::Quorum => spec.with_blocks(25, 10_000),
+        _ => spec,
+    }
+}
+
+/// Chaos 1 plan: the full model grid (every [`SystemKind`]) × the
+/// declarative fault schedules of [`chaos01_fault_rows`], at a 1 000 tps
+/// offered load that is comfortably under every model's capacity — so a
+/// throughput dip in the windowed series is attributable to the row's fault,
+/// and the post-heal burst to the queued backlog draining. Each model
+/// consumes the fault classes its architecture defines (see the SystemSpec
+/// fault docs); the rest of the schedule is inert for it. Every cell's
+/// receipt stream feeds the invariant oracles; a violation fails the probe.
+pub fn chaos01_plan(txns: u64, seed: u64) -> ExperimentPlan {
+    let span = chaos01_span_us(txns);
+    let scenario = Scenario {
+        id: "Chaos 1",
+        title: "chaos grid: every model through the declarative fault schedules",
+        systems: SystemKind::ALL
+            .iter()
+            .map(|&kind| SystemEntry {
+                spec: chaos_spec(kind),
+                columns: vec![col(format!("{}_tps", kind.name()), Metric::ThroughputTps)],
+            })
+            .collect(),
+        workload: ycsb(YcsbMix::UpdateOnly, 1000, 0.0, 1),
+        driver: DriverConfig {
+            transactions: txns,
+            offered_tps: 1_000.0,
+            window_us: Some((span / 12).max(1)),
+            ..DriverConfig::default()
+        },
+        sweep: Sweep::Fault(chaos01_fault_rows(span)),
+        row_labels: None,
+        faults: None,
+        seed,
+    };
+    scenario.plan()
+}
+
+/// Chaos 1: the model × fault grid.
+pub fn chaos01_grid(txns: u64) -> ExperimentReport {
+    run_plan(&chaos01_plan(txns, DEFAULT_SEED))
+}
+
 /// The think time of the closed-loop experiment (µs).
 pub const CLOSED01_THINK_US: u64 = 500;
 
@@ -1209,6 +1298,87 @@ mod tests {
         assert_eq!(tab02_plan().probe_count(), 0);
         assert_eq!(closed01_plan(10, 1).probe_count(), CLOSED01_CLIENTS.len());
         assert_eq!(ramp01_plan(10, 1).probe_count(), 1);
+        assert_eq!(chaos01_plan(10, 1).probe_count(), 42); // 6 fault rows × 7 models
+    }
+
+    #[test]
+    fn chaos01_rows_are_the_fault_schedules_and_cells_carry_each_plan() {
+        let plan = chaos01_plan(50, 1);
+        let labels: Vec<_> = plan.rows.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "baseline",
+                "primary-crash",
+                "shard-crash",
+                "failover",
+                "partition",
+                "reconfig"
+            ]
+        );
+        // Every cell of a fault row carries that row's schedule; the
+        // baseline row carries an empty one.
+        for row in &plan.rows {
+            for run in &row.runs {
+                let Probe::Drive { system, .. } = &run.probe else {
+                    panic!("chaos cells are drive probes");
+                };
+                let faults = system.faults.as_ref().expect("fault axis always sets one");
+                assert_eq!(faults.is_empty(), row.label == "baseline", "{}", row.label);
+            }
+        }
+    }
+
+    #[test]
+    fn chaos01_passes_every_oracle_and_shows_dip_and_recovery() {
+        let txns = 420;
+        let report = chaos01_grid(txns);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        // Every cell of the grid reports the full oracle battery, passing.
+        for row in &report.rows {
+            assert_eq!(row.series.len(), SystemKind::ALL.len(), "{}", row.label);
+            for s in &row.series {
+                assert_eq!(s.oracles.outcomes.len(), 4, "{} / {}", row.label, s.name);
+                assert!(
+                    s.oracles.passed(),
+                    "{} / {}: {:?}",
+                    row.label,
+                    s.name,
+                    s.oracles
+                );
+            }
+        }
+        // The dip/recovery signature on the etcd × primary-crash cell: a
+        // healthy window before the crash, a stalled window inside it, and a
+        // post-heal backlog burst beating the pre-crash rate.
+        let span = chaos01_span_us(txns);
+        let crash_row = report
+            .rows
+            .iter()
+            .find(|r| r.label == "primary-crash")
+            .unwrap();
+        let etcd = crash_row.series.iter().find(|s| s.name == "etcd").unwrap();
+        let before = etcd.series.window_at(span / 6).unwrap();
+        let during = etcd.series.window_at(span / 2).unwrap();
+        assert!(before.committed > 0, "pre-crash windows commit");
+        assert_eq!(during.committed, 0, "mid-crash window must stall");
+        let recovered = etcd
+            .series
+            .windows
+            .iter()
+            .filter(|w| w.start_us >= 2 * span / 3)
+            .map(|w| w.committed)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            recovered > before.committed,
+            "post-heal burst {recovered} should exceed pre-crash {}",
+            before.committed
+        );
+        // The baseline row has no dip anywhere near the crash window.
+        let baseline = report.rows.iter().find(|r| r.label == "baseline").unwrap();
+        let etcd_base = baseline.series.iter().find(|s| s.name == "etcd").unwrap();
+        assert!(etcd_base.series.window_at(span / 2).unwrap().committed > 0);
     }
 
     #[test]

@@ -16,13 +16,19 @@
 //!   one generic engine ([`scenario::run_plan`]) executes any plan;
 //! * [`experiments`] — one *plan constructor* per table/figure of the
 //!   paper's evaluation section, each a thin description executed by
-//!   `run_plan` (these are what the `dichotomy-bench` binaries call).
+//!   `run_plan` (these are what the `dichotomy-bench` binaries call);
+//! * [`chaos`] — invariant oracles checked over every probe's receipt
+//!   stream (receipt conservation, duplicate detection, commit-order
+//!   monotonicity, clamp-free queueing), the correctness half of the
+//!   fault-injection chaos engine.
 
+pub mod chaos;
 pub mod driver;
 pub mod experiments;
 pub mod metrics;
 pub mod scenario;
 
+pub use chaos::{InvariantOracle, OracleContext, OracleOutcome, OracleReport, OracleSet};
 pub use driver::{run_workload, ArrivalSpec, ClientModel, DriverConfig, RunStats};
 pub use metrics::{
     LatencySummary, Metrics, MetricsMode, P2Quantile, StreamingAggregator, StreamingLatency,

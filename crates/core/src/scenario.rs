@@ -220,6 +220,9 @@ pub enum Sweep {
     /// Closed-loop outstanding-request cap (the driver's arrival spec must
     /// be [`ArrivalSpec::ClosedLoop`]).
     MaxOutstanding(Vec<u64>),
+    /// Declarative fault schedules: one labelled [`FaultPlan`] per row, every
+    /// system entry measured under every plan (the chaos grid's axis).
+    Fault(Vec<(String, FaultPlan)>),
 }
 
 impl Sweep {
@@ -236,6 +239,7 @@ impl Sweep {
             Sweep::ClosedClients(v) => v.len(),
             Sweep::ThinkTimeUs(v) => v.len(),
             Sweep::MaxOutstanding(v) => v.len(),
+            Sweep::Fault(v) => v.len(),
         }
     }
 
@@ -257,6 +261,7 @@ impl Sweep {
             Sweep::ClosedClients(v) => format!("{} clients", v[i]),
             Sweep::ThinkTimeUs(v) => format!("think={} µs", v[i]),
             Sweep::MaxOutstanding(v) => format!("outstanding={}", v[i]),
+            Sweep::Fault(v) => v[i].0.clone(),
         }
     }
 
@@ -312,6 +317,9 @@ impl Sweep {
                     panic!("Sweep::MaxOutstanding needs a ClosedLoop arrival spec, got {other:?}")
                 }
             },
+            // The fault axis overrides whatever schedule the entry carried:
+            // every system runs under the row's plan, baseline rows included.
+            Sweep::Fault(v) => spec.faults = Some(v[i].1.clone()),
         }
     }
 }
@@ -434,16 +442,67 @@ impl Scenario {
                 })
                 .collect()
         };
-        ExperimentPlan {
+        let mut plan = ExperimentPlan {
             id: self.id,
             title: self.title,
             rows,
             text: None,
-        }
+        };
+        sanitize_fault_plans(&mut plan);
+        plan
     }
 
     fn row_label(&self, i: usize) -> Option<String> {
         self.row_labels.as_ref().map(|labels| labels[i].clone())
+    }
+}
+
+/// The arrival horizon (µs) of one driving probe, when it is computable up
+/// front: how long the driver keeps issuing arrivals. Closed loops pace on
+/// measured latency, so their span is unknowable at expansion time (`None`
+/// skips the horizon check).
+fn arrival_horizon_us(driver: &DriverConfig) -> Option<u64> {
+    let open_loop_span = |offered_tps: f64| {
+        (offered_tps > 0.0).then(|| (driver.transactions as f64 / offered_tps * 1e6).ceil() as u64)
+    };
+    match &driver.arrival {
+        None => open_loop_span(driver.offered_tps),
+        Some(ArrivalSpec::OpenLoop { offered_tps }) => open_loop_span(*offered_tps),
+        Some(ArrivalSpec::Phased { phases }) => Some(phases.iter().map(|(d, _)| *d).sum()),
+        // Closed loops (and populations mixing them in) pace on measured
+        // latency; their span is not knowable at expansion time.
+        Some(ArrivalSpec::ClosedLoop { .. }) | Some(ArrivalSpec::Mixed { .. }) => None,
+    }
+}
+
+/// Sanitize every probe's fault schedule at plan-expansion time (a chaos
+/// satellite): overlapping same-node crash windows merge into one, and
+/// faults scheduled at/after the probe's arrival horizon — they could never
+/// dent the arrival stream — are dropped. Each adjustment warns on stderr;
+/// stdout (the report and its JSON) stays byte-identical.
+fn sanitize_fault_plans(plan: &mut ExperimentPlan) {
+    for row in &mut plan.rows {
+        for run in &mut row.runs {
+            let Probe::Drive { system, driver, .. } = &mut run.probe else {
+                continue;
+            };
+            let Some(faults) = &system.faults else {
+                continue;
+            };
+            if faults.is_empty() {
+                continue;
+            }
+            let (sanitized, warnings) = faults.validate(arrival_horizon_us(driver));
+            for warning in warnings {
+                eprintln!(
+                    "warning: {} / row '{}' / probe '{}': {warning}",
+                    plan.id,
+                    row.label,
+                    system.label()
+                );
+            }
+            system.faults = Some(sanitized);
+        }
     }
 }
 
@@ -842,6 +901,16 @@ fn observe(probe: &Probe, registry: &SystemRegistry) -> Observation {
                 .unwrap_or_else(|e| panic!("cannot build {}: {e}", system.label()));
             let mut wl = workload.build();
             let stats = run_workload(sys.as_mut(), wl.as_mut(), driver);
+            // A violated invariant is a model bug, not a measurement: panic
+            // inside the probe boundary so it surfaces as a labelled
+            // ProbeFailure and the rest of the grid still completes.
+            if let Some(v) = stats.oracles.violations().next() {
+                panic!(
+                    "oracle '{}' violated: {}",
+                    v.name,
+                    v.violation.as_deref().unwrap_or("unspecified")
+                );
+            }
             Observation {
                 metrics: stats.metrics,
                 footprint: sys.footprint(),
@@ -850,6 +919,7 @@ fn observe(probe: &Probe, registry: &SystemRegistry) -> Observation {
                 series: Some(RowSeries {
                     name: system.label(),
                     events_clamped: stats.events_clamped,
+                    oracles: stats.oracles,
                     series: stats.series,
                 }),
             }

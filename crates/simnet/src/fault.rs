@@ -1,11 +1,21 @@
-//! Fault injection: node crashes, recoveries, Byzantine marking and network
-//! partitions.
+//! Fault injection: node crashes, recoveries, Byzantine marking, network
+//! partitions, coordinator failovers and epoch reconfigurations.
 //!
 //! The replication dimension of the taxonomy (Section 3.1.3) is about which
 //! failures a protocol tolerates. The consensus substrate is exercised under
 //! these fault plans in its property tests: Raft must stay safe (no two
 //! divergent commits) under crash faults, PBFT under Byzantine faults up to
 //! `f`, and both must make progress again once faults heal.
+//!
+//! A [`FaultPlan`] is a declarative *fault algebra* consumed by every system
+//! model. The addressing convention is role-based: `NodeId(0)` is the
+//! model's primary (Raft leader, Fabric lead orderer, Quorum proposer, the
+//! 2PC coordinator of the sharded models), and `NodeId(1 + s)` is shard
+//! `s`'s replication leader in the sharded models. [`FaultPlan::release_at`]
+//! is the one query models ask on their injection path: "given work that
+//! wants to start at `t` on `node`, when may it actually start?" — chaining
+//! crash heals (+ failover pause) and declarative [`Failover`] windows until
+//! the node is clear, failing closed on unresolvable chains.
 
 use std::collections::BTreeSet;
 
@@ -96,11 +106,53 @@ impl Partition {
     }
 }
 
+/// A declarative coordinator/primary handover: the role addressed by
+/// `NodeId(0)` is unavailable for `[at, at + duration_us)` while leadership
+/// moves (a planned leader election, an orderer handover, a 2PC coordinator
+/// failover). Unlike a crash there is no extra failover pause on top — the
+/// window *is* the handover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Failover {
+    /// When the handover begins.
+    pub at: Timestamp,
+    /// How long the role is unavailable (µs).
+    pub duration_us: u64,
+}
+
+impl Failover {
+    /// When the handover completes and the role is serviceable again.
+    pub fn until(&self) -> Timestamp {
+        self.at.saturating_add(self.duration_us)
+    }
+
+    /// Whether the handover is in progress at `t`.
+    pub fn active_at(&self, t: Timestamp) -> bool {
+        t >= self.at && t < self.until()
+    }
+}
+
+/// A declarative membership reconfiguration: at `at`, every shard pipeline
+/// pauses for `pause_us` while the epoch rolls over (AHL's periodic shard
+/// re-formation made schedulable). `churn: true` additionally reshuffles
+/// shard membership at the boundary, so key→shard placement changes across
+/// the epoch; models without membership to churn treat it as a pure pause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reconfiguration {
+    /// The epoch boundary.
+    pub at: Timestamp,
+    /// How long the shard pipelines stall (µs).
+    pub pause_us: u64,
+    /// Whether shard membership is reshuffled at the boundary.
+    pub churn: bool,
+}
+
 /// The complete fault schedule for a run.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     faults: Vec<NodeFault>,
     partitions: Vec<Partition>,
+    failovers: Vec<Failover>,
+    reconfigurations: Vec<Reconfiguration>,
 }
 
 impl FaultPlan {
@@ -180,6 +232,216 @@ impl FaultPlan {
             .filter(|&n| self.is_byzantine(n, t))
             .collect()
     }
+
+    /// Schedule a primary handover (see [`Failover`]).
+    pub fn add_failover(&mut self, at: Timestamp, duration_us: u64) -> &mut Self {
+        self.failovers.push(Failover { at, duration_us });
+        self
+    }
+
+    /// Schedule a membership reconfiguration (see [`Reconfiguration`]).
+    pub fn add_reconfiguration(&mut self, at: Timestamp, pause_us: u64, churn: bool) -> &mut Self {
+        self.reconfigurations.push(Reconfiguration {
+            at,
+            pause_us,
+            churn,
+        });
+        self
+    }
+
+    /// The node faults, in insertion order.
+    pub fn faults(&self) -> &[NodeFault] {
+        &self.faults
+    }
+
+    /// The partitions, in insertion order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// The failover windows, in insertion order.
+    pub fn failovers(&self) -> &[Failover] {
+        &self.failovers
+    }
+
+    /// The reconfiguration events, in insertion order.
+    pub fn reconfigurations(&self) -> &[Reconfiguration] {
+        &self.reconfigurations
+    }
+
+    /// Whether the plan schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+            && self.partitions.is_empty()
+            && self.failovers.is_empty()
+            && self.reconfigurations.is_empty()
+    }
+
+    /// The latest timestamp the plan mentions (fault start/heal, partition
+    /// window, failover end, reconfiguration end), or 0 for an empty plan.
+    /// Permanent faults/partitions count only their start.
+    pub fn max_time(&self) -> Timestamp {
+        let fault_edge = |from: Timestamp, until: Option<Timestamp>| until.unwrap_or(from);
+        self.faults
+            .iter()
+            .map(|f| fault_edge(f.from, f.until))
+            .chain(self.partitions.iter().map(|p| fault_edge(p.from, p.until)))
+            .chain(self.failovers.iter().map(Failover::until))
+            .chain(
+                self.reconfigurations
+                    .iter()
+                    .map(|r| r.at.saturating_add(r.pause_us)),
+            )
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// When work wanting to start at `at` on `node` may actually start:
+    /// `Some(at)` if the node is clear, a later time once overlapping crash
+    /// windows (each adding `failover_us` of re-election pause on heal) and
+    /// [`Failover`] windows have elapsed, or `None` if the node is down for
+    /// good (a permanent crash, or a chain of faults too deep to resolve —
+    /// the query fails *closed* rather than committing inside an unresolved
+    /// window).
+    pub fn release_at(&self, node: NodeId, at: Timestamp, failover_us: u64) -> Option<Timestamp> {
+        let mut t = at;
+        // Bounded chaining: back-to-back faults are legitimate (a crash heals
+        // into a scheduled failover), unbounded chains are a mis-specified
+        // plan.
+        for _ in 0..16 {
+            if let Some(heal) = self.crashed_until(node, t) {
+                match heal {
+                    Some(heal) => t = heal.saturating_add(failover_us),
+                    None => return None,
+                }
+                continue;
+            }
+            if let Some(until) = self
+                .failovers
+                .iter()
+                .filter(|f| f.active_at(t))
+                .map(Failover::until)
+                .max()
+            {
+                t = until;
+                continue;
+            }
+            return Some(t);
+        }
+        None
+    }
+
+    /// When a message between `a` and `b` wanting to leave at `t` may
+    /// actually be delivered: `Some(t)` if no active partition separates
+    /// them, the latest heal time of the separating partitions otherwise,
+    /// `None` if a permanent partition (or an unresolvable chain of
+    /// partitions) keeps them apart. Crash state is *not* consulted — pair
+    /// with [`release_at`](Self::release_at) for that.
+    pub fn partition_release(&self, a: NodeId, b: NodeId, t: Timestamp) -> Option<Timestamp> {
+        let mut t = t;
+        for _ in 0..16 {
+            let mut heal: Option<Option<Timestamp>> = None;
+            for p in self.partitions.iter().filter(|p| p.separates(a, b, t)) {
+                heal = Some(match (heal, p.until) {
+                    (Some(None), _) | (_, None) => None,
+                    (Some(Some(prev)), Some(u)) => Some(u.max(prev)),
+                    (None, Some(u)) => Some(u),
+                });
+            }
+            match heal {
+                None => return Some(t),
+                Some(None) => return None,
+                Some(Some(u)) => t = u,
+            }
+        }
+        None
+    }
+
+    /// The combined primary-role query the pipeline models ask: when may
+    /// work wanting to start at `at` on the primary (`NodeId(0)`, per the
+    /// role-addressing convention) actually start, considering crash windows
+    /// (+ `failover_us` re-election pause per heal), [`Failover`] windows,
+    /// *and* partitions cutting the primary off from the rest of the cluster
+    /// (represented by `NodeId(1)`)? Iterated to a fixed point; `None` means
+    /// the primary is unreachable for good.
+    pub fn primary_release(&self, at: Timestamp, failover_us: u64) -> Option<Timestamp> {
+        let mut t = at;
+        for _ in 0..8 {
+            let clear = self.release_at(NodeId(0), t, failover_us)?;
+            let reachable = self.partition_release(NodeId(0), NodeId(1), clear)?;
+            if reachable == t {
+                return Some(t);
+            }
+            t = reachable;
+        }
+        None
+    }
+
+    /// Validate the plan against a run horizon (satellite of the chaos
+    /// engine): returns a sanitized plan plus human-readable warnings.
+    ///
+    /// * Overlapping (or touching) crash windows on the same node are merged
+    ///   into one window healing at the latest end — the semantics
+    ///   [`crashed_until`](Self::crashed_until) already applies, made
+    ///   explicit in the plan, with a warning.
+    /// * Events scheduled at or past `horizon` (they could never influence
+    ///   the run) are dropped with a warning. `None` skips the horizon
+    ///   check.
+    pub fn validate(&self, horizon: Option<Timestamp>) -> (FaultPlan, Vec<String>) {
+        let mut warnings = Vec::new();
+        let mut plan = self.clone();
+
+        if let Some(h) = horizon {
+            let mut drop_past = |what: &str, from: Timestamp| {
+                let keep = from < h;
+                if !keep {
+                    warnings.push(format!(
+                        "{what} scheduled at {from} µs starts at/after the run horizon \
+                         ({h} µs) and was dropped"
+                    ));
+                }
+                keep
+            };
+            plan.faults.retain(|f| drop_past("node fault", f.from));
+            plan.partitions.retain(|p| drop_past("partition", p.from));
+            plan.failovers.retain(|f| drop_past("failover", f.at));
+            plan.reconfigurations
+                .retain(|r| drop_past("reconfiguration", r.at));
+        }
+
+        // Merge overlapping same-node crash windows (stable: merged windows
+        // replace the first member in place, later members are removed).
+        let mut merged: Vec<NodeFault> = Vec::with_capacity(plan.faults.len());
+        for fault in plan.faults.drain(..) {
+            if fault.kind != FaultKind::Crash {
+                merged.push(fault);
+                continue;
+            }
+            let overlap = merged.iter_mut().find(|m| {
+                m.kind == FaultKind::Crash
+                    && m.node == fault.node
+                    && m.from <= fault.until.unwrap_or(Timestamp::MAX)
+                    && fault.from <= m.until.unwrap_or(Timestamp::MAX)
+            });
+            match overlap {
+                Some(m) => {
+                    warnings.push(format!(
+                        "overlapping crash windows on node {} merged into one \
+                         ([{}, {:?}) ∪ [{}, {:?}))",
+                        fault.node.0, m.from, m.until, fault.from, fault.until
+                    ));
+                    m.from = m.from.min(fault.from);
+                    m.until = match (m.until, fault.until) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    };
+                }
+                None => merged.push(fault),
+            }
+        }
+        plan.faults = merged;
+        (plan, warnings)
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +499,122 @@ mod tests {
         assert!(plan.can_deliver(NodeId(3), NodeId(4), 15));
         // Healed.
         assert!(plan.can_deliver(NodeId(0), NodeId(3), 25));
+    }
+
+    #[test]
+    fn release_at_passes_a_clear_node_through_unchanged() {
+        let plan = FaultPlan::none();
+        assert_eq!(plan.release_at(NodeId(0), 123, 5_000), Some(123));
+        assert!(plan.is_empty());
+        assert_eq!(plan.max_time(), 0);
+    }
+
+    #[test]
+    fn release_at_chains_crash_heal_failover_pause_and_failover_windows() {
+        let mut plan = FaultPlan::none();
+        plan.add(NodeFault::crash_until(NodeId(0), 100, 200));
+        // A failover window that starts exactly where the crash's failover
+        // pause lands: the chain must ride through both.
+        plan.add_failover(250, 100);
+        // Before the crash: clear.
+        assert_eq!(plan.release_at(NodeId(0), 50, 50), Some(50));
+        // Inside the crash: heal (200) + failover pause (50) = 250, which is
+        // inside the failover window [250, 350) → released at 350.
+        assert_eq!(plan.release_at(NodeId(0), 150, 50), Some(350));
+        // Inside the failover window alone: released at its end.
+        assert_eq!(plan.release_at(NodeId(0), 300, 50), Some(350));
+        // Other nodes are untouched by failovers of the same plan? No —
+        // failover windows model the *role*, not a node, so they apply to
+        // whatever node is queried. Crash faults stay per-node.
+        assert_eq!(plan.release_at(NodeId(3), 150, 50), Some(150));
+        assert_eq!(plan.max_time(), 350);
+    }
+
+    #[test]
+    fn release_at_fails_closed_on_permanent_crashes() {
+        let mut plan = FaultPlan::none();
+        plan.add(NodeFault::crash(NodeId(1), 10));
+        assert_eq!(plan.release_at(NodeId(1), 50, 1_000), None);
+        assert_eq!(plan.release_at(NodeId(1), 5, 1_000), Some(5));
+    }
+
+    #[test]
+    fn partition_release_reports_the_heal_time_across_the_cut() {
+        let mut plan = FaultPlan::none();
+        plan.add_partition([NodeId(0)], 100, Some(300));
+        // Same side or inactive: immediate.
+        assert_eq!(plan.partition_release(NodeId(1), NodeId(2), 150), Some(150));
+        assert_eq!(plan.partition_release(NodeId(0), NodeId(1), 50), Some(50));
+        // Across the cut while active: released at the heal.
+        assert_eq!(plan.partition_release(NodeId(0), NodeId(1), 150), Some(300));
+        // A permanent partition never releases.
+        plan.add_partition([NodeId(0)], 400, None);
+        assert_eq!(plan.partition_release(NodeId(0), NodeId(1), 450), None);
+        // ... and a windowed one that heals into it chains to None too.
+        assert_eq!(plan.partition_release(NodeId(0), NodeId(1), 150), Some(300));
+    }
+
+    #[test]
+    fn validate_merges_overlapping_crash_windows_with_a_warning() {
+        let mut plan = FaultPlan::none();
+        plan.add(NodeFault::crash_until(NodeId(1), 100, 200));
+        plan.add(NodeFault::crash_until(NodeId(1), 150, 400));
+        plan.add(NodeFault::crash_until(NodeId(2), 120, 180)); // other node: kept
+        plan.add(NodeFault::byzantine(NodeId(1), 0)); // non-crash: kept
+        let (sane, warnings) = plan.validate(None);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("overlapping crash windows on node 1"));
+        let crashes: Vec<_> = sane
+            .faults()
+            .iter()
+            .filter(|f| f.kind == FaultKind::Crash)
+            .collect();
+        assert_eq!(crashes.len(), 2);
+        assert_eq!((crashes[0].from, crashes[0].until), (100, Some(400)));
+        assert_eq!(crashes[1].node, NodeId(2));
+        assert!(sane.faults().iter().any(|f| f.kind == FaultKind::Byzantine));
+        // Merged semantics match the query the models actually ask.
+        assert_eq!(
+            sane.crashed_until(NodeId(1), 160),
+            plan.crashed_until(NodeId(1), 160)
+        );
+    }
+
+    #[test]
+    fn validate_drops_events_past_the_horizon_with_a_warning() {
+        let mut plan = FaultPlan::none();
+        plan.add(NodeFault::crash_until(NodeId(0), 100, 200));
+        plan.add(NodeFault::crash_until(NodeId(0), 5_000, 6_000));
+        plan.add_partition([NodeId(0)], 7_000, Some(8_000));
+        plan.add_failover(9_000, 10);
+        plan.add_reconfiguration(500, 50, true);
+        let (sane, warnings) = plan.validate(Some(1_000));
+        assert_eq!(warnings.len(), 3, "{warnings:?}");
+        assert_eq!(sane.faults().len(), 1);
+        assert!(sane.partitions().is_empty());
+        assert!(sane.failovers().is_empty());
+        assert_eq!(sane.reconfigurations().len(), 1);
+        // Without a horizon nothing is dropped.
+        let (all, no_warnings) = plan.validate(None);
+        assert_eq!(all.faults().len(), 2);
+        assert!(no_warnings.is_empty());
+    }
+
+    #[test]
+    fn reconfigurations_and_failovers_are_plain_inspectable_data() {
+        let mut plan = FaultPlan::none();
+        plan.add_reconfiguration(1_000, 250, false);
+        plan.add_reconfiguration(2_000, 250, true);
+        assert_eq!(plan.reconfigurations().len(), 2);
+        assert!(!plan.reconfigurations()[0].churn);
+        assert!(plan.reconfigurations()[1].churn);
+        assert_eq!(plan.max_time(), 2_250);
+        assert!(!plan.is_empty());
+        let f = Failover {
+            at: 10,
+            duration_us: 5,
+        };
+        assert!(f.active_at(10) && f.active_at(14) && !f.active_at(15));
     }
 
     #[test]

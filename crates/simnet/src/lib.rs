@@ -27,7 +27,7 @@ pub mod resource;
 pub use costs::CostModel;
 pub use engine::{Process, ProcessId, SimEngine, StageEvent};
 pub use event::{EventQueue, HeapEventQueue, ScheduledEvent};
-pub use fault::{FaultPlan, NodeFault};
+pub use fault::{Failover, FaultPlan, NodeFault, Partition, Reconfiguration};
 pub use network::{NetworkConfig, NetworkModel};
 pub use resource::{MultiResource, Resource};
 

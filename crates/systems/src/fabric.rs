@@ -27,7 +27,7 @@ use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
 use dichotomy_common::{AbortReason, Key, NodeId, Timestamp, Transaction, TxnReceipt, Value};
 use dichotomy_consensus::sharedlog::{SharedLog, SharedLogConfig};
 use dichotomy_ledger::{Ledger, TxnValidationFlag};
-use dichotomy_simnet::{CostModel, NetworkConfig, ProcessId, StageEvent};
+use dichotomy_simnet::{CostModel, FaultPlan, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{KvEngine, LsmTree, MvccStore};
 use dichotomy_txn::OccExecutor;
 
@@ -57,6 +57,13 @@ pub struct FabricConfig {
     pub network: NetworkConfig,
     /// CPU cost model.
     pub costs: CostModel,
+    /// Fault schedule. `NodeId(0)` addresses the lead orderer (the ordering
+    /// service's Raft leader): crash/failover windows stall block cutting —
+    /// endorsed transactions keep queueing at the cutter, so the recovery
+    /// burst emerges from the backlog, not from a scripted stall.
+    pub faults: FaultPlan,
+    /// Re-election pause after an orderer crash heals (µs).
+    pub failover_us: u64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -71,6 +78,8 @@ impl Default for FabricConfig {
             endorsement_divergence: 0.002,
             network: NetworkConfig::lan_1gbps(),
             costs: CostModel::calibrated(),
+            faults: FaultPlan::none(),
+            failover_us: 10_000,
             seed: dichotomy_common::rng::DEFAULT_SEED,
         }
     }
@@ -226,6 +235,29 @@ impl Fabric {
         if batch.is_empty() {
             return;
         }
+        // The ordering service's leader may be crashed, failing over, or cut
+        // off from the peers: the append waits for the role to come back.
+        let cut_time = match self
+            .config
+            .faults
+            .primary_release(cut_time, self.config.failover_us)
+        {
+            Some(t) => t,
+            None => {
+                // Ordering service down for good: the whole batch times out.
+                for (txn, endorse_done) in &batch {
+                    let arrival = Fabric::client_arrival(txn, *endorse_done);
+                    let finish = cut_time + 2 * self.config.network.base_latency_us;
+                    self.receipts.push_back(TxnReceipt::aborted(
+                        txn.id,
+                        AbortReason::Overload,
+                        arrival,
+                        finish,
+                    ));
+                }
+                return;
+            }
+        };
         let batch_bytes: usize = batch.iter().map(|(t, _)| t.wire_bytes()).sum();
         let record = self.orderer.append(cut_time, batch_bytes);
         let id = self.in_flight.insert(BlockInFlight {
@@ -635,5 +667,77 @@ mod tests {
             .sum::<u64>()
             / 50;
         assert!(late > early * 3, "early {early} late {late}");
+    }
+
+    #[test]
+    fn an_orderer_crash_stalls_ordering_until_heal_plus_failover() {
+        use dichotomy_simnet::fault::NodeFault;
+        let run = |faults: FaultPlan| {
+            let mut f = Fabric::new(FabricConfig {
+                max_block_txns: 5,
+                endorsement_divergence: 0.0,
+                faults,
+                failover_us: 50_000,
+                ..FabricConfig::default()
+            });
+            seed_keys(&mut f, 50);
+            drive_arrivals(
+                &mut f,
+                (0..20u64).map(|seq| {
+                    let arrival = seq * 2_000;
+                    (rmw(seq, &format!("k{seq}"), 100, arrival), arrival)
+                }),
+            )
+        };
+        let healthy = run(FaultPlan::none());
+        let mut faults = FaultPlan::none();
+        // Crash the lead orderer across the middle of the run.
+        faults.add(NodeFault::crash_until(NodeId(0), 10_000, 600_000));
+        let crashed = run(faults);
+        assert_eq!(crashed.len(), healthy.len());
+        assert!(crashed.iter().all(|r| r.status.is_committed()));
+        // Blocks cut inside the outage wait for heal + failover; nothing
+        // orders inside the window.
+        let healed = 600_000 + 50_000;
+        for r in &crashed {
+            assert!(
+                r.finish_time < 10_000 || r.finish_time >= healed,
+                "receipt finished inside the crash window: {}",
+                r.finish_time
+            );
+        }
+        let stalled = crashed.iter().filter(|r| r.finish_time >= healed).count();
+        assert!(stalled >= 10, "only {stalled} receipts rode out the crash");
+        // The healthy run is strictly faster overall.
+        let max = |rs: &[TxnReceipt]| rs.iter().map(|r| r.finish_time).max().unwrap();
+        assert!(max(&healthy) < max(&crashed));
+    }
+
+    #[test]
+    fn a_permanent_orderer_outage_aborts_queued_batches_as_overload() {
+        let mut faults = FaultPlan::none();
+        faults.add(dichotomy_simnet::fault::NodeFault::crash(NodeId(0), 10_000));
+        let mut f = Fabric::new(FabricConfig {
+            max_block_txns: 5,
+            endorsement_divergence: 0.0,
+            faults,
+            ..FabricConfig::default()
+        });
+        seed_keys(&mut f, 50);
+        let receipts = drive_arrivals(
+            &mut f,
+            (0..20u64).map(|seq| {
+                let arrival = seq * 2_000;
+                (rmw(seq, &format!("k{seq}"), 100, arrival), arrival)
+            }),
+        );
+        // Every transaction still gets a receipt (conservation), and
+        // everything cut after the outage aborts with Overload.
+        assert_eq!(receipts.len(), 20);
+        let aborted = receipts
+            .iter()
+            .filter(|r| r.status == dichotomy_common::TxnStatus::Aborted(AbortReason::Overload))
+            .count();
+        assert!(aborted >= 10, "only {aborted} overload aborts");
     }
 }

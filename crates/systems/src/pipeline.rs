@@ -153,6 +153,15 @@ impl ReceiptLog {
         std::mem::swap(&mut self.receipts, buf);
     }
 
+    /// Test-only corruption hook for oracle-sensitivity tests: hands the raw
+    /// receipt vector to `f` so a test can drop, duplicate, or reorder
+    /// receipts and assert the invariant oracles catch it. Completions are
+    /// untouched, exactly as a buggy model would leave them.
+    #[doc(hidden)]
+    pub fn corrupt_receipts_for_test(&mut self, f: impl FnOnce(&mut Vec<TxnReceipt>)) {
+        f(&mut self.receipts);
+    }
+
     /// Number of receipts currently held.
     pub fn len(&self) -> usize {
         self.receipts.len()

@@ -21,7 +21,7 @@ use dichotomy_common::{Key, NodeId, Timestamp, Transaction, TxnReceipt, Value};
 use dichotomy_consensus::{ProtocolKind, ReplicationProfile};
 use dichotomy_ledger::Ledger;
 use dichotomy_merkle::MerklePatriciaTrie;
-use dichotomy_simnet::{CostModel, NetworkConfig, ProcessId, StageEvent};
+use dichotomy_simnet::{CostModel, FaultPlan, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{KvEngine, LsmTree};
 
 use crate::pipeline::{
@@ -48,6 +48,12 @@ pub struct QuorumConfig {
     pub network: NetworkConfig,
     /// CPU cost model.
     pub costs: CostModel,
+    /// Fault schedule. `NodeId(0)` addresses the consensus leader (the block
+    /// proposer): crash/failover windows stall block proposal, so cut blocks
+    /// queue and the post-heal recovery burst emerges from that backlog.
+    pub faults: FaultPlan,
+    /// Leader re-election pause after a crash heals (µs).
+    pub failover_us: u64,
     /// RNG seed (reserved for future stochastic extensions).
     pub seed: u64,
 }
@@ -62,6 +68,8 @@ impl Default for QuorumConfig {
             commit_amplification: 2.0,
             network: NetworkConfig::lan_1gbps(),
             costs: CostModel::calibrated(),
+            faults: FaultPlan::none(),
+            failover_us: 10_000,
             seed: dichotomy_common::rng::DEFAULT_SEED,
         }
     }
@@ -195,6 +203,29 @@ impl Quorum {
         if batch.is_empty() {
             return;
         }
+        // The consensus leader may be crashed, failing over, or partitioned
+        // away: proposal waits until the role is back and reachable.
+        let cut_time = match self
+            .config
+            .faults
+            .primary_release(cut_time, self.config.failover_us)
+        {
+            Some(t) => t,
+            None => {
+                // No leader ever again: the batch times out at the clients.
+                use dichotomy_common::{AbortReason, TxnReceipt};
+                for (txn, arrival) in &batch {
+                    let finish = cut_time + 2 * self.config.network.base_latency_us;
+                    self.receipts.push_back(TxnReceipt::aborted(
+                        txn.id,
+                        AbortReason::Overload,
+                        *arrival,
+                        finish,
+                    ));
+                }
+                return;
+            }
+        };
         let id = self.in_flight.insert(BlockInFlight {
             batch,
             cut_time,
@@ -529,6 +560,69 @@ mod tests {
         let ibft = run(ProtocolKind::Ibft);
         let ratio = raft / ibft;
         assert!((0.8..1.4).contains(&ratio), "raft {raft:.0} ibft {ibft:.0}");
+    }
+
+    #[test]
+    fn a_leader_crash_stalls_proposal_until_heal_plus_failover() {
+        use dichotomy_simnet::fault::NodeFault;
+        let run = |faults: FaultPlan| {
+            let mut q = Quorum::new(QuorumConfig {
+                max_block_txns: 5,
+                faults,
+                failover_us: 50_000,
+                ..QuorumConfig::default()
+            });
+            drive_arrivals(
+                &mut q,
+                (0..20).map(|seq| (write_txn(seq, &format!("k{seq}"), 100), seq * 2_000)),
+            )
+        };
+        let healthy = run(FaultPlan::none());
+        let mut faults = FaultPlan::none();
+        faults.add(NodeFault::crash_until(NodeId(0), 10_000, 600_000));
+        let crashed = run(faults);
+        assert_eq!(crashed.len(), healthy.len());
+        assert!(crashed.iter().all(|r| r.status.is_committed()));
+        // Blocks launched before the crash may finish mid-window (the fault
+        // gates proposal admission, not in-flight blocks), but anything cut
+        // inside the window waits for heal + failover.
+        let healed = 600_000 + 50_000;
+        for r in crashed.iter().filter(|r| r.submit_time >= 10_000) {
+            assert!(
+                r.finish_time >= healed,
+                "receipt submitted in the outage finished inside it: {}",
+                r.finish_time
+            );
+        }
+        let stalled = crashed.iter().filter(|r| r.finish_time >= healed).count();
+        assert!(stalled >= 10, "only {stalled} receipts rode out the crash");
+        let max = |rs: &[TxnReceipt]| rs.iter().map(|r| r.finish_time).max().unwrap();
+        assert!(max(&healthy) < max(&crashed));
+    }
+
+    #[test]
+    fn a_partition_cutting_off_the_leader_stalls_blocks_until_it_heals() {
+        let mut faults = FaultPlan::none();
+        // Leader on one side, every follower on the other, until 400 ms.
+        faults.add_partition(vec![NodeId(0)], 10_000, Some(400_000));
+        let mut q = Quorum::new(QuorumConfig {
+            max_block_txns: 5,
+            faults,
+            ..QuorumConfig::default()
+        });
+        let receipts = drive_arrivals(
+            &mut q,
+            (0..20).map(|seq| (write_txn(seq, &format!("k{seq}"), 100), seq * 2_000)),
+        );
+        assert_eq!(receipts.len(), 20);
+        assert!(receipts.iter().all(|r| r.status.is_committed()));
+        for r in receipts.iter().filter(|r| r.submit_time >= 10_000) {
+            assert!(
+                r.finish_time >= 400_000,
+                "receipt submitted inside the partition finished inside it: {}",
+                r.finish_time
+            );
+        }
     }
 
     #[test]

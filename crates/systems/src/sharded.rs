@@ -13,11 +13,12 @@
 use std::collections::HashMap;
 
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
-use dichotomy_common::{AbortReason, Key, Timestamp, Transaction, TxnReceipt, Value};
+use dichotomy_common::{AbortReason, Key, NodeId, Timestamp, Transaction, TxnReceipt, Value};
 use dichotomy_consensus::{ProtocolKind, ReplicationProfile};
 use dichotomy_merkle::MerkleBucketTree;
 use dichotomy_sharding::{CoordinatorKind, Partitioner, ShardPlan, TwoPhaseCommit};
-use dichotomy_simnet::{CostModel, NetworkConfig, ProcessId, StageEvent};
+use dichotomy_simnet::fault::Reconfiguration;
+use dichotomy_simnet::{CostModel, FaultPlan, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{KvEngine, LsmTree, MvccStore};
 use dichotomy_txn::locking::{LockManager, LockMode, LockOutcome};
 
@@ -43,6 +44,11 @@ pub struct SpannerLikeConfig {
     pub network: NetworkConfig,
     /// CPU cost model.
     pub costs: CostModel,
+    /// Fault schedule. `NodeId(0)` addresses the 2PC coordinator role,
+    /// `NodeId(1 + shard)` a shard's replication leader.
+    pub faults: FaultPlan,
+    /// Leader re-election pause after a crash heals (µs).
+    pub failover_us: u64,
 }
 
 impl Default for SpannerLikeConfig {
@@ -53,6 +59,8 @@ impl Default for SpannerLikeConfig {
             lock_wait_us: 8_000,
             network: NetworkConfig::lan_1gbps(),
             costs: CostModel::calibrated(),
+            faults: FaultPlan::none(),
+            failover_us: 10_000,
         }
     }
 }
@@ -75,11 +83,17 @@ struct ShardedDb {
     busy_until: HashMap<Key, Timestamp>,
     /// Receipts scheduled to surface at their finish time (token-keyed).
     finishing: TokenMap<TxnReceipt>,
+    /// Fault schedule: `NodeId(0)` is the 2PC coordinator role,
+    /// `NodeId(1 + shard)` a shard's replication leader.
+    faults: FaultPlan,
+    /// Leader re-election pause after a crash heals (µs).
+    failover_us: u64,
     committed: u64,
     aborted: u64,
 }
 
 impl ShardedDb {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         shards: u32,
         protocol: ProtocolKind,
@@ -87,6 +101,8 @@ impl ShardedDb {
         coordinator: CoordinatorKind,
         network: NetworkConfig,
         costs: CostModel,
+        faults: FaultPlan,
+        failover_us: u64,
     ) -> Self {
         ShardedDb {
             partitioner: Partitioner::hash(shards),
@@ -104,6 +120,8 @@ impl ShardedDb {
             receipts: ReceiptLog::new(),
             busy_until: HashMap::new(),
             finishing: TokenMap::new(),
+            faults,
+            failover_us,
             committed: 0,
             aborted: 0,
         }
@@ -155,28 +173,47 @@ impl ShardedDb {
     }
 
     /// Per-shard work + cross-shard 2PC for a transaction whose per-shard
-    /// processing cost is `shard_cost_us`. Returns the commit time.
+    /// processing cost is `shard_cost_us`. Returns the commit time, or
+    /// `Err(finish)` when a permanent outage makes the decision unreachable
+    /// (the caller emits an `Overload` abort at `finish`).
     fn replicate_and_commit(
         &mut self,
         txn: &Transaction,
         start: Timestamp,
         shard_cost_us: u64,
         engine: &mut Engine,
-    ) -> Timestamp {
+    ) -> Result<Timestamp, Timestamp> {
         let write_keys = txn.write_set();
         let shards = self.partitioner.shards_of(&write_keys);
         let mut slowest = start;
         let pipe_count = self.shard_procs().len();
         for shard in &shards {
+            // The shard's replication leader must be up and reachable from
+            // the coordinator before its prepare round can start.
+            let shard_node = NodeId(1 + u64::from(shard.0));
+            let shard_start = self
+                .faults
+                .release_at(shard_node, start, self.failover_us)
+                .and_then(|t| self.faults.partition_release(NodeId(0), shard_node, t));
+            let shard_start = match shard_start {
+                Some(t) => t,
+                None => return Err(start),
+            };
             let pipe = self.shard_procs()[shard.0 as usize % pipe_count];
-            let (_, done) = engine.service(pipe, start, shard_cost_us);
+            let (_, done) = engine.service(pipe, shard_start, shard_cost_us);
             slowest = slowest.max(done);
         }
         let replication = self.replication.commit_latency_us(txn.payload_bytes() + 64);
+        // The 2PC coordinator role itself may be down or partitioned away.
+        let decide_input = match self
+            .faults
+            .primary_release(slowest + replication, self.failover_us)
+        {
+            Some(t) => t,
+            None => return Err(slowest + replication),
+        };
         let votes: Vec<_> = shards.iter().map(|&s| (s, true)).collect();
-        let decided = self
-            .two_pc
-            .run(slowest + replication, &votes, txn.payload_bytes());
+        let decided = self.two_pc.run(decide_input, &votes, txn.payload_bytes());
         // Apply the writes and mark the written keys busy until commit.
         let version = self.state.begin_commit();
         for op in txn.ops.iter().filter(|o| o.writes()) {
@@ -186,7 +223,7 @@ impl ShardedDb {
             self.engine_db.put(op.key.clone(), value);
             self.busy_until.insert(op.key.clone(), decided.decided_at);
         }
-        decided.decided_at
+        Ok(decided.decided_at)
     }
 }
 
@@ -208,6 +245,8 @@ impl SpannerLike {
             CoordinatorKind::Trusted,
             config.network.clone(),
             config.costs.clone(),
+            config.faults.clone(),
+            config.failover_us,
         );
         SpannerLike {
             config,
@@ -313,7 +352,20 @@ impl TransactionalSystem for SpannerLike {
                 })
                 .sum::<u64>();
         let start = arrival + wait_us;
-        let commit_at = self.db.replicate_and_commit(&txn, start, per_shard, engine);
+        let commit_at = match self.db.replicate_and_commit(&txn, start, per_shard, engine) {
+            Ok(t) => t,
+            Err(stalled_at) => {
+                self.db.aborted += 1;
+                let finish = stalled_at + self.config.network.base_latency_us;
+                self.db.receipts.push_back(TxnReceipt::aborted(
+                    txn.id,
+                    AbortReason::Overload,
+                    arrival,
+                    finish,
+                ));
+                return;
+            }
+        };
         self.db.committed += 1;
         let finish = commit_at + self.config.network.base_latency_us;
         let mut r = TxnReceipt::committed(txn.id, arrival, finish);
@@ -366,6 +418,18 @@ pub struct ShardedTiDb {
 impl ShardedTiDb {
     /// Build a sharded TiDB with `shards` regions of 3 nodes each.
     pub fn new(shards: u32, network: NetworkConfig, costs: CostModel) -> Self {
+        ShardedTiDb::with_faults(shards, network, costs, FaultPlan::none(), 10_000)
+    }
+
+    /// Build a sharded TiDB with a fault schedule (`NodeId(0)` = 2PC
+    /// coordinator, `NodeId(1 + shard)` = a region's Raft leader).
+    pub fn with_faults(
+        shards: u32,
+        network: NetworkConfig,
+        costs: CostModel,
+        faults: FaultPlan,
+        failover_us: u64,
+    ) -> Self {
         ShardedTiDb {
             db: ShardedDb::new(
                 shards,
@@ -374,6 +438,8 @@ impl ShardedTiDb {
                 CoordinatorKind::Trusted,
                 network.clone(),
                 costs.clone(),
+                faults,
+                failover_us,
             ),
             costs,
             network,
@@ -431,9 +497,23 @@ impl TransactionalSystem for ShardedTiDb {
                     }
                 })
                 .sum::<u64>();
-        let commit_at = self
+        let commit_at = match self
             .db
-            .replicate_and_commit(&txn, arrival, per_shard, engine);
+            .replicate_and_commit(&txn, arrival, per_shard, engine)
+        {
+            Ok(t) => t,
+            Err(stalled_at) => {
+                self.db.aborted += 1;
+                let finish = stalled_at + self.network.base_latency_us;
+                self.db.receipts.push_back(TxnReceipt::aborted(
+                    txn.id,
+                    AbortReason::Overload,
+                    arrival,
+                    finish,
+                ));
+                return;
+            }
+        };
         self.db.committed += 1;
         let receipt =
             TxnReceipt::committed(txn.id, arrival, commit_at + self.network.base_latency_us);
@@ -489,6 +569,14 @@ pub struct AhlConfig {
     pub network: NetworkConfig,
     /// CPU cost model.
     pub costs: CostModel,
+    /// Fault schedule. Beyond the crash/partition/failover algebra shared
+    /// with the other sharded models, AHL also consumes declarative
+    /// [`Reconfiguration`] events: each pauses every shard pipeline for its
+    /// `pause_us` at its scheduled time, and `churn` additionally bumps the
+    /// epoch so the secure-random shard formation reshuffles.
+    pub faults: FaultPlan,
+    /// Leader re-election pause after a crash heals (µs).
+    pub failover_us: u64,
 }
 
 impl Default for AhlConfig {
@@ -501,6 +589,8 @@ impl Default for AhlConfig {
             reconfig_pause_us: 3_000_000,
             network: NetworkConfig::lan_1gbps(),
             costs: CostModel::calibrated(),
+            faults: FaultPlan::none(),
+            failover_us: 10_000,
         }
     }
 }
@@ -513,6 +603,10 @@ pub struct Ahl {
     mbt: MerkleBucketTree,
     /// Time already swallowed by reconfiguration pauses.
     next_reconfig_at: Timestamp,
+    /// Declarative reconfiguration events from the fault plan, sorted by
+    /// time; `next_declared` indexes the first not yet applied.
+    declared_reconfigs: Vec<Reconfiguration>,
+    next_declared: usize,
     epoch: u64,
 }
 
@@ -529,10 +623,16 @@ impl Ahl {
             },
             config.network.clone(),
             config.costs.clone(),
+            config.faults.clone(),
+            config.failover_us,
         );
+        let mut declared_reconfigs = config.faults.reconfigurations().to_vec();
+        declared_reconfigs.sort_by_key(|r| r.at);
         Ahl {
             mbt: MerkleBucketTree::fabric_default(),
             next_reconfig_at: config.epoch_us,
+            declared_reconfigs,
+            next_declared: 0,
             epoch: 0,
             db,
             config,
@@ -565,10 +665,26 @@ impl Ahl {
     /// transaction processing) and advance the epoch. Returns the total pause
     /// charged, for the receipt's phase breakdown.
     fn reconfiguration_delay(&mut self, arrival: Timestamp, engine: &mut Engine) -> u64 {
-        if !self.config.periodic_reconfiguration {
-            return 0;
-        }
         let mut paused = 0;
+        // Declarative reconfiguration events from the fault plan apply even
+        // when periodic reconfiguration is off: each pauses every shard
+        // pipeline at its scheduled time, and churn reshuffles membership.
+        while let Some(r) = self.declared_reconfigs.get(self.next_declared).copied() {
+            if arrival < r.at {
+                break;
+            }
+            for pipe in self.db.shard_procs().to_vec() {
+                engine.service(pipe, r.at, r.pause_us);
+            }
+            paused += r.pause_us;
+            if r.churn {
+                self.epoch += 1;
+            }
+            self.next_declared += 1;
+        }
+        if !self.config.periodic_reconfiguration {
+            return paused;
+        }
         while arrival >= self.next_reconfig_at {
             let boundary = self.next_reconfig_at;
             for pipe in self.db.shard_procs().to_vec() {
@@ -626,9 +742,23 @@ impl TransactionalSystem for Ahl {
             per_shard += c.adr_update_us(stats.nodes_touched, stats.leaf_bytes);
             per_shard += c.storage_put_us(value.len());
         }
-        let commit_at = self
+        let commit_at = match self
             .db
-            .replicate_and_commit(&txn, arrival, per_shard, engine);
+            .replicate_and_commit(&txn, arrival, per_shard, engine)
+        {
+            Ok(t) => t,
+            Err(stalled_at) => {
+                self.db.aborted += 1;
+                let finish = stalled_at + self.config.network.base_latency_us;
+                self.db.receipts.push_back(TxnReceipt::aborted(
+                    txn.id,
+                    AbortReason::Overload,
+                    arrival,
+                    finish,
+                ));
+                return;
+            }
+        };
         self.db.committed += 1;
         let mut r = TxnReceipt::committed(
             txn.id,
@@ -801,6 +931,124 @@ mod tests {
             lock_wait > 0 || committed == 1,
             "wait {lock_wait} committed {committed}"
         );
+    }
+
+    #[test]
+    fn a_shard_leader_crash_stalls_transactions_touching_that_shard() {
+        use dichotomy_simnet::fault::NodeFault;
+        // Find two single-key transactions landing on different shards.
+        let p = Partitioner::hash(4);
+        let key_a = Key::from_str("k000000");
+        let shard_a = p.shard_of(&key_a);
+        let key_b = (1..100)
+            .map(|i| Key::from_str(&format!("k{i:06}")))
+            .find(|k| p.shard_of(k) != shard_a)
+            .unwrap();
+        let mut faults = FaultPlan::none();
+        faults.add(NodeFault::crash_until(
+            NodeId(1 + u64::from(shard_a.0)),
+            0,
+            400_000,
+        ));
+        let mut s = ShardedTiDb::with_faults(
+            4,
+            NetworkConfig::lan_1gbps(),
+            CostModel::calibrated(),
+            faults,
+            10_000,
+        );
+        s.load(&[
+            (key_a.clone(), Value::filler(1000)),
+            (key_b.clone(), Value::filler(1000)),
+        ]);
+        let txn = |seq: u64, key: &Key| {
+            Transaction::new(
+                TxnId::new(ClientId(seq), seq),
+                vec![Operation::read_modify_write(
+                    key.clone(),
+                    Value::filler(100),
+                )],
+            )
+        };
+        let receipts = drive_arrivals(
+            &mut s,
+            vec![(txn(1, &key_a), 1_000), (txn(2, &key_b), 1_000)],
+        );
+        let on_a = receipts.iter().find(|r| r.txn_id.seq == 1).unwrap();
+        let on_b = receipts.iter().find(|r| r.txn_id.seq == 2).unwrap();
+        assert!(on_a.status.is_committed() && on_b.status.is_committed());
+        assert!(on_a.finish_time >= 410_000, "crashed shard did not stall");
+        assert!(on_b.finish_time < 100_000, "healthy shard was stalled");
+    }
+
+    #[test]
+    fn a_coordinator_partition_stalls_cross_shard_commits_until_it_heals() {
+        let mut faults = FaultPlan::none();
+        // The 2PC coordinator role is cut off from everything until 300 ms.
+        faults.add_partition(vec![NodeId(0)], 0, Some(300_000));
+        let mut s = SpannerLike::new(SpannerLikeConfig {
+            faults,
+            ..SpannerLikeConfig::default()
+        });
+        s.load(&records(10));
+        let receipts = drive_arrivals(&mut s, vec![(two_key_txn(1, "k000001", "k000002"), 1_000)]);
+        assert_eq!(receipts.len(), 1);
+        assert!(receipts[0].status.is_committed());
+        assert!(
+            receipts[0].finish_time >= 300_000,
+            "commit decided inside the partition: {}",
+            receipts[0].finish_time
+        );
+    }
+
+    #[test]
+    fn a_permanent_coordinator_outage_aborts_writes_as_overload() {
+        let mut faults = FaultPlan::none();
+        faults.add_partition(vec![NodeId(0)], 0, None);
+        let mut s = SpannerLike::new(SpannerLikeConfig {
+            faults,
+            ..SpannerLikeConfig::default()
+        });
+        s.load(&records(10));
+        let receipts = drive_arrivals(&mut s, vec![(two_key_txn(1, "k000001", "k000002"), 1_000)]);
+        assert_eq!(receipts.len(), 1);
+        assert_eq!(
+            receipts[0].status,
+            dichotomy_common::TxnStatus::Aborted(AbortReason::Overload)
+        );
+    }
+
+    #[test]
+    fn a_declarative_reconfiguration_pauses_shards_and_churn_reshuffles() {
+        let mut faults = FaultPlan::none();
+        faults.add_reconfiguration(50_000, 100_000, true);
+        let mut ahl = Ahl::new(AhlConfig {
+            periodic_reconfiguration: false,
+            faults,
+            ..AhlConfig::default()
+        });
+        ahl.load(&records(100));
+        let plan0 = ahl.shard_plan();
+        let receipts = drive_arrivals(
+            &mut ahl,
+            vec![
+                (two_key_txn(1, "k000001", "k000002"), 1_000),
+                (two_key_txn(2, "k000003", "k000004"), 60_000),
+            ],
+        );
+        assert!(receipts.iter().all(|r| r.status.is_committed()));
+        let early = receipts.iter().find(|r| r.txn_id.seq == 1).unwrap();
+        let late = receipts.iter().find(|r| r.txn_id.seq == 2).unwrap();
+        // The event pauses every shard pipe for 100 ms at t=50 ms: the
+        // transaction arriving after it queues behind the pause.
+        assert!(early.finish_time < 50_000);
+        assert!(
+            late.finish_time >= 150_000,
+            "reconfiguration pause not felt: {}",
+            late.finish_time
+        );
+        // Churn reshuffled the secure-random shard formation.
+        assert_ne!(plan0.assignment, ahl.shard_plan().assignment);
     }
 
     #[test]

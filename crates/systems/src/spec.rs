@@ -78,10 +78,14 @@ pub struct SystemSpec {
     pub network: Option<NetworkConfig>,
     /// CPU cost model (defaults to the calibrated profile).
     pub costs: Option<CostModel>,
-    /// Fault schedule (crashes, partitions) injected into the deployment,
-    /// making crash/partition experiments declarative plans. Currently
-    /// honoured by the Raft-backed storage models (etcd, TiKV), which stall
-    /// their replicated write path while the leader is down.
+    /// Fault schedule (crashes, partitions, failovers, reconfigurations)
+    /// injected into the deployment, making chaos experiments declarative
+    /// plans. Honoured by every built-in model under the role-addressing
+    /// convention: `NodeId(0)` is the model's primary (Raft leader, lead
+    /// orderer, consensus proposer, 2PC coordinator) and `NodeId(1 + s)`
+    /// shard/region `s`'s replication leader. AHL additionally consumes
+    /// declarative `Reconfiguration` events (epoch pause + optional
+    /// membership churn).
     pub faults: Option<FaultPlan>,
     /// RNG seed for the model's stochastic choices.
     pub seed: Option<u64>,
@@ -390,6 +394,7 @@ fn build_fabric(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
             .unwrap_or(d.endorsement_divergence),
         network: spec.network.clone().unwrap_or(d.network),
         costs: spec.costs.clone().unwrap_or(d.costs),
+        faults: spec.faults.clone().unwrap_or(d.faults),
         seed: spec.seed.unwrap_or(d.seed),
         ..d
     }))
@@ -404,6 +409,7 @@ fn build_quorum(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
         block_interval_us: spec.block_interval_us.unwrap_or(d.block_interval_us),
         network: spec.network.clone().unwrap_or(d.network),
         costs: spec.costs.clone().unwrap_or(d.costs),
+        faults: spec.faults.clone().unwrap_or(d.faults),
         seed: spec.seed.unwrap_or(d.seed),
         ..d
     }))
@@ -412,12 +418,14 @@ fn build_quorum(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
 fn build_tidb(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
     if spec.shard_count() > 0 {
         // The region-partitioned TiDB of Figure 14.
-        return Box::new(ShardedTiDb::new(
+        return Box::new(ShardedTiDb::with_faults(
             spec.shard_count(),
             spec.network
                 .clone()
                 .unwrap_or_else(NetworkConfig::lan_1gbps),
             spec.costs.clone().unwrap_or_else(CostModel::calibrated),
+            spec.faults.clone().unwrap_or_default(),
+            10_000,
         ));
     }
     let d = TiDbConfig::default();
@@ -429,6 +437,7 @@ fn build_tidb(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
         tikv_nodes,
         network: spec.network.clone().unwrap_or(d.network),
         costs: spec.costs.clone().unwrap_or(d.costs),
+        faults: spec.faults.clone().unwrap_or(d.faults),
         ..d
     }))
 }
@@ -463,6 +472,7 @@ fn build_spanner_like(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
         nodes_per_shard: spec.nodes.unwrap_or(d.nodes_per_shard),
         network: spec.network.clone().unwrap_or(d.network),
         costs: spec.costs.clone().unwrap_or(d.costs),
+        faults: spec.faults.clone().unwrap_or(d.faults),
         ..d
     }))
 }
@@ -483,6 +493,8 @@ fn build_ahl(spec: &SystemSpec) -> Box<dyn TransactionalSystem> {
         reconfig_pause_us: spec.reconfig_pause_us.unwrap_or(d.reconfig_pause_us),
         network: spec.network.clone().unwrap_or(d.network),
         costs: spec.costs.clone().unwrap_or(d.costs),
+        faults: spec.faults.clone().unwrap_or(d.faults),
+        ..d
     }))
 }
 

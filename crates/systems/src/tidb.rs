@@ -21,10 +21,10 @@
 use std::collections::HashMap;
 
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
-use dichotomy_common::{AbortReason, Key, Timestamp, Transaction, TxnReceipt, Value};
+use dichotomy_common::{AbortReason, Key, NodeId, Timestamp, Transaction, TxnReceipt, Value};
 use dichotomy_consensus::{ProtocolKind, ReplicationProfile};
 use dichotomy_sharding::{CoordinatorKind, Partitioner, TwoPhaseCommit};
-use dichotomy_simnet::{CostModel, NetworkConfig, ProcessId, StageEvent};
+use dichotomy_simnet::{CostModel, FaultPlan, NetworkConfig, ProcessId, StageEvent};
 use dichotomy_storage::{KvEngine, LsmTree, MvccStore};
 use dichotomy_txn::PercolatorExecutor;
 
@@ -52,6 +52,13 @@ pub struct TiDbConfig {
     pub network: NetworkConfig,
     /// CPU cost model.
     pub costs: CostModel,
+    /// Fault schedule. `NodeId(0)` addresses the 2PC coordinator role and
+    /// `NodeId(1 + region)` a region's Raft leader: a crashed region leader
+    /// stalls the decision round of every transaction touching it, and a
+    /// coordinator outage stalls all cross-region decisions.
+    pub faults: FaultPlan,
+    /// Leader re-election pause after a crash heals (µs).
+    pub failover_us: u64,
 }
 
 impl Default for TiDbConfig {
@@ -64,6 +71,8 @@ impl Default for TiDbConfig {
             lock_conflict_penalty_us: 4_000,
             network: NetworkConfig::lan_1gbps(),
             costs: CostModel::calibrated(),
+            faults: FaultPlan::none(),
+            failover_us: 10_000,
         }
     }
 }
@@ -248,12 +257,37 @@ impl TiDb {
         let shards = self
             .partitioner
             .shards_of(&write_keys.iter().collect::<Vec<_>>());
+        // Fault gates before the decision round: every touched region's Raft
+        // leader must be back up, and the coordinator role reachable.
+        let mut decide_input = storage_done + replication_latency;
+        for &s in &shards {
+            decide_input = match self.config.faults.release_at(
+                NodeId(1 + u64::from(s.0)),
+                decide_input,
+                self.config.failover_us,
+            ) {
+                Some(t) => t,
+                None => {
+                    self.aborted += 1;
+                    let finish = decide_input + self.config.network.base_latency_us;
+                    return TxnReceipt::aborted(txn.id, AbortReason::Overload, arrival, finish);
+                }
+            };
+        }
+        let decide_input = match self
+            .config
+            .faults
+            .primary_release(decide_input, self.config.failover_us)
+        {
+            Some(t) => t,
+            None => {
+                self.aborted += 1;
+                let finish = decide_input + self.config.network.base_latency_us;
+                return TxnReceipt::aborted(txn.id, AbortReason::Overload, arrival, finish);
+            }
+        };
         let votes: Vec<_> = shards.iter().map(|&s| (s, true)).collect();
-        let two_pc_out = self.two_pc.run(
-            storage_done + replication_latency,
-            &votes,
-            txn.payload_bytes(),
-        );
+        let two_pc_out = self.two_pc.run(decide_input, &votes, txn.payload_bytes());
 
         match result {
             Ok(outcome) => {
@@ -458,6 +492,90 @@ mod tests {
             drive_arrivals(&mut t, vec![(txn, 0)])[0].latency_us()
         };
         assert!(latency(10) > latency(1));
+    }
+
+    #[test]
+    fn a_coordinator_crash_stalls_write_decisions_until_heal_plus_failover() {
+        use dichotomy_simnet::fault::NodeFault;
+        let mut faults = FaultPlan::none();
+        faults.add(NodeFault::crash_until(NodeId(0), 5_000, 300_000));
+        let mut t = TiDb::new(TiDbConfig {
+            faults,
+            failover_us: 20_000,
+            ..TiDbConfig::default()
+        });
+        let recs: Vec<(Key, Value)> = (0..100)
+            .map(|i| (Key::from_str(&format!("k{i:05}")), Value::filler(1000)))
+            .collect();
+        t.load(&recs);
+        let receipts = drive_arrivals(
+            &mut t,
+            (0..50u64).map(|seq| {
+                (
+                    rmw(seq % 8, seq, &format!("k{:05}", seq % 100), 1000),
+                    seq * 2_000,
+                )
+            }),
+        );
+        assert_eq!(receipts.len(), 50);
+        assert!(receipts.iter().all(|r| r.status.is_committed()));
+        // Writes whose decision round falls in the outage wait for heal +
+        // failover; the ones submitted mid-window prove the stall.
+        let healed = 300_000 + 20_000;
+        for r in receipts.iter().filter(|r| r.submit_time >= 5_000) {
+            assert!(
+                r.finish_time >= healed,
+                "decision landed inside the outage: {}",
+                r.finish_time
+            );
+        }
+        assert!(receipts.iter().any(|r| r.finish_time >= healed));
+    }
+
+    #[test]
+    fn a_region_leader_crash_stalls_only_transactions_touching_it() {
+        use dichotomy_simnet::fault::NodeFault;
+        // One region, whose leader is NodeId(1 + region). With hash
+        // partitioning, find two keys landing in different regions.
+        let p = Partitioner::hash(16);
+        let key_a = Key::from_str("k00000");
+        let region_a = p.shard_of(&key_a);
+        let key_b = (1..100)
+            .map(|i| Key::from_str(&format!("k{i:05}")))
+            .find(|k| p.shard_of(k) != region_a)
+            .unwrap();
+        let mut faults = FaultPlan::none();
+        faults.add(NodeFault::crash_until(
+            NodeId(1 + u64::from(region_a.0)),
+            0,
+            500_000,
+        ));
+        let mut t = TiDb::new(TiDbConfig {
+            faults,
+            failover_us: 10_000,
+            ..TiDbConfig::default()
+        });
+        t.load(&[
+            (key_a.clone(), Value::filler(1000)),
+            (key_b.clone(), Value::filler(1000)),
+        ]);
+        let txn = |seq: u64, key: &Key| {
+            Transaction::new(
+                TxnId::new(ClientId(seq), seq),
+                vec![Operation::read_modify_write(
+                    key.clone(),
+                    Value::filler(100),
+                )],
+            )
+        };
+        let receipts = drive_arrivals(
+            &mut t,
+            vec![(txn(1, &key_a), 1_000), (txn(2, &key_b), 1_000)],
+        );
+        let on_a = receipts.iter().find(|r| r.txn_id.seq == 1).unwrap();
+        let on_b = receipts.iter().find(|r| r.txn_id.seq == 2).unwrap();
+        assert!(on_a.finish_time >= 510_000, "crashed region did not stall");
+        assert!(on_b.finish_time < 100_000, "healthy region was stalled");
     }
 
     #[test]

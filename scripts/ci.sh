@@ -28,8 +28,9 @@ JOBS="$CORES"
 echo "==> repro --json reproducibility (seeded, byte-for-byte, --jobs 1 vs --jobs $JOBS)"
 # Every pre-existing experiment, pinned in Exact metrics mode: the scheduler
 # (timer wheel), the arena driver state, and the worker pool must all be
-# invisible in the seeded JSON. scale01 is excluded here (it defaults to
-# streaming metrics and a 1M-client population) and smoked separately below.
+# invisible in the seeded JSON. scale01 (streaming metrics, 1M-client
+# population) and chaos01 (the fault × oracle grid) are smoked separately
+# below.
 CI_EXPERIMENTS="fig04 fig05 fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 \
 fig14 fig15 tab02 tab04 tab05 fault01 closed01 ramp01"
 cargo run -p dichotomy-bench --release --bin repro -- \
@@ -77,6 +78,36 @@ if grep -q '"failures":\[{' /tmp/ci_scale_a.json; then
     exit 1
 fi
 
+echo "==> repro chaos01 --quick (chaos grid: fault injection x invariant oracles)"
+# The full model grid through the declarative fault schedules, on the shared
+# worker pool: the seeded JSON must be byte-identical whatever the worker
+# count, every cell must pass the whole oracle battery (any non-null
+# violation string anywhere trips the gate), and the windowed series must
+# show the fault signature — a dip (offered load arriving while nothing
+# commits) followed by a recovery burst (a backlog-drain window committing
+# well above the per-window offered rate; only faulted rows have either).
+cargo run -p dichotomy-bench --release --bin repro -- \
+    --quick --seed 7 --jobs 1 --json /tmp/ci_chaos_a.json chaos01 > /tmp/ci_chaos_a.out
+cargo run -p dichotomy-bench --release --bin repro -- \
+    --quick --seed 7 --jobs "$JOBS" --json /tmp/ci_chaos_b.json chaos01 > /tmp/ci_chaos_b.out
+cmp /tmp/ci_chaos_a.out /tmp/ci_chaos_b.out
+cmp /tmp/ci_chaos_a.json /tmp/ci_chaos_b.json
+grep -q '"key":"chaos01"' /tmp/ci_chaos_a.json
+# The passing oracle battery, rendered per cell in registration order.
+grep -qF '"oracles":[{"name":"receipt-conservation","violation":null},{"name":"no-duplicate-receipt","violation":null},{"name":"commit-order-monotonic","violation":null},{"name":"no-clamped-events","violation":null}]' /tmp/ci_chaos_a.json
+# Dip: a window with arrivals but zero commits (a crashed primary's stall).
+grep -qE '"submitted":[1-9][0-9]*,"committed":0,' /tmp/ci_chaos_a.json
+# Recovery: a post-heal window committing the stalled backlog in one burst.
+grep -qE '"committed":[1-9][0-9]{2,},' /tmp/ci_chaos_a.json
+if grep -q '"violation":"' /tmp/ci_chaos_a.json; then
+    echo "ci.sh: an invariant oracle reported a violation in the chaos grid" >&2
+    exit 1
+fi
+if grep -q '"failures":\[{' /tmp/ci_chaos_a.json; then
+    echo "ci.sh: a probe failed during the chaos01 run" >&2
+    exit 1
+fi
+
 echo "==> BENCH_history.json (bench trajectory: append --jobs 1 and --jobs $JOBS entries)"
 BENCH_KEY="$(git describe --always 2>/dev/null || echo untagged)"
 cargo run -p dichotomy-bench --release --bin repro -- \
@@ -88,6 +119,8 @@ cargo run -p dichotomy-bench --release --bin repro -- \
 grep -q '"generator":"repro-bench-history"' BENCH_history.json
 grep -q "\"label\":\"${BENCH_KEY}-jobs1\"" BENCH_history.json
 grep -q "\"label\":\"${BENCH_KEY}-jobs${JOBS}\"" BENCH_history.json
+# `all` includes the chaos grid, so its wall clock rides the trajectory too.
+grep -q '"key":"chaos01"' BENCH_history.json
 
 echo "==> microbench --smoke (engine hot-path regression canary)"
 cargo run -p dichotomy-bench --release --bin microbench -- --smoke \
