@@ -17,8 +17,14 @@
 //! gates). Keys with fewer than two prior same-configuration entries are
 //! reported as "no baseline" and skipped.
 //!
-//! Exit status: 0 when nothing regresses, 1 on any regression, 2 on usage
-//! or parse errors. Offline and dependency-free, like everything else here.
+//! `--require-key KEY` (repeatable) additionally asserts that at least one
+//! sample with that timing key exists in the history — CI uses it to prove
+//! the trajectory still *covers* an experiment (a silently dropped `scale01`
+//! would otherwise never regress again).
+//!
+//! Exit status: 0 when nothing regresses, 1 on any regression or missing
+//! required key, 2 on usage or parse errors. Offline and dependency-free,
+//! like everything else here.
 
 use std::process::ExitCode;
 
@@ -61,12 +67,17 @@ fn parse_history(doc: &str) -> Result<Vec<Sample>, String> {
         let label = field(entry, "label")
             .ok_or("entry without label")?
             .to_string();
+        // `sched` joined the entry header with the cost-predicted scheduler:
+        // per-experiment worker time depends on which probes co-run, so
+        // lpt-scheduled entries form their own lane. Entries predating the
+        // field were first-occurrence-ordered ("fifo").
         let config = format!(
-            "quick={} txns={} seed={} jobs={}",
+            "quick={} txns={} seed={} jobs={} sched={}",
             field(entry, "quick").unwrap_or("?"),
             field(entry, "txns").unwrap_or("?"),
             field(entry, "seed").unwrap_or("?"),
             field(entry, "jobs").unwrap_or("?"),
+            field(entry, "sched").unwrap_or("fifo"),
         );
         let timings = entry
             .split("\"experiments\":[")
@@ -151,6 +162,7 @@ fn main() -> ExitCode {
         window: 5,
     };
     let mut path: Option<String> = None;
+    let mut required_keys: Vec<String> = Vec::new();
     let mut bad_usage = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -178,6 +190,10 @@ fn main() -> ExitCode {
                 Some(w) if w >= 1 => opts.window = w,
                 _ => bad_usage = true,
             },
+            "--require-key" => match value(&mut i) {
+                Some(k) if !k.is_empty() => required_keys.push(k),
+                _ => bad_usage = true,
+            },
             f if f.starts_with("--") => bad_usage = true,
             _ => match path {
                 None => path = Some(args[i].clone()),
@@ -186,12 +202,14 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    let usage = "usage: bench_gate [--tolerance F] [--floor-ms F] [--window N] \
+                 [--require-key KEY]... HISTORY.json";
     let Some(path) = path else {
-        eprintln!("usage: bench_gate [--tolerance F] [--floor-ms F] [--window N] HISTORY.json");
+        eprintln!("{usage}");
         return ExitCode::from(2);
     };
     if bad_usage {
-        eprintln!("usage: bench_gate [--tolerance F] [--floor-ms F] [--window N] HISTORY.json");
+        eprintln!("{usage}");
         return ExitCode::from(2);
     }
 
@@ -217,7 +235,11 @@ fn main() -> ExitCode {
         opts.floor_ms,
         opts.window
     );
-    if regressions.is_empty() {
+    let missing = missing_keys(&samples, &required_keys);
+    for key in &missing {
+        println!("MISSING KEY: '{key}' has no samples in {path}");
+    }
+    if regressions.is_empty() && missing.is_empty() {
         println!("bench_gate: no wall-clock regressions");
         ExitCode::SUCCESS
     } else {
@@ -226,6 +248,18 @@ fn main() -> ExitCode {
         }
         ExitCode::FAILURE
     }
+}
+
+/// The `--require-key` keys that have no sample in the history, in request
+/// order. A required key may match either a timing key (`fig04`) or an
+/// entry label (`pr8-cache-cold`), so CI can assert both coverage and that
+/// a specific run made it into the trajectory.
+fn missing_keys(samples: &[Sample], required: &[String]) -> Vec<String> {
+    required
+        .iter()
+        .filter(|k| !samples.iter().any(|s| &s.key == *k || &s.label == *k))
+        .cloned()
+        .collect()
 }
 
 #[cfg(test)]
@@ -333,6 +367,74 @@ mod tests {
         let (regressions, skipped, gated) = gate(&samples, &gate_opts);
         assert!(regressions.is_empty());
         assert_eq!((skipped, gated), (0, 2));
+    }
+
+    #[test]
+    fn scheduler_regimes_form_separate_lanes() {
+        // Entries written before the `sched` field default to "fifo" and
+        // must never baseline an "lpt" entry: the per-experiment worker-time
+        // attribution differs between regimes on oversubscribed hosts.
+        let gate_opts = Gate {
+            tolerance: 0.5,
+            floor_ms: 10.0,
+            window: 5,
+        };
+        let legacy: Vec<String> = (0..3)
+            .map(|i| entry(&format!("old{i}"), 4, &[("ramp01", 90.0)]))
+            .collect();
+        let mut entries = legacy;
+        // Same quick/txns/seed/jobs, 4x slower — but a different scheduler.
+        entries.push(entry("new", 4, &[("ramp01", 360.0)]).replacen(
+            "\"jobs\":4,",
+            "\"jobs\":4,\"sched\":\"lpt\",",
+            1,
+        ));
+        let samples = parse_history(&history(&entries)).unwrap();
+        assert!(samples[2].config.contains("sched=fifo"), "legacy default");
+        assert!(samples[3].config.contains("sched=lpt"));
+        let (regressions, skipped, gated) = gate(&samples, &gate_opts);
+        assert!(regressions.is_empty(), "{regressions:?}");
+        assert_eq!((skipped, gated), (1, 1));
+    }
+
+    #[test]
+    fn require_key_flags_absent_keys_and_accepts_present_ones() {
+        let doc = history(&[
+            entry("pr8-cache-cold", 1, &[("fig04", 10.0), ("scale01", 20.0)]),
+            entry("pr8-cache-warm", 1, &[("fig04", 1.0), ("scale01", 2.0)]),
+        ]);
+        let samples = parse_history(&doc).unwrap();
+        // Timing keys and entry labels both satisfy a requirement.
+        let present = [
+            "fig04".to_string(),
+            "scale01".to_string(),
+            "pr8-cache-warm".to_string(),
+        ];
+        assert!(missing_keys(&samples, &present).is_empty());
+        let absent = ["chaos01".to_string(), "fig04".to_string()];
+        assert_eq!(missing_keys(&samples, &absent), vec!["chaos01".to_string()]);
+        assert!(missing_keys(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn entries_with_probe_calibration_arrays_still_parse_to_experiment_walls() {
+        // The PR 8 bench format appends probes/distinct_probes/cache_hits/
+        // dedup_saved_ms scalars and a nested calibration array to each
+        // timing entry; the scanner must keep reading the experiment-level
+        // wall_ms, not a probe's.
+        let doc = history(&[format!(
+            "{{\"generator\":\"repro-bench\",\"label\":\"pr8\",\"quick\":true,\"txns\":null,\
+             \"seed\":7,\"jobs\":4,\"total_wall_ms\":42,\"experiments\":[\
+             {{\"key\":\"fig04\",\"wall_ms\":42.5,\"rows\":5,\"failed_probes\":0,\"ok\":true,\
+             \"probes\":8,\"distinct_probes\":7,\"cache_hits\":2,\"dedup_saved_ms\":3.5,\
+             \"calibration\":[{{\"probe\":\"etcd\",\"predicted\":1200,\"wall_ms\":11.5}},\
+             {{\"probe\":\"tikv\",\"predicted\":null,\"wall_ms\":0.5}}]}}]}}"
+        )]);
+        let samples = parse_history(&doc).unwrap();
+        assert_eq!(samples.len(), 1, "calibration objects are not entries");
+        assert_eq!(samples[0].key, "fig04");
+        assert_eq!(samples[0].wall_ms, 42.5, "experiment wall, not a probe's");
+        assert!(samples[0].ok);
     }
 
     #[test]

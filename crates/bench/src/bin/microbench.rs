@@ -427,11 +427,8 @@ fn main() {
             .unwrap()
             .iter()
             .map(|(name, ns_per_op)| json::BenchTiming {
-                key: name.clone(),
                 wall_ms: ns_per_op / 1e6,
-                rows: 0,
-                failed_probes: 0,
-                ok: true,
+                ..json::BenchTiming::empty(name.clone(), true)
             })
             .collect();
         let label = bench_key

@@ -49,7 +49,24 @@
 //!   `git describe`/a date; the run never reads the wall clock for it).
 //!   Without the flag the entry is keyed by a stable digest of the run's
 //!   own parameters (quick/txns/seed/jobs), so history stays comparable
-//!   even where `git describe` is unavailable.
+//!   even where `git describe` is unavailable;
+//! * `--cache` — answer probes from the persistent content-addressed result
+//!   cache at `.repro-cache/` and store misses back into it. A hit is
+//!   byte-identical to a cold run: results are keyed by a hash of every
+//!   input that reaches the measurement (system, workload, driver, arrival,
+//!   metrics mode, faults, seed, transaction count) and round-trip through
+//!   the in-repo codec. `--no-cache` (the default) turns it back off;
+//! * `repro cache stats` / `repro cache clear` — inspect or delete the
+//!   cache (per schema-tag entry counts and sizes).
+//!
+//! Whatever the flags, duplicate probes *within* a run execute once and fan
+//! out to every table cell that needs them, and the deduplicated queue is
+//! ordered longest-predicted-first (the `dichotomy-hybrid` forecast model)
+//! to shrink the worker pool's makespan. The run prints a dedup summary —
+//! `probes: N scheduled, K distinct, D cache hits …` — on stderr, and the
+//! `--bench` entries carry per-experiment `dedup_saved_ms`, `cache_hits`
+//! and a predicted-vs-actual `calibration` array. Text-only experiments
+//! (`tab02`) schedule no probes and are left out of the bench timings.
 //!
 //! Unknown experiment ids exit nonzero after printing the valid list. An
 //! `all` run continues past failures at *probe* granularity: a panicking
@@ -59,14 +76,20 @@
 //! experiment.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 
-use dichotomy_bench::{json, list_experiments, plan_for, ArrivalOverride, RunOptions, EXPERIMENTS};
+use dichotomy_bench::{
+    cache, json, list_experiments, plan_for, ArrivalOverride, RunOptions, EXPERIMENTS,
+};
 use dichotomy_core::experiments::ExperimentReport;
 use dichotomy_core::metrics::MetricsMode;
 use dichotomy_core::scenario::{
-    panic_text, run_plans_with, ExecOptions, ExperimentPlan, ProbeStatus,
+    panic_text, run_plans_with, ExecOptions, ExperimentPlan, ProbeCache, ProbeStatus,
 };
 use dichotomy_core::systems::SystemRegistry;
+
+/// Where `--cache` keeps its entries, relative to the working directory.
+const CACHE_ROOT: &str = ".repro-cache";
 
 struct Cli {
     options: RunOptions,
@@ -76,6 +99,7 @@ struct Cli {
     jobs: usize,
     progress: bool,
     fail_fast: bool,
+    cache: bool,
     list: bool,
     targets: Vec<String>,
 }
@@ -87,7 +111,11 @@ enum Planned {
 }
 
 fn main() {
-    let cli = parse_args(std::env::args().skip(1));
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("cache") {
+        std::process::exit(cache_command(&raw[1..]));
+    }
+    let cli = parse_args(raw.into_iter());
 
     if cli.list {
         for (key, id, title, has_faults) in list_experiments() {
@@ -128,21 +156,41 @@ fn main() {
 
     let progress = |s: &ProbeStatus| {
         let id = ready.get(s.plan).map(|(id, _)| *id).unwrap_or("?");
+        let origin = if s.cached {
+            " [cached]"
+        } else if s.deduped {
+            " [dedup]"
+        } else {
+            ""
+        };
         match &s.error {
             Some(e) => eprintln!(
                 "[{id}] probe {}/{} '{}' / '{}': FAILED: {e}",
                 s.done, s.total, s.row, s.probe
             ),
             None => eprintln!(
-                "[{id}] probe {}/{} '{}' / '{}'",
+                "[{id}] probe {}/{} '{}' / '{}'{origin}",
                 s.done, s.total, s.row, s.probe
             ),
         }
+    };
+    let disk_cache = if cli.cache {
+        match cache::DiskCache::open(Path::new(CACHE_ROOT)) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                // A cache that cannot open still measures correctly.
+                eprintln!("cannot open {CACHE_ROOT} (running uncached): {e}");
+                None
+            }
+        }
+    } else {
+        None
     };
     let exec = ExecOptions {
         jobs: cli.jobs,
         progress: if cli.progress { Some(&progress) } else { None },
         fail_fast: cli.fail_fast,
+        cache: disk_cache.as_ref().map(|c| c as &dyn ProbeCache),
     };
     let plans: Vec<&ExperimentPlan> = ready.iter().map(|(_, plan)| *plan).collect();
     let mut outcomes = run_plans_with(&plans, &SystemRegistry::with_builtins(), &exec).into_iter();
@@ -150,9 +198,11 @@ fn main() {
     let mut completed: Vec<(String, ExperimentReport)> = Vec::new();
     let mut failures: Vec<(&str, String)> = Vec::new();
     let mut timings: Vec<json::BenchTiming> = Vec::new();
+    let (mut sum_probes, mut sum_distinct, mut sum_hits) = (0usize, 0usize, 0usize);
+    let (mut sum_wall_ms, mut sum_saved_ms) = (0.0f64, 0.0f64);
     for (id, plan) in planned {
         match plan {
-            Planned::Ready(_) => {
+            Planned::Ready(plan) => {
                 let outcome = outcomes.next().expect("one outcome per ready plan");
                 let report = outcome.report;
                 println!("{}", report.render());
@@ -164,27 +214,39 @@ fn main() {
                         format!("row '{}' probe '{}': {}", f.row, f.probe, f.message),
                     ));
                 }
-                timings.push(json::BenchTiming {
-                    key: id.to_string(),
-                    wall_ms: outcome.probe_wall_ms,
-                    rows: report.rows.len(),
-                    failed_probes: report.failures.len(),
-                    ok: true,
-                });
+                sum_probes += outcome.probes;
+                sum_distinct += outcome.distinct_probes;
+                sum_hits += outcome.cache_hits;
+                sum_wall_ms += outcome.probe_wall_ms;
+                sum_saved_ms += outcome.dedup_saved_ms;
+                // Text-only experiments (tab02) schedule no probes: a
+                // 0-row/0-ms timing entry is noise in the trajectory.
+                if plan.probe_count() > 0 {
+                    timings.push(json::BenchTiming {
+                        key: id.to_string(),
+                        wall_ms: outcome.probe_wall_ms,
+                        rows: report.rows.len(),
+                        failed_probes: report.failures.len(),
+                        ok: true,
+                        probes: outcome.probes,
+                        distinct_probes: outcome.distinct_probes,
+                        cache_hits: outcome.cache_hits,
+                        dedup_saved_ms: outcome.dedup_saved_ms,
+                        calibration: outcome.calibration,
+                    });
+                }
                 completed.push((id.to_string(), report));
             }
             Planned::Failed(message) => {
                 failures.push((id, message));
-                timings.push(json::BenchTiming {
-                    key: id.to_string(),
-                    wall_ms: 0.0,
-                    rows: 0,
-                    failed_probes: 0,
-                    ok: false,
-                });
+                timings.push(json::BenchTiming::empty(id.to_string(), false));
             }
         }
     }
+    eprintln!(
+        "probes: {sum_probes} scheduled, {sum_distinct} distinct, {sum_hits} cache hits; \
+         worker time {sum_wall_ms:.0} ms, dedup saved {sum_saved_ms:.0} ms"
+    );
 
     // Write both output documents before deciding the exit code: a broken
     // --json path must not swallow the --bench document or the failure
@@ -266,6 +328,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
         jobs: 0,
         progress: false,
         fail_fast: false,
+        cache: false,
         list: false,
         targets: Vec::new(),
     };
@@ -281,13 +344,17 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
             _ => (arg.clone(), None),
         };
         match flag.as_str() {
-            "--quick" | "--list" | "--progress" | "--fail-fast" if inline_value.is_some() => {
+            "--quick" | "--list" | "--progress" | "--fail-fast" | "--cache" | "--no-cache"
+                if inline_value.is_some() =>
+            {
                 bad_usage.push(format!("flag '{flag}' takes no value"));
             }
             "--quick" => cli.options.quick = true,
             "--list" => cli.list = true,
             "--progress" => cli.progress = true,
             "--fail-fast" => cli.fail_fast = true,
+            "--cache" => cli.cache = true,
+            "--no-cache" => cli.cache = false,
             "--txns" => {
                 if let Some(v) = value_of(&flag, inline_value.clone(), &mut args, &mut bad_usage) {
                     match v.parse::<u64>() {
@@ -397,14 +464,55 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
             eprintln!("{msg}");
         }
         eprintln!(
-            "valid flags: --quick --list --progress --fail-fast --txns N --seed S --jobs N \
-             --arrival open|closed --think-us N --outstanding N --metrics exact|streaming \
-             --json PATH --bench PATH --bench-key KEY"
+            "valid flags: --quick --list --progress --fail-fast --cache --no-cache --txns N \
+             --seed S --jobs N --arrival open|closed --think-us N --outstanding N \
+             --metrics exact|streaming --json PATH --bench PATH --bench-key KEY"
         );
+        eprintln!("subcommands: cache stats|clear");
         eprintln!("valid experiments: all {}", EXPERIMENTS.join(" "));
         std::process::exit(2);
     }
     cli
+}
+
+/// `repro cache stats|clear`: inspect or delete the persistent result
+/// cache. Returns the process exit code.
+fn cache_command(args: &[String]) -> i32 {
+    let root = Path::new(CACHE_ROOT);
+    match (args.first().map(String::as_str), args.len()) {
+        (Some("stats"), 1) => {
+            let tags = cache::stats(root);
+            if tags.is_empty() {
+                println!("cache {CACHE_ROOT}: empty");
+            } else {
+                for t in &tags {
+                    println!(
+                        "{}{:<28} {:>6} entries {:>12} bytes",
+                        if t.current { "* " } else { "  " },
+                        t.tag,
+                        t.entries,
+                        t.bytes
+                    );
+                }
+                println!("(*: the schema tag current binaries read and write)");
+            }
+            0
+        }
+        (Some("clear"), 1) => match cache::clear(root) {
+            Ok(()) => {
+                println!("cleared {CACHE_ROOT}");
+                0
+            }
+            Err(e) => {
+                eprintln!("cannot clear {CACHE_ROOT}: {e}");
+                1
+            }
+        },
+        _ => {
+            eprintln!("usage: repro cache stats|clear");
+            2
+        }
+    }
 }
 
 /// The value of `--flag value` / `--flag=value`, or `None` after recording a

@@ -19,6 +19,7 @@
 //! becomes a labelled entry in `failures` instead).
 
 use dichotomy_core::experiments::{ExperimentReport, RowSeries};
+use dichotomy_core::scenario::ProbeCalibration;
 
 /// One experiment's wall-clock timing, for the `repro --bench` document.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +35,38 @@ pub struct BenchTiming {
     /// Whether the experiment completed (false: it panicked outright or was
     /// missing from the dispatch table).
     pub ok: bool,
+    /// Probe slots the plan scheduled.
+    pub probes: usize,
+    /// Distinct probe keys actually executed (or loaded) — the rest were
+    /// deduplicated onto these.
+    pub distinct_probes: usize,
+    /// Distinct probes answered from the result cache.
+    pub cache_hits: usize,
+    /// Worker milliseconds the probe deduplication saved this experiment
+    /// (the representative's wall, once per avoided duplicate).
+    pub dedup_saved_ms: f64,
+    /// Predicted-vs-actual wall per executed probe, in execution order —
+    /// the calibration record of the cost-predicted scheduler.
+    pub calibration: Vec<ProbeCalibration>,
+}
+
+impl BenchTiming {
+    /// A timing entry with the given headline numbers and no probe
+    /// accounting (used for plans that failed to expand).
+    pub fn empty(key: String, ok: bool) -> Self {
+        BenchTiming {
+            key,
+            wall_ms: 0.0,
+            rows: 0,
+            failed_probes: 0,
+            ok,
+            probes: 0,
+            distinct_probes: 0,
+            cache_hits: 0,
+            dedup_saved_ms: 0.0,
+            calibration: Vec::new(),
+        }
+    }
 }
 
 /// Escape a string for a JSON string literal (quotes, backslashes, control
@@ -214,10 +247,18 @@ pub fn bench_document(
     timings: &[BenchTiming],
 ) -> String {
     let total_wall_ms: f64 = timings.iter().map(|t| t.wall_ms).sum();
+    // The scheduling regime is part of the run configuration: with more
+    // than one worker the deduped queue runs longest-predicted-first, which
+    // changes which probes contend on oversubscribed hosts — per-experiment
+    // worker time is only comparable within one regime, so `bench_gate`
+    // folds `sched` into the trajectory lane (absent = the historical
+    // "fifo").
+    let sched = if jobs > 1 { "lpt" } else { "fifo" };
     let mut out = String::new();
     out.push_str(&format!(
         "{{\"generator\":\"repro-bench\",\"label\":\"{}\",\"quick\":{quick},\"txns\":{},\
-         \"seed\":{seed},\"jobs\":{jobs},\"total_wall_ms\":{},\"experiments\":[",
+         \"seed\":{seed},\"jobs\":{jobs},\"sched\":\"{sched}\",\"total_wall_ms\":{},\
+         \"experiments\":[",
         escape(label),
         match txns {
             Some(n) => n.to_string(),
@@ -229,14 +270,36 @@ pub fn bench_document(
         if i > 0 {
             out.push(',');
         }
+        // Scalars first, nested objects last: `bench_gate` reads the FIRST
+        // `"wall_ms":` in each entry and splits entries on `{"key":`, so the
+        // experiment-level scalars must precede the calibration array and
+        // its objects must be keyed `"probe"`, never `"key"`.
         out.push_str(&format!(
-            "{{\"key\":\"{}\",\"wall_ms\":{},\"rows\":{},\"failed_probes\":{},\"ok\":{}}}",
+            "{{\"key\":\"{}\",\"wall_ms\":{},\"rows\":{},\"failed_probes\":{},\"ok\":{},\
+             \"probes\":{},\"distinct_probes\":{},\"cache_hits\":{},\"dedup_saved_ms\":{},\
+             \"calibration\":[",
             escape(&t.key),
             number(t.wall_ms),
             t.rows,
             t.failed_probes,
-            t.ok
+            t.ok,
+            t.probes,
+            t.distinct_probes,
+            t.cache_hits,
+            number(t.dedup_saved_ms)
         ));
+        for (j, c) in t.calibration.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"probe\":\"{}\",\"predicted\":{},\"wall_ms\":{}}}",
+                escape(&c.probe),
+                number(c.predicted),
+                number(c.wall_ms)
+            ));
+        }
+        out.push_str("]}");
     }
     out.push_str("]}");
     out
@@ -451,6 +514,15 @@ mod tests {
                 rows: 5,
                 failed_probes: 0,
                 ok: true,
+                probes: 8,
+                distinct_probes: 7,
+                cache_hits: 2,
+                dedup_saved_ms: 3.5,
+                calibration: vec![ProbeCalibration {
+                    probe: "etcd".into(),
+                    predicted: 1200.0,
+                    wall_ms: 11.5,
+                }],
             },
             BenchTiming {
                 key: "fig09".into(),
@@ -458,22 +530,75 @@ mod tests {
                 rows: 0,
                 failed_probes: 1,
                 ok: false,
+                probes: 0,
+                distinct_probes: 0,
+                cache_hits: 0,
+                dedup_saved_ms: 0.0,
+                calibration: Vec::new(),
             },
         ];
         let doc = bench_document("pr5-jobs4", true, None, 7, 4, &timings);
         assert!(doc.starts_with(
             "{\"generator\":\"repro-bench\",\"label\":\"pr5-jobs4\",\"quick\":true,\
-             \"txns\":null,\"seed\":7,\"jobs\":4,\"total_wall_ms\":20,\"experiments\":["
+             \"txns\":null,\"seed\":7,\"jobs\":4,\"sched\":\"lpt\",\"total_wall_ms\":20,\
+             \"experiments\":["
         ));
         assert!(doc.contains(
-            "{\"key\":\"fig04\",\"wall_ms\":12.5,\"rows\":5,\"failed_probes\":0,\"ok\":true}"
+            "{\"key\":\"fig04\",\"wall_ms\":12.5,\"rows\":5,\"failed_probes\":0,\"ok\":true,\
+             \"probes\":8,\"distinct_probes\":7,\"cache_hits\":2,\"dedup_saved_ms\":3.5,\
+             \"calibration\":[{\"probe\":\"etcd\",\"predicted\":1200,\"wall_ms\":11.5}]}"
         ));
         assert!(doc.contains(
-            "{\"key\":\"fig09\",\"wall_ms\":7.5,\"rows\":0,\"failed_probes\":1,\"ok\":false}"
+            "{\"key\":\"fig09\",\"wall_ms\":7.5,\"rows\":0,\"failed_probes\":1,\"ok\":false,\
+             \"probes\":0,\"distinct_probes\":0,\"cache_hits\":0,\"dedup_saved_ms\":0,\
+             \"calibration\":[]}"
         ));
         assert!(doc.ends_with("]}"));
         let empty = bench_document("x", false, Some(42), 1, 1, &[]);
         assert!(empty.contains("\"txns\":42") && empty.contains("\"experiments\":[]"));
+        assert!(
+            empty.contains("\"sched\":\"fifo\""),
+            "one worker keeps first-occurrence order"
+        );
+    }
+
+    #[test]
+    fn calibration_objects_never_collide_with_the_entry_scanner() {
+        // `bench_gate` splits entries on `{"key":` and reads the first
+        // `"wall_ms":` of each chunk — the calibration array must not defeat
+        // either convention.
+        let timings = vec![BenchTiming {
+            key: "fig04".into(),
+            wall_ms: 99.0,
+            rows: 1,
+            failed_probes: 0,
+            ok: true,
+            probes: 2,
+            distinct_probes: 2,
+            cache_hits: 0,
+            dedup_saved_ms: 0.0,
+            calibration: vec![
+                ProbeCalibration {
+                    probe: "a".into(),
+                    predicted: 1.0,
+                    wall_ms: 1.0,
+                },
+                ProbeCalibration {
+                    probe: "b".into(),
+                    predicted: f64::NAN,
+                    wall_ms: 2.0,
+                },
+            ],
+        }];
+        let doc = bench_document("k", true, None, 7, 1, &timings);
+        assert_eq!(doc.matches("{\"key\":").count(), 1, "one entry, one key");
+        let entry = doc.split("{\"key\":").nth(1).unwrap();
+        let first_wall = entry.split("\"wall_ms\":").nth(1).unwrap();
+        assert!(
+            first_wall.starts_with("99"),
+            "experiment wall_ms precedes calibration walls: {first_wall}"
+        );
+        assert!(doc.contains("{\"probe\":\"b\",\"predicted\":null,\"wall_ms\":2}"));
     }
 
     #[test]

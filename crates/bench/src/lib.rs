@@ -15,6 +15,7 @@
 //! crate scales them (quick vs full), executes them through the generic
 //! `run_plan` engine and serializes the reports.
 
+pub mod cache;
 pub mod json;
 
 use dichotomy_core::driver::ArrivalSpec;
@@ -259,6 +260,41 @@ mod tests {
         }
         assert!(run_experiment("nope", true).is_none());
         assert_eq!(EXPERIMENTS.len(), 20);
+    }
+
+    #[test]
+    fn repro_all_contains_duplicate_probes_the_engine_dedups() {
+        // `repro all` runs every plan on one pool; probes are deduplicated
+        // by content key across ALL of them. The suite genuinely contains
+        // duplicates (e.g. fig04/fig11 share baseline cells), so the
+        // distinct-key count must come in strictly below the probe count —
+        // if this ever fails the dedup layer has nothing to dedup and the
+        // `dedup_saved_ms` accounting is vacuous.
+        use dichotomy_core::scenario::probe_key_bytes;
+        use std::collections::HashSet;
+        let opts = RunOptions::quick();
+        let mut total = 0usize;
+        let mut distinct: HashSet<Vec<u8>> = HashSet::new();
+        for id in EXPERIMENTS {
+            let plan = plan_for(id, &opts).expect("known experiment");
+            if *id == "tab02" {
+                // The only text-only plan: zero probes, excluded from bench
+                // timings by `repro` (the 0-row/0-ms history-noise fix).
+                assert_eq!(plan.probe_count(), 0);
+            }
+            for row in &plan.rows {
+                for run in &row.runs {
+                    total += 1;
+                    distinct.insert(probe_key_bytes(&run.probe));
+                }
+            }
+        }
+        assert!(
+            distinct.len() < total,
+            "expected duplicate probes across `repro all`: {total} probes, {} distinct",
+            distinct.len()
+        );
+        assert!(total > 0 && !distinct.is_empty());
     }
 
     #[test]

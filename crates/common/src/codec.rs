@@ -7,7 +7,9 @@
 //! role is filled by this hand-rolled [`Encode`] trait instead: a canonical,
 //! deterministic byte encoding (big-endian fixed-width scalars, u32
 //! length-prefixed byte strings, one tag byte per enum variant) whose primary
-//! consumer is the byte-level storage accounting in [`crate::size`].
+//! consumers are the byte-level storage accounting in [`crate::size`], the
+//! canonical probe-content hashes of the measurement layer, and — through the
+//! mirroring [`Decode`] trait — the persistent probe-result cache.
 
 /// Types with a canonical byte encoding.
 ///
@@ -125,6 +127,137 @@ impl<A: Encode, B: Encode> Encode for (A, B) {
     }
 }
 
+impl Encode for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.as_str().encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+/// Types that can be reconstructed from their canonical [`Encode`] bytes.
+///
+/// `decode_from` consumes the value's encoding off the front of `input`
+/// (advancing the slice) and returns `None` on truncated or malformed
+/// input — a decoder never panics and never trusts lengths it has not
+/// bounds-checked, so corrupted cache entries degrade to a miss rather than
+/// an abort.
+pub trait Decode: Sized {
+    /// Decode one value off the front of `input`, advancing it.
+    fn decode_from(input: &mut &[u8]) -> Option<Self>;
+
+    /// Decode a value that must consume `bytes` exactly.
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut input = bytes;
+        let value = Self::decode_from(&mut input)?;
+        input.is_empty().then_some(value)
+    }
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if input.len() < n {
+        return None;
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Some(head)
+}
+
+macro_rules! impl_decode_scalar {
+    ($($t:ty),*) => {$(
+        impl Decode for $t {
+            fn decode_from(input: &mut &[u8]) -> Option<Self> {
+                let bytes = take(input, std::mem::size_of::<$t>())?;
+                Some(<$t>::from_be_bytes(bytes.try_into().ok()?))
+            }
+        }
+    )*};
+}
+impl_decode_scalar!(u8, u16, u32, u64);
+
+impl Decode for f64 {
+    fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        Some(f64::from_bits(u64::decode_from(input)?))
+    }
+}
+
+impl Decode for bool {
+    fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode_from(input)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Decode for String {
+    fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode_from(input)? as usize;
+        let bytes = take(input, len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode_from(input)? {
+            0 => Some(None),
+            1 => Some(Some(T::decode_from(input)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        let count = u32::decode_from(input)? as usize;
+        // Guard the pre-allocation against hostile counts: every element is
+        // at least one byte of input, so a count beyond the remaining input
+        // is malformed by construction.
+        if count > input.len() {
+            return None;
+        }
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            items.push(T::decode_from(input)?);
+        }
+        Some(items)
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode_from(input)?, B::decode_from(input)?))
+    }
+}
+
+/// Intern a string, returning a `&'static str` with the same content.
+///
+/// Several metric types key maps by `&'static str` (phase names, oracle
+/// labels, probe extras) — a small fixed vocabulary the models declare as
+/// literals. Decoding those types from cached bytes needs a `'static`
+/// lifetime back, so novel strings are leaked exactly once into a global
+/// table and every later request returns the same allocation. Leakage is
+/// bounded by the vocabulary actually decoded, not by the number of decode
+/// calls.
+pub fn intern(s: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static TABLE: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut table = TABLE
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .expect("intern table poisoned");
+    if let Some(existing) = table.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +305,50 @@ mod tests {
         let a = (b"ab".to_vec(), b"c".to_vec()).encode();
         let b = (b"a".to_vec(), b"bc".to_vec()).encode();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn decode_round_trips_every_base_type() {
+        assert_eq!(u8::decode(&7u8.encode()), Some(7));
+        assert_eq!(u16::decode(&0x0102u16.encode()), Some(0x0102));
+        assert_eq!(u32::decode(&9u32.encode()), Some(9));
+        assert_eq!(u64::decode(&u64::MAX.encode()), Some(u64::MAX));
+        assert_eq!(bool::decode(&true.encode()), Some(true));
+        assert_eq!(f64::decode(&1.5f64.encode()), Some(1.5));
+        // NaN round-trips bit-exactly (cache hits must be byte-identical).
+        let nan_bits = f64::NAN.to_bits();
+        assert_eq!(
+            f64::decode(&f64::NAN.encode()).map(f64::to_bits),
+            Some(nan_bits)
+        );
+        assert_eq!(
+            String::decode(&"hello".to_string().encode()),
+            Some("hello".to_string())
+        );
+        assert_eq!(Option::<u64>::decode(&Some(4u64).encode()), Some(Some(4)));
+        assert_eq!(Option::<u64>::decode(&None::<u64>.encode()), Some(None));
+        let v = vec![(1u64, 2.5f64), (3, 4.5)];
+        assert_eq!(Vec::<(u64, f64)>::decode(&v.encode()), Some(v));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_malformed_input() {
+        assert_eq!(u64::decode(&[0, 0, 0]), None);
+        // Trailing garbage after a complete value is malformed too.
+        assert_eq!(u8::decode(&[1, 2]), None);
+        assert_eq!(bool::decode(&[2]), None);
+        assert_eq!(Option::<u8>::decode(&[9]), None);
+        // A count prefix larger than the remaining input cannot be honest.
+        assert_eq!(Vec::<u64>::decode(&[0xFF, 0xFF, 0xFF, 0xFF]), None);
+        // Invalid UTF-8 is a decode failure, not a panic.
+        assert_eq!(String::decode(&[0, 0, 0, 1, 0xFF]), None);
+    }
+
+    #[test]
+    fn intern_returns_one_allocation_per_content() {
+        let a = intern("decode-phase-name");
+        let b = intern(&String::from("decode-phase-name"));
+        assert_eq!(a, "decode-phase-name");
+        assert!(std::ptr::eq(a, b));
     }
 }

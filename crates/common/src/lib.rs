@@ -28,7 +28,7 @@ pub mod txn;
 pub mod types;
 
 pub use block::{Block, BlockHeader};
-pub use codec::Encode;
+pub use codec::{intern, Decode, Encode};
 pub use crypto::{KeyPair, PublicKey, Signature};
 pub use error::{CommonError, Result};
 pub use hash::{sha256, Hash, Hasher};

@@ -98,6 +98,16 @@ impl Encode for StorageBreakdown {
     }
 }
 
+impl crate::codec::Decode for StorageBreakdown {
+    fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        Some(StorageBreakdown {
+            payload_bytes: u64::decode_from(input)?,
+            index_bytes: u64::decode_from(input)?,
+            history_bytes: u64::decode_from(input)?,
+        })
+    }
+}
+
 /// Implemented by every component that occupies (simulated) storage.
 pub trait StorageFootprint {
     /// Report the component's current footprint.

@@ -8,7 +8,7 @@
 //! pessimistic, Percolator-style — live in `dichotomy-txn`; this module only
 //! defines the data.
 
-use crate::codec::Encode;
+use crate::codec::{Decode, Encode};
 use crate::crypto::{KeyPair, Signature};
 use crate::hash::{Hash, Hasher};
 use crate::types::{ClientId, Key, Timestamp, TxnId, Value, Version};
@@ -415,6 +415,21 @@ impl Encode for AbortReason {
     }
     fn encoded_len(&self) -> usize {
         1
+    }
+}
+
+impl Decode for AbortReason {
+    fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode_from(input)? {
+            0 => AbortReason::ReadWriteConflict,
+            1 => AbortReason::InconsistentRead,
+            2 => AbortReason::WriteWriteConflict,
+            3 => AbortReason::LockConflict,
+            4 => AbortReason::CrossShardAbort,
+            5 => AbortReason::Overload,
+            6 => AbortReason::ApplicationConstraint,
+            _ => return None,
+        })
     }
 }
 

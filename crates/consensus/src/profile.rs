@@ -42,6 +42,23 @@ pub enum ProtocolKind {
     PrimaryBackup,
 }
 
+impl dichotomy_common::Encode for ProtocolKind {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            ProtocolKind::Raft => 0,
+            ProtocolKind::Pbft => 1,
+            ProtocolKind::Ibft => 2,
+            ProtocolKind::Tendermint => 3,
+            ProtocolKind::SharedLog => 4,
+            ProtocolKind::ProofOfWork => 5,
+            ProtocolKind::PrimaryBackup => 6,
+        });
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
 impl ProtocolKind {
     /// The failure model a protocol addresses.
     pub fn failure_model(&self) -> FailureModel {

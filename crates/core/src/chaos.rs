@@ -23,7 +23,7 @@
 //! them into `ProbeFailure`s) and as an oracle-report section per row in
 //! `repro --json`.
 
-use dichotomy_common::{TxnId, TxnReceipt};
+use dichotomy_common::{Decode, Encode, TxnId, TxnReceipt};
 use std::collections::HashSet;
 
 /// End-of-run facts the driver hands every oracle.
@@ -74,6 +74,38 @@ impl OracleReport {
     /// The violated outcomes, in registration order.
     pub fn violations(&self) -> impl Iterator<Item = &OracleOutcome> {
         self.outcomes.iter().filter(|o| o.violation.is_some())
+    }
+}
+
+impl Encode for OracleOutcome {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.name.encode_into(out);
+        self.violation.encode_into(out);
+    }
+}
+
+impl Decode for OracleOutcome {
+    fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        Some(OracleOutcome {
+            // Oracle names are `&'static str` literals on the encode side;
+            // decode interns them back into 'static lifetime.
+            name: dichotomy_common::intern(&String::decode_from(input)?),
+            violation: Option::decode_from(input)?,
+        })
+    }
+}
+
+impl Encode for OracleReport {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.outcomes.encode_into(out);
+    }
+}
+
+impl Decode for OracleReport {
+    fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        Some(OracleReport {
+            outcomes: Vec::decode_from(input)?,
+        })
     }
 }
 

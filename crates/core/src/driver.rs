@@ -21,7 +21,7 @@
 use std::collections::BTreeMap;
 
 use dichotomy_common::rng::{self, Rng};
-use dichotomy_common::{ClientId, Timestamp};
+use dichotomy_common::{ClientId, Encode, Timestamp};
 use dichotomy_systems::{Engine, SysEvent, TransactionalSystem};
 use dichotomy_workload::Workload;
 
@@ -642,6 +642,53 @@ impl DriverConfig {
         self.arrival.clone().unwrap_or(ArrivalSpec::OpenLoop {
             offered_tps: self.offered_tps,
         })
+    }
+}
+
+impl Encode for ArrivalSpec {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            ArrivalSpec::OpenLoop { offered_tps } => {
+                out.push(0);
+                offered_tps.encode_into(out);
+            }
+            ArrivalSpec::ClosedLoop {
+                clients,
+                think_time_us,
+                max_outstanding,
+            } => {
+                out.push(1);
+                clients.encode_into(out);
+                think_time_us.encode_into(out);
+                max_outstanding.encode_into(out);
+            }
+            ArrivalSpec::Phased { phases } => {
+                out.push(2);
+                phases.encode_into(out);
+            }
+            ArrivalSpec::Mixed { populations } => {
+                out.push(3);
+                populations.encode_into(out);
+            }
+        }
+    }
+}
+
+// A `DriverConfig` is one third of a probe's identity (alongside the system
+// and workload specs): every knob that can change a measurement — arrival
+// process, metrics mode, windowing, warm-up, seed — is in the canonical
+// encoding the measurement layer hashes.
+impl Encode for DriverConfig {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.transactions.encode_into(out);
+        self.offered_tps.encode_into(out);
+        self.clients.encode_into(out);
+        self.arrival.encode_into(out);
+        self.preload.encode_into(out);
+        self.window_us.encode_into(out);
+        self.warmup_us.encode_into(out);
+        self.seed.encode_into(out);
+        self.metrics.encode_into(out);
     }
 }
 

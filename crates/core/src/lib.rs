@@ -35,8 +35,9 @@ pub use metrics::{
     TimeSeries, TimeWindow,
 };
 pub use scenario::{
-    run_plan, run_plan_with, run_plans_with, ExecOptions, ExperimentPlan, PlanOutcome, Scenario,
-    Sweep,
+    fnv1a_64, lpt_order, predicted_probe_cost, probe_key_bytes, run_plan, run_plan_with,
+    run_plans_with, ExecOptions, ExperimentPlan, PlanOutcome, ProbeCache, ProbeCalibration,
+    ProbeResult, Scenario, Sweep,
 };
 
 // Re-export the building blocks so downstream users need only this crate.

@@ -49,8 +49,8 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
-use dichotomy_common::{AbortReason, Hash, Key, Value};
-use dichotomy_hybrid::{all_systems, forecast_throughput, HybridSpec};
+use dichotomy_common::{AbortReason, Decode, Encode, Hash, Key, Value};
+use dichotomy_hybrid::{all_systems, forecast_throughput, forecast_txn_cost_us, HybridSpec};
 use dichotomy_merkle::{MerkleBucketTree, MerklePatriciaTrie};
 use dichotomy_simnet::{CostModel, FaultPlan, NetworkConfig};
 use dichotomy_systems::{SystemRegistry, SystemSpec};
@@ -506,14 +506,157 @@ fn sanitize_fault_plans(plan: &mut ExperimentPlan) {
     }
 }
 
-/// What a probe produced, before column extraction.
-struct Observation {
-    metrics: Metrics,
-    footprint: StorageBreakdown,
-    records: u64,
-    extras: BTreeMap<&'static str, f64>,
+/// Everything a probe produced, before column extraction.
+///
+/// This is the unit of deduplication and caching: two probes with the same
+/// [`probe_key_bytes`] share one `ProbeResult`, and a persistent
+/// [`ProbeCache`] round-trips it through the in-repo binary codec
+/// ([`Encode`]/[`Decode`]). Column extraction ([`ColumnSpec`]) happens per
+/// report slot *after* the result exists, so probes that differ only in the
+/// columns they read still share one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeResult {
+    /// The run's aggregate metrics (driving probes; default otherwise).
+    pub metrics: Metrics,
+    /// The system's storage footprint after the run.
+    pub footprint: StorageBreakdown,
+    /// Records/transactions driven (denominator for per-record metrics).
+    pub records: u64,
+    /// Probe-computed named values ([`Metric::Extra`]), in insertion order.
+    pub extras: Vec<(String, f64)>,
     /// Windowed time series (driving probes only), with the probe's label.
-    series: Option<RowSeries>,
+    pub series: Option<RowSeries>,
+}
+
+impl Encode for ProbeResult {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.metrics.encode_into(out);
+        self.footprint.encode_into(out);
+        self.records.encode_into(out);
+        self.extras.encode_into(out);
+        self.series.encode_into(out);
+    }
+}
+
+impl Decode for ProbeResult {
+    fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        Some(ProbeResult {
+            metrics: Metrics::decode_from(input)?,
+            footprint: StorageBreakdown::decode_from(input)?,
+            records: u64::decode_from(input)?,
+            extras: Vec::decode_from(input)?,
+            series: Option::decode_from(input)?,
+        })
+    }
+}
+
+/// The canonical content key of a probe: a tag byte plus the binary
+/// encoding of every input that determines the probe's result — the full
+/// [`SystemSpec`] (nodes, shards, consensus, block cutting, network, cost
+/// model, fault schedule, seed, label), the [`WorkloadSpec`] knobs, and the
+/// [`DriverConfig`] including its arrival spec and metrics mode. Two probes
+/// with equal key bytes are the same measurement by construction; nothing
+/// that can change the report is left out.
+pub fn probe_key_bytes(probe: &Probe) -> Vec<u8> {
+    let mut out = Vec::new();
+    match probe {
+        Probe::Drive {
+            system,
+            workload,
+            driver,
+        } => {
+            out.push(0);
+            system.encode_into(&mut out);
+            workload.encode_into(&mut out);
+            driver.encode_into(&mut out);
+        }
+        Probe::AdrOverhead {
+            records,
+            record_size,
+        } => {
+            out.push(1);
+            records.encode_into(&mut out);
+            (*record_size as u64).encode_into(&mut out);
+        }
+        Probe::Forecast { profile } => {
+            out.push(2);
+            profile.encode_into(&mut out);
+        }
+    }
+    out
+}
+
+/// 64-bit FNV-1a over a byte string (names cache entries; collisions are
+/// guarded by comparing the full key bytes, never by trusting the hash).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A persistent content-addressed store of probe results, keyed by the full
+/// [`probe_key_bytes`]. Implementations must only return a result for an
+/// exactly matching key (hash collisions, corruption and stale formats all
+/// read as a miss, never as a wrong answer). `store` failures are silent —
+/// a cache that cannot write still measures correctly.
+pub trait ProbeCache: Sync {
+    /// Look up the result of a previously executed probe.
+    fn load(&self, key: &[u8]) -> Option<ProbeResult>;
+    /// Record the result of a just-executed probe.
+    fn store(&self, key: &[u8], result: &ProbeResult);
+}
+
+/// The scheduler's predicted relative cost of a probe (arbitrary wall-like
+/// units: modeled microseconds of work, scaled). Driving probes use the
+/// Section 5.6 forecast model — the system's taxonomy point priced by
+/// [`forecast_txn_cost_us`] — times the transaction count and replica count;
+/// when the forecast cannot price a point the fallback is the
+/// `transactions × nodes` heuristic. Non-driving probes are near-free
+/// constants. Used only to order the work queue longest-first; never part
+/// of the report.
+pub fn predicted_probe_cost(probe: &Probe) -> f64 {
+    match probe {
+        Probe::Drive {
+            system,
+            workload,
+            driver,
+        } => {
+            let nodes = system.nodes.unwrap_or(4).max(1);
+            let txns = driver.transactions.max(1) as f64;
+            let taxonomy = system.taxonomy();
+            let (record_size, ops) = match workload {
+                WorkloadSpec::Ycsb(c) => (c.record_size, c.ops_per_txn.max(1)),
+                // Smallbank procedures touch two accounts on average.
+                WorkloadSpec::Smallbank(c) => (c.record_size, 2),
+            };
+            let spec = HybridSpec {
+                name: system.label(),
+                replication: taxonomy.replication,
+                protocol: taxonomy.protocol,
+                concurrency: taxonomy.concurrency,
+                nodes,
+                txn_bytes: (record_size * ops).max(1),
+                batch_size: system.block_txns.unwrap_or(500).max(1),
+            };
+            let network = system
+                .network
+                .clone()
+                .unwrap_or_else(NetworkConfig::lan_1gbps);
+            let costs = system.costs.clone().unwrap_or_else(CostModel::calibrated);
+            let per_txn_us = forecast_txn_cost_us(&spec, &network, &costs);
+            let cost = txns * nodes as f64 * per_txn_us;
+            if cost.is_finite() && cost > 0.0 {
+                cost
+            } else {
+                txns * nodes as f64
+            }
+        }
+        Probe::AdrOverhead { records, .. } => (*records).max(1) as f64,
+        Probe::Forecast { .. } => 1.0,
+    }
 }
 
 /// How [`run_plan_with`] executes a plan's probes.
@@ -538,6 +681,10 @@ pub struct ExecOptions<'a> {
     /// skipped set depends on timing; `jobs = 1` skips everything after the
     /// first failure deterministically.
     pub fail_fast: bool,
+    /// Persistent result cache consulted before executing each distinct
+    /// probe and fed after each successful execution. `None` (the default)
+    /// measures everything; in-run deduplication applies either way.
+    pub cache: Option<&'a dyn ProbeCache>,
 }
 
 impl ExecOptions<'_> {
@@ -547,6 +694,7 @@ impl ExecOptions<'_> {
             jobs,
             progress: None,
             fail_fast: false,
+            cache: None,
         }
     }
 
@@ -588,6 +736,11 @@ pub struct ProbeStatus {
     pub probe: String,
     /// The panic message, if the probe failed.
     pub error: Option<String>,
+    /// Whether the result came from the persistent [`ProbeCache`].
+    pub cached: bool,
+    /// Whether this probe shared another identical probe's execution
+    /// (in-run deduplication) instead of running itself.
+    pub deduped: bool,
 }
 
 /// Best-effort text of a panic payload: `&str` and `String` payloads carry
@@ -646,6 +799,18 @@ struct FlatProbe<'p> {
     probe_label: String,
 }
 
+/// Predicted-vs-actual wall for one executed probe: the forecast
+/// calibration datum the bench document records per experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeCalibration {
+    /// The probe's label.
+    pub probe: String,
+    /// The scheduler's [`predicted_probe_cost`] (modeled µs of work).
+    pub predicted: f64,
+    /// Measured wall-clock milliseconds of the actual execution.
+    pub wall_ms: f64,
+}
+
 /// One plan's result from a (possibly batched) execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanOutcome {
@@ -655,6 +820,19 @@ pub struct PlanOutcome {
     /// plan's probes (probes of different plans overlap on a shared pool, so
     /// this is worker time, not elapsed time).
     pub probe_wall_ms: f64,
+    /// Probes the plan scheduled.
+    pub probes: usize,
+    /// Distinct probe keys whose representative slot lives in this plan
+    /// (summed over a batch this counts every executed-or-cached key once).
+    pub distinct_probes: usize,
+    /// Distinct keys answered from the persistent [`ProbeCache`].
+    pub cache_hits: usize,
+    /// Wall-clock milliseconds in-run deduplication saved this plan: the
+    /// representative's measured wall, once per duplicate slot.
+    pub dedup_saved_ms: f64,
+    /// Predicted-vs-actual wall per actually executed probe (cache hits and
+    /// failures carry no calibration signal), in completion order.
+    pub calibration: Vec<ProbeCalibration>,
 }
 
 /// Execute a plan, building systems through `registry`, on a worker pool of
@@ -676,11 +854,67 @@ pub fn run_plan_with(
         .report
 }
 
+/// Message given to every probe slot skipped by fail-fast queue draining.
+const SKIPPED_MESSAGE: &str = "skipped: an earlier probe failed (fail-fast)";
+
+/// Longest-predicted-first (LPT) schedule: indexes of `costs` sorted by
+/// descending cost, ties broken by position. On a greedy worker pool this
+/// keeps the expensive stragglers off the queue's tail, shrinking the
+/// makespan versus arrival order (classic LPT list scheduling).
+pub fn lpt_order(costs: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    });
+    order
+}
+
+/// A unit of actual work: one distinct probe key, the flat slots that share
+/// its result (first slot is the representative that defines it), and the
+/// scheduler's predicted cost.
+struct WorkItem {
+    key: Vec<u8>,
+    slots: Vec<usize>,
+    cost: f64,
+}
+
+/// What one work item produced, fanned out to every slot by the collector.
+struct ItemOutcome {
+    result: Result<ProbeResult, String>,
+    wall_ms: f64,
+    cache_hit: bool,
+}
+
+/// Per-plan throughput-layer accounting, accumulated by the collector.
+#[derive(Default)]
+struct PlanAccounting {
+    distinct: usize,
+    cache_hits: usize,
+    dedup_saved_ms: f64,
+    calibration: Vec<ProbeCalibration>,
+}
+
 /// Execute several plans on **one shared worker pool**: the probes of every
 /// plan go into a single queue, so workers stay busy across experiment
 /// boundaries instead of draining at each experiment's tail (`repro all`
 /// goes through this). Reports come back in plan order and are byte-identical
 /// to running each plan alone with the same seed, whatever the worker count.
+///
+/// The queue is **deduplicated and scheduled** before anything runs:
+///
+/// 1. every probe is keyed by [`probe_key_bytes`]; slots with equal keys
+///    collapse into one [`WorkItem`] executed once, its [`ProbeResult`]
+///    fanned out to every slot (column extraction stays per slot, so the
+///    reports are byte-identical to executing each slot separately);
+/// 2. with a cache configured ([`ExecOptions::cache`]), each distinct item
+///    is answered from the cache when possible and stored after executing;
+/// 3. with more than one worker the item queue is ordered
+///    longest-predicted-first ([`predicted_probe_cost`]) to shrink the
+///    pool's makespan; one worker keeps first-occurrence order so
+///    fail-fast skips stay deterministic in plan order.
 pub fn run_plans_with(
     plans: &[&ExperimentPlan],
     registry: &SystemRegistry,
@@ -704,93 +938,218 @@ pub fn run_plans_with(
         })
         .collect();
     let total = flat.len();
-    let jobs = options.effective_jobs().min(total.max(1));
-    let abort = std::sync::atomic::AtomicBool::new(false);
 
-    let execute = |probe: &FlatProbe| -> ProbeOutcome {
-        if options.fail_fast && abort.load(std::sync::atomic::Ordering::Relaxed) {
-            return skipped_outcome(probe.run);
+    // Collapse identical probes into work items. Items are keyed by the
+    // canonical content hash; the full key bytes break (hypothetical)
+    // hash collisions, so equal items are equal measurements.
+    let mut items: Vec<WorkItem> = Vec::new();
+    let mut by_hash: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (flat_index, probe) in flat.iter().enumerate() {
+        let key = probe_key_bytes(&probe.run.probe);
+        let candidates = by_hash.entry(fnv1a_64(&key)).or_default();
+        if let Some(&existing) = candidates.iter().find(|&&i| items[i].key == key) {
+            items[existing].slots.push(flat_index);
+        } else {
+            candidates.push(items.len());
+            items.push(WorkItem {
+                key,
+                slots: vec![flat_index],
+                cost: 0.0,
+            });
         }
-        let started = std::time::Instant::now();
-        let mut outcome = execute_probe(probe.run, registry);
-        outcome.wall_ms = started.elapsed().as_secs_f64() * 1e3;
-        if outcome.error.is_some() {
-            abort.store(true, std::sync::atomic::Ordering::Relaxed);
-        }
-        outcome
+    }
+    for item in &mut items {
+        item.cost = predicted_probe_cost(&flat[item.slots[0]].run.probe);
+    }
+    let distinct = items.len();
+    let jobs = options.effective_jobs().min(distinct.max(1));
+
+    // Longest-predicted-first ordering (ties broken by first occurrence)
+    // keeps the big probes off the pool's tail; a single worker runs every
+    // item anyway, so it keeps plan order for deterministic fail-fast.
+    let order: Vec<usize> = if jobs > 1 {
+        lpt_order(&items.iter().map(|i| i.cost).collect::<Vec<_>>())
+    } else {
+        (0..distinct).collect()
     };
 
-    let mut done = 0usize;
-    let mut outcomes: Vec<Option<ProbeOutcome>> = (0..total).map(|_| None).collect();
-    {
-        let mut notify = |flat_index: usize, outcome: &ProbeOutcome| {
-            done += 1;
+    let abort = std::sync::atomic::AtomicBool::new(false);
+    let execute_item = |item: &WorkItem| -> ItemOutcome {
+        if options.fail_fast && abort.load(std::sync::atomic::Ordering::Relaxed) {
+            return ItemOutcome {
+                result: Err(SKIPPED_MESSAGE.to_string()),
+                wall_ms: 0.0,
+                cache_hit: false,
+            };
+        }
+        if let Some(cache) = options.cache {
+            if let Some(result) = cache.load(&item.key) {
+                return ItemOutcome {
+                    result: Ok(result),
+                    wall_ms: 0.0,
+                    cache_hit: true,
+                };
+            }
+        }
+        let started = std::time::Instant::now();
+        let rep = &flat[item.slots[0]];
+        let result = match catch_unwind(AssertUnwindSafe(|| observe(&rep.run.probe, registry))) {
+            Ok(result) => Ok(result),
+            Err(payload) => Err(panic_text(payload.as_ref())),
+        };
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        match &result {
+            Ok(result) => {
+                if let Some(cache) = options.cache {
+                    cache.store(&item.key, result);
+                }
+            }
+            Err(_) => abort.store(true, std::sync::atomic::Ordering::Relaxed),
+        }
+        ItemOutcome {
+            result,
+            wall_ms,
+            cache_hit: false,
+        }
+    };
+
+    // The collector: fan one item's outcome out to every slot that shares
+    // it. Column extraction is per slot (slots may read different columns
+    // off the same result); the representative slot carries the measured
+    // wall, duplicate slots carry 0 and credit the saving to their plan.
+    let absorb = |item_index: usize,
+                  outcome: ItemOutcome,
+                  outcomes: &mut [Option<ProbeOutcome>],
+                  accounting: &mut [PlanAccounting],
+                  done: &mut usize| {
+        let item = &items[item_index];
+        let rep = &flat[item.slots[0]];
+        accounting[rep.plan].distinct += 1;
+        if outcome.cache_hit {
+            accounting[rep.plan].cache_hits += 1;
+        } else if outcome.result.is_ok() {
+            accounting[rep.plan].calibration.push(ProbeCalibration {
+                probe: rep.probe_label.clone(),
+                predicted: item.cost,
+                wall_ms: outcome.wall_ms,
+            });
+        }
+        for (pos, &flat_index) in item.slots.iter().enumerate() {
+            let probe = &flat[flat_index];
+            if pos > 0 {
+                accounting[probe.plan].dedup_saved_ms += outcome.wall_ms;
+            }
+            let slot = match &outcome.result {
+                Ok(result) => ProbeOutcome {
+                    values: probe
+                        .run
+                        .columns
+                        .iter()
+                        .map(|c| (c.name.clone(), extract(result, &c.metric)))
+                        .collect(),
+                    series: result.series.clone(),
+                    error: None,
+                    wall_ms: if pos == 0 { outcome.wall_ms } else { 0.0 },
+                },
+                // A failed (or fail-fast-skipped) item keeps every slot's
+                // column shape: NaN values (JSON null) plus the message.
+                Err(message) => ProbeOutcome {
+                    values: probe
+                        .run
+                        .columns
+                        .iter()
+                        .map(|c| (c.name.clone(), f64::NAN))
+                        .collect(),
+                    series: None,
+                    error: Some(message.clone()),
+                    wall_ms: if pos == 0 { outcome.wall_ms } else { 0.0 },
+                },
+            };
+            *done += 1;
             if let Some(progress) = options.progress {
-                let probe = &flat[flat_index];
                 progress(&ProbeStatus {
                     plan: probe.plan,
                     index: probe.index,
                     total,
-                    done,
+                    done: *done,
                     row: probe.row_label.to_string(),
                     probe: probe.probe_label.clone(),
-                    error: outcome.error.clone(),
+                    error: slot.error.clone(),
+                    cached: outcome.cache_hit,
+                    deduped: pos > 0,
                 });
             }
-        };
-        if jobs <= 1 {
-            for (flat_index, probe) in flat.iter().enumerate() {
-                let outcome = execute(probe);
-                notify(flat_index, &outcome);
-                outcomes[flat_index] = Some(outcome);
-            }
-        } else {
-            // The work queue: probe indexes, fully enqueued up front, shared
-            // through a mutex so idle workers pull the next probe as they
-            // finish. Results come back over a second channel and are slotted
-            // by index; the collector runs the progress callback.
-            let (job_tx, job_rx) = mpsc::channel::<usize>();
-            for index in 0..total {
-                let _ = job_tx.send(index);
-            }
-            drop(job_tx);
-            let job_rx = Arc::new(Mutex::new(job_rx));
-            let (result_tx, result_rx) = mpsc::channel::<(usize, ProbeOutcome)>();
-            let flat_ref = &flat;
-            let execute_ref = &execute;
-            std::thread::scope(|scope| {
-                for _ in 0..jobs {
-                    let job_rx = Arc::clone(&job_rx);
-                    let result_tx = result_tx.clone();
-                    scope.spawn(move || loop {
-                        // Probes unwind-catch their panics, so the lock can
-                        // only be poisoned by a bug in this loop itself; a
-                        // worker that finds it poisoned stops cleanly rather
-                        // than panicking outside the catch_unwind boundary
-                        // (which would abort the whole scope).
-                        let Ok(queue) = job_rx.lock() else { break };
-                        let next = queue.recv();
-                        drop(queue);
-                        let Ok(index) = next else { break };
-                        let outcome = execute_ref(&flat_ref[index]);
-                        if result_tx.send((index, outcome)).is_err() {
-                            break;
-                        }
-                    });
-                }
-                drop(result_tx);
-                while let Ok((index, outcome)) = result_rx.recv() {
-                    notify(index, &outcome);
-                    outcomes[index] = Some(outcome);
-                }
-            });
+            outcomes[flat_index] = Some(slot);
         }
+    };
+
+    let mut done = 0usize;
+    let mut outcomes: Vec<Option<ProbeOutcome>> = (0..total).map(|_| None).collect();
+    let mut accounting: Vec<PlanAccounting> =
+        plans.iter().map(|_| PlanAccounting::default()).collect();
+    if jobs <= 1 {
+        for &item_index in &order {
+            let outcome = execute_item(&items[item_index]);
+            absorb(
+                item_index,
+                outcome,
+                &mut outcomes,
+                &mut accounting,
+                &mut done,
+            );
+        }
+    } else {
+        // The work queue: item indexes in scheduled order, shared through a
+        // mutex so idle workers pull the next item as they finish. Results
+        // come back over a second channel; the collector fans them out and
+        // runs the progress callback.
+        let (job_tx, job_rx) = mpsc::channel::<usize>();
+        for &item_index in &order {
+            let _ = job_tx.send(item_index);
+        }
+        drop(job_tx);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (result_tx, result_rx) = mpsc::channel::<(usize, ItemOutcome)>();
+        let items_ref = &items;
+        let execute_ref = &execute_item;
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let job_rx = Arc::clone(&job_rx);
+                let result_tx = result_tx.clone();
+                scope.spawn(move || loop {
+                    // Probes unwind-catch their panics, so the lock can
+                    // only be poisoned by a bug in this loop itself; a
+                    // worker that finds it poisoned stops cleanly rather
+                    // than panicking outside the catch_unwind boundary
+                    // (which would abort the whole scope).
+                    let Ok(queue) = job_rx.lock() else { break };
+                    let next = queue.recv();
+                    drop(queue);
+                    let Ok(item_index) = next else { break };
+                    let outcome = execute_ref(&items_ref[item_index]);
+                    if result_tx.send((item_index, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(result_tx);
+            while let Ok((item_index, outcome)) = result_rx.recv() {
+                absorb(
+                    item_index,
+                    outcome,
+                    &mut outcomes,
+                    &mut accounting,
+                    &mut done,
+                );
+            }
+        });
     }
 
     let mut outcomes = outcomes.into_iter();
     plans
         .iter()
-        .map(|plan| {
+        .zip(accounting)
+        .map(|(plan, accounting)| {
             let mut failures = Vec::new();
             let mut probe_wall_ms = 0.0;
             let mut index = 0usize;
@@ -834,62 +1193,19 @@ pub fn run_plans_with(
                     text: plan.text.clone(),
                 },
                 probe_wall_ms,
+                probes: plan.probe_count(),
+                distinct_probes: accounting.distinct,
+                cache_hits: accounting.cache_hits,
+                dedup_saved_ms: accounting.dedup_saved_ms,
+                calibration: accounting.calibration,
             }
         })
         .collect()
 }
 
-/// The outcome of a probe that never ran because `fail_fast` drained the
-/// queue: NaN columns (JSON `null`) plus a failure message that names the
-/// skip, so it is distinguishable from the probe that actually failed.
-fn skipped_outcome(run: &PlannedRun) -> ProbeOutcome {
-    ProbeOutcome {
-        values: run
-            .columns
-            .iter()
-            .map(|c| (c.name.clone(), f64::NAN))
-            .collect(),
-        series: None,
-        error: Some("skipped: an earlier probe failed (fail-fast)".to_string()),
-        wall_ms: 0.0,
-    }
-}
-
-/// Run one probe under its own panic boundary.
-fn execute_probe(run: &PlannedRun, registry: &SystemRegistry) -> ProbeOutcome {
-    match catch_unwind(AssertUnwindSafe(|| execute(run, registry))) {
-        Ok((values, series)) => ProbeOutcome {
-            values,
-            series,
-            error: None,
-            wall_ms: 0.0,
-        },
-        Err(payload) => ProbeOutcome {
-            // Keep the row's shape: every column the probe owed reads NaN
-            // (JSON null), so sibling probes' columns stay aligned.
-            values: run
-                .columns
-                .iter()
-                .map(|c| (c.name.clone(), f64::NAN))
-                .collect(),
-            series: None,
-            error: Some(panic_text(payload.as_ref())),
-            wall_ms: 0.0,
-        },
-    }
-}
-
-fn execute(run: &PlannedRun, registry: &SystemRegistry) -> (Vec<(String, f64)>, Option<RowSeries>) {
-    let observation = observe(&run.probe, registry);
-    let values = run
-        .columns
-        .iter()
-        .map(|column| (column.name.clone(), extract(&observation, &column.metric)))
-        .collect();
-    (values, observation.series)
-}
-
-fn observe(probe: &Probe, registry: &SystemRegistry) -> Observation {
+/// Run one probe to its [`ProbeResult`] (panics propagate to the caller's
+/// unwind boundary).
+fn observe(probe: &Probe, registry: &SystemRegistry) -> ProbeResult {
     match probe {
         Probe::Drive {
             system,
@@ -911,11 +1227,11 @@ fn observe(probe: &Probe, registry: &SystemRegistry) -> Observation {
                     v.violation.as_deref().unwrap_or("unspecified")
                 );
             }
-            Observation {
+            ProbeResult {
                 metrics: stats.metrics,
                 footprint: sys.footprint(),
                 records: driver.transactions,
-                extras: BTreeMap::new(),
+                extras: Vec::new(),
                 series: Some(RowSeries {
                     name: system.label(),
                     events_clamped: stats.events_clamped,
@@ -938,13 +1254,14 @@ fn observe(probe: &Probe, registry: &SystemRegistry) -> Observation {
                 mpt.insert(&key, &value);
             }
             let per_rec = |fp: StorageBreakdown| fp.total() as f64 / (*records).max(1) as f64;
-            let mut extras = BTreeMap::new();
-            extras.insert(
-                "mbt_b_per_rec",
-                *record_size as f64 + per_rec(mbt.footprint()),
-            );
-            extras.insert("mpt_b_per_rec", per_rec(mpt.footprint()));
-            Observation {
+            let extras = vec![
+                (
+                    "mbt_b_per_rec".to_string(),
+                    *record_size as f64 + per_rec(mbt.footprint()),
+                ),
+                ("mpt_b_per_rec".to_string(), per_rec(mpt.footprint())),
+            ];
+            ProbeResult {
                 metrics: Metrics::default(),
                 footprint: StorageBreakdown::default(),
                 records: *records,
@@ -961,11 +1278,15 @@ fn observe(probe: &Probe, registry: &SystemRegistry) -> Observation {
             let spec = HybridSpec::from_profile(p);
             let forecast =
                 forecast_throughput(&spec, &NetworkConfig::lan_1gbps(), &CostModel::calibrated());
-            let mut extras = BTreeMap::new();
-            extras.insert("band", spec.band() as u8 as f64);
-            extras.insert("forecast_tps", forecast);
-            extras.insert("reported_tps", p.reported_tps.unwrap_or(f64::NAN));
-            Observation {
+            let extras = vec![
+                ("band".to_string(), spec.band() as u8 as f64),
+                ("forecast_tps".to_string(), forecast),
+                (
+                    "reported_tps".to_string(),
+                    p.reported_tps.unwrap_or(f64::NAN),
+                ),
+            ];
+            ProbeResult {
                 metrics: Metrics::default(),
                 footprint: StorageBreakdown::default(),
                 records: 0,
@@ -976,7 +1297,7 @@ fn observe(probe: &Probe, registry: &SystemRegistry) -> Observation {
     }
 }
 
-fn extract(obs: &Observation, metric: &Metric) -> f64 {
+fn extract(obs: &ProbeResult, metric: &Metric) -> f64 {
     let phase = |name: &str| obs.metrics.phase_means_us.get(name).copied().unwrap_or(0.0);
     let records = obs.records.max(1) as f64;
     match metric {
@@ -991,7 +1312,12 @@ fn extract(obs: &Observation, metric: &Metric) -> f64 {
         }
         Metric::HistoryBytesPerRecord => obs.footprint.history_bytes as f64 / records,
         Metric::TotalBytesPerRecord => obs.footprint.total() as f64 / records,
-        Metric::Extra(key) => obs.extras.get(key).copied().unwrap_or(f64::NAN),
+        Metric::Extra(key) => obs
+            .extras
+            .iter()
+            .find(|(name, _)| name == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN),
     }
 }
 
@@ -1335,6 +1661,206 @@ mod tests {
                 (1..=total).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn duplicate_probes_execute_once_and_fan_out() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        fn counting(spec: &SystemSpec) -> Box<dyn dichotomy_systems::TransactionalSystem> {
+            BUILDS.fetch_add(1, Ordering::Relaxed);
+            SystemRegistry::with_builtins().build(spec).unwrap()
+        }
+        let mut registry = SystemRegistry::with_builtins();
+        registry.register(SystemKind::Etcd, counting);
+        // Two byte-identical probes reading *different* columns, plus one
+        // labelled-distinct probe: dedup must execute two systems, not
+        // three, and still give every slot its own column extraction.
+        let scenario = Scenario {
+            systems: vec![
+                SystemEntry {
+                    spec: SystemSpec::new(SystemKind::Etcd),
+                    columns: vec![ColumnSpec::new("tps", Metric::ThroughputTps)],
+                },
+                SystemEntry {
+                    spec: SystemSpec::new(SystemKind::Etcd),
+                    columns: vec![
+                        ColumnSpec::new("tps", Metric::ThroughputTps),
+                        ColumnSpec::new("lat_ms", Metric::LatencyMeanMs),
+                    ],
+                },
+                SystemEntry {
+                    spec: SystemSpec::new(SystemKind::Etcd).with_label("etcd-b"),
+                    columns: vec![ColumnSpec::new("tps", Metric::ThroughputTps)],
+                },
+            ],
+            ..tiny_scenario(3)
+        };
+        let plan = scenario.plan();
+        for jobs in [1, 4] {
+            BUILDS.store(0, Ordering::Relaxed);
+            let statuses: Mutex<Vec<ProbeStatus>> = Mutex::new(Vec::new());
+            let record = |s: &ProbeStatus| statuses.lock().unwrap().push(s.clone());
+            let options = ExecOptions {
+                jobs,
+                progress: Some(&record),
+                ..ExecOptions::default()
+            };
+            let outcome = run_plans_with(&[&plan], &registry, &options).pop().unwrap();
+            assert_eq!(BUILDS.load(Ordering::Relaxed), 2, "jobs={jobs}");
+            assert_eq!(outcome.probes, 3, "jobs={jobs}");
+            assert_eq!(outcome.distinct_probes, 2, "jobs={jobs}");
+            assert_eq!(outcome.cache_hits, 0);
+            assert!(outcome.dedup_saved_ms > 0.0, "jobs={jobs}");
+            assert_eq!(outcome.calibration.len(), 2, "jobs={jobs}");
+            // The shared result reaches both slots; the distinct probe ran
+            // on its own.
+            let rows = &outcome.report.rows;
+            assert_eq!(rows[0].values[0], rows[1].values[0]);
+            assert_eq!(rows[1].values.len(), 2);
+            assert!(rows[2].values[0].1 > 0.0);
+            // Progress saw all three slots, exactly one marked deduped.
+            let statuses = statuses.into_inner().unwrap();
+            assert_eq!(statuses.len(), 3, "jobs={jobs}");
+            assert_eq!(statuses.iter().filter(|s| s.deduped).count(), 1);
+            assert!(statuses.iter().all(|s| !s.cached));
+        }
+    }
+
+    /// An in-memory [`ProbeCache`] that round-trips results through the
+    /// binary codec — the same serialization path the on-disk cache uses.
+    #[derive(Default)]
+    struct MemCache {
+        map: Mutex<std::collections::HashMap<Vec<u8>, Vec<u8>>>,
+    }
+
+    impl ProbeCache for MemCache {
+        fn load(&self, key: &[u8]) -> Option<ProbeResult> {
+            let bytes = self.map.lock().unwrap().get(key).cloned()?;
+            Some(ProbeResult::decode(&bytes).expect("stored entries decode"))
+        }
+        fn store(&self, key: &[u8], result: &ProbeResult) {
+            self.map
+                .lock()
+                .unwrap()
+                .insert(key.to_vec(), result.encode());
+        }
+    }
+
+    #[test]
+    fn a_probe_cache_round_trips_every_kind_and_mode_byte_identically() {
+        use crate::metrics::MetricsMode;
+        // Every system kind under both metrics modes, plus the fault
+        // scenario: a cold run through an (empty) cache and a warm run
+        // through the filled cache must produce identical reports — the
+        // codec round-trip is exact, not approximate.
+        let registry = SystemRegistry::with_builtins();
+        let cache = MemCache::default();
+        let mut plans: Vec<ExperimentPlan> = Vec::new();
+        for &kind in SystemKind::ALL.iter() {
+            for mode in [MetricsMode::Exact, MetricsMode::Streaming] {
+                let mut scenario = kind_scenario(kind);
+                scenario.driver.metrics = mode;
+                plans.push(scenario.plan());
+            }
+        }
+        plans.push(crate::experiments::fault01_plan(80, 7));
+        let refs: Vec<&ExperimentPlan> = plans.iter().collect();
+        let options = ExecOptions {
+            jobs: 4,
+            cache: Some(&cache),
+            ..ExecOptions::default()
+        };
+        let cold = run_plans_with(&refs, &registry, &options);
+        assert!(cold.iter().all(|o| o.cache_hits == 0), "cache started cold");
+        let warm = run_plans_with(&refs, &registry, &options);
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.report, w.report, "{}", c.report.id);
+        }
+        let distinct: usize = warm.iter().map(|o| o.distinct_probes).sum();
+        let hits: usize = warm.iter().map(|o| o.cache_hits).sum();
+        assert_eq!(hits, distinct, "every distinct probe hits the warm cache");
+        assert!(warm.iter().all(|o| o.calibration.is_empty()));
+    }
+
+    #[test]
+    fn probe_keys_track_every_input_that_changes_the_measurement() {
+        use crate::metrics::MetricsMode;
+        use dichotomy_simnet::NodeFault;
+        let probe_of = |s: &Scenario| s.plan().rows[0].runs[0].probe.clone();
+        let base = tiny_scenario(1);
+        let key = probe_key_bytes(&probe_of(&base));
+        // Re-expanding the identical scenario reproduces the key.
+        assert_eq!(key, probe_key_bytes(&probe_of(&tiny_scenario(1))));
+        // Seed, workload knob, metrics mode and fault schedule all reach it.
+        assert_ne!(key, probe_key_bytes(&probe_of(&tiny_scenario(2))));
+        let mut theta = tiny_scenario(1);
+        theta.workload = theta.workload.with_theta(0.42);
+        assert_ne!(key, probe_key_bytes(&probe_of(&theta)));
+        let mut streaming = tiny_scenario(1);
+        streaming.driver.metrics = MetricsMode::Streaming;
+        assert_ne!(key, probe_key_bytes(&probe_of(&streaming)));
+        let mut faulted = tiny_scenario(1);
+        let mut faults = dichotomy_simnet::FaultPlan::none();
+        faults.add(NodeFault::crash_until(dichotomy_common::NodeId(0), 10, 20));
+        faulted.faults = Some(faults);
+        assert_ne!(key, probe_key_bytes(&probe_of(&faulted)));
+        // The content hash follows the key.
+        assert_ne!(
+            fnv1a_64(&key),
+            fnv1a_64(&probe_key_bytes(&probe_of(&tiny_scenario(2))))
+        );
+        // Non-driving probes key on their own parameters.
+        let adr = |records, record_size| Probe::AdrOverhead {
+            records,
+            record_size,
+        };
+        assert_eq!(probe_key_bytes(&adr(10, 64)), probe_key_bytes(&adr(10, 64)));
+        assert_ne!(probe_key_bytes(&adr(10, 64)), probe_key_bytes(&adr(10, 65)));
+    }
+
+    #[test]
+    fn longest_first_scheduling_beats_arrival_order_on_a_skewed_plan() {
+        // A synthetic skewed plan: seven quick probes followed by one heavy
+        // straggler (50× the transactions). Arrival order puts the
+        // straggler last, so one worker grinds it alone at the tail; the
+        // LPT schedule starts it first.
+        let quick = DriverConfig::saturating(100);
+        let heavy = DriverConfig::saturating(5_000);
+        let probe = |driver: &DriverConfig| Probe::Drive {
+            system: SystemSpec::new(SystemKind::Etcd),
+            workload: WorkloadSpec::ycsb(YcsbMix::UpdateOnly),
+            driver: driver.clone(),
+        };
+        let mut probes: Vec<Probe> = (0..7).map(|_| probe(&quick)).collect();
+        probes.push(probe(&heavy));
+        let costs: Vec<f64> = probes.iter().map(predicted_probe_cost).collect();
+        assert!(
+            costs[7] > costs[0] * 10.0,
+            "predicted cost scales with transactions: {costs:?}"
+        );
+        let order = lpt_order(&costs);
+        assert_eq!(order[0], 7, "the straggler is scheduled first");
+
+        // Greedy two-worker pool simulation: each item goes to the
+        // earliest-free worker, makespan is the latest finish.
+        fn makespan(order: &[usize], costs: &[f64], workers: usize) -> f64 {
+            let mut load = vec![0.0f64; workers];
+            for &i in order {
+                let w = (0..workers)
+                    .min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap())
+                    .unwrap();
+                load[w] += costs[i];
+            }
+            load.into_iter().fold(0.0, f64::max)
+        }
+        let arrival: Vec<usize> = (0..costs.len()).collect();
+        let m_arrival = makespan(&arrival, &costs, 2);
+        let m_lpt = makespan(&order, &costs, 2);
+        assert!(
+            m_lpt < m_arrival,
+            "LPT makespan {m_lpt:.0} must beat arrival order {m_arrival:.0}"
+        );
     }
 
     #[test]

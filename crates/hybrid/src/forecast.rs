@@ -122,6 +122,18 @@ pub fn forecast_throughput(spec: &HybridSpec, network: &NetworkConfig, costs: &C
     ordering_rate.min(execution_rate)
 }
 
+/// The forecast inverted into a per-transaction cost in microseconds.
+///
+/// `forecast_throughput` predicts a design's sustainable rate; dividing it
+/// into one second gives the modeled wall-clock cost of pushing one
+/// transaction through the pipeline. The measurement scheduler uses this to
+/// order probes longest-predicted-first: a probe's predicted wall is
+/// `transactions × nodes × forecast_txn_cost_us`. Clamped below by 1 tps so
+/// a degenerate forecast can never return a non-finite cost.
+pub fn forecast_txn_cost_us(spec: &HybridSpec, network: &NetworkConfig, costs: &CostModel) -> f64 {
+    1e6 / forecast_throughput(spec, network, costs).max(1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +240,20 @@ mod tests {
             agreements * 2 > pairs,
             "only {agreements}/{pairs} pairwise orderings agree"
         );
+    }
+
+    #[test]
+    fn txn_cost_is_the_finite_inverse_of_the_forecast() {
+        let (net, costs) = defaults();
+        for profile in all_systems() {
+            let spec = HybridSpec::from_profile(&profile);
+            let cost = forecast_txn_cost_us(&spec, &net, &costs);
+            assert!(cost.is_finite() && cost > 0.0, "{}: {cost}", spec.name);
+            let tps = forecast_throughput(&spec, &net, &costs);
+            if tps >= 1.0 {
+                assert!((cost - 1e6 / tps).abs() < 1e-6, "{}", spec.name);
+            }
+        }
     }
 
     #[test]

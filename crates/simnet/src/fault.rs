@@ -19,7 +19,7 @@
 
 use std::collections::BTreeSet;
 
-use dichotomy_common::{NodeId, Timestamp};
+use dichotomy_common::{Encode, NodeId, Timestamp};
 
 /// A single fault with a start time and an optional end time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -441,6 +441,67 @@ impl FaultPlan {
         }
         plan.faults = merged;
         (plan, warnings)
+    }
+}
+
+// Canonical encodings: a fault schedule is part of a probe's identity (two
+// measurements differing only in their fault plans are different
+// measurements), so every fault type feeds the measurement layer's canonical
+// content hash through `Encode`.
+
+impl Encode for FaultKind {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            FaultKind::Crash => 0,
+            FaultKind::Byzantine => 1,
+        });
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Encode for NodeFault {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.node.encode_into(out);
+        self.from.encode_into(out);
+        self.until.encode_into(out);
+        self.kind.encode_into(out);
+    }
+}
+
+impl Encode for Partition {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.group_a.len() as u32).to_be_bytes());
+        for node in &self.group_a {
+            node.encode_into(out);
+        }
+        self.from.encode_into(out);
+        self.until.encode_into(out);
+    }
+}
+
+impl Encode for Failover {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.at.encode_into(out);
+        self.duration_us.encode_into(out);
+    }
+}
+
+impl Encode for Reconfiguration {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.at.encode_into(out);
+        self.pause_us.encode_into(out);
+        self.churn.encode_into(out);
+    }
+}
+
+impl Encode for FaultPlan {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.faults.encode_into(out);
+        self.partitions.encode_into(out);
+        self.failovers.encode_into(out);
+        self.reconfigurations.encode_into(out);
     }
 }
 

@@ -26,6 +26,23 @@ pub enum SystemKind {
     Ahl,
 }
 
+impl dichotomy_common::Encode for SystemKind {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            SystemKind::Quorum => 0,
+            SystemKind::Fabric => 1,
+            SystemKind::TiDb => 2,
+            SystemKind::Etcd => 3,
+            SystemKind::Tikv => 4,
+            SystemKind::SpannerLike => 5,
+            SystemKind::Ahl => 6,
+        });
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
 impl SystemKind {
     /// Every kind with a built-in model, in the paper's plotting order.
     pub const ALL: [SystemKind; 7] = [

@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use dichotomy_common::Encode;
 use dichotomy_consensus::ProtocolKind;
 use dichotomy_hybrid::taxonomy::{
     ConcurrencyChoice, LedgerSupport, ReplicationModel, ShardingSupport, SystemProfile,
@@ -278,6 +279,31 @@ impl SystemSpec {
             && point.concurrency == profile.concurrency
             && point.ledger == profile.ledger
             && point.protocol.failure_model() == profile.protocol.failure_model()
+    }
+}
+
+// A `SystemSpec` is one third of a probe's identity (alongside the workload
+// and driver specs), so its canonical encoding covers *every* knob — label
+// included, because the label reaches the report — in declaration order.
+// `usize` knobs encode as `u64` so the bytes are architecture-independent.
+impl Encode for SystemSpec {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.kind.encode_into(out);
+        self.label.as_deref().encode_into(out);
+        self.nodes.map(|v| v as u64).encode_into(out);
+        self.frontends.map(|v| v as u64).encode_into(out);
+        self.shards.encode_into(out);
+        self.consensus.encode_into(out);
+        self.block_txns.map(|v| v as u64).encode_into(out);
+        self.block_interval_us.encode_into(out);
+        self.endorsement_divergence.encode_into(out);
+        self.periodic_reconfiguration.encode_into(out);
+        self.epoch_us.encode_into(out);
+        self.reconfig_pause_us.encode_into(out);
+        self.network.encode_into(out);
+        self.costs.encode_into(out);
+        self.faults.encode_into(out);
+        self.seed.encode_into(out);
     }
 }
 

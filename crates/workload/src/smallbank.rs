@@ -9,7 +9,7 @@
 //! measurements.
 
 use dichotomy_common::rng::{self, Rng, StdRng};
-use dichotomy_common::{ClientId, Key, KeyPair, Operation, Transaction, TxnId, Value};
+use dichotomy_common::{ClientId, Encode, Key, KeyPair, Operation, Transaction, TxnId, Value};
 
 use crate::zipf::ZipfianGenerator;
 use crate::Workload;
@@ -66,6 +66,16 @@ impl Default for SmallbankConfig {
             sign_transactions: true,
             seed: dichotomy_common::rng::DEFAULT_SEED,
         }
+    }
+}
+
+impl Encode for SmallbankConfig {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.accounts.encode_into(out);
+        self.zipf_theta.encode_into(out);
+        (self.record_size as u64).encode_into(out);
+        self.sign_transactions.encode_into(out);
+        self.seed.encode_into(out);
     }
 }
 

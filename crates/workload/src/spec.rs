@@ -104,6 +104,21 @@ impl WorkloadSpec {
     }
 }
 
+impl dichotomy_common::Encode for WorkloadSpec {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            WorkloadSpec::Ycsb(c) => {
+                out.push(0);
+                c.encode_into(out);
+            }
+            WorkloadSpec::Smallbank(c) => {
+                out.push(1);
+                c.encode_into(out);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

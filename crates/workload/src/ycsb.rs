@@ -1,7 +1,7 @@
 //! The YCSB core workload with the knobs of Table 3.
 
 use dichotomy_common::rng::{self, Rng, StdRng};
-use dichotomy_common::{ClientId, Key, KeyPair, Operation, Transaction, TxnId, Value};
+use dichotomy_common::{ClientId, Encode, Key, KeyPair, Operation, Transaction, TxnId, Value};
 
 use crate::zipf::ZipfianGenerator;
 use crate::Workload;
@@ -54,6 +54,32 @@ impl Default for YcsbConfig {
             sign_transactions: true,
             seed: dichotomy_common::rng::DEFAULT_SEED,
         }
+    }
+}
+
+impl Encode for YcsbMix {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            YcsbMix::UpdateOnly => out.push(0),
+            YcsbMix::QueryOnly => out.push(1),
+            YcsbMix::ReadModifyWrite => out.push(2),
+            YcsbMix::Mixed { read_fraction } => {
+                out.push(3);
+                read_fraction.encode_into(out);
+            }
+        }
+    }
+}
+
+impl Encode for YcsbConfig {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.record_count.encode_into(out);
+        (self.record_size as u64).encode_into(out);
+        self.zipf_theta.encode_into(out);
+        (self.ops_per_txn as u64).encode_into(out);
+        self.mix.encode_into(out);
+        self.sign_transactions.encode_into(out);
+        self.seed.encode_into(out);
     }
 }
 

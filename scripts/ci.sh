@@ -33,10 +33,13 @@ echo "==> repro --json reproducibility (seeded, byte-for-byte, --jobs 1 vs --job
 # below.
 CI_EXPERIMENTS="fig04 fig05 fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 \
 fig14 fig15 tab02 tab04 tab05 fault01 closed01 ramp01"
+# --no-cache pins the determinism comparisons to real executions: a cache
+# hit being byte-identical is asserted by its own stage below, not assumed
+# here.
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --jobs 1 --json /tmp/ci_repro_a.json $CI_EXPERIMENTS > /tmp/ci_repro_a.out
+    --quick --seed 7 --jobs 1 --no-cache --json /tmp/ci_repro_a.json $CI_EXPERIMENTS > /tmp/ci_repro_a.out
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --jobs "$JOBS" --json /tmp/ci_repro_b.json $CI_EXPERIMENTS > /tmp/ci_repro_b.out
+    --quick --seed 7 --jobs "$JOBS" --no-cache --json /tmp/ci_repro_b.json $CI_EXPERIMENTS > /tmp/ci_repro_b.out
 test -s /tmp/ci_repro_a.out
 test -s /tmp/ci_repro_a.json
 cmp /tmp/ci_repro_a.out /tmp/ci_repro_b.out
@@ -67,9 +70,9 @@ echo "==> repro scale01 --quick (million-client engine path, streaming metrics)"
 # show the Little's-law knee: throughput grows with the population, then
 # saturates. Seeded determinism holds in streaming mode too.
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --jobs 1 --json /tmp/ci_scale_a.json scale01 > /tmp/ci_scale_a.out
+    --quick --seed 7 --jobs 1 --no-cache --json /tmp/ci_scale_a.json scale01 > /tmp/ci_scale_a.out
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --jobs 1 --json /tmp/ci_scale_b.json scale01 > /dev/null
+    --quick --seed 7 --jobs 1 --no-cache --json /tmp/ci_scale_b.json scale01 > /dev/null
 cmp /tmp/ci_scale_a.json /tmp/ci_scale_b.json
 grep -q '"key":"scale01"' /tmp/ci_scale_a.json
 grep -q "2000 clients" /tmp/ci_scale_a.out
@@ -87,9 +90,9 @@ echo "==> repro chaos01 --quick (chaos grid: fault injection x invariant oracles
 # commits) followed by a recovery burst (a backlog-drain window committing
 # well above the per-window offered rate; only faulted rows have either).
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --jobs 1 --json /tmp/ci_chaos_a.json chaos01 > /tmp/ci_chaos_a.out
+    --quick --seed 7 --jobs 1 --no-cache --json /tmp/ci_chaos_a.json chaos01 > /tmp/ci_chaos_a.out
 cargo run -p dichotomy-bench --release --bin repro -- \
-    --quick --seed 7 --jobs "$JOBS" --json /tmp/ci_chaos_b.json chaos01 > /tmp/ci_chaos_b.out
+    --quick --seed 7 --jobs "$JOBS" --no-cache --json /tmp/ci_chaos_b.json chaos01 > /tmp/ci_chaos_b.out
 cmp /tmp/ci_chaos_a.out /tmp/ci_chaos_b.out
 cmp /tmp/ci_chaos_a.json /tmp/ci_chaos_b.json
 grep -q '"key":"chaos01"' /tmp/ci_chaos_a.json
@@ -110,6 +113,9 @@ fi
 
 echo "==> BENCH_history.json (bench trajectory: append --jobs 1 and --jobs $JOBS entries)"
 BENCH_KEY="$(git describe --always 2>/dev/null || echo untagged)"
+# Text-only experiments (tab02) schedule no probes and must stay OUT of the
+# bench timings — count its occurrences before and after the appends.
+TAB02_BEFORE="$(grep -o '"key":"tab02"' BENCH_history.json 2>/dev/null | wc -l)"
 cargo run -p dichotomy-bench --release --bin repro -- \
     --quick --seed 7 --jobs 1 --bench BENCH_history.json \
     --bench-key "${BENCH_KEY}-jobs1" all > /dev/null
@@ -121,6 +127,47 @@ grep -q "\"label\":\"${BENCH_KEY}-jobs1\"" BENCH_history.json
 grep -q "\"label\":\"${BENCH_KEY}-jobs${JOBS}\"" BENCH_history.json
 # `all` includes the chaos grid, so its wall clock rides the trajectory too.
 grep -q '"key":"chaos01"' BENCH_history.json
+TAB02_AFTER="$(grep -o '"key":"tab02"' BENCH_history.json | wc -l)"
+if [ "$TAB02_AFTER" -ne "$TAB02_BEFORE" ]; then
+    echo "ci.sh: tab02 (0 probes) leaked into the bench timings" >&2
+    exit 1
+fi
+# The new entries carry the measurement-layer accounting.
+grep -q '"dedup_saved_ms":' BENCH_history.json
+grep -q '"calibration":\[{' BENCH_history.json
+
+echo "==> repro --cache (cold vs warm: byte-identical JSON, >=5x wall-clock win)"
+# Seed 8 keeps the cache trajectory in its own (key, config) lane so the
+# near-zero warm walls never skew the seed-7 regression baselines above.
+REPRO_BIN=target/release/repro
+"$REPRO_BIN" cache clear > /dev/null
+COLD_NS="$(date +%s%N)"
+"$REPRO_BIN" --quick --seed 8 --jobs "$JOBS" --cache --json /tmp/ci_cache_cold.json \
+    --bench BENCH_history.json --bench-key pr8-cache-cold all > /tmp/ci_cache_cold.out
+COLD_MS=$(( ($(date +%s%N) - COLD_NS) / 1000000 ))
+WARM_NS="$(date +%s%N)"
+"$REPRO_BIN" --quick --seed 8 --jobs "$JOBS" --cache --json /tmp/ci_cache_warm.json \
+    --bench BENCH_history.json --bench-key pr8-cache-warm all > /tmp/ci_cache_warm.out 2> /tmp/ci_cache_warm.err
+WARM_MS=$(( ($(date +%s%N) - WARM_NS) / 1000000 ))
+# A cache hit is pinned byte-identical to a cold run, reports and JSON both.
+cmp /tmp/ci_cache_cold.out /tmp/ci_cache_warm.out
+cmp /tmp/ci_cache_cold.json /tmp/ci_cache_warm.json
+# The warm run answered every distinct probe from the cache...
+grep -q ' cache hits' /tmp/ci_cache_warm.err
+if grep -q ' 0 cache hits' /tmp/ci_cache_warm.err; then
+    echo "ci.sh: the warm run hit the cache zero times" >&2
+    exit 1
+fi
+# ...and must be at least 5x faster end-to-end than the cold one.
+if [ "$COLD_MS" -lt $(( 5 * WARM_MS )) ]; then
+    echo "ci.sh: warm cache run not >=5x faster (cold ${COLD_MS} ms, warm ${WARM_MS} ms)" >&2
+    exit 1
+fi
+echo "    cold ${COLD_MS} ms, warm ${WARM_MS} ms"
+grep -q '"label":"pr8-cache-cold"' BENCH_history.json
+grep -q '"label":"pr8-cache-warm"' BENCH_history.json
+"$REPRO_BIN" cache stats | grep -q entries
+"$REPRO_BIN" cache clear > /dev/null
 
 echo "==> microbench --smoke (engine hot-path regression canary)"
 cargo run -p dichotomy-bench --release --bin microbench -- --smoke \
@@ -137,7 +184,8 @@ grep -q "\"label\":\"${BENCH_KEY}-micro\"" BENCH_history.json
 grep -q '"key":"event_queue_heap_churn_256k"' BENCH_history.json
 grep -q '"key":"latency_sketch_stream_100k"' BENCH_history.json
 
-echo "==> bench_gate (wall-clock trajectory regression gate)"
-scripts/bench_gate BENCH_history.json
+echo "==> bench_gate (wall-clock trajectory regression gate + coverage keys)"
+scripts/bench_gate --require-key scale01 --require-key chaos01 \
+    --require-key pr8-cache-cold --require-key pr8-cache-warm BENCH_history.json
 
 echo "==> ci.sh: all checks passed"
