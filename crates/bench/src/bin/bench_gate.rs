@@ -14,8 +14,13 @@
 //! against full `--jobs 8` ones). A key regresses when the latest value
 //! exceeds the trailing median by more than `--tolerance` (relative) *and*
 //! by more than `--floor-ms` (absolute — sub-floor noise on fast cases never
-//! gates). Keys with fewer than two prior same-configuration entries are
-//! reported as "no baseline" and skipped.
+//! gates). Sub-floor *prior* entries are excluded from the baseline median
+//! for the same reason: a near-zero wall (a warm-cache run sharing the lane
+//! with cold ones) is noise, not a baseline, and would flag every honest
+//! cold run as a regression. Keys with fewer than two prior
+//! same-configuration entries at/above the floor are reported as
+//! "no baseline" and skipped — a median over one noisy sample is not a
+//! baseline either.
 //!
 //! `--require-key KEY` (repeatable) additionally asserts that at least one
 //! sample with that timing key exists in the history — CI uses it to prove
@@ -133,13 +138,20 @@ fn gate(samples: &[Sample], opts: &Gate) -> (Vec<String>, usize, usize) {
         let Some((last, priors)) = series.split_last() else {
             continue;
         };
-        if priors.len() < 2 {
+        let tail_start = priors.len().saturating_sub(opts.window);
+        // Sub-floor priors are noise (e.g. warm-cache entries riding the
+        // same lane as cold runs), not baselines — and a single usable
+        // sample is too jittery to serve as one on its own.
+        let mut window: Vec<f64> = priors[tail_start..]
+            .iter()
+            .map(|s| s.wall_ms)
+            .filter(|&w| w >= opts.floor_ms)
+            .collect();
+        if window.len() < 2 {
             skipped += 1;
             continue;
         }
         gated += 1;
-        let tail_start = priors.len().saturating_sub(opts.window);
-        let mut window: Vec<f64> = priors[tail_start..].iter().map(|s| s.wall_ms).collect();
         let baseline = median(&mut window);
         let excess = last.wall_ms - baseline;
         if excess > opts.tolerance * baseline && excess > opts.floor_ms {
@@ -326,6 +338,52 @@ mod tests {
         assert_eq!(regressions.len(), 1);
         assert!(regressions[0].contains("fig04"));
         assert!(regressions[0].contains("spike"));
+    }
+
+    #[test]
+    fn sub_floor_priors_never_serve_as_baselines() {
+        let gate_opts = Gate {
+            tolerance: 0.5,
+            floor_ms: 10.0,
+            window: 5,
+        };
+        // The cache lane shape: cold runs interleaved with near-zero warm
+        // runs in the same configuration. The warm samples must not drag
+        // the median to ~0 and flag the honest cold wall.
+        let entries: Vec<String> = vec![
+            entry("cold-1", 4, &[("fig04", 1_000.0)]),
+            entry("warm-1", 4, &[("fig04", 1.0)]),
+            entry("cold-2", 4, &[("fig04", 1_050.0)]),
+            entry("warm-2", 4, &[("fig04", 2.0)]),
+            entry("cold-3", 4, &[("fig04", 1_020.0)]),
+        ];
+        let samples = parse_history(&history(&entries)).unwrap();
+        let (regressions, skipped, gated) = gate(&samples, &gate_opts);
+        assert!(regressions.is_empty(), "{regressions:?}");
+        assert_eq!((skipped, gated), (0, 1));
+
+        // Fewer than two usable priors leaves no baseline: a median over a
+        // single (jittery) cold sample must not gate the next cold run.
+        let entries: Vec<String> = vec![
+            entry("cold-1", 4, &[("fig04", 1_000.0)]),
+            entry("warm-1", 4, &[("fig04", 1.0)]),
+            entry("cold-2", 4, &[("fig04", 1_900.0)]),
+        ];
+        let samples = parse_history(&history(&entries)).unwrap();
+        let (regressions, skipped, gated) = gate(&samples, &gate_opts);
+        assert!(regressions.is_empty(), "{regressions:?}");
+        assert_eq!((skipped, gated), (1, 0));
+
+        // All-sub-floor priors leave no baseline at all: skip, don't gate.
+        let entries: Vec<String> = vec![
+            entry("warm-1", 4, &[("fig04", 1.0)]),
+            entry("warm-2", 4, &[("fig04", 2.0)]),
+            entry("cold-1", 4, &[("fig04", 1_000.0)]),
+        ];
+        let samples = parse_history(&history(&entries)).unwrap();
+        let (regressions, skipped, gated) = gate(&samples, &gate_opts);
+        assert!(regressions.is_empty());
+        assert_eq!((skipped, gated), (1, 0));
     }
 
     #[test]

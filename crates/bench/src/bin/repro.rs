@@ -57,7 +57,13 @@
 //!   metrics mode, faults, seed, transaction count) and round-trip through
 //!   the in-repo codec. `--no-cache` (the default) turns it back off;
 //! * `repro cache stats` / `repro cache clear` — inspect or delete the
-//!   cache (per schema-tag entry counts and sizes).
+//!   cache (per schema-tag entry counts and sizes);
+//! * `repro lint [--quick] [--txns N] [--seed S] [--json PATH] [ID…]` —
+//!   expand the requested experiments (default: all) **without executing
+//!   them** and report semantic plan diagnostics (`S0xx`): out-of-horizon
+//!   faults, duplicate sweep points, mixed populations that round to a zero
+//!   transaction share, measurement windows longer than the run, zero-probe
+//!   experiments. Exit 1 when any deny-level finding survives.
 //!
 //! Whatever the flags, duplicate probes *within* a run execute once and fan
 //! out to every table cell that needs them, and the deduplicated queue is
@@ -114,6 +120,9 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("cache") {
         std::process::exit(cache_command(&raw[1..]));
+    }
+    if raw.first().map(String::as_str) == Some("lint") {
+        std::process::exit(lint_command(&raw[1..]));
     }
     let cli = parse_args(raw.into_iter());
 
@@ -512,6 +521,128 @@ fn cache_command(args: &[String]) -> i32 {
             eprintln!("usage: repro cache stats|clear");
             2
         }
+    }
+}
+
+/// `repro lint` — expand experiments without executing them and report
+/// semantic plan diagnostics (the `S0xx` codes of `dichotomy_core::lint`).
+///
+/// Loci are keyed by the repro experiment id (`fig04`, `tab02`, …) so the
+/// output lines up with `repro --list` and the run commands. Exit status:
+/// 0 clean (notes/warnings allowed), 1 on any deny-level finding, 2 on
+/// usage errors.
+fn lint_command(args: &[String]) -> i32 {
+    let mut opts = RunOptions::default();
+    let mut json_path: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut bad_usage: Vec<String> = Vec::new();
+    let mut it = args.iter().cloned().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg.clone(), None),
+        };
+        match flag.as_str() {
+            "--quick" => opts.quick = true,
+            "--txns" => {
+                if let Some(v) = value_of(&flag, inline, &mut it, &mut bad_usage) {
+                    match v.parse::<u64>() {
+                        Ok(n) => opts.txns = Some(n),
+                        Err(_) => bad_usage.push(format!("--txns: not a count: '{v}'")),
+                    }
+                }
+            }
+            "--seed" => {
+                if let Some(v) = value_of(&flag, inline, &mut it, &mut bad_usage) {
+                    match v.parse::<u64>() {
+                        Ok(s) => opts.seed = s,
+                        Err(_) => bad_usage.push(format!("--seed: not a seed: '{v}'")),
+                    }
+                }
+            }
+            "--json" => {
+                json_path = value_of(&flag, inline, &mut it, &mut bad_usage);
+            }
+            _ if flag.starts_with("--") => bad_usage.push(format!("unknown flag '{flag}'")),
+            _ => targets.push(arg),
+        }
+    }
+    if !bad_usage.is_empty() {
+        for b in &bad_usage {
+            eprintln!("repro lint: {b}");
+        }
+        eprintln!("usage: repro lint [--quick] [--txns N] [--seed S] [--json PATH] [ID...]");
+        return 2;
+    }
+
+    let ids: Vec<&str> = if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        targets.iter().map(String::as_str).collect()
+    };
+
+    let mut diags = Vec::new();
+    let mut expanded = 0usize;
+    for id in &ids {
+        let plan = match catch_unwind(AssertUnwindSafe(|| plan_for(id, &opts))) {
+            Ok(Some(plan)) => plan,
+            Ok(None) => {
+                eprintln!("repro lint: unknown experiment '{id}' (try --list)");
+                return 2;
+            }
+            Err(payload) => {
+                eprintln!(
+                    "repro lint: expanding '{id}' panicked: {}",
+                    panic_text(payload.as_ref())
+                );
+                return 2;
+            }
+        };
+        expanded += 1;
+        diags.extend(dichotomy_core::lint_plan(&plan).into_iter().map(|mut d| {
+            // Key loci by the repro id (`fig04`, `tab02`, …), not the plan's
+            // report title, so findings line up with the run commands.
+            if let dichotomy_core::common::Locus::Plan { experiment, .. } = &mut d.locus {
+                *experiment = (*id).to_string();
+            }
+            d.for_experiment(id)
+        }));
+    }
+
+    for diag in &diags {
+        println!("{}", diag.render());
+    }
+    let denies = diags
+        .iter()
+        .filter(|d| d.severity == dichotomy_core::common::Severity::Deny)
+        .count();
+    println!(
+        "repro lint: {} experiment{} expanded, {} finding{} ({} deny)",
+        expanded,
+        if expanded == 1 { "" } else { "s" },
+        diags.len(),
+        if diags.len() == 1 { "" } else { "s" },
+        denies
+    );
+
+    if let Some(path) = json_path {
+        let doc = format!(
+            "{{\"generator\":\"repro-lint\",\"experiments\":{},\"findings\":{},\"deny\":{},\"diagnostics\":{}}}\n",
+            expanded,
+            diags.len(),
+            denies,
+            dichotomy_core::common::diag::to_json_array(&diags)
+        );
+        if let Err(err) = std::fs::write(&path, doc) {
+            eprintln!("repro lint: writing {path}: {err}");
+            return 2;
+        }
+    }
+
+    if dichotomy_core::common::diag::has_deny(&diags) {
+        1
+    } else {
+        0
     }
 }
 

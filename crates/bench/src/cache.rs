@@ -367,6 +367,7 @@ mod tests {
                 }],
             }],
             text: None,
+            diagnostics: Vec::new(),
         };
         let registry = SystemRegistry::with_builtins();
         let options = ExecOptions {

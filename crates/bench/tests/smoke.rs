@@ -77,6 +77,7 @@ fn a_zero_row_plan_serializes_to_a_valid_empty_document() {
         title: "zero rows",
         rows: Vec::new(),
         text: None,
+        diagnostics: Vec::new(),
     };
     let report = run_plan(&plan);
     assert!(report.rows.is_empty() && report.failures.is_empty());

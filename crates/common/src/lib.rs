@@ -20,6 +20,7 @@
 pub mod block;
 pub mod codec;
 pub mod crypto;
+pub mod diag;
 pub mod error;
 pub mod hash;
 pub mod rng;
@@ -30,6 +31,7 @@ pub mod types;
 pub use block::{Block, BlockHeader};
 pub use codec::{intern, Decode, Encode};
 pub use crypto::{KeyPair, PublicKey, Signature};
+pub use diag::{Diagnostic, Locus, Severity};
 pub use error::{CommonError, Result};
 pub use hash::{sha256, Hash, Hasher};
 pub use txn::{

@@ -189,7 +189,7 @@ impl Transaction {
 
     /// Keys read by this transaction (deduplicated, in first-occurrence order).
     pub fn read_set(&self) -> Vec<&Key> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         self.ops
             .iter()
             .filter(|op| op.reads())
@@ -200,7 +200,7 @@ impl Transaction {
 
     /// Keys written by this transaction (deduplicated, in first-occurrence order).
     pub fn write_set(&self) -> Vec<&Key> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         self.ops
             .iter()
             .filter(|op| op.writes())

@@ -15,7 +15,7 @@
 //! same state machine serves both; the [`PbftVariant`] flag only changes the
 //! bookkeeping the profile layer charges.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use dichotomy_common::{NodeId, Timestamp};
 use dichotomy_simnet::{FaultPlan, NetworkConfig, NetworkModel, SimEngine};
@@ -76,15 +76,15 @@ pub struct PbftNode {
     pub n: usize,
     pub view: u64,
     /// Prepares received per (view, seq): set of senders.
-    prepares: HashMap<(u64, u64), BTreeSet<NodeId>>,
+    prepares: BTreeMap<(u64, u64), BTreeSet<NodeId>>,
     /// Commits received per (view, seq).
-    commits: HashMap<(u64, u64), BTreeSet<NodeId>>,
+    commits: BTreeMap<(u64, u64), BTreeSet<NodeId>>,
     /// Pre-prepares accepted: (view, seq) -> payload.
-    pre_prepared: HashMap<(u64, u64), u64>,
+    pre_prepared: BTreeMap<(u64, u64), u64>,
     /// Sequence numbers locally committed: seq -> payload.
     pub committed: BTreeMap<u64, u64>,
     /// View-change votes per proposed new view.
-    view_change_votes: HashMap<u64, BTreeSet<NodeId>>,
+    view_change_votes: BTreeMap<u64, BTreeSet<NodeId>>,
     /// Whether this replica behaves Byzantine (silent).
     pub byzantine: bool,
 }
@@ -96,11 +96,11 @@ impl PbftNode {
             id,
             n,
             view: 0,
-            prepares: HashMap::new(),
-            commits: HashMap::new(),
-            pre_prepared: HashMap::new(),
+            prepares: BTreeMap::new(),
+            commits: BTreeMap::new(),
+            pre_prepared: BTreeMap::new(),
             committed: BTreeMap::new(),
-            view_change_votes: HashMap::new(),
+            view_change_votes: BTreeMap::new(),
             byzantine: false,
         }
     }
@@ -255,7 +255,7 @@ pub struct PbftCluster {
     config: PbftConfig,
     next_seq: u64,
     next_payload: u64,
-    commit_times: HashMap<u64, Timestamp>,
+    commit_times: BTreeMap<u64, Timestamp>,
 }
 
 impl PbftCluster {
@@ -272,7 +272,7 @@ impl PbftCluster {
             config,
             next_seq: 0,
             next_payload: 1,
-            commit_times: HashMap::new(),
+            commit_times: BTreeMap::new(),
         }
     }
 
@@ -394,7 +394,7 @@ impl PbftCluster {
         // A payload counts as committed when f+1 honest replicas committed it
         // (at least one honest replica's commit is then durable).
         let f = (self.nodes.len() - 1) / 3;
-        let mut counts: HashMap<u64, usize> = HashMap::new();
+        let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
         for node in self.nodes.values() {
             for payload in node.committed.values() {
                 *counts.entry(*payload).or_default() += 1;
@@ -423,7 +423,7 @@ impl PbftCluster {
     /// Safety: no two honest replicas commit different payloads at the same
     /// sequence number.
     pub fn agreement_holds(&self) -> bool {
-        let mut assignments: HashMap<u64, u64> = HashMap::new();
+        let mut assignments: BTreeMap<u64, u64> = BTreeMap::new();
         for node in self.nodes.values().filter(|n| !n.byzantine) {
             for (&seq, &payload) in &node.committed {
                 match assignments.get(&seq) {

@@ -9,7 +9,7 @@
 //! benchmark driver run on), so leader crashes and partitions (via the fault
 //! plan) produce real elections and real commit stalls.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use dichotomy_common::rng::{self, Rng};
 use dichotomy_common::{NodeId, Timestamp};
@@ -89,8 +89,8 @@ pub struct RaftNode {
     pub log: Vec<LogEntry>,
     pub commit_index: u64,
     // Leader state.
-    next_index: HashMap<NodeId, u64>,
-    match_index: HashMap<NodeId, u64>,
+    next_index: BTreeMap<NodeId, u64>,
+    match_index: BTreeMap<NodeId, u64>,
     votes_received: usize,
     /// When the next election timeout fires (reset on every valid heartbeat).
     pub election_deadline: Timestamp,
@@ -114,8 +114,8 @@ impl RaftNode {
                 payload_bytes: 0,
             }],
             commit_index: 0,
-            next_index: HashMap::new(),
-            match_index: HashMap::new(),
+            next_index: BTreeMap::new(),
+            match_index: BTreeMap::new(),
             votes_received: 0,
             election_deadline: 0,
         }
@@ -437,10 +437,10 @@ pub struct RaftCluster {
     rng: rng::StdRng,
     next_payload: u64,
     /// payload_id -> commit time observed at the leader.
-    commit_times: HashMap<u64, Timestamp>,
+    commit_times: BTreeMap<u64, Timestamp>,
     /// Terms for which a node's heartbeat loop has been started, so a leader
     /// heartbeats exactly once per term it wins.
-    heartbeat_started: HashMap<NodeId, u64>,
+    heartbeat_started: BTreeMap<NodeId, u64>,
 }
 
 impl RaftCluster {
@@ -459,8 +459,8 @@ impl RaftCluster {
             config,
             rng: rng::seeded(rng::derive_seed(seed, "raft-cluster")),
             next_payload: 1,
-            commit_times: HashMap::new(),
-            heartbeat_started: HashMap::new(),
+            commit_times: BTreeMap::new(),
+            heartbeat_started: BTreeMap::new(),
         };
         for &id in &ids {
             cluster.schedule_election_tick(id, 0);

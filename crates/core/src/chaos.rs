@@ -24,6 +24,7 @@
 //! `repro --json`.
 
 use dichotomy_common::{Decode, Encode, TxnId, TxnReceipt};
+// lint: allow(D003) -- membership-only dedup set on the 1M-receipt hot path; iteration order never observed
 use std::collections::HashSet;
 
 /// End-of-run facts the driver hands every oracle.
@@ -210,6 +211,7 @@ impl InvariantOracle for ReceiptConservation {
 /// `no-duplicate-receipt`: no transaction id receipted twice.
 #[derive(Default)]
 struct NoDuplicateReceipt {
+    // lint: allow(D003) -- contains-then-insert only; nothing iterates it
     seen: HashSet<TxnId>,
     first_duplicate: Option<TxnId>,
 }

@@ -142,37 +142,7 @@ impl ArrivalSpec {
                     !populations.is_empty(),
                     "Mixed arrival spec with no populations"
                 );
-                // Largest-remainder apportionment: floor every quota, then
-                // hand the leftover units to the largest fractional parts
-                // (ties to the earlier population).
-                let weight_sum: f64 = populations.iter().map(|(w, _)| w.max(0.0)).sum();
-                let quotas: Vec<f64> = populations
-                    .iter()
-                    .map(|(w, _)| {
-                        let w = if weight_sum > 0.0 {
-                            w.max(0.0) / weight_sum
-                        } else {
-                            1.0 / populations.len() as f64
-                        };
-                        w * budget as f64
-                    })
-                    .collect();
-                let mut shares: Vec<u64> = quotas.iter().map(|q| q.floor() as u64).collect();
-                let mut by_fraction: Vec<usize> = (0..quotas.len()).collect();
-                by_fraction.sort_by(|&a, &b| {
-                    let (fa, fb) = (quotas[a].fract(), quotas[b].fract());
-                    fb.partial_cmp(&fa)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b))
-                });
-                let mut remainder = budget.saturating_sub(shares.iter().sum());
-                for &i in &by_fraction {
-                    if remainder == 0 {
-                        break;
-                    }
-                    shares[i] += 1;
-                    remainder -= 1;
-                }
+                let shares = mixed_shares(populations, budget);
                 let mut base = 0u64;
                 let pops = populations
                     .iter()
@@ -195,6 +165,44 @@ impl ArrivalSpec {
             }
         }
     }
+}
+
+/// Largest-remainder apportionment of a transaction `budget` across
+/// [`ArrivalSpec::Mixed`] population weights: floor every quota, then hand
+/// the leftover units to the largest fractional parts (ties to the earlier
+/// population). Public because the plan linter (`repro lint`) reports
+/// populations whose share rounds to zero — and the report is only sound if
+/// the lint computes the exact shares the driver will execute.
+pub fn mixed_shares(populations: &[(f64, ArrivalSpec)], budget: u64) -> Vec<u64> {
+    let weight_sum: f64 = populations.iter().map(|(w, _)| w.max(0.0)).sum();
+    let quotas: Vec<f64> = populations
+        .iter()
+        .map(|(w, _)| {
+            let w = if weight_sum > 0.0 {
+                w.max(0.0) / weight_sum
+            } else {
+                1.0 / populations.len() as f64
+            };
+            w * budget as f64
+        })
+        .collect();
+    let mut shares: Vec<u64> = quotas.iter().map(|q| q.floor() as u64).collect();
+    let mut by_fraction: Vec<usize> = (0..quotas.len()).collect();
+    by_fraction.sort_by(|&a, &b| {
+        let (fa, fb) = (quotas[a].fract(), quotas[b].fract());
+        fb.partial_cmp(&fa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut remainder = budget.saturating_sub(shares.iter().sum());
+    for &i in &by_fraction {
+        if remainder == 0 {
+            break;
+        }
+        shares[i] += 1;
+        remainder -= 1;
+    }
+    shares
 }
 
 /// The client-side half of the simulation: decides *when* each client

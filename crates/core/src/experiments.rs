@@ -247,6 +247,7 @@ pub fn fig04_plan(txns: u64, seed: u64) -> ExperimentPlan {
         title: "YCSB peak throughput (update / query)",
         rows,
         text: None,
+        diagnostics: Vec::new(),
     }
 }
 
@@ -285,6 +286,7 @@ pub fn fig05_plan(txns: u64, seed: u64) -> ExperimentPlan {
         title: "YCSB latency, unsaturated (update / query), ms",
         rows,
         text: None,
+        diagnostics: Vec::new(),
     }
 }
 
@@ -357,6 +359,7 @@ pub fn fig07_plan(txns: u64, seed: u64) -> ExperimentPlan {
         title: "Quorum throughput: CFT (Raft) vs BFT (IBFT)",
         rows,
         text: None,
+        diagnostics: Vec::new(),
     }
 }
 
@@ -463,6 +466,7 @@ pub fn fig08_plan(txns: u64, seed: u64) -> ExperimentPlan {
         title: "Latency breakdown (update phases, query path)",
         rows,
         text: None,
+        diagnostics: Vec::new(),
     }
 }
 
@@ -658,6 +662,7 @@ pub fn fig12_plan(records: u64, sizes: &[usize], seed: u64) -> ExperimentPlan {
         title: "Storage cost per record: Fabric state / Fabric blocks / TiDB",
         rows,
         text: None,
+        diagnostics: Vec::new(),
     }
 }
 
@@ -690,6 +695,7 @@ pub fn fig13_plan(records: u64, sizes: &[usize]) -> ExperimentPlan {
         title: "State storage per record with tamper evidence: MBT vs MPT",
         rows,
         text: None,
+        diagnostics: Vec::new(),
     }
 }
 
@@ -781,6 +787,7 @@ pub fn fig15_plan() -> ExperimentPlan {
         title: "Hybrid-system throughput forecast vs reported numbers",
         rows,
         text: None,
+        diagnostics: Vec::new(),
     }
 }
 
@@ -796,6 +803,7 @@ pub fn tab02_plan() -> ExperimentPlan {
         title: "Design-space taxonomy",
         rows: Vec::new(),
         text: Some(dichotomy_hybrid::taxonomy::render_table2()),
+        diagnostics: Vec::new(),
     }
 }
 
@@ -830,6 +838,7 @@ pub fn tab04_plan(txns: u64, node_counts: &[usize], seed: u64) -> ExperimentPlan
         title: "Throughput (tps) vs number of nodes, full replication",
         rows,
         text: None,
+        diagnostics: Vec::new(),
     }
 }
 
@@ -866,6 +875,7 @@ pub fn tab05_plan(txns: u64, counts: &[usize], seed: u64) -> ExperimentPlan {
         title: "TiDB: throughput (tps) vs #TiDB servers × #TiKV nodes",
         rows,
         text: None,
+        diagnostics: Vec::new(),
     }
 }
 

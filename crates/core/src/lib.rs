@@ -25,11 +25,13 @@
 pub mod chaos;
 pub mod driver;
 pub mod experiments;
+pub mod lint;
 pub mod metrics;
 pub mod scenario;
 
 pub use chaos::{InvariantOracle, OracleContext, OracleOutcome, OracleReport, OracleSet};
 pub use driver::{run_workload, ArrivalSpec, ClientModel, DriverConfig, RunStats};
+pub use lint::{lint_plan, lint_scenario};
 pub use metrics::{
     LatencySummary, Metrics, MetricsMode, P2Quantile, StreamingAggregator, StreamingLatency,
     TimeSeries, TimeWindow,

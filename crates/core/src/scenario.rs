@@ -49,7 +49,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
-use dichotomy_common::{AbortReason, Decode, Encode, Hash, Key, Value};
+use dichotomy_common::{AbortReason, Decode, Diagnostic, Encode, Hash, Key, Value};
 use dichotomy_hybrid::{all_systems, forecast_throughput, forecast_txn_cost_us, HybridSpec};
 use dichotomy_merkle::{MerkleBucketTree, MerklePatriciaTrie};
 use dichotomy_simnet::{CostModel, FaultPlan, NetworkConfig};
@@ -178,6 +178,12 @@ pub struct ExperimentPlan {
     /// Pre-rendered text for qualitative experiments (Table 2); rendered
     /// verbatim instead of the row grid when present.
     pub text: Option<String>,
+    /// Findings produced while expanding the plan (fault-schedule
+    /// sanitization: `S001`/`S002`), with their plan locus attached. They
+    /// are surfaced on stderr at expansion time and re-read by `repro lint`;
+    /// reports and their JSON never include them, so stdout stays
+    /// byte-identical whether or not anything was flagged.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl ExperimentPlan {
@@ -447,6 +453,7 @@ impl Scenario {
             title: self.title,
             rows,
             text: None,
+            diagnostics: Vec::new(),
         };
         sanitize_fault_plans(&mut plan);
         plan
@@ -460,8 +467,9 @@ impl Scenario {
 /// The arrival horizon (µs) of one driving probe, when it is computable up
 /// front: how long the driver keeps issuing arrivals. Closed loops pace on
 /// measured latency, so their span is unknowable at expansion time (`None`
-/// skips the horizon check).
-fn arrival_horizon_us(driver: &DriverConfig) -> Option<u64> {
+/// skips the horizon check). Public so the plan linter can compare fault
+/// schedules and window widths against the same horizon the sanitizer uses.
+pub fn arrival_horizon_us(driver: &DriverConfig) -> Option<u64> {
     let open_loop_span = |offered_tps: f64| {
         (offered_tps > 0.0).then(|| (driver.transactions as f64 / offered_tps * 1e6).ceil() as u64)
     };
@@ -476,11 +484,14 @@ fn arrival_horizon_us(driver: &DriverConfig) -> Option<u64> {
 }
 
 /// Sanitize every probe's fault schedule at plan-expansion time (a chaos
-/// satellite): overlapping same-node crash windows merge into one, and
-/// faults scheduled at/after the probe's arrival horizon — they could never
-/// dent the arrival stream — are dropped. Each adjustment warns on stderr;
-/// stdout (the report and its JSON) stays byte-identical.
+/// satellite): overlapping same-node crash windows merge into one (`S002`),
+/// and faults scheduled at/after the probe's arrival horizon — they could
+/// never dent the arrival stream — are dropped (`S001`). Each adjustment is
+/// recorded as a structured [`Diagnostic`] with its plan locus on
+/// `plan.diagnostics` (where `repro lint` re-reads it) and rendered on
+/// stderr; stdout (the report and its JSON) stays byte-identical.
 fn sanitize_fault_plans(plan: &mut ExperimentPlan) {
+    let mut diags = Vec::new();
     for row in &mut plan.rows {
         for run in &mut row.runs {
             let Probe::Drive { system, driver, .. } = &mut run.probe else {
@@ -492,18 +503,16 @@ fn sanitize_fault_plans(plan: &mut ExperimentPlan) {
             if faults.is_empty() {
                 continue;
             }
-            let (sanitized, warnings) = faults.validate(arrival_horizon_us(driver));
-            for warning in warnings {
-                eprintln!(
-                    "warning: {} / row '{}' / probe '{}': {warning}",
-                    plan.id,
-                    row.label,
-                    system.label()
-                );
+            let (sanitized, found) = faults.validate(arrival_horizon_us(driver));
+            for diag in found {
+                let diag = diag.at_plan(plan.id, row.label.clone(), system.label());
+                eprintln!("warning: {}", diag.render());
+                diags.push(diag);
             }
             system.faults = Some(sanitized);
         }
     }
+    plan.diagnostics.extend(diags);
 }
 
 /// Everything a probe produced, before column extraction.
@@ -991,6 +1000,7 @@ pub fn run_plans_with(
                 };
             }
         }
+        // lint: allow(D004) -- wall-clock probe timing for the bench trajectory; never enters a report or a cache key
         let started = std::time::Instant::now();
         let rep = &flat[item.slots[0]];
         let result = match catch_unwind(AssertUnwindSafe(|| observe(&rep.run.probe, registry))) {
@@ -1459,6 +1469,7 @@ mod tests {
                 },
             ],
             text: None,
+            diagnostics: Vec::new(),
         };
         let report = run_plan(&plan);
         assert!(report.value("Veritas", "forecast_tps").unwrap() > 0.0);

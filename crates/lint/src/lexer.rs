@@ -1,0 +1,381 @@
+//! A minimal Rust lexer: just enough to tokenize the workspace's own source
+//! reliably — identifiers, punctuation, and line numbers — while skipping
+//! everything that could fake a match (comments, strings, raw strings, byte
+//! strings, char literals) and collecting `// lint: allow(...)` directives.
+//!
+//! Deliberately not a full lexer: numeric literals are lumped into opaque
+//! [`Tok::Lit`] tokens, lifetimes are dropped, and `->`/`=>` are merged into
+//! single tokens so the item scanner can count `<`/`>` nesting without
+//! seeing the `>` of an arrow.
+
+/// One token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`->`/`=>` excepted, see below).
+    Punct(char),
+    /// `->`, merged so `>`-counting in generics stays balanced.
+    Arrow,
+    /// `=>`, merged for the same reason.
+    FatArrow,
+    /// Any literal (number, string, char, byte string): contents dropped.
+    Lit,
+}
+
+/// A token plus the 1-indexed line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// An in-source allowlist directive: `// lint: allow(D003, D004) -- reason`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// The codes inside `allow(...)`.
+    pub codes: Vec<String>,
+    /// Whether a `-- <reason>` justification follows (D006 when missing).
+    pub has_reason: bool,
+    /// True when the comment is the first thing on its line, in which case
+    /// it also covers the next token-bearing line.
+    pub standalone: bool,
+}
+
+/// Lexer output: the token stream plus every allow directive found.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Tokenize `source`. Never fails: unrecognized bytes lex as punctuation.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+    // Tracks whether the current line already produced a token, so comments
+    // can be classified as trailing vs standalone.
+    let mut token_on_line = false;
+
+    macro_rules! push {
+        ($tok:expr) => {{
+            out.tokens.push(Token { tok: $tok, line });
+            token_on_line = true;
+        }};
+    }
+
+    while pos < chars.len() {
+        let c = chars[pos];
+        match c {
+            '\n' => {
+                line += 1;
+                token_on_line = false;
+                pos += 1;
+            }
+            c if c.is_whitespace() => pos += 1,
+            '/' if chars.get(pos + 1) == Some(&'/') => {
+                // Line comment: scan to end of line, mining allow directives.
+                let start = pos + 2;
+                let mut end = start;
+                while end < chars.len() && chars[end] != '\n' {
+                    end += 1;
+                }
+                let text: String = chars[start..end].iter().collect();
+                if let Some(directive) = parse_allow(&text, line, !token_on_line) {
+                    out.allows.push(directive);
+                }
+                pos = end;
+            }
+            '/' if chars.get(pos + 1) == Some(&'*') => {
+                // Block comment, nested per Rust rules.
+                let mut depth = 1;
+                pos += 2;
+                while pos < chars.len() && depth > 0 {
+                    if chars[pos] == '\n' {
+                        line += 1;
+                        token_on_line = false;
+                        pos += 1;
+                    } else if chars[pos] == '/' && chars.get(pos + 1) == Some(&'*') {
+                        depth += 1;
+                        pos += 2;
+                    } else if chars[pos] == '*' && chars.get(pos + 1) == Some(&'/') {
+                        depth -= 1;
+                        pos += 2;
+                    } else {
+                        pos += 1;
+                    }
+                }
+            }
+            '"' => {
+                pos = skip_string(&chars, pos, &mut line);
+                push!(Tok::Lit);
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&chars, pos) => {
+                pos = skip_raw_or_byte_string(&chars, pos, &mut line);
+                push!(Tok::Lit);
+            }
+            '\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`, `'}'`).
+                let next = chars.get(pos + 1).copied();
+                let after = chars.get(pos + 2).copied();
+                let is_lifetime =
+                    matches!(next, Some(n) if n.is_alphabetic() || n == '_') && after != Some('\'');
+                if is_lifetime {
+                    pos += 2;
+                    while pos < chars.len() && (chars[pos].is_alphanumeric() || chars[pos] == '_') {
+                        pos += 1;
+                    }
+                } else {
+                    // Char literal: consume to the closing quote, honouring
+                    // escapes (`'\''`, `'\\'`).
+                    pos += 1;
+                    while pos < chars.len() {
+                        match chars[pos] {
+                            '\\' => pos += 2,
+                            '\'' => {
+                                pos += 1;
+                                break;
+                            }
+                            '\n' => break, // malformed; resync on newline
+                            _ => pos += 1,
+                        }
+                    }
+                    push!(Tok::Lit);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = pos;
+                while pos < chars.len() && (chars[pos].is_alphanumeric() || chars[pos] == '_') {
+                    pos += 1;
+                }
+                push!(Tok::Ident(chars[start..pos].iter().collect()));
+            }
+            c if c.is_ascii_digit() => {
+                // Opaque numeric literal: digits, letters, underscores
+                // (covers 0x1f, 1_000u64; `1.5` lexes as Lit '.' Lit).
+                while pos < chars.len() && (chars[pos].is_alphanumeric() || chars[pos] == '_') {
+                    pos += 1;
+                }
+                push!(Tok::Lit);
+            }
+            '-' if chars.get(pos + 1) == Some(&'>') => {
+                pos += 2;
+                push!(Tok::Arrow);
+            }
+            '=' if chars.get(pos + 1) == Some(&'>') => {
+                pos += 2;
+                push!(Tok::FatArrow);
+            }
+            c => {
+                pos += 1;
+                push!(Tok::Punct(c));
+            }
+        }
+    }
+    out
+}
+
+/// True if `pos` starts `r"`, `r#"`, `b"`, `br"`, `br#"`, `b'` etc.
+fn starts_raw_or_byte_string(chars: &[char], pos: usize) -> bool {
+    let mut i = pos;
+    if chars[i] == 'b' {
+        i += 1;
+        if chars.get(i) == Some(&'\'') {
+            return true; // byte char literal b'x'
+        }
+    }
+    if chars.get(i) == Some(&'r') {
+        i += 1;
+        while chars.get(i) == Some(&'#') {
+            i += 1;
+        }
+    }
+    chars.get(i) == Some(&'"')
+}
+
+/// Skip a raw/byte string starting at `pos`; returns the index past it.
+fn skip_raw_or_byte_string(chars: &[char], pos: usize, line: &mut u32) -> usize {
+    let mut i = pos;
+    if chars[i] == 'b' {
+        i += 1;
+        if chars.get(i) == Some(&'\'') {
+            // Byte char literal: same shape as a char literal.
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '\'' => return i + 1,
+                    '\n' => return i,
+                    _ => i += 1,
+                }
+            }
+            return i;
+        }
+    }
+    let mut hashes = 0usize;
+    let raw = chars.get(i) == Some(&'r');
+    if raw {
+        i += 1;
+        while chars.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    debug_assert_eq!(chars.get(i), Some(&'"'));
+    if raw {
+        // Raw string: no escapes; ends at `"` followed by `hashes` hashes.
+        i += 1;
+        while i < chars.len() {
+            if chars[i] == '\n' {
+                *line += 1;
+                i += 1;
+            } else if chars[i] == '"'
+                && chars[i + 1..].iter().take_while(|&&c| c == '#').count() >= hashes
+            {
+                return i + 1 + hashes;
+            } else {
+                i += 1;
+            }
+        }
+        i
+    } else {
+        skip_string(chars, i, line)
+    }
+}
+
+/// Skip a normal (escaped) string literal starting at its opening quote.
+fn skip_string(chars: &[char], pos: usize, line: &mut u32) -> usize {
+    let mut i = pos + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Parse `lint: allow(CODE[, CODE…])[ -- reason]` out of a comment body.
+fn parse_allow(comment: &str, line: u32, standalone: bool) -> Option<AllowDirective> {
+    let rest = comment.trim();
+    let rest = rest.strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let codes: Vec<String> = rest[..close]
+        .split(',')
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if codes.is_empty() {
+        return None;
+    }
+    let tail = rest[close + 1..].trim();
+    let has_reason = tail
+        .strip_prefix("--")
+        .is_some_and(|r| !r.trim().is_empty());
+    Some(AllowDirective {
+        line,
+        codes,
+        has_reason,
+        standalone,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_comments_and_chars_never_leak_idents() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let a = "HashMap";
+            let b = r#"HashMap "quoted" inside"#;
+            let c = b"HashMap";
+            let d = '}';
+            let e: &'static str = "x";
+            fn f<'a>(x: &'a u8) {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        // Lifetime names are dropped entirely; the type after them is kept.
+        assert!(!ids.contains(&"static".to_string()), "{ids:?}");
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn char_literal_close_brace_does_not_desync_braces() {
+        let src = "fn f() { let x = '}'; let y = '{'; }";
+        let braces: i32 = lex(src)
+            .tokens
+            .iter()
+            .map(|t| match t.tok {
+                Tok::Punct('{') => 1,
+                Tok::Punct('}') => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn arrows_merge_and_lines_count() {
+        let lexed = lex("fn f() -> u8 {\n    match x { _ => 0 }\n}\n");
+        assert!(lexed.tokens.iter().any(|t| t.tok == Tok::Arrow));
+        assert!(lexed.tokens.iter().any(|t| t.tok == Tok::FatArrow));
+        assert!(!lexed.tokens.iter().any(|t| t.is_punct('>')));
+        let last = lexed.tokens.last().unwrap();
+        assert_eq!(last.line, 3);
+    }
+
+    #[test]
+    fn allow_directives_parse_with_and_without_reason() {
+        let src = "\
+use std::collections::HashMap; // lint: allow(D003) -- keyed access only
+// lint: allow(D004, D003)
+let x = 1;
+";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        let a = &lexed.allows[0];
+        assert_eq!((a.line, a.has_reason, a.standalone), (1, true, false));
+        assert_eq!(a.codes, vec!["D003"]);
+        let b = &lexed.allows[1];
+        assert_eq!((b.line, b.has_reason, b.standalone), (2, false, true));
+        assert_eq!(b.codes, vec!["D004", "D003"]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: the same field-dropping `Encode` impl, justified by an allow
+//! directive — D001 suppressed.
+
+pub struct Receipt {
+    pub id: u64,
+    pub latency_us: u64,
+}
+
+// lint: allow(D001) -- fixture: digest-style codec intentionally omits the derived field
+impl Encode for Receipt {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+    }
+}
+
+impl Decode for Receipt {
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let id = u64::decode(r)?;
+        Some(Receipt { id, latency_us: id })
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: the `Encode` impl drops `latency_us`, so every cache key and
+//! round-trip built from these bytes silently loses the field — D001.
+
+pub struct Receipt {
+    pub id: u64,
+    pub latency_us: u64,
+}
+
+impl Encode for Receipt {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+    }
+}
+
+impl Decode for Receipt {
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let id = u64::decode(r)?;
+        let latency_us = u64::decode(r)?;
+        Some(Receipt { id, latency_us })
+    }
+}

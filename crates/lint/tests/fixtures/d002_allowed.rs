@@ -1,0 +1,24 @@
+//! Fixture: the field-dropping `Decode` impl, justified — D002 suppressed.
+
+pub struct Row {
+    pub key: u64,
+    pub flags: u32,
+}
+
+impl Encode for Row {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.key.encode(out);
+        self.flags.encode(out);
+    }
+}
+
+// lint: allow(D002) -- fixture: flags is a transient runtime hint, reset on load by design
+impl Decode for Row {
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let key = u64::decode(r)?;
+        Some(Row {
+            key,
+            ..Default::default()
+        })
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: the `Decode` impl never mentions `flags`, so round-tripping
+//! loses the field — D002.
+
+pub struct Row {
+    pub key: u64,
+    pub flags: u32,
+}
+
+impl Encode for Row {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.key.encode(out);
+        self.flags.encode(out);
+    }
+}
+
+impl Decode for Row {
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let key = u64::decode(r)?;
+        Some(Row {
+            key,
+            ..Default::default()
+        })
+    }
+}

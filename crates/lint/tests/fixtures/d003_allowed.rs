@@ -1,0 +1,10 @@
+//! Fixture: justified `HashSet` — membership-only, D003 suppressed.
+
+// lint: allow(D003) -- fixture: contains-then-insert dedup; iteration order never observed
+use std::collections::HashSet;
+
+pub fn has_duplicates(values: &[u64]) -> bool {
+    // lint: allow(D003) -- fixture: membership-only set
+    let mut seen = HashSet::new();
+    values.iter().any(|v| !seen.insert(*v))
+}

@@ -1,0 +1,11 @@
+//! Fixture: `HashMap` in live code — nondeterministic iteration order, D003.
+
+use std::collections::HashMap;
+
+pub fn histogram(values: &[u64]) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    for v in values {
+        *counts.entry(*v).or_insert(0) += 1;
+    }
+    counts
+}

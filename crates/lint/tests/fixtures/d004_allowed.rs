@@ -1,0 +1,10 @@
+//! Fixture: justified wall-clock read — D004 suppressed. The `use` line
+//! only names `Instant` without `::now`, so the import itself never fires.
+
+use std::time::Instant;
+
+pub fn wall_elapsed_us() -> u128 {
+    // lint: allow(D004) -- fixture: wall-only harness timing; never enters a report
+    let t0 = Instant::now();
+    t0.elapsed().as_micros()
+}

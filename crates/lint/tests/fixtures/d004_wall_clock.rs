@@ -1,0 +1,9 @@
+//! Fixture: wall-clock reads inside the simulation clock domain — D004.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_micros()
+}

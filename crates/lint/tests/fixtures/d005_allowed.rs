@@ -1,0 +1,15 @@
+//! Fixture: justified one-way `Decode` — D005 suppressed.
+
+pub struct Snapshot {
+    pub height: u64,
+    pub root: [u8; 32],
+}
+
+// lint: allow(D005) -- fixture: bytes come from a foreign writer; this side only reads
+impl Decode for Snapshot {
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let height = u64::decode(r)?;
+        let root = <[u8; 32]>::decode(r)?;
+        Some(Snapshot { height, root })
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: `Decode` without a matching `Encode` in the same file — D005.
+//! The body mentions every field, so D002 stays quiet.
+
+pub struct Snapshot {
+    pub height: u64,
+    pub root: [u8; 32],
+}
+
+impl Decode for Snapshot {
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let height = u64::decode(r)?;
+        let root = <[u8; 32]>::decode(r)?;
+        Some(Snapshot { height, root })
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: allow directive without a `-- reason` — it still suppresses the
+//! underlying D003, but earns a D006 warning.
+
+// lint: allow(D003)
+use std::collections::HashSet;
+
+pub fn dedup_count(values: &[u64]) -> usize {
+    // lint: allow(D003)
+    let set: HashSet<u64> = values.iter().copied().collect();
+    set.len()
+}

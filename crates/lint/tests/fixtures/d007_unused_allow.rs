@@ -1,0 +1,12 @@
+//! Fixture: a stale allow that suppresses nothing — D007.
+
+// lint: allow(D003) -- fixture: this reason is stale, the map below is a BTreeMap
+use std::collections::BTreeMap;
+
+pub fn histogram(values: &[u64]) -> BTreeMap<u64, u64> {
+    let mut counts = BTreeMap::new();
+    for v in values {
+        *counts.entry(*v).or_insert(0) += 1;
+    }
+    counts
+}

@@ -20,6 +20,7 @@
 //! [`MerklePatriciaTrie::prune`] garbage-collects unreachable nodes so that
 //! the difference can be quantified in an ablation.
 
+// lint: allow(D003) -- hash-addressed node store on the insert hot path; all iterations fold order-insensitive sums
 use std::collections::HashMap;
 
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
@@ -129,6 +130,7 @@ impl MptProof {
 pub struct MerklePatriciaTrie {
     /// Hash-addressed node store (the LevelDB role). Holds the encoded size
     /// alongside the node to make footprint accounting cheap.
+    // lint: allow(D003) -- keyed by content hash; iterated only for order-insensitive byte totals and retain
     store: HashMap<Hash, (Node, usize)>,
     root: Option<Hash>,
     /// Number of live key/value pairs.
@@ -554,6 +556,7 @@ impl MerklePatriciaTrie {
     /// (switching from geth's archival behaviour to a pruned state trie).
     /// Returns the number of nodes dropped.
     pub fn prune(&mut self) -> usize {
+        // lint: allow(D003) -- reachability membership set; order never observed
         let mut reachable = std::collections::HashSet::new();
         if let Some(root) = self.root {
             let mut stack = vec![root];

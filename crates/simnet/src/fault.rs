@@ -19,7 +19,7 @@
 
 use std::collections::BTreeSet;
 
-use dichotomy_common::{Encode, NodeId, Timestamp};
+use dichotomy_common::{Diagnostic, Encode, NodeId, Severity, Timestamp};
 
 /// A single fault with a start time and an optional end time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -378,27 +378,35 @@ impl FaultPlan {
     }
 
     /// Validate the plan against a run horizon (satellite of the chaos
-    /// engine): returns a sanitized plan plus human-readable warnings.
+    /// engine): returns a sanitized plan plus structured diagnostics
+    /// (`S001`/`S002`, [`Locus::None`](dichotomy_common::Locus::None) — the
+    /// caller knows the experiment/row/probe and attaches the plan locus).
     ///
-    /// * Overlapping (or touching) crash windows on the same node are merged
-    ///   into one window healing at the latest end — the semantics
-    ///   [`crashed_until`](Self::crashed_until) already applies, made
-    ///   explicit in the plan, with a warning.
-    /// * Events scheduled at or past `horizon` (they could never influence
-    ///   the run) are dropped with a warning. `None` skips the horizon
-    ///   check.
-    pub fn validate(&self, horizon: Option<Timestamp>) -> (FaultPlan, Vec<String>) {
-        let mut warnings = Vec::new();
+    /// * `S001` — events scheduled at or past `horizon` (they could never
+    ///   influence the run) are dropped. `None` skips the horizon check.
+    /// * `S002` — overlapping (or touching) crash windows on the same node
+    ///   are merged into one window healing at the latest end — the
+    ///   semantics [`crashed_until`](Self::crashed_until) already applies,
+    ///   made explicit in the plan.
+    pub fn validate(&self, horizon: Option<Timestamp>) -> (FaultPlan, Vec<Diagnostic>) {
+        let mut diags = Vec::new();
         let mut plan = self.clone();
 
         if let Some(h) = horizon {
             let mut drop_past = |what: &str, from: Timestamp| {
                 let keep = from < h;
                 if !keep {
-                    warnings.push(format!(
-                        "{what} scheduled at {from} µs starts at/after the run horizon \
-                         ({h} µs) and was dropped"
-                    ));
+                    diags.push(
+                        Diagnostic::new(
+                            "S001",
+                            Severity::Warn,
+                            format!(
+                                "{what} scheduled at {from} µs starts at/after the run horizon \
+                                 ({h} µs) and was dropped"
+                            ),
+                        )
+                        .with_help("move the event inside the arrival horizon or extend the run"),
+                    );
                 }
                 keep
             };
@@ -425,11 +433,18 @@ impl FaultPlan {
             });
             match overlap {
                 Some(m) => {
-                    warnings.push(format!(
-                        "overlapping crash windows on node {} merged into one \
-                         ([{}, {:?}) ∪ [{}, {:?}))",
-                        fault.node.0, m.from, m.until, fault.from, fault.until
-                    ));
+                    diags.push(
+                        Diagnostic::new(
+                            "S002",
+                            Severity::Warn,
+                            format!(
+                                "overlapping crash windows on node {} merged into one \
+                                 ([{}, {:?}) ∪ [{}, {:?}))",
+                                fault.node.0, m.from, m.until, fault.from, fault.until
+                            ),
+                        )
+                        .with_help("declare one crash window per node interval"),
+                    );
                     m.from = m.from.min(fault.from);
                     m.until = match (m.until, fault.until) {
                         (Some(a), Some(b)) => Some(a.max(b)),
@@ -440,7 +455,7 @@ impl FaultPlan {
             }
         }
         plan.faults = merged;
-        (plan, warnings)
+        (plan, diags)
     }
 }
 
@@ -622,9 +637,13 @@ mod tests {
         plan.add(NodeFault::crash_until(NodeId(1), 150, 400));
         plan.add(NodeFault::crash_until(NodeId(2), 120, 180)); // other node: kept
         plan.add(NodeFault::byzantine(NodeId(1), 0)); // non-crash: kept
-        let (sane, warnings) = plan.validate(None);
-        assert_eq!(warnings.len(), 1);
-        assert!(warnings[0].contains("overlapping crash windows on node 1"));
+        let (sane, diags) = plan.validate(None);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "S002");
+        assert_eq!(diags[0].severity, Severity::Warn);
+        assert!(diags[0]
+            .message
+            .contains("overlapping crash windows on node 1"));
         let crashes: Vec<_> = sane
             .faults()
             .iter()
@@ -649,16 +668,17 @@ mod tests {
         plan.add_partition([NodeId(0)], 7_000, Some(8_000));
         plan.add_failover(9_000, 10);
         plan.add_reconfiguration(500, 50, true);
-        let (sane, warnings) = plan.validate(Some(1_000));
-        assert_eq!(warnings.len(), 3, "{warnings:?}");
+        let (sane, diags) = plan.validate(Some(1_000));
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags.iter().all(|d| d.code == "S001"));
         assert_eq!(sane.faults().len(), 1);
         assert!(sane.partitions().is_empty());
         assert!(sane.failovers().is_empty());
         assert_eq!(sane.reconfigurations().len(), 1);
         // Without a horizon nothing is dropped.
-        let (all, no_warnings) = plan.validate(None);
+        let (all, no_diags) = plan.validate(None);
         assert_eq!(all.faults().len(), 2);
-        assert!(no_warnings.is_empty());
+        assert!(no_diags.is_empty());
     }
 
     #[test]

@@ -336,14 +336,14 @@ pub fn drive_arrivals(
 /// `remove` claims it back when the stage fires.
 #[derive(Debug)]
 pub struct TokenMap<T> {
-    entries: std::collections::HashMap<u64, T>,
+    entries: std::collections::BTreeMap<u64, T>,
     next: u64,
 }
 
 impl<T> Default for TokenMap<T> {
     fn default() -> Self {
         TokenMap {
-            entries: std::collections::HashMap::new(),
+            entries: std::collections::BTreeMap::new(),
             next: 0,
         }
     }

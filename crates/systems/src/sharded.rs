@@ -10,7 +10,7 @@
 //! carries it through the per-shard service processes, replication and 2PC,
 //! emitting the receipt when the decision lands.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
 use dichotomy_common::{AbortReason, Key, NodeId, Timestamp, Transaction, TxnReceipt, Value};
@@ -80,7 +80,7 @@ struct ShardedDb {
     /// Until when each key is held by an in-flight (not yet committed)
     /// transaction — the window in which a contending arrival either waits
     /// (pessimistic locking) or aborts (optimistic/TiDB).
-    busy_until: HashMap<Key, Timestamp>,
+    busy_until: BTreeMap<Key, Timestamp>,
     /// Receipts scheduled to surface at their finish time (token-keyed).
     finishing: TokenMap<TxnReceipt>,
     /// Fault schedule: `NodeId(0)` is the 2PC coordinator role,
@@ -118,7 +118,7 @@ impl ShardedDb {
             state: MvccStore::new(),
             engine_db: LsmTree::new(),
             receipts: ReceiptLog::new(),
-            busy_until: HashMap::new(),
+            busy_until: BTreeMap::new(),
             finishing: TokenMap::new(),
             faults,
             failover_us,

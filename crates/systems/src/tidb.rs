@@ -18,7 +18,7 @@
 //! receipt surfaces through its `Committed` stage event at the decided
 //! finish time.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dichotomy_common::size::{StorageBreakdown, StorageFootprint};
 use dichotomy_common::{AbortReason, Key, NodeId, Timestamp, Transaction, TxnReceipt, Value};
@@ -106,7 +106,7 @@ pub struct TiDb {
     /// Until when each key is held by an in-flight transaction; arrivals that
     /// hit a busy key pay contention-resolution rounds and may abort — the
     /// mechanism behind the skew collapse of Section 5.3.1.
-    busy_until: HashMap<Key, Timestamp>,
+    busy_until: BTreeMap<Key, Timestamp>,
     committed: u64,
     aborted: u64,
 }
@@ -134,7 +134,7 @@ impl TiDb {
             engine_db: LsmTree::new(),
             receipts: ReceiptLog::new(),
             finishing: TokenMap::new(),
-            busy_until: HashMap::new(),
+            busy_until: BTreeMap::new(),
             committed: 0,
             aborted: 0,
             config,

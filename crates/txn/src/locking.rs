@@ -8,7 +8,7 @@
 //! opposed to TiDB's immediate abort — is what makes the Spanner model fall
 //! behind TiDB under skew in Figure 14.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use dichotomy_common::{AbortReason, Key, TxnId, Version};
 
@@ -46,8 +46,8 @@ pub enum LockOutcome {
 /// at first contact (smaller = older = higher priority under wound-wait).
 #[derive(Debug, Default)]
 pub struct LockManager {
-    locks: HashMap<Key, LockState>,
-    start_ts: HashMap<TxnId, Version>,
+    locks: BTreeMap<Key, LockState>,
+    start_ts: BTreeMap<TxnId, Version>,
     wounded: BTreeSet<TxnId>,
 }
 

@@ -17,7 +17,7 @@
 //!   only 30 % of transactions abort (Section 5.3.1). The executor therefore
 //!   reports, per transaction, how many lock-conflict rounds it went through.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dichotomy_common::{AbortReason, Key, Transaction, TxnId, Value, Version};
 use dichotomy_storage::MvccStore;
@@ -51,7 +51,7 @@ pub struct PercolatorOutcome {
 /// layer (TiKV's lock column family).
 #[derive(Debug, Default)]
 pub struct PercolatorExecutor {
-    locks: HashMap<Key, Lock>,
+    locks: BTreeMap<Key, Lock>,
     committed: u64,
     aborted: u64,
 }

@@ -176,7 +176,7 @@ impl Workload for YcsbWorkload {
 
     fn next_transaction(&mut self, client: ClientId, seq: u64) -> Transaction {
         let mut ops = Vec::with_capacity(self.config.ops_per_txn);
-        let mut used = std::collections::HashSet::new();
+        let mut used = std::collections::BTreeSet::new();
         while ops.len() < self.config.ops_per_txn {
             let key = self.next_key();
             // YCSB transactions touch distinct keys.

@@ -18,6 +18,35 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> dichotomy-lint (determinism & cache-soundness source auditor)"
+# The workspace must be clean: zero findings of any severity. Allowed uses
+# carry `// lint: allow(CODE) -- reason` annotations in place.
+LINT_BIN=target/release/dichotomy-lint
+"$LINT_BIN" --json /tmp/ci_lint.json crates
+grep -q '"generator":"dichotomy-lint"' /tmp/ci_lint.json
+grep -q '"findings":0' /tmp/ci_lint.json
+# Negative check: the stage must be *able* to fail. Linting a violating
+# fixture (explicit file paths bypass the tests/fixtures skip list) must
+# exit nonzero with a deny finding. (`! cmd` is exempt from `set -e`, so
+# test the exit status explicitly.)
+if "$LINT_BIN" --json /tmp/ci_lint_neg.json \
+    crates/lint/tests/fixtures/d001_drop_field.rs > /dev/null; then
+    echo "ci.sh: dichotomy-lint passed a field-dropping Encode fixture" >&2
+    exit 1
+fi
+grep -q '"code":"D001"' /tmp/ci_lint_neg.json
+grep -q '"severity":"deny"' /tmp/ci_lint_neg.json
+
+echo "==> repro lint (semantic plan linter over all experiments)"
+# Every experiment expands clean: no deny-level plan diagnostics. The only
+# expected finding is tab02's zero-probe note.
+cargo run -p dichotomy-bench --release --bin repro -- \
+    lint --quick --json /tmp/ci_plan_lint.json all > /tmp/ci_plan_lint.out
+grep -q '"generator":"repro-lint"' /tmp/ci_plan_lint.json
+grep -q '"experiments":20' /tmp/ci_plan_lint.json
+grep -q '"deny":0' /tmp/ci_plan_lint.json
+grep -q 'experiments expanded' /tmp/ci_plan_lint.out
+
 # Worker count for the parallel runs: every core, but at least 4 so the
 # pool (channel queue, out-of-order completion, reassembly) is exercised
 # even on small CI machines.
