@@ -63,7 +63,22 @@
 //!   them** and report semantic plan diagnostics (`S0xx`): out-of-horizon
 //!   faults, duplicate sweep points, mixed populations that round to a zero
 //!   transaction share, measurement windows longer than the run, zero-probe
-//!   experiments. Exit 1 when any deny-level finding survives.
+//!   experiments. The pseudo-id `explore` (part of `all`) lints the
+//!   design-space explorer's spec instead (`S008`: a prune configuration
+//!   that eliminates every candidate). Exit 1 when any deny-level finding
+//!   survives;
+//! * `repro explore [--quick] [--txns N] [--seed S] [--jobs N] [--progress]
+//!   [--cache] [--keep-frac F] [--min-forecast-tps T] [--max-candidates N]
+//!   [--json PATH] [--sched-walls] [--bench PATH] [--bench-key KEY]` — the
+//!   design-space explorer: enumerate the system × workload grid, prune
+//!   forecast-dominated candidates (every cut is reported), measure the
+//!   survivors on the shared probe pool (dedup, cache and LPT scheduling
+//!   apply), and report the Pareto front over throughput / p99 latency /
+//!   fault-recovery time plus the forecast-calibration summary (Kendall's
+//!   τ, per-taxonomy-cell error and correction). Stdout and the `--json`
+//!   document are byte-identical across `--jobs` counts and cache states;
+//!   `--sched-walls` additionally fills measured walls into the
+//!   `calibration.scheduling` entries (trading away that byte-identity).
 //!
 //! Whatever the flags, duplicate probes *within* a run execute once and fan
 //! out to every table cell that needs them, and the deduplicated queue is
@@ -123,6 +138,9 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("lint") {
         std::process::exit(lint_command(&raw[1..]));
+    }
+    if raw.first().map(String::as_str) == Some("explore") {
+        std::process::exit(explore_command(&raw[1..]));
     }
     let cli = parse_args(raw.into_iter());
 
@@ -477,7 +495,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
              --seed S --jobs N --arrival open|closed --think-us N --outstanding N \
              --metrics exact|streaming --json PATH --bench PATH --bench-key KEY"
         );
-        eprintln!("subcommands: cache stats|clear");
+        eprintln!("subcommands: cache stats|clear, explore, lint");
         eprintln!("valid experiments: all {}", EXPERIMENTS.join(" "));
         std::process::exit(2);
     }
@@ -524,16 +542,282 @@ fn cache_command(args: &[String]) -> i32 {
     }
 }
 
+/// `repro explore` — run the design-space explorer: enumerate the
+/// `ExploreSpec` grid, prune by forecast, measure the survivors on the
+/// shared probe pool, and report the Pareto front plus the forecast
+/// calibration. Exit status: 0 on success, 1 when the spec lints deny
+/// (`S008` zero-survivor), a probe fails, or an output path cannot be
+/// written, 2 on usage errors.
+fn explore_command(args: &[String]) -> i32 {
+    let mut quick = false;
+    let mut txns_override: Option<u64> = None;
+    let mut seed = dichotomy_core::common::rng::DEFAULT_SEED;
+    let mut jobs = 0usize;
+    let mut progress = false;
+    let mut use_cache = false;
+    let mut keep_frac: Option<f64> = None;
+    let mut min_forecast_tps: Option<f64> = None;
+    let mut max_candidates: Option<usize> = None;
+    let mut json_path: Option<String> = None;
+    let mut sched_walls = false;
+    let mut bench_path: Option<String> = None;
+    let mut bench_key: Option<String> = None;
+    let mut bad_usage: Vec<String> = Vec::new();
+    let mut it = args.iter().cloned().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (arg.clone(), None),
+        };
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--progress" => progress = true,
+            "--cache" => use_cache = true,
+            "--no-cache" => use_cache = false,
+            "--sched-walls" => sched_walls = true,
+            "--txns" => {
+                if let Some(v) = value_of(&flag, inline, &mut it, &mut bad_usage) {
+                    match v.parse::<u64>() {
+                        Ok(n) => txns_override = Some(n),
+                        Err(_) => bad_usage.push(format!("--txns: not a count: '{v}'")),
+                    }
+                }
+            }
+            "--seed" => {
+                if let Some(v) = value_of(&flag, inline, &mut it, &mut bad_usage) {
+                    match v.parse::<u64>() {
+                        Ok(s) => seed = s,
+                        Err(_) => bad_usage.push(format!("--seed: not a seed: '{v}'")),
+                    }
+                }
+            }
+            "--jobs" => {
+                if let Some(v) = value_of(&flag, inline, &mut it, &mut bad_usage) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => jobs = n,
+                        _ => bad_usage.push(format!("--jobs: not a worker count ≥ 1: '{v}'")),
+                    }
+                }
+            }
+            "--keep-frac" => {
+                if let Some(v) = value_of(&flag, inline, &mut it, &mut bad_usage) {
+                    match v.parse::<f64>() {
+                        Ok(f) if (0.0..=1.0).contains(&f) => keep_frac = Some(f),
+                        _ => bad_usage.push(format!("--keep-frac: not a fraction in [0,1]: '{v}'")),
+                    }
+                }
+            }
+            "--min-forecast-tps" => {
+                if let Some(v) = value_of(&flag, inline, &mut it, &mut bad_usage) {
+                    match v.parse::<f64>() {
+                        Ok(f) if f >= 0.0 && f.is_finite() => min_forecast_tps = Some(f),
+                        _ => bad_usage.push(format!("--min-forecast-tps: not a rate ≥ 0: '{v}'")),
+                    }
+                }
+            }
+            "--max-candidates" => {
+                if let Some(v) = value_of(&flag, inline, &mut it, &mut bad_usage) {
+                    match v.parse::<usize>() {
+                        Ok(n) => max_candidates = Some(n),
+                        Err(_) => bad_usage.push(format!("--max-candidates: not a count: '{v}'")),
+                    }
+                }
+            }
+            "--json" => json_path = value_of(&flag, inline, &mut it, &mut bad_usage),
+            "--bench" => bench_path = value_of(&flag, inline, &mut it, &mut bad_usage),
+            "--bench-key" => bench_key = value_of(&flag, inline, &mut it, &mut bad_usage),
+            _ => bad_usage.push(format!("unknown argument '{arg}'")),
+        }
+    }
+    if !bad_usage.is_empty() {
+        for b in &bad_usage {
+            eprintln!("repro explore: {b}");
+        }
+        eprintln!(
+            "usage: repro explore [--quick] [--txns N] [--seed S] [--jobs N] [--progress] \
+             [--cache|--no-cache] [--keep-frac F] [--min-forecast-tps T] [--max-candidates N] \
+             [--json PATH] [--sched-walls] [--bench PATH] [--bench-key KEY]"
+        );
+        return 2;
+    }
+
+    let txns = txns_override.unwrap_or(if quick { 300 } else { 2_000 });
+    let mut spec = if quick {
+        dichotomy_explore::ExploreSpec::quick(txns, seed)
+    } else {
+        dichotomy_explore::ExploreSpec::full(txns, seed)
+    };
+    if let Some(f) = keep_frac {
+        spec.prune.keep_frac = f;
+    }
+    if let Some(t) = min_forecast_tps {
+        spec.prune.min_forecast_tps = t;
+    }
+    if let Some(n) = max_candidates {
+        spec.max_candidates = if n == 0 { None } else { Some(n) };
+    }
+
+    // Gate on the spec lints before anything executes: an exploration that
+    // would measure nothing (S008) is a configuration bug, not an empty
+    // result.
+    let diags = dichotomy_explore::lint_spec(&spec);
+    if dichotomy_core::common::diag::has_deny(&diags) {
+        for d in &diags {
+            eprintln!("{}", d.render());
+        }
+        return 1;
+    }
+
+    let progress_fn = |s: &ProbeStatus| {
+        let origin = if s.cached {
+            " [cached]"
+        } else if s.deduped {
+            " [dedup]"
+        } else {
+            ""
+        };
+        match &s.error {
+            Some(e) => eprintln!(
+                "[explore] probe {}/{} '{}' / '{}': FAILED: {e}",
+                s.done, s.total, s.row, s.probe
+            ),
+            None => eprintln!(
+                "[explore] probe {}/{} '{}' / '{}'{origin}",
+                s.done, s.total, s.row, s.probe
+            ),
+        }
+    };
+    let disk_cache = if use_cache {
+        match cache::DiskCache::open(Path::new(CACHE_ROOT)) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("cannot open {CACHE_ROOT} (running uncached): {e}");
+                None
+            }
+        }
+    } else {
+        None
+    };
+    let exec = ExecOptions {
+        jobs,
+        progress: if progress { Some(&progress_fn) } else { None },
+        fail_fast: false,
+        cache: disk_cache.as_ref().map(|c| c as &dyn ProbeCache),
+    };
+    let outcome =
+        match dichotomy_explore::run_explore(&spec, &SystemRegistry::with_builtins(), &exec) {
+            Ok(o) => o,
+            Err(e) => {
+                // Unreachable after the lint gate, but a belt to its braces.
+                eprintln!("repro explore: {e}");
+                return 1;
+            }
+        };
+
+    print!("{}", outcome.render());
+    eprintln!(
+        "probes: {} scheduled, {} distinct, {} cache hits; worker time {:.0} ms, \
+         dedup saved {:.0} ms",
+        outcome.plan.probes,
+        outcome.plan.distinct_probes,
+        outcome.plan.cache_hits,
+        outcome.plan.probe_wall_ms,
+        outcome.plan.dedup_saved_ms
+    );
+    for f in &outcome.plan.report.failures {
+        eprintln!(
+            "repro explore: row '{}' probe '{}': {}",
+            f.row, f.probe, f.message
+        );
+    }
+
+    let mut write_failed = false;
+    if let Some(path) = &json_path {
+        // The scheduling calibration feed: deterministic predictions always;
+        // measured walls only under --sched-walls (cache hits carry none),
+        // because walls vary run to run and the default document is compared
+        // byte-for-byte across worker counts and cache states.
+        let sched: Vec<(String, f64, Option<f64>)> = outcome
+            .scheduling
+            .iter()
+            .map(|(probe, predicted)| {
+                let wall = if sched_walls {
+                    outcome
+                        .plan
+                        .calibration
+                        .iter()
+                        .find(|c| &c.probe == probe)
+                        .map(|c| c.wall_ms)
+                } else {
+                    None
+                };
+                (probe.clone(), *predicted, wall)
+            })
+            .collect();
+        let doc = json::explore_document(quick, txns, seed, &outcome, &sched);
+        match std::fs::write(path, doc) {
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                write_failed = true;
+            }
+            Ok(()) => eprintln!(
+                "wrote the exploration report ({} designs) to {path}",
+                outcome.designs.len()
+            ),
+        }
+    }
+
+    if let Some(path) = &bench_path {
+        let effective_jobs = ExecOptions::with_jobs(jobs).effective_jobs();
+        let timing = json::BenchTiming {
+            key: "explore".to_string(),
+            wall_ms: outcome.plan.probe_wall_ms,
+            rows: outcome.plan.report.rows.len(),
+            failed_probes: outcome.plan.report.failures.len(),
+            ok: true,
+            probes: outcome.plan.probes,
+            distinct_probes: outcome.plan.distinct_probes,
+            cache_hits: outcome.plan.cache_hits,
+            dedup_saved_ms: outcome.plan.dedup_saved_ms,
+            calibration: outcome.plan.calibration.clone(),
+        };
+        let key = bench_key
+            .unwrap_or_else(|| json::stable_bench_key(quick, Some(txns), seed, effective_jobs));
+        let entry = json::bench_document(&key, quick, Some(txns), seed, effective_jobs, &[timing]);
+        let existing = std::fs::read_to_string(path).ok();
+        match json::append_history(existing.as_deref(), &entry)
+            .and_then(|doc| std::fs::write(path, doc).map_err(|e| e.to_string()))
+        {
+            Err(e) => {
+                eprintln!("cannot append bench history to {path}: {e}");
+                write_failed = true;
+            }
+            Ok(()) => eprintln!("appended '{key}' (explore timing) to {path}"),
+        }
+    }
+
+    if !outcome.plan.report.failures.is_empty() || write_failed {
+        1
+    } else {
+        0
+    }
+}
+
 /// `repro lint` — expand experiments without executing them and report
 /// semantic plan diagnostics (the `S0xx` codes of `dichotomy_core::lint`).
 ///
 /// Loci are keyed by the repro experiment id (`fig04`, `tab02`, …) so the
-/// output lines up with `repro --list` and the run commands. Exit status:
-/// 0 clean (notes/warnings allowed), 1 on any deny-level finding, 2 on
-/// usage errors.
+/// output lines up with `repro --list` and the run commands. The pseudo-id
+/// `explore` (included in `all`) lints the `repro explore` spec instead of
+/// a plan — `S008` denies a zero-survivor exploration; `--keep-frac` and
+/// `--min-forecast-tps` mirror the explore flags so the exact configuration
+/// about to run is what gets checked. Exit status: 0 clean (notes/warnings
+/// allowed), 1 on any deny-level finding, 2 on usage errors.
 fn lint_command(args: &[String]) -> i32 {
     let mut opts = RunOptions::default();
     let mut json_path: Option<String> = None;
+    let mut keep_frac: Option<f64> = None;
+    let mut min_forecast_tps: Option<f64> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut bad_usage: Vec<String> = Vec::new();
     let mut it = args.iter().cloned().peekable();
@@ -544,6 +828,22 @@ fn lint_command(args: &[String]) -> i32 {
         };
         match flag.as_str() {
             "--quick" => opts.quick = true,
+            "--keep-frac" => {
+                if let Some(v) = value_of(&flag, inline, &mut it, &mut bad_usage) {
+                    match v.parse::<f64>() {
+                        Ok(f) if (0.0..=1.0).contains(&f) => keep_frac = Some(f),
+                        _ => bad_usage.push(format!("--keep-frac: not a fraction in [0,1]: '{v}'")),
+                    }
+                }
+            }
+            "--min-forecast-tps" => {
+                if let Some(v) = value_of(&flag, inline, &mut it, &mut bad_usage) {
+                    match v.parse::<f64>() {
+                        Ok(f) if f >= 0.0 && f.is_finite() => min_forecast_tps = Some(f),
+                        _ => bad_usage.push(format!("--min-forecast-tps: not a rate ≥ 0: '{v}'")),
+                    }
+                }
+            }
             "--txns" => {
                 if let Some(v) = value_of(&flag, inline, &mut it, &mut bad_usage) {
                     match v.parse::<u64>() {
@@ -571,14 +871,23 @@ fn lint_command(args: &[String]) -> i32 {
         for b in &bad_usage {
             eprintln!("repro lint: {b}");
         }
-        eprintln!("usage: repro lint [--quick] [--txns N] [--seed S] [--json PATH] [ID...]");
+        eprintln!(
+            "usage: repro lint [--quick] [--txns N] [--seed S] [--keep-frac F] \
+             [--min-forecast-tps T] [--json PATH] [ID...|explore]"
+        );
         return 2;
     }
 
-    let ids: Vec<&str> = if targets.is_empty() || targets.iter().any(|t| t == "all") {
+    let all = targets.is_empty() || targets.iter().any(|t| t == "all");
+    let want_explore = all || targets.iter().any(|t| t == "explore");
+    let ids: Vec<&str> = if all {
         EXPERIMENTS.to_vec()
     } else {
-        targets.iter().map(String::as_str).collect()
+        targets
+            .iter()
+            .map(String::as_str)
+            .filter(|t| *t != "explore")
+            .collect()
     };
 
     let mut diags = Vec::new();
@@ -607,6 +916,25 @@ fn lint_command(args: &[String]) -> i32 {
             }
             d.for_experiment(id)
         }));
+    }
+
+    if want_explore {
+        // Lint the explore spec exactly as `repro explore` would build it
+        // from the same flags.
+        let txns = opts.txns.unwrap_or(if opts.quick { 300 } else { 2_000 });
+        let mut spec = if opts.quick {
+            dichotomy_explore::ExploreSpec::quick(txns, opts.seed)
+        } else {
+            dichotomy_explore::ExploreSpec::full(txns, opts.seed)
+        };
+        if let Some(f) = keep_frac {
+            spec.prune.keep_frac = f;
+        }
+        if let Some(t) = min_forecast_tps {
+            spec.prune.min_forecast_tps = t;
+        }
+        expanded += 1;
+        diags.extend(dichotomy_explore::lint_spec(&spec));
     }
 
     for diag in &diags {

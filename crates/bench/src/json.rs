@@ -20,6 +20,7 @@
 
 use dichotomy_core::experiments::{ExperimentReport, RowSeries};
 use dichotomy_core::scenario::ProbeCalibration;
+use dichotomy_explore::ExploreOutcome;
 
 /// One experiment's wall-clock timing, for the `repro --bench` document.
 #[derive(Debug, Clone, PartialEq)]
@@ -302,6 +303,112 @@ pub fn bench_document(
         out.push_str("]}");
     }
     out.push_str("]}");
+    out
+}
+
+/// Serialize one `repro explore` run.
+///
+/// The document is deterministic for a given spec: the grid funnel, every
+/// pruned candidate (the cut is logged, never silent), every measured
+/// design with its Pareto-front flag, and the calibration section —
+/// Kendall's τ rank agreement, per-taxonomy-cell forecast error with the
+/// fitted correction, and the scheduler's per-probe cost predictions.
+/// `scheduling` carries `(probe, predicted, wall_ms)` triples in plan
+/// order; `wall_ms` is `None` (→ `null`) unless the caller opted into
+/// actual walls (`--sched-walls`), which trades byte-identical output for
+/// the predicted-vs-actual feed.
+pub fn explore_document(
+    quick: bool,
+    txns: u64,
+    seed: u64,
+    outcome: &ExploreOutcome,
+    scheduling: &[(String, f64, Option<f64>)],
+) -> String {
+    // No worker count in the header: the document is byte-compared across
+    // `--jobs` values, so only inputs that determine results may appear.
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"generator\":\"repro-explore\",\"quick\":{quick},\"txns\":{txns},\"seed\":{seed},\
+         \"grid\":{{\"points\":{},\"sampled_out\":{},\"pruned\":{},\
+         \"measured\":{}}},\"pruned\":[",
+        outcome.grid_points,
+        outcome.sampled_out,
+        outcome.cut.len(),
+        outcome.designs.len()
+    ));
+    for (i, c) in outcome.cut.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"forecast_tps\":{},\"group_best_tps\":{}}}",
+            escape(&c.name),
+            number(c.forecast_tps),
+            number(c.group_best_tps)
+        ));
+    }
+    out.push_str("],\"designs\":[");
+    for (i, d) in outcome.designs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cell\":\"{}\",\"forecast_tps\":{},\"tps\":{},\"p99_ms\":{},\
+             \"recovery_ms\":{},\"pareto\":{}}}",
+            escape(&d.name),
+            escape(&d.cell),
+            number(d.forecast_tps),
+            number(d.measured_tps),
+            number(d.p99_ms),
+            number(d.recovery_ms),
+            d.on_front
+        ));
+    }
+    out.push_str("],\"pareto_front\":[");
+    for (i, d) in outcome.designs.iter().filter(|d| d.on_front).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", escape(&d.name)));
+    }
+    out.push_str(&format!(
+        "],\"calibration\":{{\"kendall_tau\":{},\"cells\":[",
+        number(outcome.kendall_tau)
+    ));
+    for (i, c) in outcome.cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"cell\":\"{}\",\"designs\":{},\"mean_abs_rel_err\":{},\"correction\":{}}}",
+            escape(&c.cell),
+            c.designs,
+            number(c.mean_abs_rel_err),
+            number(c.correction)
+        ));
+    }
+    out.push_str("],\"scheduling\":[");
+    for (i, (probe, predicted, wall_ms)) in scheduling.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"probe\":\"{}\",\"predicted\":{},\"wall_ms\":{}}}",
+            escape(probe),
+            number(*predicted),
+            match wall_ms {
+                Some(w) => number(*w),
+                None => "null".to_string(),
+            }
+        ));
+    }
+    // Probe accounting stops at the deterministic counters: wall clocks and
+    // cache hits vary run to run and would break the byte-identical
+    // cold/warm and jobs-1/jobs-N comparisons this document is under.
+    out.push_str(&format!(
+        "]}},\"probes\":{{\"scheduled\":{},\"distinct\":{}}}}}",
+        outcome.plan.probes, outcome.plan.distinct_probes
+    ));
     out
 }
 
@@ -599,6 +706,80 @@ mod tests {
             "experiment wall_ms precedes calibration walls: {first_wall}"
         );
         assert!(doc.contains("{\"probe\":\"b\",\"predicted\":null,\"wall_ms\":2}"));
+    }
+
+    #[test]
+    fn explore_documents_hold_the_funnel_front_and_calibration() {
+        use dichotomy_core::scenario::PlanOutcome;
+        use dichotomy_explore::{CellCalibration, CutDesign, Design, ExploreOutcome};
+        let design = |name: &str, tps: f64, on_front: bool| Design {
+            name: name.into(),
+            cell: "StorageBased|Raft|Serial".into(),
+            forecast_tps: 100.0,
+            measured_tps: tps,
+            p99_ms: 2.5,
+            recovery_ms: 0.0,
+            on_front,
+        };
+        let outcome = ExploreOutcome {
+            grid_points: 14,
+            sampled_out: 2,
+            cut: vec![CutDesign {
+                name: "quorum/n4".into(),
+                forecast_tps: 10.0,
+                group_best_tps: 100.0,
+            }],
+            designs: vec![
+                design("etcd/n4", 90.0, true),
+                design("failed", f64::NAN, false),
+            ],
+            kendall_tau: f64::NAN,
+            cells: vec![CellCalibration {
+                cell: "StorageBased|Raft|Serial".into(),
+                designs: 1,
+                mean_abs_rel_err: 0.1,
+                correction: 1.25,
+            }],
+            scheduling: Vec::new(),
+            plan: PlanOutcome {
+                report: ExperimentReport {
+                    id: "Explore 1",
+                    title: "t",
+                    rows: Vec::new(),
+                    failures: Vec::new(),
+                    text: None,
+                },
+                probe_wall_ms: 123.0,
+                probes: 4,
+                distinct_probes: 3,
+                cache_hits: 1,
+                dedup_saved_ms: 0.5,
+                calibration: Vec::new(),
+            },
+        };
+        let sched = vec![
+            ("etcd/n4".to_string(), 120.0, None),
+            ("etcd/n4#chaos".to_string(), 50.0, Some(3.25)),
+        ];
+        let doc = explore_document(true, 300, 7, &outcome, &sched);
+        assert!(doc.starts_with(
+            "{\"generator\":\"repro-explore\",\"quick\":true,\"txns\":300,\"seed\":7,\
+             \"grid\":{\"points\":14,\"sampled_out\":2,\"pruned\":1,\"measured\":2}"
+        ));
+        assert!(doc.contains(
+            "\"pruned\":[{\"name\":\"quorum/n4\",\"forecast_tps\":10,\"group_best_tps\":100}]"
+        ));
+        assert!(doc.contains("\"tps\":90") && doc.contains("\"pareto\":true"));
+        assert!(doc.contains("\"tps\":null"), "failed design's NaN → null");
+        assert!(doc.contains("\"pareto_front\":[\"etcd/n4\"]"));
+        assert!(doc.contains("\"calibration\":{\"kendall_tau\":null,\"cells\":["));
+        assert!(doc.contains("\"correction\":1.25"));
+        assert!(doc.contains("{\"probe\":\"etcd/n4\",\"predicted\":120,\"wall_ms\":null}"));
+        assert!(doc.contains("{\"probe\":\"etcd/n4#chaos\",\"predicted\":50,\"wall_ms\":3.25}"));
+        assert!(doc.ends_with("\"probes\":{\"scheduled\":4,\"distinct\":3}}"));
+        // Wall clocks and cache hits are nondeterministic: they must never
+        // reach this document (cold/warm runs are compared byte-for-byte).
+        assert!(!doc.contains("cache_hits") && !doc.contains("123"));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | S005 | deny | `Mixed` population share rounds to zero transactions |
 //! | S006 | warn | `window_us` wider than the run's arrival horizon |
 //! | S007 | note | zero-probe experiment riding a bench set |
+//! | S008 | deny | zero-survivor exploration (lives in `dichotomy-explore::lint_spec`; `repro lint explore` surfaces it) |
 //!
 //! S001/S002 originate in [`FaultPlan::validate`] during plan expansion
 //! (`sanitize_fault_plans` records them on `plan.diagnostics`); the linter

@@ -72,6 +72,10 @@ pub enum Metric {
     AbortSharePercent(AbortReason),
     /// Mean commit latency in milliseconds.
     LatencyMeanMs,
+    /// 99th-percentile commit latency in milliseconds (the explorer's tail
+    /// axis; order-statistic under `MetricsMode::Exact`, P² estimate under
+    /// `MetricsMode::Streaming`).
+    LatencyP99Ms,
     /// Mean latency of one named pipeline phase, in milliseconds.
     PhaseMeanMs(&'static str),
     /// Mean latency of one named pipeline phase, in microseconds.
@@ -1315,6 +1319,7 @@ fn extract(obs: &ProbeResult, metric: &Metric) -> f64 {
         Metric::AbortPercent => obs.metrics.abort_rate_percent(),
         Metric::AbortSharePercent(reason) => obs.metrics.abort_share_percent(*reason),
         Metric::LatencyMeanMs => obs.metrics.latency.mean_us / 1000.0,
+        Metric::LatencyP99Ms => obs.metrics.latency.p99_us as f64 / 1000.0,
         Metric::PhaseMeanMs(name) => phase(name) / 1000.0,
         Metric::PhaseMeanUs(name) => phase(name),
         Metric::StateBytesPerRecord => {

@@ -1,0 +1,124 @@
+//! Forecast-calibration report: how well did the analytic model rank and
+//! scale against the measured runs?
+//!
+//! Two views, both computed purely from (forecast, measured) pairs:
+//!
+//! * **Rank agreement** — Kendall's τ (tau-a) between the forecast and
+//!   measured throughput orderings. Pruning only needs the forecast to
+//!   *rank* designs correctly; τ is the honest summary of that.
+//! * **Per-cell scale error** — designs grouped by taxonomy cell
+//!   (`replication|protocol|concurrency`), each cell reporting its mean
+//!   absolute relative error and a fitted multiplicative correction (the
+//!   geometric mean of measured/forecast). Feeding the correction back
+//!   into the cost model is the calibration loop's next turn.
+
+use std::collections::BTreeMap;
+
+/// Kendall's τ (tau-a) over paired samples: concordant minus discordant
+/// pairs, over all pairs. Ties on either axis contribute zero. Returns NaN
+/// for fewer than two samples — no ranking exists to agree with.
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "kendall_tau: unpaired samples");
+    let n = xs.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let sign = |a: f64, b: f64| (a > b) as i64 - (a < b) as i64;
+    let mut net = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = sign(xs[i], xs[j]);
+            let dy = sign(ys[i], ys[j]);
+            if dx != 0 && dy != 0 {
+                net += if dx == dy { 1 } else { -1 };
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    net as f64 / pairs
+}
+
+/// Calibration summary for one taxonomy cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellCalibration {
+    /// The cell key, `replication|protocol|concurrency`.
+    pub cell: String,
+    /// Designs measured in this cell.
+    pub designs: usize,
+    /// Mean of |measured − forecast| / measured.
+    pub mean_abs_rel_err: f64,
+    /// Geometric mean of measured/forecast — multiply the cell's forecasts
+    /// by this to center them on the measurements.
+    pub correction: f64,
+}
+
+/// Group (cell, forecast, measured) triples by cell and fit each cell's
+/// error and correction factor. Non-finite or non-positive samples are
+/// skipped (a failed design carries no calibration signal). Cells come out
+/// in `BTreeMap` order — deterministic for the JSON diff tests.
+pub fn per_cell_calibration(samples: &[(String, f64, f64)]) -> Vec<CellCalibration> {
+    let mut cells: BTreeMap<&str, Vec<(f64, f64)>> = BTreeMap::new();
+    for (cell, forecast, measured) in samples {
+        if forecast.is_finite() && measured.is_finite() && *forecast > 0.0 && *measured > 0.0 {
+            cells
+                .entry(cell.as_str())
+                .or_default()
+                .push((*forecast, *measured));
+        }
+    }
+    cells
+        .into_iter()
+        .map(|(cell, pairs)| {
+            let n = pairs.len() as f64;
+            let mean_abs_rel_err = pairs.iter().map(|(f, m)| ((m - f) / m).abs()).sum::<f64>() / n;
+            let log_ratio_mean = pairs.iter().map(|(f, m)| (m / f).ln()).sum::<f64>() / n;
+            CellCalibration {
+                cell: cell.to_string(),
+                designs: pairs.len(),
+                mean_abs_rel_err,
+                correction: log_ratio_mean.exp(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_spans_perfect_agreement_to_perfect_reversal() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((kendall_tau(&xs, &[10.0, 20.0, 30.0, 40.0]) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&xs, &[40.0, 30.0, 20.0, 10.0]) + 1.0).abs() < 1e-12);
+        // One swapped pair out of six: τ = (5 − 1)/6.
+        let tau = kendall_tau(&xs, &[10.0, 30.0, 20.0, 40.0]);
+        assert!((tau - 4.0 / 6.0).abs() < 1e-12);
+        // Ties contribute zero (tau-a), and n < 2 has no ranking.
+        assert_eq!(kendall_tau(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+        assert!(kendall_tau(&[1.0], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn cell_corrections_recenter_the_forecast() {
+        let samples = vec![
+            // Forecast exactly half the measurement → correction 2, err 0.5.
+            ("a".to_string(), 50.0, 100.0),
+            ("a".to_string(), 100.0, 200.0),
+            // Perfect cell → correction 1, err 0.
+            ("b".to_string(), 300.0, 300.0),
+            // Failed design: no signal, must not poison cell b.
+            ("b".to_string(), 400.0, f64::NAN),
+        ];
+        let cells = per_cell_calibration(&samples);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].cell, "a");
+        assert_eq!(cells[0].designs, 2);
+        assert!((cells[0].correction - 2.0).abs() < 1e-9);
+        assert!((cells[0].mean_abs_rel_err - 0.5).abs() < 1e-9);
+        assert_eq!(cells[1].cell, "b");
+        assert_eq!(cells[1].designs, 1);
+        assert!((cells[1].correction - 1.0).abs() < 1e-9);
+        assert!(cells[1].mean_abs_rel_err.abs() < 1e-9);
+    }
+}

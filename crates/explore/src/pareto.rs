@@ -1,0 +1,105 @@
+//! Pareto-front extraction over measured designs.
+//!
+//! The explorer reports three objectives per design — throughput
+//! (maximize), p99 latency (minimize) and fault-recovery time (minimize) —
+//! and the front is the set of designs no rival strictly improves on. The
+//! routine is objective-count generic: the report layer calls it with 3-D
+//! points, the tests also exercise the 2-D projection.
+
+/// Does `a` dominate `b`? Points are already oriented so that *larger is
+/// better* on every axis (the caller negates minimized objectives).
+/// Domination requires ≥ everywhere and > somewhere; equal points do not
+/// dominate each other, so ties both stay on the front.
+fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the Pareto-optimal points, in input order. Points with any
+/// non-finite coordinate (a failed or unmeasured design) never make the
+/// front and never dominate. O(n²) — the survivor sets this runs over are
+/// dozens of designs, not millions.
+pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        if p.iter().any(|v| !v.is_finite()) {
+            continue;
+        }
+        for (j, q) in points.iter().enumerate() {
+            if i != j && q.iter().all(|v| v.is_finite()) && dominates(q, p) {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_d_front_keeps_the_tradeoff_curve() {
+        // (tps, -p99): a classic trade-off curve plus two dominated points.
+        let pts = vec![
+            vec![100.0, -5.0], // fast but high latency — on the front
+            vec![80.0, -2.0],  // balanced — on the front
+            vec![50.0, -1.0],  // slow but snappy — on the front
+            vec![70.0, -4.0],  // dominated by (80, -2)
+            vec![40.0, -10.0], // dominated by everything on the curve
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn three_d_front_respects_every_axis() {
+        // (tps, -p99, -recovery): the third axis rescues a point that the
+        // 2-D projection would discard.
+        let pts = vec![
+            vec![100.0, -5.0, -300.0],
+            vec![90.0, -6.0, -100.0], // worse tps AND p99, best recovery
+            vec![80.0, -4.0, -400.0],
+            vec![70.0, -7.0, -500.0], // dominated by all three above
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 2]);
+        // Projecting away the recovery axis drops the rescue.
+        let flat: Vec<Vec<f64>> = pts.iter().map(|p| p[..2].to_vec()).collect();
+        assert_eq!(pareto_front(&flat), vec![0, 2]);
+    }
+
+    #[test]
+    fn equal_points_tie_onto_the_front_together() {
+        let pts = vec![
+            vec![50.0, -3.0],
+            vec![50.0, -3.0], // exact tie — neither dominates the other
+            vec![50.0, -4.0], // dominated (equal tps, worse p99)
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_point_and_empty_inputs() {
+        assert_eq!(pareto_front(&[vec![1.0, 2.0, 3.0]]), vec![0]);
+        assert_eq!(pareto_front(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn non_finite_designs_neither_join_nor_veto_the_front() {
+        let pts = vec![
+            vec![f64::NAN, -1.0],      // unmeasured — excluded
+            vec![f64::INFINITY, -1.0], // bogus — excluded, must not dominate
+            vec![10.0, -2.0],          // the only real design
+        ];
+        assert_eq!(pareto_front(&pts), vec![2]);
+    }
+}

@@ -10,10 +10,42 @@
 //! `fig15_hybrid_forecast` bench compares against the systems' reported
 //! numbers (Veritas 29 k vs ChainifyDB 6.1 k, etc.).
 
+use std::fmt;
+
 use dichotomy_consensus::{FailureModel, ProtocolKind, ReplicationProfile};
 use dichotomy_simnet::{CostModel, NetworkConfig};
 
 use crate::taxonomy::{ConcurrencyChoice, ReplicationModel, SystemProfile};
+
+/// Why a forecast request was rejected before (or after) evaluation.
+///
+/// `forecast_txn_cost_us` clamps its denominator, but `forecast_throughput`
+/// itself can emit `NaN` for degenerate specs (a zero batch divided by a
+/// zero occupancy). Comparators downstream — the explorer's pruning pass
+/// sorts candidates by forecast — must never see a non-finite score, so the
+/// checked API rejects degenerate inputs with a structured error instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForecastError {
+    /// `nodes == 0`: no replica participates in ordering.
+    ZeroNodes,
+    /// `batch_size == 0`: the ordering layer never cuts a batch.
+    ZeroBatch,
+    /// `txn_bytes == 0`: transactions carry no payload to cost.
+    ZeroTxnBytes,
+    /// The inputs validated but the model still produced a non-finite rate.
+    NonFinite,
+}
+
+impl fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForecastError::ZeroNodes => write!(f, "spec has zero ordering nodes"),
+            ForecastError::ZeroBatch => write!(f, "spec has a zero ordering batch size"),
+            ForecastError::ZeroTxnBytes => write!(f, "spec has zero-byte transactions"),
+            ForecastError::NonFinite => write!(f, "forecast evaluated to a non-finite rate"),
+        }
+    }
+}
 
 /// The qualitative bands of Figure 15.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -54,6 +86,22 @@ impl HybridSpec {
             txn_bytes: 1_100,
             batch_size: 500,
         }
+    }
+
+    /// Reject degenerate deployment numbers before they reach the model.
+    /// Zero nodes, a zero batch or zero-byte transactions make the
+    /// occupancy/rate divisions meaningless (and can surface as `NaN`).
+    pub fn validate(&self) -> Result<(), ForecastError> {
+        if self.nodes == 0 {
+            return Err(ForecastError::ZeroNodes);
+        }
+        if self.batch_size == 0 {
+            return Err(ForecastError::ZeroBatch);
+        }
+        if self.txn_bytes == 0 {
+            return Err(ForecastError::ZeroTxnBytes);
+        }
+        Ok(())
     }
 
     /// The qualitative Figure 15 band: replication model first, then failure
@@ -132,6 +180,34 @@ pub fn forecast_throughput(spec: &HybridSpec, network: &NetworkConfig, costs: &C
 /// a degenerate forecast can never return a non-finite cost.
 pub fn forecast_txn_cost_us(spec: &HybridSpec, network: &NetworkConfig, costs: &CostModel) -> f64 {
     1e6 / forecast_throughput(spec, network, costs).max(1.0)
+}
+
+/// [`forecast_throughput`] with input validation: degenerate specs (zero
+/// nodes/batch/bytes) and non-finite model outputs come back as a
+/// [`ForecastError`] instead of `NaN`, so ordering comparators downstream
+/// only ever see finite positive rates.
+pub fn try_forecast_throughput(
+    spec: &HybridSpec,
+    network: &NetworkConfig,
+    costs: &CostModel,
+) -> Result<f64, ForecastError> {
+    spec.validate()?;
+    let tps = forecast_throughput(spec, network, costs);
+    if tps.is_finite() && tps > 0.0 {
+        Ok(tps)
+    } else {
+        Err(ForecastError::NonFinite)
+    }
+}
+
+/// [`forecast_txn_cost_us`] on the checked path: the same validation as
+/// [`try_forecast_throughput`], then the clamped inversion.
+pub fn try_forecast_txn_cost_us(
+    spec: &HybridSpec,
+    network: &NetworkConfig,
+    costs: &CostModel,
+) -> Result<f64, ForecastError> {
+    try_forecast_throughput(spec, network, costs).map(|tps| 1e6 / tps.max(1.0))
 }
 
 #[cfg(test)]
@@ -253,6 +329,64 @@ mod tests {
             if tps >= 1.0 {
                 assert!((cost - 1e6 / tps).abs() < 1e-6, "{}", spec.name);
             }
+        }
+    }
+
+    #[test]
+    fn degenerate_specs_return_structured_errors_not_nan() {
+        let (net, costs) = defaults();
+        let good = HybridSpec {
+            name: "good".into(),
+            replication: ReplicationModel::StorageBased,
+            protocol: ProtocolKind::Raft,
+            concurrency: ConcurrencyChoice::Concurrent,
+            nodes: 4,
+            txn_bytes: 1_000,
+            batch_size: 500,
+        };
+        assert!(good.validate().is_ok());
+        let tps = try_forecast_throughput(&good, &net, &costs).unwrap();
+        assert_eq!(tps, forecast_throughput(&good, &net, &costs));
+
+        let zero_nodes = HybridSpec {
+            nodes: 0,
+            ..good.clone()
+        };
+        assert_eq!(
+            try_forecast_throughput(&zero_nodes, &net, &costs),
+            Err(ForecastError::ZeroNodes)
+        );
+        let zero_batch = HybridSpec {
+            batch_size: 0,
+            ..good.clone()
+        };
+        assert_eq!(
+            try_forecast_throughput(&zero_batch, &net, &costs),
+            Err(ForecastError::ZeroBatch)
+        );
+        let zero_bytes = HybridSpec {
+            txn_bytes: 0,
+            ..good.clone()
+        };
+        assert_eq!(
+            try_forecast_txn_cost_us(&zero_bytes, &net, &costs),
+            Err(ForecastError::ZeroTxnBytes)
+        );
+        // Errors render something actionable for diagnostics.
+        assert!(ForecastError::ZeroBatch.to_string().contains("batch"));
+    }
+
+    #[test]
+    fn checked_cost_matches_the_unchecked_clamped_inversion() {
+        let (net, costs) = defaults();
+        for profile in all_systems() {
+            let spec = HybridSpec::from_profile(&profile);
+            assert_eq!(
+                try_forecast_txn_cost_us(&spec, &net, &costs).unwrap(),
+                forecast_txn_cost_us(&spec, &net, &costs),
+                "{}",
+                spec.name
+            );
         }
     }
 

@@ -5,7 +5,10 @@
 pub mod forecast;
 pub mod taxonomy;
 
-pub use forecast::{forecast_throughput, forecast_txn_cost_us, HybridSpec, ThroughputBand};
+pub use forecast::{
+    forecast_throughput, forecast_txn_cost_us, try_forecast_throughput, try_forecast_txn_cost_us,
+    ForecastError, HybridSpec, ThroughputBand,
+};
 pub use taxonomy::{
     all_systems, ConcurrencyChoice, LedgerSupport, ReplicationModel, ShardingSupport, StorageIndex,
     SystemCategory, SystemProfile,

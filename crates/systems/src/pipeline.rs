@@ -67,6 +67,38 @@ impl SystemKind {
             SystemKind::Ahl => "AHL",
         }
     }
+
+    /// Lowercase label safe for machine-readable keys (candidate names,
+    /// cache paths): no spaces, dashes or case surprises.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            SystemKind::Quorum => "quorum",
+            SystemKind::Fabric => "fabric",
+            SystemKind::TiDb => "tidb",
+            SystemKind::Etcd => "etcd",
+            SystemKind::Tikv => "tikv",
+            SystemKind::SpannerLike => "spanner",
+            SystemKind::Ahl => "ahl",
+        }
+    }
+
+    /// Whether the model batches transactions into blocks, i.e. whether the
+    /// block-cut knobs (`block_txns`, `block_interval_us`) change anything.
+    /// Enumeration grids use this to skip no-op block axes on the database
+    /// kinds instead of multiplying the grid by dead configurations.
+    pub fn cuts_blocks(&self) -> bool {
+        matches!(self, SystemKind::Quorum | SystemKind::Fabric)
+    }
+
+    /// Whether the model honors a shard count above one (the partitioned
+    /// NewSQL builders and AHL's BFT-sharded deployment; the etcd/TiKV KV
+    /// models ignore the knob).
+    pub fn shards_scale(&self) -> bool {
+        matches!(
+            self,
+            SystemKind::TiDb | SystemKind::SpannerLike | SystemKind::Ahl
+        )
+    }
 }
 
 /// The event vocabulary of the transaction-processing simulation: what the

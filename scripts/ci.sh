@@ -36,6 +36,10 @@ if "$LINT_BIN" --json /tmp/ci_lint_neg.json \
 fi
 grep -q '"code":"D001"' /tmp/ci_lint_neg.json
 grep -q '"severity":"deny"' /tmp/ci_lint_neg.json
+# The explorer crate on its own: no deny-level determinism/cache hazards in
+# the 16th crate (it feeds the shared probe cache, so the D0xx rules bite).
+"$LINT_BIN" --json /tmp/ci_lint_explore.json crates/explore
+grep -q '"deny":0' /tmp/ci_lint_explore.json
 
 echo "==> repro lint (semantic plan linter over all experiments)"
 # Every experiment expands clean: no deny-level plan diagnostics. The only
@@ -43,9 +47,24 @@ echo "==> repro lint (semantic plan linter over all experiments)"
 cargo run -p dichotomy-bench --release --bin repro -- \
     lint --quick --json /tmp/ci_plan_lint.json all > /tmp/ci_plan_lint.out
 grep -q '"generator":"repro-lint"' /tmp/ci_plan_lint.json
-grep -q '"experiments":20' /tmp/ci_plan_lint.json
+# 20 experiment plans + the explore-spec pseudo-id.
+grep -q '"experiments":21' /tmp/ci_plan_lint.json
 grep -q '"deny":0' /tmp/ci_plan_lint.json
 grep -q 'experiments expanded' /tmp/ci_plan_lint.out
+# Negative check: a prune floor that cuts every candidate must deny (S008),
+# through both the linter and the explore command itself.
+if cargo run -p dichotomy-bench --release --bin repro -- \
+    lint --quick --min-forecast-tps 1e30 explore > /tmp/ci_plan_lint_neg.out; then
+    echo "ci.sh: repro lint passed a zero-survivor explore spec" >&2
+    exit 1
+fi
+grep -q 'S008' /tmp/ci_plan_lint_neg.out
+if cargo run -p dichotomy-bench --release --bin repro -- \
+    explore --quick --min-forecast-tps 1e30 > /dev/null 2> /tmp/ci_explore_s008.err; then
+    echo "ci.sh: repro explore ran a zero-survivor spec" >&2
+    exit 1
+fi
+grep -q 'S008' /tmp/ci_explore_s008.err
 
 # Worker count for the parallel runs: every core, but at least 4 so the
 # pool (channel queue, out-of-order completion, reassembly) is exercised
@@ -198,6 +217,47 @@ grep -q '"label":"pr8-cache-warm"' BENCH_history.json
 "$REPRO_BIN" cache stats | grep -q entries
 "$REPRO_BIN" cache clear > /dev/null
 
+echo "==> repro explore (design-space explorer: determinism, Pareto front, calibration)"
+# Byte-identity across worker counts: the report and JSON carry no wall
+# clocks, cache counters or jobs fields, so 1 worker vs $JOBS must match.
+"$REPRO_BIN" explore --quick --seed 7 --jobs 1 --no-cache \
+    --json /tmp/ci_explore_a.json > /tmp/ci_explore_a.out
+"$REPRO_BIN" explore --quick --seed 7 --jobs "$JOBS" --no-cache \
+    --json /tmp/ci_explore_b.json > /tmp/ci_explore_b.out
+cmp /tmp/ci_explore_a.out /tmp/ci_explore_b.out
+cmp /tmp/ci_explore_a.json /tmp/ci_explore_b.json
+grep -q '"generator":"repro-explore"' /tmp/ci_explore_a.json
+# The funnel must cut candidates (no silent caps: every cut is listed) and
+# still leave a non-empty Pareto front over the measured survivors.
+grep -q '"pruned":\[{' /tmp/ci_explore_a.json
+grep -qE '"pareto_front":\["[^"]' /tmp/ci_explore_a.json
+# Per-taxonomy-cell calibration with fitted corrections rides the same JSON.
+grep -q '"kendall_tau":' /tmp/ci_explore_a.json
+grep -qE '"cell":"[^"]+","designs":[1-9]' /tmp/ci_explore_a.json
+grep -q '"correction":' /tmp/ci_explore_a.json
+# Cold vs warm cache: same bytes whether probes execute or replay.
+"$REPRO_BIN" explore --quick --seed 8 --jobs "$JOBS" --cache \
+    --json /tmp/ci_explore_cold.json > /tmp/ci_explore_cold.out
+"$REPRO_BIN" explore --quick --seed 8 --jobs "$JOBS" --cache \
+    --json /tmp/ci_explore_warm.json > /tmp/ci_explore_warm.out 2> /tmp/ci_explore_warm.err
+cmp /tmp/ci_explore_cold.out /tmp/ci_explore_warm.out
+cmp /tmp/ci_explore_cold.json /tmp/ci_explore_warm.json
+grep -q ' cache hits' /tmp/ci_explore_warm.err
+if grep -q ' 0 cache hits' /tmp/ci_explore_warm.err; then
+    echo "ci.sh: the warm explore run hit the cache zero times" >&2
+    exit 1
+fi
+"$REPRO_BIN" cache clear > /dev/null
+# --sched-walls is the opt-out: measured ProbeCalibration walls replace the
+# byte-stable nulls in calibration.scheduling.
+"$REPRO_BIN" explore --quick --seed 9 --jobs 1 --no-cache --sched-walls \
+    --json /tmp/ci_explore_walls.json > /dev/null
+grep -qE '"wall_ms":[0-9]' /tmp/ci_explore_walls.json
+# The explorer's own wall clock joins the bench trajectory.
+"$REPRO_BIN" explore --quick --seed 7 --jobs "$JOBS" \
+    --bench BENCH_history.json --bench-key pr10-explore > /dev/null
+grep -q '"label":"pr10-explore"' BENCH_history.json
+
 echo "==> microbench --smoke (engine hot-path regression canary)"
 cargo run -p dichotomy-bench --release --bin microbench -- --smoke \
     --bench BENCH_history.json --bench-key "${BENCH_KEY}-micro" > /tmp/ci_microbench.out
@@ -215,6 +275,7 @@ grep -q '"key":"latency_sketch_stream_100k"' BENCH_history.json
 
 echo "==> bench_gate (wall-clock trajectory regression gate + coverage keys)"
 scripts/bench_gate --require-key scale01 --require-key chaos01 \
-    --require-key pr8-cache-cold --require-key pr8-cache-warm BENCH_history.json
+    --require-key pr8-cache-cold --require-key pr8-cache-warm \
+    --require-key pr10-explore BENCH_history.json
 
 echo "==> ci.sh: all checks passed"
